@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+experiment once under pytest-benchmark timing, prints the same
+rows/series the paper plots, and asserts the paper's qualitative shape.
+
+Run with output visible:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Execute an experiment exactly once under benchmark timing (these
+    are scientific reproductions, not micro-benchmarks)."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

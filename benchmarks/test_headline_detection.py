@@ -1,0 +1,99 @@
+"""Abstract headline — a single 1.5%-corrupting link in a full two-level
+fat tree with 32 leaf switches, caught by checking temporal symmetry
+while Ring-AllReduce runs on all nodes.
+
+Two reproductions:
+
+1. *Statistical, paper-exact parameters*: 32x16 fabric, 31-stage ring
+   collective at LLM scale (8 GiB), 1.5% drop on one leaf-spine link,
+   1% threshold -> detected in the first iteration, zero false alarms
+   on the healthy control, and the cable is named.
+
+2. *Packet-level, scaled-down*: the full simnet pipeline (hosts, RoCE
+   transport with 5 us RTO, spraying switches, tagged collectors) on the
+   same 32x16 topology with a smaller collective and a proportionally
+   scaled fault, demonstrating the end-to-end data path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentConfig, format_percent, run_trial
+from repro.collectives import (
+    DemandMatrix,
+    StagedCollectiveRunner,
+    locality_optimized_ring,
+    ring_reduce_scatter_stages,
+)
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.simnet import DropFault, Network
+from repro.topology import down_link, paper_default_spec
+from repro.units import GIB
+
+
+def statistical_headline():
+    config = ExperimentConfig(
+        n_leaves=32,
+        n_spines=16,
+        collective_bytes=8 * GIB,
+        mtu=1024,
+        threshold=0.01,
+        drop_rate=0.015,
+        n_iterations=5,
+    )
+    positive = run_trial(config, injected=True, base_seed=500, trial=0)
+    negative = run_trial(config, injected=False, base_seed=500, trial=0)
+    return positive, negative
+
+
+def packet_level_headline():
+    spec = paper_default_spec()
+    net = Network(spec, seed=77, spray="round_robin", mtu=1024)
+    fault_link = down_link(4, 9)
+    net.inject_fault(fault_link, DropFault(0.05))
+    collectors = net.install_collectors(job_id=1)
+    ring = locality_optimized_ring(spec.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, total_bytes=2_000_000)
+    iterations = 2
+    StagedCollectiveRunner(net, 1, stages, iterations=iterations).run()
+    net.finalize_collectors()
+
+    demand = DemandMatrix.from_stages(stages)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand), DetectionConfig(threshold=0.02)
+    )
+    matrix = [
+        [collectors[leaf].records[i] for leaf in range(spec.n_leaves)]
+        for i in range(iterations)
+    ]
+    verdict = monitor.process_run(matrix)
+    return verdict, fault_link, net.total_fault_drops()
+
+
+def test_headline_statistical(run_once):
+    positive, negative = run_once(statistical_headline)
+    print()
+    print("headline (fastsim, paper-exact): 32x16 fat tree, 31-stage ring, "
+          "8 GiB, 1.5% drop on one link, 1% threshold")
+    print(f"  faulty run:  detected={positive.triggered} at iteration "
+          f"{positive.first_detection_iteration}, worst deviation "
+          f"{format_percent(positive.score)}, suspects={sorted(positive.suspected_links)}")
+    print(f"  healthy run: detected={negative.triggered}, worst deviation "
+          f"{format_percent(negative.score)}")
+    assert positive.triggered
+    assert positive.first_detection_iteration == 0
+    assert positive.localized_correctly
+    assert not negative.triggered
+
+
+def test_headline_packet_level(run_once):
+    verdict, fault_link, drops = run_once(packet_level_headline)
+    print()
+    print("headline (packet-level simnet, scaled): 32x16 fabric, full RoCE "
+          "pipeline, 5% drop, 2% threshold")
+    print(f"  silently dropped packets: {drops}")
+    print(f"  detected={verdict.triggered} at iteration "
+          f"{verdict.first_detection_iteration}; suspects="
+          f"{sorted(verdict.suspected_links())}")
+    assert drops > 0
+    assert verdict.triggered
+    assert fault_link in verdict.suspected_links()

@@ -1,0 +1,69 @@
+"""Performance characterization of the two simulators.
+
+Not a paper figure — these benchmarks document the substrate's own
+throughput, which is what determines how large a sweep the repo can
+run: the packet-level simulator's event rate, and the statistical
+simulator's full-iteration latency at paper scale (the quantity that
+makes the Fig. 5 sweeps tractable in pure Python).
+"""
+
+from __future__ import annotations
+
+from repro.collectives import (
+    StagedCollectiveRunner,
+    locality_optimized_ring,
+    ring_demand,
+    ring_reduce_scatter_stages,
+)
+from repro.fastsim import FabricModel, run_iterations
+from repro.simnet import Network
+from repro.topology import ClosSpec, paper_default_spec
+from repro.units import GIB
+
+
+def test_perf_packet_simulator_event_rate(benchmark):
+    """Events/second of the packet-level simulator under a full ring
+    collective on an 8x4 fabric."""
+    def run():
+        spec = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+        net = Network(spec, seed=1, spray="random", mtu=1024)
+        ring = locality_optimized_ring(spec.n_hosts)
+        stages = ring_reduce_scatter_stages(ring, 1_000_000)
+        StagedCollectiveRunner(net, 1, stages, iterations=1).run()
+        return net.sim.events_executed
+
+    events = benchmark(run)
+    assert events > 10_000  # a real workload, not a no-op
+
+
+def test_perf_fastsim_paper_scale_iteration(benchmark):
+    """Latency of one statistical iteration at the paper's default
+    scale (32x16 fabric, 8 GiB collective)."""
+    spec = paper_default_spec()
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 8 * GIB)
+    model = FabricModel(spec, mtu=1024)
+
+    counter = {"seed": 0}
+
+    def run():
+        counter["seed"] += 1
+        return run_iterations(model, demand, 1, seed=counter["seed"])
+
+    records = benchmark(run)
+    assert len(records[0]) == spec.n_leaves
+
+
+def test_perf_fastsim_trial_throughput(benchmark):
+    """A full 5-iteration monitored trial, the unit of every Fig. 5
+    sweep."""
+    from repro.analysis import ExperimentConfig, run_trial
+
+    config = ExperimentConfig(collective_bytes=8 * GIB, mtu=1024)
+    counter = {"trial": 0}
+
+    def run():
+        counter["trial"] += 1
+        return run_trial(config, injected=True, base_seed=9, trial=counter["trial"])
+
+    outcome = benchmark(run)
+    assert outcome.triggered

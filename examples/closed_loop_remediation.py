@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The full operator loop: detect -> localize -> disable -> recover.
+
+The paper's introduction frames the goal as quickly *detecting,
+localizing, and disabling* faulty components so the fabric routes
+around them.  This example runs training on the paper-default fabric,
+lets a silent 5 % fault appear at iteration 2, and shows the
+remediation engine confirm the cable, pull it from routing, rebuild the
+load model for the surviving topology, and verify that temporal
+symmetry — and quiet monitoring — are restored.
+
+Run:  python examples/closed_loop_remediation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_closed_loop
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import ConfirmationPolicy
+from repro.fastsim import FabricModel
+from repro.topology import down_link, paper_default_spec
+from repro.units import GIB
+
+
+def main() -> None:
+    spec = paper_default_spec()
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 8 * GIB)
+    model = FabricModel(spec, mtu=1024)
+    fault_link = down_link(6, 11)
+
+    result = run_closed_loop(
+        model,
+        demand,
+        {fault_link: 0.05},
+        n_iterations=9,
+        fault_start_iteration=2,
+        threshold=0.01,
+        policy=ConfirmationPolicy(confirm_after=2, window=4),
+        seed=17,
+    )
+
+    rows = []
+    for step in result.steps:
+        rows.append(
+            [
+                step.iteration,
+                "ALARM" if step.triggered else "",
+                ", ".join(sorted(step.suspected_links)) or "-",
+                "cable drained" if step.action else "",
+                len(step.disabled_so_far),
+            ]
+        )
+    print(f"fabric: 32x16, silent fault {fault_link} (5% drop) from iteration 2\n")
+    print(
+        format_table(
+            ["iter", "detection", "suspects", "action", "links out of service"],
+            rows,
+        )
+    )
+    print(f"\ndetected at iteration:   {result.detection_iteration}")
+    print(f"remediated at iteration: {result.remediation_iteration}")
+    print(f"links disabled: {sorted(result.actions[0].disabled_links)}")
+    print(f"recovered (monitoring quiet on surviving topology): {result.recovered}")
+    assert result.recovered and fault_link in result.actions[0].disabled_links
+    print("\nOK: fault drained and symmetry restored.")
+
+
+if __name__ == "__main__":
+    main()

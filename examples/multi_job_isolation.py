@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Measured-collective isolation under background traffic (paper §5.1/§7).
+
+Clusters run many jobs at once.  FlowPulse measures a single collective
+per iteration and runs it at elevated priority, so background flows
+neither perturb the measurement nor hide the fault.  This example runs
+the monitored ring collective at MEASURED priority while a second job
+blasts unprioritized background traffic across the same fabric — and
+FlowPulse still catches the silent fault with clean counters.
+
+Run:  python examples/multi_job_isolation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import (
+    DemandMatrix,
+    StagedCollectiveRunner,
+    locality_optimized_ring,
+    ring_reduce_scatter_stages,
+)
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.simnet import DropFault, FlowTag, IterationRecord, Network, Priority
+from repro.topology import ClosSpec, down_link
+
+
+def main() -> None:
+    spec = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+    net = Network(spec, seed=21, spray="round_robin", mtu=512)
+    fault_link = down_link(2, 5)
+    net.inject_fault(fault_link, DropFault(0.25))
+
+    # Job 1: the monitored training job (tagged + prioritized).
+    collectors = net.install_collectors(job_id=1)
+    ring = locality_optimized_ring(spec.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, total_bytes=1_500_000)
+    iterations = 3
+    runner = StagedCollectiveRunner(
+        net, job_id=1, stages=stages, iterations=iterations,
+        priority=Priority.MEASURED,
+    )
+
+    # Job 2: untagged background chatter between random host pairs.
+    rng = np.random.Generator(np.random.PCG64(5))
+    for _ in range(40):
+        src, dst = rng.choice(spec.n_hosts, size=2, replace=False)
+        net.host(int(src)).send(
+            int(dst), int(rng.integers(50_000, 400_000)),
+            tag=FlowTag(job_id=99, iteration=0),
+            priority=Priority.BACKGROUND,
+        )
+
+    runner.run()
+    net.finalize_collectors()
+
+    demand = DemandMatrix.from_stages(stages)
+    # Background packets share the spraying state of the leaf switches,
+    # so they perturb the measured job's split a little even with
+    # priority isolation; the threshold stays comfortably between that
+    # perturbation and the fault's ~19 % signal.
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand), DetectionConfig(threshold=0.10)
+    )
+    matrix = []
+    for i in range(iterations):
+        row = []
+        for leaf, collector in enumerate(collectors):
+            by_iter = {r.tag.iteration: r for r in collector.records}
+            row.append(by_iter.get(i) or IterationRecord(
+                leaf=leaf, tag=FlowTag(1, i), port_bytes={}, sender_bytes={},
+                start_ns=0, end_ns=0))
+        matrix.append(row)
+    verdict = monitor.process_run(matrix)
+
+    background_bytes = sum(
+        link.tx_bytes for name, link in net.links.items() if name.startswith("up:")
+    )
+    print(f"fabric: {spec.n_leaves}x{spec.n_spines}, fault: {fault_link} (25% drop)")
+    print(f"background flows injected: 40 (unmeasured, BACKGROUND priority)")
+    print(f"total upstream fabric bytes (both jobs): {background_bytes:,}")
+    measured = sum(r.total_bytes for r in matrix[0])
+    print(f"measured-job volume counted per iteration: {measured:,} bytes")
+    print(f"fault detected: {verdict.triggered} "
+          f"(first at iteration {verdict.first_detection_iteration})")
+    print(f"suspects: {sorted(verdict.suspected_links())}")
+    assert verdict.triggered and fault_link in verdict.suspected_links()
+    print("\nOK: detection unaffected by background traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a silent link fault on a packet-simulated fabric.
+
+Builds a small 8-leaf / 4-spine non-blocking fat tree, runs four
+iterations of a ring collective with per-packet spraying, injects a
+silent 30 % drop fault on one spine->leaf link, and lets FlowPulse catch
+and localize it from switch-local volume counters alone.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.collectives import (
+    DemandMatrix,
+    StagedCollectiveRunner,
+    locality_optimized_ring,
+    ring_reduce_scatter_stages,
+)
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.simnet import DropFault, Network
+from repro.topology import ClosSpec, down_link
+from repro.analysis import format_table
+
+
+def main() -> None:
+    spec = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+    net = Network(spec, seed=7, spray="random", mtu=512)
+
+    # The silent fault: spine 1's link down to leaf 3 drops 30 % of
+    # packets without touching any counter the switch OS watches.
+    fault_link = down_link(1, 3)
+    net.inject_fault(fault_link, DropFault(0.30))
+
+    # Switches count tagged ingress volume per iteration (paper §5.1).
+    collectors = net.install_collectors(job_id=1)
+
+    # One ring collective per training iteration.
+    ring = locality_optimized_ring(spec.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, total_bytes=2_000_000)
+    iterations = 4
+    StagedCollectiveRunner(net, job_id=1, stages=stages, iterations=iterations).run()
+    net.finalize_collectors()
+
+    # FlowPulse: analytical load model + per-leaf threshold detection.
+    demand = DemandMatrix.from_stages(stages)
+    predictor = AnalyticalPredictor(spec, demand)
+    # Threshold sized to this small demo: spray noise here is ~3% per port
+    # (sqrt(s/n) with ~3.4k packets per pair); production-size collectives
+    # push that floor below the paper's 1% (see benchmarks).
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.12))
+    run_records = [
+        [collectors[leaf].records[i] for leaf in range(spec.n_leaves)]
+        for i in range(iterations)
+    ]
+    verdict = monitor.process_run(run_records)
+
+    print(f"fabric: {spec.n_leaves} leaves x {spec.n_spines} spines")
+    print(f"injected silent fault: {fault_link} (30% drop)")
+    print(f"packets silently dropped: {net.total_fault_drops()}")
+    print(f"fault detected: {verdict.triggered}")
+    print(f"first detection at iteration: {verdict.first_detection_iteration}")
+    print(f"suspected links: {sorted(verdict.suspected_links())}")
+    print()
+    rows = []
+    for iteration_verdict in verdict.verdicts:
+        for result in iteration_verdict.results:
+            if result.triggered:
+                for alarm in result.alarms:
+                    rows.append(
+                        [
+                            iteration_verdict.iteration,
+                            f"leaf{result.leaf}",
+                            f"spine{alarm.spine}",
+                            f"{alarm.deviation * 100:+.1f}%",
+                        ]
+                    )
+    print(format_table(["iteration", "leaf", "port from", "deviation"], rows,
+                       title="per-port alarms"))
+    assert verdict.triggered and fault_link in verdict.suspected_links()
+    print("\nOK: silent fault caught and localized.")
+
+
+if __name__ == "__main__":
+    main()

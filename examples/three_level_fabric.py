@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Two-tier monitoring on a three-level fat tree (paper §7).
+
+The paper sketches extending FlowPulse beyond two-level Clos by
+"deploying FlowPulse at both leaf and spine levels to monitor
+spine-leaf and core-spine links respectively".  This example runs a
+ring collective across a 4-pod fabric and injects faults at both tiers;
+the leaf monitors catch the pod-level fault, the spine monitors catch
+the core-level fault, and cross-tier suppression keeps each fault
+blamed on the right layer.
+
+Run:  python examples/three_level_fabric.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import DetectionConfig
+from repro.threelevel import (
+    ThreeLevelModel,
+    ThreeLevelMonitor,
+    ThreeLevelSpec,
+    core_down_link,
+    pod_down_link,
+    run_iterations3,
+)
+from repro.units import GIB
+
+
+def monitor_scenario(spec, demand, fault_link, label):
+    model = ThreeLevelModel(spec, silent={fault_link: 0.05}, mtu=1024)
+    runs = run_iterations3(model, demand, 3, seed=23)
+    monitor = ThreeLevelMonitor(model, demand, DetectionConfig(threshold=0.01))
+    verdicts = monitor.process_run(runs)
+    suspected = sorted(
+        frozenset().union(*(v.suspected_links() for v in verdicts))
+    )
+    leaf_alarms = sum(
+        r.triggered for v in verdicts for r in v.leaf_results
+    )
+    spine_alarms = sum(
+        r.triggered for v in verdicts for r in v.spine_results.values()
+    )
+    return [label, fault_link, leaf_alarms, spine_alarms, ", ".join(suspected)]
+
+
+def main() -> None:
+    spec = ThreeLevelSpec(
+        n_pods=4,
+        leaves_per_pod=4,
+        spines_per_pod=2,
+        cores_per_spine=2,
+        hosts_per_leaf=1,
+    )
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 4 * GIB)
+    print(
+        f"fabric: {spec.n_pods} pods x {spec.leaves_per_pod} leaves x "
+        f"{spec.spines_per_pod} pod-spines, {spec.n_cores} cores; "
+        "ring collective over all 16 hosts\n"
+    )
+    rows = [
+        monitor_scenario(
+            spec, demand, pod_down_link(1, 0, 2), "pod-level fault"
+        ),
+        monitor_scenario(
+            spec, demand, core_down_link(1, 2, 0), "core-level fault"
+        ),
+    ]
+    print(
+        format_table(
+            ["scenario", "injected (5% drop)", "leaf-tier alarms",
+             "spine-tier alarms", "suspected links"],
+            rows,
+        )
+    )
+    print("\nOK: each tier catches the faults on the links it watches.")
+
+
+if __name__ == "__main__":
+    main()

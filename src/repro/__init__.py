@@ -1,0 +1,49 @@
+"""FlowPulse reproduction.
+
+A full-system reproduction of *"FlowPulse: Catching Network Failures in
+ML Clusters"* (HotNets '25): silent-fault detection in per-packet
+spraying fabrics via temporal symmetry of ML collective traffic.
+
+Layers
+------
+- :mod:`repro.simnet` — packet-level discrete-event fabric simulator
+  (the ns-3 substitute).
+- :mod:`repro.topology` — two-level Clos descriptions and control plane.
+- :mod:`repro.collectives` — ring / all-to-all collective schedules and
+  runners.
+- :mod:`repro.fastsim` — statistical per-iteration volume simulator for
+  sweep-scale experiments.
+- :mod:`repro.core` — FlowPulse itself: load prediction (analytical,
+  simulation, learning), threshold detection, localization, the
+  analytical threshold model, dynamic-demand monitoring, remediation,
+  and baselines.
+- :mod:`repro.threelevel` — §7 extension: three-level fabrics with
+  two-tier monitoring (statistical + packet-level simulators).
+- :mod:`repro.workloads` — training-job models and multi-job placement.
+- :mod:`repro.analysis` — trial runner, metrics, closed-loop
+  remediation runs, and report formatting.
+- :mod:`repro.cli` — ``python -m repro detect | roc | closed-loop``.
+
+Quickstart
+----------
+>>> from repro.analysis import ExperimentConfig, run_trial
+>>> outcome = run_trial(ExperimentConfig(drop_rate=0.02), injected=True)
+>>> outcome.triggered
+True
+"""
+
+from . import analysis, collectives, core, fastsim, simnet, threelevel, topology, workloads
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "collectives",
+    "core",
+    "fastsim",
+    "simnet",
+    "threelevel",
+    "topology",
+    "workloads",
+]

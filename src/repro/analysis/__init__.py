@@ -1,0 +1,49 @@
+"""Experiment runner, metrics, and report formatting."""
+
+from .closed_loop import ClosedLoopResult, ClosedLoopStep, run_closed_loop
+from .experiments import (
+    BatchResult,
+    ExperimentConfig,
+    ExperimentError,
+    TrialOutcome,
+    TrialSetup,
+    build_trial,
+    make_predictor,
+    run_batch,
+    run_trial,
+    sweep,
+)
+from .export import ExportError, ResultsWriter, maybe_export, results_writer
+from .metrics import ConfusionCounts, MetricsError, confusion_from_scores
+from .report import CableEvidence, incident_report, rank_cables
+from .reporting import banner, format_percent, format_series, format_table
+
+__all__ = [
+    "BatchResult",
+    "CableEvidence",
+    "ClosedLoopResult",
+    "incident_report",
+    "rank_cables",
+    "ClosedLoopStep",
+    "run_closed_loop",
+    "ConfusionCounts",
+    "ExportError",
+    "ResultsWriter",
+    "maybe_export",
+    "results_writer",
+    "ExperimentConfig",
+    "ExperimentError",
+    "MetricsError",
+    "TrialOutcome",
+    "TrialSetup",
+    "banner",
+    "build_trial",
+    "confusion_from_scores",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "make_predictor",
+    "run_batch",
+    "run_trial",
+    "sweep",
+]

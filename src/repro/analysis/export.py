@@ -1,0 +1,87 @@
+"""Machine-readable results export.
+
+Benchmarks print human-readable tables; anyone re-plotting the figures
+wants the raw rows.  :class:`ResultsWriter` dumps them as CSV and JSON
+under a results directory.  The benchmarks write through
+:func:`results_writer`, which is a no-op unless the
+``REPRO_RESULTS_DIR`` environment variable points somewhere — so test
+runs stay side-effect-free by default.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class ExportError(RuntimeError):
+    """Raised on malformed export requests."""
+
+
+@dataclass(frozen=True)
+class ResultsWriter:
+    """Writes named result tables into one directory."""
+
+    directory: pathlib.Path
+
+    def __post_init__(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def write_csv(
+        self, name: str, headers: Sequence[str], rows: Sequence[Sequence]
+    ) -> pathlib.Path:
+        """Write one table as ``<name>.csv``; returns the path."""
+        path = self._path(name, "csv")
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            for row in rows:
+                if len(row) != len(headers):
+                    raise ExportError(
+                        f"row width {len(row)} != header width {len(headers)}"
+                    )
+                writer.writerow(row)
+        return path
+
+    def write_json(self, name: str, payload) -> pathlib.Path:
+        """Write an arbitrary JSON-serializable payload."""
+        path = self._path(name, "json")
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def read_csv(self, name: str) -> tuple[list[str], list[list[str]]]:
+        """Read back a table written by :meth:`write_csv`."""
+        path = self._path(name, "csv")
+        with path.open() as handle:
+            reader = csv.reader(handle)
+            rows = list(reader)
+        if not rows:
+            raise ExportError(f"{path} is empty")
+        return rows[0], rows[1:]
+
+    def _path(self, name: str, suffix: str) -> pathlib.Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ExportError(f"invalid result name {name!r}")
+        return self.directory / f"{name}.{suffix}"
+
+
+def results_writer(env_var: str = "REPRO_RESULTS_DIR") -> ResultsWriter | None:
+    """The process-wide writer, or None when exporting is disabled."""
+    target = os.environ.get(env_var)
+    if not target:
+        return None
+    return ResultsWriter(directory=pathlib.Path(target))
+
+
+def maybe_export(
+    name: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> pathlib.Path | None:
+    """Export one table if ``REPRO_RESULTS_DIR`` is set; else no-op."""
+    writer = results_writer()
+    if writer is None:
+        return None
+    return writer.write_csv(name, headers, rows)

@@ -1,0 +1,103 @@
+"""Classification metrics for detection trials.
+
+The paper reports false positive / false negative rates (Fig. 5).  A
+*trial* is one monitored run: positives have an injected silent fault,
+negatives do not; the detector alarms or it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class MetricsError(ValueError):
+    """Raised for inconsistent metric computations."""
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Standard 2x2 confusion counts over detection trials."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.tp, self.fp, self.tn, self.fn) < 0:
+            raise MetricsError("confusion counts cannot be negative")
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            tn=self.tn + other.tn,
+            fn=self.fn + other.fn,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def positives(self) -> int:
+        return self.tp + self.fn
+
+    @property
+    def negatives(self) -> int:
+        return self.fp + self.tn
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate (healthy runs wrongly alarmed)."""
+        return self.fp / self.negatives if self.negatives else 0.0
+
+    @property
+    def fnr(self) -> float:
+        """False negative rate (faults missed)."""
+        return self.fn / self.positives if self.positives else 0.0
+
+    @property
+    def tpr(self) -> float:
+        return 1.0 - self.fnr
+
+    @property
+    def precision(self) -> float:
+        flagged = self.tp + self.fp
+        return self.tp / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        return self.tpr
+
+    @property
+    def accuracy(self) -> float:
+        total = self.positives + self.negatives
+        return (self.tp + self.tn) / total if total else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def perfect(self) -> bool:
+        return self.fp == 0 and self.fn == 0
+
+
+def confusion_from_scores(
+    positive_scores: Sequence[float],
+    negative_scores: Sequence[float],
+    threshold: float,
+) -> ConfusionCounts:
+    """Binarize trial scores at ``threshold`` into confusion counts."""
+    if threshold <= 0:
+        raise MetricsError("threshold must be positive")
+    pos = np.asarray(positive_scores, dtype=float)
+    neg = np.asarray(negative_scores, dtype=float)
+    return ConfusionCounts(
+        tp=int(np.sum(pos > threshold)),
+        fn=int(np.sum(pos <= threshold)),
+        fp=int(np.sum(neg > threshold)),
+        tn=int(np.sum(neg <= threshold)),
+    )

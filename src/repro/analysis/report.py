@@ -1,0 +1,120 @@
+"""Operator incident reports.
+
+Turns a monitored run's verdicts into the artifact an operator actually
+reads when FlowPulse pages them: what deviated, where, since when, which
+cables are implicated (ranked by evidence), and what to do about it.
+Used by the CLI and the examples; plain text, no rendering dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.monitor import RunVerdict
+from ..core.remediation import cable_links, cable_of
+from .reporting import format_percent, format_table
+
+
+@dataclass(frozen=True)
+class CableEvidence:
+    """Accumulated evidence against one physical cable."""
+
+    cable: tuple[int, int]  # (leaf, spine)
+    implicated_iterations: int
+    observing_leaves: frozenset[int]
+    worst_deviation: float
+
+    @property
+    def links(self) -> frozenset[str]:
+        return cable_links(self.cable)
+
+
+def rank_cables(verdict: RunVerdict) -> list[CableEvidence]:
+    """Rank suspected cables by how often and how hard they were
+    implicated."""
+    iterations: dict[tuple[int, int], set[int]] = {}
+    observers: dict[tuple[int, int], set[int]] = {}
+    worst: dict[tuple[int, int], float] = {}
+    for iteration_verdict in verdict.verdicts:
+        for localization in iteration_verdict.localizations:
+            for suspicion in localization.suspicions:
+                cable = cable_of(suspicion.link)
+                iterations.setdefault(cable, set()).add(
+                    iteration_verdict.iteration
+                )
+                observers.setdefault(cable, set()).add(suspicion.leaf)
+                worst[cable] = min(
+                    worst.get(cable, 0.0), suspicion.deviation
+                )
+    evidence = [
+        CableEvidence(
+            cable=cable,
+            implicated_iterations=len(iterations[cable]),
+            observing_leaves=frozenset(observers[cable]),
+            worst_deviation=worst[cable],
+        )
+        for cable in iterations
+    ]
+    evidence.sort(
+        key=lambda e: (-e.implicated_iterations, e.worst_deviation)
+    )
+    return evidence
+
+
+def incident_report(verdict: RunVerdict, threshold: float) -> str:
+    """Render a plain-text incident report for a monitored run."""
+    lines: list[str] = []
+    if not verdict.triggered:
+        scored = [v for v in verdict.verdicts if not v.skipped]
+        lines.append("FlowPulse: no fault detected.")
+        lines.append(
+            f"  monitored iterations: {len(scored)}; worst deviation "
+            f"{format_percent(verdict.max_score)} "
+            f"(threshold {format_percent(threshold)})"
+        )
+        return "\n".join(lines)
+
+    first = verdict.first_detection_iteration
+    lines.append("FlowPulse INCIDENT: temporal-symmetry violation detected.")
+    lines.append(
+        f"  first alarm at iteration {first}; worst deviation "
+        f"{format_percent(min(verdict.max_score, 10.0))} "
+        f"(threshold {format_percent(threshold)})"
+    )
+    ranked = rank_cables(verdict)
+    if ranked:
+        rows = []
+        for evidence in ranked:
+            leaf, spine = evidence.cable
+            rows.append(
+                [
+                    f"L{leaf}<->S{spine}",
+                    evidence.implicated_iterations,
+                    len(evidence.observing_leaves),
+                    "total"
+                    if not math.isfinite(evidence.worst_deviation)
+                    or evidence.worst_deviation <= -1.0
+                    else format_percent(abs(evidence.worst_deviation)),
+                ]
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["suspect cable", "iterations implicated", "observing leaves", "worst deficit"],
+                rows,
+            )
+        )
+        top = ranked[0]
+        leaf, spine = top.cable
+        lines.append("")
+        lines.append(
+            f"recommended action: drain cable L{leaf}<->S{spine} "
+            f"(disable {', '.join(sorted(top.links))}) and re-baseline."
+        )
+    else:
+        lines.append(
+            "  alarms present but no deficit localization (surplus-only "
+            "deviations); inspect prediction inputs."
+        )
+    return "\n".join(lines)

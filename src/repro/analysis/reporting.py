@@ -1,0 +1,63 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness prints, for every figure/table of the paper, the
+same rows or series the paper reports.  These helpers keep that output
+aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospaced table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as the rows a figure would plot."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def banner(text: str, width: int = 72) -> str:
+    """Section banner used between benchmark outputs."""
+    bar = "=" * width
+    return f"\n{bar}\n{text}\n{bar}"

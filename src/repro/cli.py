@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Thin wrappers over :mod:`repro.analysis` so the main workflows run
+without writing code::
+
+    python -m repro detect --drop-rate 0.015
+    python -m repro detect --healthy
+    python -m repro roc --trials 8
+    python -m repro closed-loop --drop-rate 0.05
+
+Every command prints a plain-text report and exits 0; ``detect`` exits
+1 when a fault was injected but missed (or a healthy run false-alarmed),
+making it usable from scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from .analysis import (
+    ExperimentConfig,
+    format_percent,
+    format_table,
+    run_closed_loop,
+    run_trial,
+)
+from .analysis.experiments import build_trial
+from .core import ConfirmationPolicy, roc_curve
+from .units import GIB
+
+
+def _add_fabric_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--leaves", type=int, default=32, help="leaf switches")
+    parser.add_argument("--spines", type=int, default=16, help="spine switches")
+    parser.add_argument(
+        "--collective-gib",
+        type=float,
+        default=8.0,
+        help="collective size in GiB (default 8)",
+    )
+    parser.add_argument("--mtu", type=int, default=1024, help="packet MTU bytes")
+    parser.add_argument("--threshold", type=float, default=0.01, help="detection threshold")
+    parser.add_argument("--iterations", type=int, default=5, help="monitored iterations")
+    parser.add_argument("--preexisting", type=int, default=0, help="pre-existing faulty cables")
+    parser.add_argument(
+        "--predictor",
+        choices=("analytical", "simulation", "learned"),
+        default="analytical",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config(args: argparse.Namespace, drop_rate: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_leaves=args.leaves,
+        n_spines=args.spines,
+        collective_bytes=int(args.collective_gib * GIB),
+        mtu=args.mtu,
+        threshold=args.threshold,
+        drop_rate=drop_rate,
+        n_preexisting=args.preexisting,
+        predictor=args.predictor,
+        n_iterations=args.iterations,
+        warmup_iterations=min(3, max(1, args.iterations - 2)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_detect(args: argparse.Namespace) -> int:
+    from .analysis import incident_report
+    from .analysis.experiments import run_trial_with_verdict
+
+    config = _config(args, args.drop_rate)
+    inject = not args.healthy
+    outcome, verdict = run_trial_with_verdict(
+        config, injected=inject, base_seed=args.seed, trial=0
+    )
+    print(f"fabric: {args.leaves} leaves x {args.spines} spines, "
+          f"{args.collective_gib:g} GiB ring collective, "
+          f"threshold {format_percent(args.threshold)}")
+    if inject:
+        print(f"injected: {outcome.fault_link} at "
+              f"{format_percent(args.drop_rate)} drop")
+    else:
+        print("injected: nothing (healthy control run)")
+    print(f"detected: {outcome.triggered}"
+          + (f" (iteration {outcome.first_detection_iteration})"
+             if outcome.triggered else ""))
+    print(f"worst deviation: {format_percent(outcome.score)}")
+    if outcome.suspected_links:
+        print(f"suspects: {', '.join(sorted(outcome.suspected_links))}")
+    if args.report:
+        print()
+        print(incident_report(verdict, threshold=args.threshold))
+    if inject:
+        return 0 if outcome.triggered and outcome.localized_correctly else 1
+    return 0 if not outcome.triggered else 1
+
+
+def cmd_roc(args: argparse.Namespace) -> int:
+    config = _config(args, 0.015)
+    negatives = [
+        run_trial(config, injected=False, base_seed=args.seed, trial=t).score
+        for t in range(args.trials)
+    ]
+    rows = []
+    for drop in args.drop_rates:
+        step = replace(config, drop_rate=drop)
+        positives = [
+            run_trial(step, injected=True, base_seed=args.seed, trial=t).score
+            for t in range(args.trials)
+        ]
+        for point in roc_curve(positives, negatives, args.thresholds):
+            rows.append(
+                [
+                    format_percent(drop, 1),
+                    format_percent(point.threshold, 2),
+                    format_percent(point.fpr, 1),
+                    format_percent(point.tpr, 1),
+                ]
+            )
+    print(
+        format_table(
+            ["drop rate", "threshold", "FPR", "TPR"],
+            rows,
+            title=f"ROC ({args.trials}+{args.trials} trials per drop rate)",
+        )
+    )
+    return 0
+
+
+def cmd_closed_loop(args: argparse.Namespace) -> int:
+    config = _config(args, args.drop_rate)
+    setup = build_trial(config, base_seed=args.seed, trial=0)
+    result = run_closed_loop(
+        setup.model,
+        setup.demand,
+        {setup.fault_link: args.drop_rate},
+        n_iterations=args.iterations,
+        fault_start_iteration=args.fault_start,
+        threshold=args.threshold,
+        policy=ConfirmationPolicy(confirm_after=args.confirm_after, window=4),
+        seed=args.seed,
+    )
+    rows = []
+    for step in result.steps:
+        rows.append(
+            [
+                step.iteration,
+                "ALARM" if step.triggered else "",
+                ", ".join(sorted(step.suspected_links)) or "-",
+                "DISABLED " + ", ".join(sorted(step.action.disabled_links))
+                if step.action
+                else "",
+            ]
+        )
+    print(
+        format_table(
+            ["iter", "detection", "suspects", "remediation"],
+            rows,
+            title=f"closed loop: silent fault {setup.fault_link} at "
+            f"{format_percent(args.drop_rate)} from iteration {args.fault_start}",
+        )
+    )
+    print(f"\nrecovered (quiet after remediation): {result.recovered}")
+    return 0 if result.recovered else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlowPulse reproduction: silent-fault detection in "
+        "packet-spraying ML fabrics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="run one monitored training run")
+    _add_fabric_args(detect)
+    detect.add_argument("--drop-rate", type=float, default=0.015)
+    detect.add_argument(
+        "--healthy", action="store_true", help="run the no-fault control"
+    )
+    detect.add_argument(
+        "--report", action="store_true", help="print a full incident report"
+    )
+    detect.set_defaults(func=cmd_detect)
+
+    roc = sub.add_parser("roc", help="threshold x drop-rate ROC sweep")
+    _add_fabric_args(roc)
+    roc.add_argument("--trials", type=int, default=8)
+    roc.add_argument(
+        "--drop-rates",
+        type=float,
+        nargs="+",
+        default=[0.005, 0.01, 0.015, 0.02],
+    )
+    roc.add_argument(
+        "--thresholds",
+        type=float,
+        nargs="+",
+        default=[0.005, 0.01, 0.02],
+    )
+    roc.set_defaults(func=cmd_roc)
+
+    loop = sub.add_parser(
+        "closed-loop", help="detect -> localize -> disable -> recover"
+    )
+    _add_fabric_args(loop)
+    loop.add_argument("--drop-rate", type=float, default=0.05)
+    loop.add_argument("--fault-start", type=int, default=1)
+    loop.add_argument("--confirm-after", type=int, default=2)
+    loop.set_defaults(func=cmd_closed_loop)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

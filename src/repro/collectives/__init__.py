@@ -1,0 +1,56 @@
+"""Collective-communication workloads (demand, ring schedules, runners)."""
+
+from .alltoall import alltoall_demand, alltoall_stages, expert_parallel_demand
+from .demand import DemandError, DemandMatrix, Stage, Transfer
+from .hierarchical import (
+    hierarchical_allreduce_stages,
+    hierarchical_demand,
+    leaf_leaders,
+)
+from .recursive import (
+    halving_doubling_allgather_stages,
+    halving_doubling_allreduce_stages,
+    halving_doubling_demand,
+    halving_doubling_reduce_scatter_stages,
+)
+from .ring import (
+    CollectiveError,
+    chunk_sizes,
+    locality_optimized_ring,
+    paper_collective_stages,
+    ring_allgather_stages,
+    ring_allreduce_stages,
+    ring_demand,
+    ring_reduce_scatter_stages,
+    stage_count,
+)
+from .schedule import JitterModel, ScheduleError, StagedCollectiveRunner
+
+__all__ = [
+    "CollectiveError",
+    "DemandError",
+    "DemandMatrix",
+    "JitterModel",
+    "ScheduleError",
+    "Stage",
+    "StagedCollectiveRunner",
+    "Transfer",
+    "alltoall_demand",
+    "alltoall_stages",
+    "chunk_sizes",
+    "expert_parallel_demand",
+    "halving_doubling_allgather_stages",
+    "halving_doubling_allreduce_stages",
+    "halving_doubling_demand",
+    "halving_doubling_reduce_scatter_stages",
+    "hierarchical_allreduce_stages",
+    "hierarchical_demand",
+    "leaf_leaders",
+    "locality_optimized_ring",
+    "paper_collective_stages",
+    "ring_allgather_stages",
+    "ring_allreduce_stages",
+    "ring_demand",
+    "ring_reduce_scatter_stages",
+    "stage_count",
+]

@@ -1,0 +1,74 @@
+"""AllToAll collectives.
+
+The paper's future-work section (§7 "Beyond reduction collectives")
+targets AllToAll traffic from expert parallelism, where the demand
+matrix can change between iterations.  These builders provide both the
+static uniform AllToAll and a dynamic (per-iteration re-weighted)
+variant so the prediction pipeline can be exercised on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .demand import DemandMatrix, Stage, Transfer
+from .ring import CollectiveError
+
+
+def alltoall_stages(hosts: list[int], per_pair_bytes: int) -> list[Stage]:
+    """Uniform AllToAll as N-1 shifted permutation stages.
+
+    Stage ``t`` has every host ``i`` send to host ``(i + t + 1) mod N``
+    — the classic linear-shift schedule that keeps each stage a perfect
+    matching (no incast).
+    """
+    if len(set(hosts)) != len(hosts) or len(hosts) < 2:
+        raise CollectiveError("AllToAll needs >= 2 distinct hosts")
+    if per_pair_bytes <= 0:
+        raise CollectiveError("per-pair size must be positive")
+    n = len(hosts)
+    stages: list[Stage] = []
+    for t in range(n - 1):
+        stage = [
+            Transfer(src=hosts[i], dst=hosts[(i + t + 1) % n], size=per_pair_bytes)
+            for i in range(n)
+        ]
+        stages.append(stage)
+    return stages
+
+
+def alltoall_demand(hosts: list[int], per_pair_bytes: int) -> DemandMatrix:
+    """Aggregated demand of the uniform AllToAll."""
+    return DemandMatrix.from_stages(alltoall_stages(hosts, per_pair_bytes))
+
+
+def expert_parallel_demand(
+    hosts: list[int],
+    total_bytes_per_host: int,
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+) -> DemandMatrix:
+    """A dynamic AllToAll demand, as produced by MoE expert routing.
+
+    Each host scatters ``total_bytes_per_host`` across the other hosts
+    with Dirichlet(``concentration``) weights — small concentration
+    yields the skewed, iteration-varying matrices that make prediction
+    hard (paper §7).  Sizes are rounded to whole bytes with the
+    remainder folded into the largest share, so totals are exact.
+    """
+    if len(set(hosts)) != len(hosts) or len(hosts) < 2:
+        raise CollectiveError("expert-parallel demand needs >= 2 distinct hosts")
+    if total_bytes_per_host < len(hosts) - 1:
+        raise CollectiveError("total too small to give every peer a byte")
+    if concentration <= 0:
+        raise CollectiveError("Dirichlet concentration must be positive")
+    matrix = DemandMatrix()
+    for src in hosts:
+        peers = [h for h in hosts if h != src]
+        weights = rng.dirichlet([concentration] * len(peers))
+        sizes = np.maximum(1, np.floor(weights * total_bytes_per_host).astype(int))
+        # Fold the rounding remainder into the largest share.
+        sizes[int(np.argmax(sizes))] += total_bytes_per_host - int(sizes.sum())
+        for dst, size in zip(peers, sizes):
+            matrix.add(src, dst, int(size))
+    return matrix

@@ -1,0 +1,124 @@
+"""Demand matrices.
+
+A demand matrix records how many bytes each ordered host pair exchanges
+over one instance of a collective.  FlowPulse's analytical load model
+(paper §5.2) consumes exactly this: per-pair demand plus the control
+plane's known faults determine the expected per-port volume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..topology.graph import ClosSpec
+
+
+class DemandError(ValueError):
+    """Raised for malformed demand matrices."""
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One directed transfer of ``size`` bytes from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise DemandError("a transfer cannot be a self-loop")
+        if self.size <= 0:
+            raise DemandError(f"transfer size must be positive, got {self.size}")
+
+
+#: One stage of a staged collective: transfers that may run concurrently.
+Stage = list[Transfer]
+
+
+class DemandMatrix:
+    """Bytes exchanged per ordered host pair during one collective."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int], int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def add(self, src: int, dst: int, size: int) -> None:
+        """Accumulate ``size`` bytes onto the (src, dst) pair."""
+        if src == dst:
+            raise DemandError("self-loop demand is meaningless")
+        if size <= 0:
+            raise DemandError(f"demand must be positive, got {size}")
+        self._entries[(src, dst)] += size
+
+    def add_transfer(self, transfer: Transfer) -> None:
+        self.add(transfer.src, transfer.dst, transfer.size)
+
+    @classmethod
+    def from_stages(cls, stages: list[Stage]) -> "DemandMatrix":
+        """Aggregate a staged collective into per-pair totals."""
+        matrix = cls()
+        for stage in stages:
+            for transfer in stage:
+                matrix.add_transfer(transfer)
+        return matrix
+
+    # ------------------------------------------------------------------
+    def pairs(self) -> Iterator[tuple[int, int, int]]:
+        """Yield (src, dst, bytes) in deterministic order."""
+        for (src, dst) in sorted(self._entries):
+            yield src, dst, self._entries[(src, dst)]
+
+    def get(self, src: int, dst: int) -> int:
+        return self._entries.get((src, dst), 0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DemandMatrix):
+            return NotImplemented
+        return dict(self._entries) == dict(other._entries)
+
+    # ------------------------------------------------------------------
+    def leaf_pairs(self, spec: ClosSpec) -> dict[tuple[int, int], int]:
+        """Aggregate to ordered *leaf* pairs, dropping leaf-local traffic.
+
+        Traffic between hosts under the same leaf never crosses the
+        spine layer, so it is invisible to FlowPulse's measurement
+        points and excluded here.
+        """
+        result: dict[tuple[int, int], int] = defaultdict(int)
+        for (src, dst), size in self._entries.items():
+            src_leaf = spec.leaf_of_host(src)
+            dst_leaf = spec.leaf_of_host(dst)
+            if src_leaf != dst_leaf:
+                result[(src_leaf, dst_leaf)] += size
+        return dict(result)
+
+    def nonlocal_bytes(self, spec: ClosSpec) -> int:
+        """Bytes that cross the spine layer."""
+        return sum(self.leaf_pairs(spec).values())
+
+    def senders_per_leaf(self, spec: ClosSpec) -> dict[int, set[int]]:
+        """For each destination leaf, the set of *sending* leaves.
+
+        FlowPulse's jitter-resilience condition (§4) requires a single
+        non-local sender per leaf; this helper lets callers check it.
+        """
+        result: dict[int, set[int]] = defaultdict(set)
+        for (src_leaf, dst_leaf) in self.leaf_pairs(spec):
+            result[dst_leaf].add(src_leaf)
+        return dict(result)
+
+    def is_single_sender_per_leaf(self, spec: ClosSpec) -> bool:
+        """True when every destination leaf has exactly one remote sender
+        (the Ring-AllReduce property the paper leans on, §5.1)."""
+        senders = self.senders_per_leaf(spec)
+        return all(len(s) == 1 for s in senders.values())

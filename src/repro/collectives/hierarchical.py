@@ -1,0 +1,74 @@
+"""Hierarchical (locality-optimized) AllReduce for multi-host leaves.
+
+With several hosts per leaf, a flat ring over all hosts wastes fabric
+bandwidth and gives each leaf multiple non-local flows.  The standard
+hierarchical scheme — and the reason the paper can assume "only one
+node outside the leaf serves as a source and another node as a
+destination" (§5.1) — is:
+
+1. **local reduce**: within each leaf, the non-leader hosts send their
+   gradient shard contributions to the leaf's leader (never crossing a
+   spine);
+2. **leader ring**: the leaf leaders run a Ring-AllReduce among
+   themselves (exactly one non-local in/out flow per leaf);
+3. **local broadcast**: leaders fan the result back to their leaf
+   peers.
+
+The resulting spine-crossing demand is precisely a single-host-per-leaf
+ring, so all of FlowPulse's two-level machinery applies unchanged even
+on fabrics with many hosts per leaf.
+"""
+
+from __future__ import annotations
+
+from ..topology.graph import ClosSpec
+from .demand import DemandMatrix, Stage, Transfer
+from .ring import CollectiveError, ring_allreduce_stages, ring_reduce_scatter_stages
+
+
+def leaf_leaders(spec: ClosSpec) -> list[int]:
+    """The first host of every leaf, in leaf order."""
+    return [spec.hosts_of_leaf(leaf)[0] for leaf in range(spec.n_leaves)]
+
+
+def hierarchical_allreduce_stages(
+    spec: ClosSpec, total_bytes: int, allreduce: bool = True
+) -> list[Stage]:
+    """Build the three-phase hierarchical schedule.
+
+    ``allreduce=False`` keeps only the reduce-scatter half of the leader
+    ring (the paper's 31-stage workload shape); the local phases are
+    kept either way so the intra-leaf traffic is faithfully modelled.
+    """
+    if total_bytes < spec.n_leaves:
+        raise CollectiveError("collective too small to shard over leaves")
+    leaders = leaf_leaders(spec)
+
+    local_reduce: Stage = []
+    local_bcast: Stage = []
+    for leaf in range(spec.n_leaves):
+        hosts = list(spec.hosts_of_leaf(leaf))
+        leader = hosts[0]
+        for peer in hosts[1:]:
+            local_reduce.append(Transfer(src=peer, dst=leader, size=total_bytes))
+            local_bcast.append(Transfer(src=leader, dst=peer, size=total_bytes))
+
+    ring_builder = ring_allreduce_stages if allreduce else ring_reduce_scatter_stages
+    leader_stages = ring_builder(leaders, total_bytes)
+
+    stages: list[Stage] = []
+    if local_reduce:
+        stages.append(local_reduce)
+    stages.extend(leader_stages)
+    if local_bcast:
+        stages.append(local_bcast)
+    return stages
+
+
+def hierarchical_demand(
+    spec: ClosSpec, total_bytes: int, allreduce: bool = True
+) -> DemandMatrix:
+    """Aggregated demand of the hierarchical collective."""
+    return DemandMatrix.from_stages(
+        hierarchical_allreduce_stages(spec, total_bytes, allreduce=allreduce)
+    )

@@ -1,0 +1,104 @@
+"""Recursive (halving-doubling) reduction collectives.
+
+The ring is bandwidth-optimal but latency grows linearly with N;
+recursive halving-doubling runs in log2(N) stages at the cost of a
+denser communication pattern.  For FlowPulse the interesting property
+is the *opposite* of the ring's: many leaves talk to each destination
+leaf across the collective, so the single-sender-per-leaf condition of
+§4 fails and the measurement planner must select a flow subset
+(:func:`repro.core.measurement.select_measured_flows`).
+
+Stage ``k`` (0-based) pairs rank ``i`` with ``i XOR 2^k``.  During
+reduce-scatter (halving) the exchanged volume halves every stage;
+during all-gather (doubling) it doubles back.
+"""
+
+from __future__ import annotations
+
+from .demand import DemandMatrix, Stage, Transfer
+from .ring import CollectiveError
+
+
+def _check_power_of_two(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise CollectiveError(
+            f"halving-doubling needs a power-of-two rank count, got {n}"
+        )
+    return n.bit_length() - 1
+
+
+def _exchange_sizes(total_bytes: int, rounds: int) -> list[int]:
+    """Bytes each rank sends in every halving stage: total/2, total/4, ..."""
+    sizes = []
+    remaining = total_bytes
+    for _ in range(rounds):
+        half = remaining // 2
+        if half < 1:
+            raise CollectiveError(
+                f"{total_bytes} bytes cannot be halved {rounds} times"
+            )
+        sizes.append(half)
+        remaining -= half
+    return sizes
+
+
+def halving_doubling_reduce_scatter_stages(
+    hosts: list[int], total_bytes: int
+) -> list[Stage]:
+    """The log2(N)-stage recursive-halving reduce-scatter."""
+    if len(set(hosts)) != len(hosts):
+        raise CollectiveError("ranks must be distinct hosts")
+    rounds = _check_power_of_two(len(hosts))
+    sizes = _exchange_sizes(total_bytes, rounds)
+    stages: list[Stage] = []
+    for k in range(rounds):
+        stage = [
+            Transfer(src=hosts[i], dst=hosts[i ^ (1 << k)], size=sizes[k])
+            for i in range(len(hosts))
+        ]
+        stages.append(stage)
+    return stages
+
+
+def halving_doubling_allgather_stages(
+    hosts: list[int], total_bytes: int
+) -> list[Stage]:
+    """The log2(N)-stage recursive-doubling all-gather (the mirror of
+    the halving phase, largest exchanges last)."""
+    if len(set(hosts)) != len(hosts):
+        raise CollectiveError("ranks must be distinct hosts")
+    rounds = _check_power_of_two(len(hosts))
+    sizes = list(reversed(_exchange_sizes(total_bytes, rounds)))
+    stages: list[Stage] = []
+    for k in reversed(range(rounds)):
+        stage = [
+            Transfer(
+                src=hosts[i],
+                dst=hosts[i ^ (1 << k)],
+                size=sizes[rounds - 1 - k],
+            )
+            for i in range(len(hosts))
+        ]
+        stages.append(stage)
+    return stages
+
+
+def halving_doubling_allreduce_stages(
+    hosts: list[int], total_bytes: int
+) -> list[Stage]:
+    """Full halving-doubling AllReduce: 2·log2(N) stages."""
+    return halving_doubling_reduce_scatter_stages(
+        hosts, total_bytes
+    ) + halving_doubling_allgather_stages(hosts, total_bytes)
+
+
+def halving_doubling_demand(
+    hosts: list[int], total_bytes: int, allreduce: bool = True
+) -> DemandMatrix:
+    """Aggregated demand of the recursive collective."""
+    stages = (
+        halving_doubling_allreduce_stages(hosts, total_bytes)
+        if allreduce
+        else halving_doubling_reduce_scatter_stages(hosts, total_bytes)
+    )
+    return DemandMatrix.from_stages(stages)

@@ -1,0 +1,140 @@
+"""Ring reduction collectives.
+
+Builders that expand AllReduce / ReduceScatter / AllGather over a
+virtual ring into explicit per-stage transfers.  The paper's evaluation
+workload is a 31-stage ring collective over 32 nodes, one per leaf —
+that is the (N-1)-stage ring pass produced by
+:func:`ring_reduce_scatter_stages` (a full Ring-AllReduce doubles it to
+2(N-1) stages via the all-gather phase).
+
+Chunking is byte-exact: a ``total_bytes`` gradient is split into N
+chunks whose sizes differ by at most one byte, and each stage moves the
+chunk dictated by the standard ring schedule, so the aggregated demand
+matrix is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from .demand import DemandMatrix, Stage, Transfer
+
+
+class CollectiveError(ValueError):
+    """Raised for malformed collective configurations."""
+
+
+def chunk_sizes(total_bytes: int, n_chunks: int) -> list[int]:
+    """Split ``total_bytes`` into ``n_chunks`` near-equal positive sizes."""
+    if n_chunks <= 0:
+        raise CollectiveError("need at least one chunk")
+    if total_bytes < n_chunks:
+        raise CollectiveError(
+            f"cannot split {total_bytes} bytes into {n_chunks} non-empty chunks"
+        )
+    base, rem = divmod(total_bytes, n_chunks)
+    return [base + 1 if i < rem else base for i in range(n_chunks)]
+
+
+def _check_ring(ring: list[int]) -> None:
+    if len(ring) < 2:
+        raise CollectiveError("a ring needs at least two members")
+    if len(set(ring)) != len(ring):
+        raise CollectiveError("ring members must be distinct hosts")
+
+
+def ring_reduce_scatter_stages(ring: list[int], total_bytes: int) -> list[Stage]:
+    """The (N-1)-stage reduce-scatter phase of Ring-AllReduce.
+
+    At stage ``t`` (0-based), the node at ring position ``k`` sends
+    chunk ``(k - t) mod N`` to its successor.  After N-1 stages every
+    node holds the full reduction of one chunk.
+    """
+    _check_ring(ring)
+    n = len(ring)
+    sizes = chunk_sizes(total_bytes, n)
+    stages: list[Stage] = []
+    for t in range(n - 1):
+        stage = [
+            Transfer(
+                src=ring[k],
+                dst=ring[(k + 1) % n],
+                size=sizes[(k - t) % n],
+            )
+            for k in range(n)
+        ]
+        stages.append(stage)
+    return stages
+
+
+def ring_allgather_stages(ring: list[int], total_bytes: int) -> list[Stage]:
+    """The (N-1)-stage all-gather phase: each node circulates the chunk
+    it finished reducing.  Node at position ``k`` starts by owning chunk
+    ``(k + 1) mod N`` and at stage ``t`` forwards chunk
+    ``(k + 1 - t) mod N``."""
+    _check_ring(ring)
+    n = len(ring)
+    sizes = chunk_sizes(total_bytes, n)
+    stages: list[Stage] = []
+    for t in range(n - 1):
+        stage = [
+            Transfer(
+                src=ring[k],
+                dst=ring[(k + 1) % n],
+                size=sizes[(k + 1 - t) % n],
+            )
+            for k in range(n)
+        ]
+        stages.append(stage)
+    return stages
+
+
+def ring_allreduce_stages(ring: list[int], total_bytes: int) -> list[Stage]:
+    """Full Ring-AllReduce: reduce-scatter then all-gather, 2(N-1)
+    stages, ~2x``total_bytes`` moved per ring edge."""
+    return ring_reduce_scatter_stages(ring, total_bytes) + ring_allgather_stages(
+        ring, total_bytes
+    )
+
+
+def paper_collective_stages(ring: list[int], total_bytes: int) -> list[Stage]:
+    """The paper's evaluation workload (§6): the (N-1)-stage ring pass —
+    31 stages for the default 32-leaf fabric."""
+    return ring_reduce_scatter_stages(ring, total_bytes)
+
+
+def locality_optimized_ring(n_hosts: int, hosts_per_leaf: int = 1) -> list[int]:
+    """Ring ordering that keeps same-leaf hosts adjacent.
+
+    Collectives are co-optimized with topology (§2): consecutive ring
+    positions under one leaf communicate locally, so each leaf has
+    exactly one non-local outgoing and one non-local incoming ring edge
+    — the property that makes FlowPulse jitter-resilient (§4).
+
+    With hosts numbered leaf-major (as :class:`ClosSpec` does), the
+    identity order already has this property.
+    """
+    if n_hosts < 2:
+        raise CollectiveError("a ring needs at least two hosts")
+    if hosts_per_leaf < 1 or n_hosts % hosts_per_leaf != 0:
+        raise CollectiveError("n_hosts must be a multiple of hosts_per_leaf")
+    return list(range(n_hosts))
+
+
+def ring_demand(ring: list[int], total_bytes: int, allreduce: bool = False) -> DemandMatrix:
+    """Aggregated demand matrix of the ring collective.
+
+    Each ring edge carries ``total - chunk`` bytes for the (N-1)-stage
+    pass, doubled for full AllReduce.
+    """
+    stages = (
+        ring_allreduce_stages(ring, total_bytes)
+        if allreduce
+        else ring_reduce_scatter_stages(ring, total_bytes)
+    )
+    return DemandMatrix.from_stages(stages)
+
+
+def stage_count(n_nodes: int, allreduce: bool = False) -> int:
+    """Number of stages the ring schedule produces."""
+    if n_nodes < 2:
+        raise CollectiveError("a ring needs at least two nodes")
+    return 2 * (n_nodes - 1) if allreduce else n_nodes - 1

@@ -1,0 +1,259 @@
+"""Host-side collective execution on the packet simulator.
+
+:class:`StagedCollectiveRunner` drives a staged collective (e.g. the
+ring schedules from :mod:`repro.collectives.ring`) for a number of
+training iterations on a :class:`~repro.simnet.network.Network`:
+
+- every packet of iteration *k* carries ``FlowTag(job_id, k)`` — the
+  sentinel+iteration tag FlowPulse switches key their counters on
+  (paper §5.1);
+- stage dependencies are honoured: a host enters stage *j+1* only after
+  its stage-*j* sends are acknowledged and its stage-*j* receives have
+  landed (the ring pipeline);
+- iterations are separated by a global barrier (synchronous
+  data-parallel training) plus an optional compute time;
+- per-host jitter and stragglers can be injected to exercise the
+  paper's straggler-obliviousness claims (§4, §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simnet.network import Network
+from ..simnet.packet import FlowTag, Priority
+from .demand import Stage
+
+
+class ScheduleError(RuntimeError):
+    """Raised when a collective schedule cannot make progress."""
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Per-host start-time perturbation for each iteration.
+
+    Every host starts its iteration after a uniform delay in
+    ``[0, max_jitter_ns]``; with probability ``straggler_prob`` it is
+    additionally delayed by ``straggler_delay_ns`` (a slow node).
+    """
+
+    max_jitter_ns: int = 0
+    straggler_prob: float = 0.0
+    straggler_delay_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_jitter_ns < 0 or self.straggler_delay_ns < 0:
+            raise ValueError("jitter delays cannot be negative")
+        if not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError("straggler probability must be in [0, 1]")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        delay = 0
+        if self.max_jitter_ns:
+            delay += int(rng.integers(0, self.max_jitter_ns + 1))
+        if self.straggler_prob and rng.random() < self.straggler_prob:
+            delay += self.straggler_delay_ns
+        return delay
+
+
+@dataclass
+class _HostProgress:
+    """Progress of one host within the current iteration."""
+
+    stage: int = -1  # stage currently being sent; -1 = not started
+    outstanding_acks: int = 0
+    received_messages: int = 0
+    done: bool = False
+
+
+class StagedCollectiveRunner:
+    """Executes ``iterations`` instances of a staged collective.
+
+    Parameters
+    ----------
+    network:
+        The fabric to run on.
+    job_id:
+        Sentinel value for the flow tags.
+    stages:
+        The collective schedule (list of stages, each a list of
+        :class:`~repro.collectives.demand.Transfer`).
+    iterations:
+        Number of training iterations to run.
+    compute_time_ns:
+        Idle gap between iterations (the model's compute phase).
+    priority:
+        Traffic class; the measured collective runs at
+        ``Priority.MEASURED`` per the paper's isolation scheme.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        job_id: int,
+        stages: list[Stage],
+        iterations: int,
+        compute_time_ns: int = 0,
+        priority: Priority = Priority.MEASURED,
+        jitter: JitterModel = JitterModel(),
+        seed: int = 0,
+        on_iteration_done=None,
+    ) -> None:
+        if not stages:
+            raise ScheduleError("collective has no stages")
+        if iterations < 1:
+            raise ScheduleError("need at least one iteration")
+        self.network = network
+        self.job_id = job_id
+        self.stages = stages
+        self.iterations = iterations
+        self.compute_time_ns = compute_time_ns
+        self.priority = priority
+        self.jitter = jitter
+        self.on_iteration_done = on_iteration_done
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+
+        # Pre-compute per-host send lists and cumulative expected
+        # receive counts per stage.
+        self.participants: set[int] = set()
+        self._sends: dict[int, list[list]] = {}
+        self._cum_recv: dict[int, list[int]] = {}
+        for stage in stages:
+            for transfer in stage:
+                self.participants.add(transfer.src)
+                self.participants.add(transfer.dst)
+        n_stages = len(stages)
+        for host in self.participants:
+            self._sends[host] = [
+                [t for t in stage if t.src == host] for stage in stages
+            ]
+            recv_counts = [sum(1 for t in stage if t.dst == host) for stage in stages]
+            cum = []
+            running = 0
+            for count in recv_counts:
+                running += count
+                cum.append(running)
+            self._cum_recv[host] = cum
+
+        self.current_iteration = -1
+        self._progress: dict[int, _HostProgress] = {}
+        self._hosts_done = 0
+        self.iteration_times: list[tuple[int, int]] = []  # (start_ns, end_ns)
+        self._started = False
+
+        for host in self.participants:
+            self.network.host(host).on_message(
+                lambda src, mid, tag, size, h=host: self._on_receive(h, tag)
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first iteration at the current sim time."""
+        if self._started:
+            raise ScheduleError("runner already started")
+        self._started = True
+        self.network.sim.schedule(0, self._begin_iteration, 0)
+
+    def run(self) -> list[tuple[int, int]]:
+        """Start, run the simulator to completion, and return the
+        (start, end) times of every iteration."""
+        self.start()
+        self.network.run()
+        if len(self.iteration_times) != self.iterations:
+            raise ScheduleError(
+                f"collective stalled: finished {len(self.iteration_times)} of "
+                f"{self.iterations} iterations"
+            )
+        return self.iteration_times
+
+    @property
+    def tag(self) -> FlowTag:
+        """Flow tag of the iteration currently in flight."""
+        return FlowTag(self.job_id, max(self.current_iteration, 0))
+
+    # ------------------------------------------------------------------
+    # Iteration lifecycle
+    # ------------------------------------------------------------------
+    def _begin_iteration(self, iteration: int) -> None:
+        self.current_iteration = iteration
+        self._iteration_start = self.network.now
+        self._hosts_done = 0
+        self._progress = {h: _HostProgress() for h in self.participants}
+        for host in self.participants:
+            delay = self.jitter.sample(self._rng)
+            self.network.sim.schedule(delay, self._host_start, host)
+
+    def _host_start(self, host: int) -> None:
+        self._enter_stage(host, 0)
+
+    def _enter_stage(self, host: int, stage: int) -> None:
+        progress = self._progress[host]
+        progress.stage = stage
+        tag = FlowTag(self.job_id, self.current_iteration)
+        transfers = self._sends[host][stage]
+        progress.outstanding_acks = len(transfers)
+        if not transfers:
+            self._try_advance(host)
+            return
+        for transfer in transfers:
+            self.network.host(host).send(
+                transfer.dst,
+                transfer.size,
+                tag=tag,
+                priority=self.priority,
+                on_acked=lambda _msg, h=host: self._on_acked(h),
+            )
+
+    def _on_acked(self, host: int) -> None:
+        progress = self._progress.get(host)
+        if progress is None or progress.done:
+            return
+        progress.outstanding_acks -= 1
+        self._try_advance(host)
+
+    def _on_receive(self, host: int, tag) -> None:
+        if tag is None or tag.job_id != self.job_id:
+            return
+        if tag.iteration != self.current_iteration:
+            return  # stale delivery from a closed iteration
+        progress = self._progress.get(host)
+        if progress is None or progress.done:
+            return
+        progress.received_messages += 1
+        if progress.stage >= 0:
+            self._try_advance(host)
+
+    # ------------------------------------------------------------------
+    def _try_advance(self, host: int) -> None:
+        progress = self._progress[host]
+        if progress.done or progress.stage < 0:
+            return
+        stage = progress.stage
+        if progress.outstanding_acks > 0:
+            return
+        if progress.received_messages < self._cum_recv[host][stage]:
+            return
+        if stage + 1 < len(self.stages):
+            self._enter_stage(host, stage + 1)
+            return
+        progress.done = True
+        self._hosts_done += 1
+        if self._hosts_done == len(self.participants):
+            self._finish_iteration()
+
+    def _finish_iteration(self) -> None:
+        self.iteration_times.append((self._iteration_start, self.network.now))
+        if self.on_iteration_done is not None:
+            self.on_iteration_done(self.current_iteration, self.network.now)
+        next_iteration = self.current_iteration + 1
+        if next_iteration < self.iterations:
+            # The compute phase separates iterations; at least 1 ns so
+            # the next tag strictly follows the previous window.
+            self.network.sim.schedule(
+                max(1, self.compute_time_ns), self._begin_iteration, next_iteration
+            )

@@ -1,0 +1,226 @@
+"""Baseline / strawman detectors the paper argues against (§1, §3).
+
+Three comparison points:
+
+- :class:`SpatialSymmetryDetector` — "non-leaf switches should have
+  nearly equal load, so unequal load among a leaf's downstream links
+  signals a fault."  Works on a pristine fabric; breaks as soon as
+  pre-existing faults make the network legitimately asymmetric, which
+  the ablation benchmark demonstrates.
+- :class:`ProbingDetector` — Pingmesh-style end-to-end probing.  Modelled
+  faithfully at the statistics level: per round, ``probes_per_path``
+  small probes cross every leaf-pair path; a faulty path is caught when
+  at least one probe dies.  Its injected load is accounted, showing the
+  overhead/detection-latency trade-off.
+- :class:`CentralizedAggregation` — collect every switch counter at a
+  central point each reporting interval and cross-check link endpoints.
+  Detection is near-certain, but the model exposes the paper's
+  complaint: bytes of telemetry and reaction latency scale with fabric
+  size and reporting frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simnet.counters import IterationRecord
+from ..topology.graph import ClosSpec, ControlPlane
+from .detection import DetectionConfig
+
+
+# ----------------------------------------------------------------------
+# Spatial symmetry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpatialVerdict:
+    """Spatial-symmetry check outcome for one leaf and iteration."""
+
+    leaf: int
+    iteration: int
+    mean_bytes: float
+    worst_deviation: float
+    triggered: bool
+
+
+class SpatialSymmetryDetector:
+    """Flags a leaf whose spine ingress ports carry unequal volume.
+
+    No model, no history: just compares each port to the mean of its
+    peers within the same iteration.  Pre-existing faults shift traffic
+    between ports *permanently*, so this detector cannot tell an old
+    fault from a new one — the limitation temporal symmetry removes.
+    """
+
+    def __init__(
+        self, config: DetectionConfig | None = None, n_spines: int | None = None
+    ) -> None:
+        self.config = config or DetectionConfig()
+        self.n_spines = n_spines
+
+    def evaluate(self, record: IterationRecord) -> SpatialVerdict:
+        if self.n_spines is not None:
+            # Dense view: a silent port is maximal asymmetry, not absence
+            # of data — exactly why pre-existing dead links break this
+            # detector.
+            volumes = [float(v) for v in record.volume_vector(self.n_spines)]
+        else:
+            volumes = [float(v) for v in record.port_bytes.values()]
+        if len(volumes) < 2 or sum(volumes) <= 0:
+            return SpatialVerdict(
+                leaf=record.leaf,
+                iteration=record.tag.iteration,
+                mean_bytes=float(volumes[0]) if volumes else 0.0,
+                worst_deviation=0.0,
+                triggered=False,
+            )
+        mean = float(np.mean(volumes))
+        worst = max(abs(v - mean) / mean for v in volumes)
+        return SpatialVerdict(
+            leaf=record.leaf,
+            iteration=record.tag.iteration,
+            mean_bytes=mean,
+            worst_deviation=worst,
+            triggered=worst > self.config.threshold,
+        )
+
+    def evaluate_fabric(self, records: list[IterationRecord]) -> list[SpatialVerdict]:
+        return [self.evaluate(record) for record in records]
+
+
+# ----------------------------------------------------------------------
+# End-to-end probing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProbingRound:
+    """Outcome and cost of one probing sweep."""
+
+    detected: bool
+    lost_probes: int
+    probes_sent: int
+    bytes_injected: int
+
+
+class ProbingDetector:
+    """Pingmesh-like prober over all leaf-pair x spine paths.
+
+    In a two-level Clos, covering every path means one probe per
+    (src leaf, dst leaf, spine) triple per round — the quadratic probe
+    volume the paper calls prohibitive under load.  Detection of a
+    drop-rate fault is probabilistic per probe, so low drop rates need
+    many rounds; the per-round cost is what FlowPulse avoids.
+    """
+
+    def __init__(
+        self,
+        spec: ClosSpec,
+        control: ControlPlane,
+        probes_per_path: int = 1,
+        probe_size_bytes: int = 64,
+    ) -> None:
+        if probes_per_path < 1:
+            raise ValueError("need at least one probe per path")
+        self.spec = spec
+        self.control = control
+        self.probes_per_path = probes_per_path
+        self.probe_size_bytes = probe_size_bytes
+
+    def paths(self) -> list[tuple[int, int, int]]:
+        """All probe paths: (src leaf, dst leaf, spine)."""
+        result = []
+        for src in range(self.spec.n_leaves):
+            for dst in range(self.spec.n_leaves):
+                if src == dst:
+                    continue
+                for spine in self.control.valid_spines(src, dst):
+                    result.append((src, dst, spine))
+        return result
+
+    def bytes_per_round(self) -> int:
+        """Probe traffic injected per sweep (the overhead FlowPulse's
+        passive measurement avoids entirely)."""
+        return len(self.paths()) * self.probes_per_path * self.probe_size_bytes
+
+    def run_round(
+        self,
+        drop_rate_on: dict[tuple[int, int, int], float],
+        rng: np.random.Generator,
+    ) -> ProbingRound:
+        """Simulate one sweep given per-path probe drop rates.
+
+        ``drop_rate_on`` maps (src, dst, spine) -> probability each
+        probe on that path is lost; unlisted paths are healthy.  Note
+        the paper's caveat: small probes under-sample faults that
+        predominantly hit large flows, so callers may pass a *reduced*
+        effective drop rate for probes.
+        """
+        paths = self.paths()
+        lost = 0
+        for path in paths:
+            rate = drop_rate_on.get(path, 0.0)
+            if rate > 0.0:
+                lost += int(rng.binomial(self.probes_per_path, rate))
+        return ProbingRound(
+            detected=lost > 0,
+            lost_probes=lost,
+            probes_sent=len(paths) * self.probes_per_path,
+            bytes_injected=self.bytes_per_round(),
+        )
+
+    def expected_rounds_to_detect(self, drop_rate: float) -> float:
+        """Mean sweeps until a fault on one path is caught."""
+        if not 0.0 < drop_rate <= 1.0:
+            raise ValueError("drop rate must be in (0, 1]")
+        per_round = 1.0 - (1.0 - drop_rate) ** self.probes_per_path
+        return 1.0 / per_round
+
+
+# ----------------------------------------------------------------------
+# Centralized counter aggregation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregationCost:
+    """Telemetry cost of one centralized collection interval."""
+
+    reports: int
+    bytes_transferred: int
+    reaction_latency_iterations: float
+
+
+class CentralizedAggregation:
+    """Model of collect-all-counters-and-cross-check detection.
+
+    Each interval, every switch ships its per-port counters to a
+    central collector, which compares the two ends of every link; a
+    mismatch exposes silent drops.  Detection is assumed reliable — the
+    paper's objection is the *cost*, which this model quantifies.
+    """
+
+    def __init__(
+        self,
+        spec: ClosSpec,
+        counter_bytes: int = 16,
+        report_interval_iterations: int = 10,
+    ) -> None:
+        if report_interval_iterations < 1:
+            raise ValueError("interval must be at least one iteration")
+        self.spec = spec
+        self.counter_bytes = counter_bytes
+        self.report_interval_iterations = report_interval_iterations
+
+    def cost_per_interval(self) -> AggregationCost:
+        # Every unidirectional fabric link has a counter at each end
+        # (tx at the sender, rx at the receiver), all shipped centrally.
+        counters = 2 * self.spec.n_fabric_links
+        n_switches = self.spec.n_leaves + self.spec.n_spines
+        return AggregationCost(
+            reports=n_switches,
+            bytes_transferred=counters * self.counter_bytes,
+            # On average a fault waits half an interval to be reported.
+            reaction_latency_iterations=self.report_interval_iterations / 2.0,
+        )
+
+    def detects(self, tx_packets: int, rx_packets: int) -> bool:
+        """Endpoint cross-check: any counter mismatch flags the link."""
+        return tx_packets != rx_packets

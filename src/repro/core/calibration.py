@@ -1,0 +1,121 @@
+"""Threshold calibration and ROC analysis (paper §6, Fig. 5a).
+
+The paper sets the detection threshold empirically per network.  These
+helpers compute ROC curves from trial scores, find thresholds that
+perfectly separate faulty from healthy runs, and calibrate a threshold
+from healthy-network (negative) runs alone — the procedure an operator
+would follow when deploying FlowPulse on a new fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class CalibrationError(RuntimeError):
+    """Raised when calibration inputs are unusable."""
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of the detector."""
+
+    threshold: float
+    fpr: float
+    tpr: float
+
+    @property
+    def fnr(self) -> float:
+        return 1.0 - self.tpr
+
+    @property
+    def perfect(self) -> bool:
+        return self.fpr == 0.0 and self.tpr == 1.0
+
+
+def classify(scores: Sequence[float], threshold: float) -> np.ndarray:
+    """Boolean alarm decisions for trial scores at a threshold."""
+    return np.asarray(scores, dtype=float) > threshold
+
+
+def roc_curve(
+    positive_scores: Sequence[float],
+    negative_scores: Sequence[float],
+    thresholds: Sequence[float],
+) -> list[RocPoint]:
+    """Evaluate the detector at each threshold.
+
+    ``positive_scores`` come from runs with an injected fault,
+    ``negative_scores`` from healthy runs; a run's score is its worst
+    observed relative deviation (see
+    :func:`repro.core.monitor.score_for_roc`).
+    """
+    pos = np.asarray(positive_scores, dtype=float)
+    neg = np.asarray(negative_scores, dtype=float)
+    if pos.size == 0 or neg.size == 0:
+        raise CalibrationError("need both positive and negative trials")
+    points = []
+    for threshold in thresholds:
+        if threshold <= 0:
+            raise CalibrationError("thresholds must be positive")
+        tpr = float(np.mean(pos > threshold))
+        fpr = float(np.mean(neg > threshold))
+        points.append(RocPoint(threshold=float(threshold), fpr=fpr, tpr=tpr))
+    return points
+
+
+def auc(points: Sequence[RocPoint]) -> float:
+    """Area under the ROC curve (trapezoid over sorted FPR), padded to
+    the (0,0) and (1,1) corners."""
+    if not points:
+        raise CalibrationError("no ROC points")
+    coords = sorted({(p.fpr, p.tpr) for p in points} | {(0.0, 0.0), (1.0, 1.0)})
+    xs = np.array([c[0] for c in coords])
+    ys = np.array([c[1] for c in coords])
+    return float(np.trapezoid(ys, xs))
+
+
+def separating_interval(
+    positive_scores: Sequence[float], negative_scores: Sequence[float]
+) -> tuple[float, float] | None:
+    """Threshold interval giving a perfect classifier, if one exists.
+
+    Any threshold in ``(max(neg), min(pos))`` yields FPR = 0 and
+    TPR = 1.  Returns None when the score distributions overlap.
+    """
+    pos = np.asarray(positive_scores, dtype=float)
+    neg = np.asarray(negative_scores, dtype=float)
+    if pos.size == 0 or neg.size == 0:
+        raise CalibrationError("need both positive and negative trials")
+    low, high = float(neg.max()), float(pos.min())
+    return (low, high) if low < high else None
+
+
+def calibrate_threshold(
+    negative_scores: Sequence[float],
+    safety_factor: float = 1.25,
+    quantile: float = 1.0,
+) -> float:
+    """Pick a threshold from healthy-run scores alone.
+
+    Takes the ``quantile`` of the negative score distribution (1.0 =
+    max) and inflates it by ``safety_factor``; alarms then require a
+    deviation clearly outside anything a healthy fabric produced during
+    calibration.
+    """
+    neg = np.asarray(negative_scores, dtype=float)
+    if neg.size == 0:
+        raise CalibrationError("need negative trials to calibrate")
+    if safety_factor < 1.0:
+        raise CalibrationError("safety factor must be >= 1")
+    if not 0.0 < quantile <= 1.0:
+        raise CalibrationError("quantile must be in (0, 1]")
+    base = float(np.quantile(neg, quantile))
+    if base <= 0.0:
+        # A perfectly deterministic healthy fabric: fall back to the
+        # paper's default threshold.
+        return 0.01
+    return base * safety_factor

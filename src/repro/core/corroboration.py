@@ -1,0 +1,131 @@
+"""Spine-tier corroboration: resolving the single-sender ambiguity.
+
+With one sender per ingress port (the ring case), a leaf observing a
+deficit on its port from spine *S* cannot tell whether the sender's
+up-link (L_src->S) or its own down-link (S->L) dropped the packets —
+Fig. 4's sender comparison has nothing to compare (see
+:mod:`repro.core.localization`).
+
+The spine's *own* ingress counters break the tie.  The spine sits
+between the two candidate links:
+
+- an **up-link** fault kills packets *before* the spine: the spine's
+  tagged ingress volume from that source leaf shows the same deficit;
+- a **down-link** fault kills packets *after* the spine: the spine saw
+  everything (indeed slightly more, since retransmitted copies cross it
+  again).
+
+This mirrors the two-tier monitoring of the three-level extension, one
+level down: it costs one more counter per (job, source leaf) on each
+spine and no coordination — the operator simply reads both switches'
+counters when an alarm fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.demand import DemandMatrix
+from ..simnet.counters import IterationRecord
+from ..topology.graph import ClosSpec, ControlPlane, parse_fabric_link
+from .localization import LinkSuspicion
+
+
+class CorroborationError(ValueError):
+    """Raised for unusable corroboration inputs."""
+
+
+@dataclass(frozen=True)
+class CorroboratedSuspicion:
+    """One ambiguity resolved by the spine's counters."""
+
+    link: str  # the cable direction the evidence singles out
+    ruled_out: str  # the candidate the spine's counters exonerate
+    spine: int
+    src_leaf: int
+    spine_deficit: float  # relative deficit seen at the spine itself
+
+
+class SpineCorroborator:
+    """Splits leaf-observed deficits using spine ingress expectations."""
+
+    def __init__(
+        self,
+        spec: ClosSpec,
+        demand: DemandMatrix,
+        known_disabled: frozenset[str] = frozenset(),
+        threshold: float = 0.01,
+    ) -> None:
+        if threshold <= 0:
+            raise CorroborationError("threshold must be positive")
+        self.spec = spec
+        self.threshold = threshold
+        control = ControlPlane(spec, known_disabled=frozenset(known_disabled))
+        # Expected tagged ingress at each spine from each source leaf:
+        # every pair's bytes split evenly over its valid spines.
+        self.expected: dict[tuple[int, int], float] = {}
+        for (src_leaf, dst_leaf), size in demand.leaf_pairs(spec).items():
+            spines = control.valid_spines(src_leaf, dst_leaf)
+            share = size / len(spines)
+            for spine in spines:
+                key = (spine, src_leaf)
+                self.expected[key] = self.expected.get(key, 0.0) + share
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        suspicions: list[LinkSuspicion],
+        spine_records: list[IterationRecord],
+    ) -> list[CorroboratedSuspicion]:
+        """Resolve ambiguous candidate pairs against spine measurements.
+
+        ``suspicions`` is a localization output possibly containing the
+        two-candidate (local down-link + remote up-link) pairs produced
+        in the single-sender regime; ``spine_records`` are the spine
+        ingress measurements of the same iteration (``leaf`` field =
+        spine index, ``port_bytes`` keyed by source leaf).
+        """
+        by_spine: dict[int, IterationRecord] = {
+            record.leaf: record for record in spine_records
+        }
+        resolved = []
+        for up_suspicion in suspicions:
+            if not up_suspicion.link.startswith("up:"):
+                continue
+            _direction, src_leaf, spine = parse_fabric_link(up_suspicion.link)
+            partner = next(
+                (
+                    s
+                    for s in suspicions
+                    if s.link.startswith("down:")
+                    and s.spine == spine
+                    and s.leaf == up_suspicion.leaf
+                ),
+                None,
+            )
+            if partner is None:
+                continue  # not an ambiguous pair
+            expected = self.expected.get((spine, src_leaf), 0.0)
+            if expected <= 0:
+                continue
+            record = by_spine.get(spine)
+            if record is None:
+                raise CorroborationError(f"no spine record for spine {spine}")
+            observed = float(record.port_bytes.get(src_leaf, 0))
+            deficit = (observed - expected) / expected
+            if deficit < -self.threshold:
+                # The spine itself is short: drops happened upstream.
+                chosen, ruled_out = up_suspicion.link, partner.link
+            else:
+                # The spine saw full volume: drops happened downstream.
+                chosen, ruled_out = partner.link, up_suspicion.link
+            resolved.append(
+                CorroboratedSuspicion(
+                    link=chosen,
+                    ruled_out=ruled_out,
+                    spine=spine,
+                    src_leaf=src_leaf,
+                    spine_deficit=deficit,
+                )
+            )
+        return resolved

@@ -1,0 +1,133 @@
+"""Threshold-based fault detection (paper §5.3).
+
+Every leaf switch compares, at the end of each collective iteration,
+the observed volume on each spine ingress port against the load model's
+prediction.  A relative discrepancy beyond the detection threshold (1 %
+in the paper) raises an alarm.  A deficit (observed < expected) is the
+signature of drops along the paths into that port; a surplus is the
+echo of retransmissions re-sprayed away from a faulty port elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..simnet.counters import IterationRecord
+from .prediction.base import PortPrediction
+
+
+class DetectionError(RuntimeError):
+    """Raised for malformed detector configuration."""
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Detector tuning.
+
+    ``threshold`` is the relative deviation that raises an alarm (the
+    paper uses 0.01).  Ports predicted to carry fewer than
+    ``min_port_bytes`` are skipped — with almost no expected traffic,
+    relative deviation is meaningless.
+    """
+
+    threshold: float = 0.01
+    min_port_bytes: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise DetectionError("threshold must be positive")
+        if self.min_port_bytes < 0:
+            raise DetectionError("min_port_bytes cannot be negative")
+
+
+@dataclass(frozen=True)
+class PortDeviation:
+    """Observed-vs-predicted mismatch at one ingress port."""
+
+    leaf: int
+    spine: int
+    predicted: float
+    observed: float
+    deviation: float  # signed: (observed - predicted) / predicted
+
+    @property
+    def is_deficit(self) -> bool:
+        return self.deviation < 0
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Verdict of one leaf switch for one collective iteration."""
+
+    leaf: int
+    iteration: int
+    deviations: tuple[PortDeviation, ...]
+    alarms: tuple[PortDeviation, ...]
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.alarms)
+
+    @property
+    def max_abs_deviation(self) -> float:
+        """The leaf's classifier score: worst relative deviation."""
+        finite = [abs(d.deviation) for d in self.deviations if math.isfinite(d.deviation)]
+        infinite = [d for d in self.deviations if not math.isfinite(d.deviation)]
+        if infinite:
+            return math.inf
+        return max(finite, default=0.0)
+
+    def deficit_alarms(self) -> tuple[PortDeviation, ...]:
+        return tuple(a for a in self.alarms if a.is_deficit)
+
+
+class ThresholdDetector:
+    """Per-leaf comparison of observations against the load model."""
+
+    def __init__(self, config: DetectionConfig | None = None) -> None:
+        self.config = config or DetectionConfig()
+
+    def evaluate(
+        self, record: IterationRecord, prediction: PortPrediction
+    ) -> DetectionResult:
+        """Compare one iteration's record with the leaf's prediction.
+
+        Ports are taken from the union of predicted and observed so
+        both silent deficits (predicted traffic missing) and unexpected
+        traffic (e.g. a misrouting fault) are caught.
+        """
+        if record.leaf != prediction.leaf:
+            raise DetectionError(
+                f"record for leaf {record.leaf} checked against prediction "
+                f"for leaf {prediction.leaf}"
+            )
+        ports = set(prediction.port_bytes) | set(record.port_bytes)
+        deviations = []
+        for spine in sorted(ports):
+            expected = prediction.port_bytes.get(spine, 0.0)
+            observed = float(record.port_bytes.get(spine, 0))
+            if expected < self.config.min_port_bytes:
+                if observed < self.config.min_port_bytes:
+                    continue  # silent port, as predicted
+                deviation = math.inf  # traffic on a port that should be idle
+            else:
+                deviation = (observed - expected) / expected
+            deviations.append(
+                PortDeviation(
+                    leaf=record.leaf,
+                    spine=spine,
+                    predicted=expected,
+                    observed=observed,
+                    deviation=deviation,
+                )
+            )
+        alarms = tuple(
+            d for d in deviations if abs(d.deviation) > self.config.threshold
+        )
+        return DetectionResult(
+            leaf=record.leaf,
+            iteration=record.tag.iteration,
+            deviations=tuple(deviations),
+            alarms=alarms,
+        )

@@ -1,0 +1,117 @@
+"""Collective measurement planning (paper §5.1).
+
+FlowPulse measures a single, tagged, prioritized collective per
+iteration.  Its jitter-resilience argument (§4) requires that each leaf
+switch host a single non-local sender and a single non-local receiver
+of the measured flows — automatically true for locality-optimized
+Ring-AllReduce, and achievable for general collectives by *selecting* a
+subset of flows in which every leaf appears once as a sender and once
+as a receiver.  This module checks the property and performs the
+selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..collectives.demand import DemandMatrix
+from ..simnet.packet import Priority
+from ..topology.graph import ClosSpec
+
+
+class MeasurementError(RuntimeError):
+    """Raised when no valid measurement plan exists."""
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """What the switches are configured to measure.
+
+    ``demand`` is the demand matrix of the *measured* flows only; it is
+    what the load predictors must be built from.  ``priority`` is the
+    traffic class the measured flows run at (MEASURED, isolating them
+    from background traffic as §5.1 prescribes).
+    """
+
+    job_id: int
+    demand: DemandMatrix
+    priority: Priority = Priority.MEASURED
+
+    def is_jitter_resilient(self, spec: ClosSpec) -> bool:
+        """Single non-local sender per destination leaf (§4)."""
+        return self.demand.is_single_sender_per_leaf(spec)
+
+
+def plan_measurement(
+    job_id: int, demand: DemandMatrix, spec: ClosSpec
+) -> MeasurementPlan:
+    """Build a measurement plan for a collective.
+
+    If the collective already satisfies the single-sender-per-leaf
+    condition (ring collectives do), all its flows are measured.
+    Otherwise a subset of flows is selected so every participating leaf
+    is represented exactly once as a sender and once as a receiver —
+    the paper's proposed generalization beyond Ring-AllReduce.
+    """
+    if demand.is_single_sender_per_leaf(spec):
+        return MeasurementPlan(job_id=job_id, demand=demand)
+    return MeasurementPlan(
+        job_id=job_id, demand=select_measured_flows(demand, spec)
+    )
+
+
+def select_measured_flows(demand: DemandMatrix, spec: ClosSpec) -> DemandMatrix:
+    """Select flows forming a perfect matching on the leaf digraph.
+
+    Each participating leaf must appear exactly once as a sending leaf
+    and once as a receiving leaf.  We model this as maximum bipartite
+    matching between sender-leaves and receiver-leaves, preferring the
+    heaviest flows (more bytes -> higher signal-to-noise for the
+    detector).
+
+    Raises :class:`MeasurementError` if no perfect matching exists
+    (some leaf's traffic cannot be represented).
+    """
+    leaf_pairs = demand.leaf_pairs(spec)
+    if not leaf_pairs:
+        raise MeasurementError("collective has no spine-crossing traffic")
+    senders = sorted({src for (src, _dst) in leaf_pairs})
+    receivers = sorted({dst for (_src, dst) in leaf_pairs})
+    if set(senders) != set(receivers):
+        raise MeasurementError(
+            "cannot cover every leaf as both sender and receiver: "
+            f"senders={senders}, receivers={receivers}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from((("s", leaf) for leaf in senders))
+    graph.add_nodes_from((("r", leaf) for leaf in receivers))
+    for (src, dst), size in leaf_pairs.items():
+        # max-weight matching prefers heavy flows; weights must be
+        # positive.
+        graph.add_edge(("s", src), ("r", dst), weight=size)
+    matching = nx.max_weight_matching(graph, maxcardinality=True)
+    chosen_pairs = {}
+    for a, b in matching:
+        (role_a, leaf_a), (role_b, leaf_b) = a, b
+        src, dst = (leaf_a, leaf_b) if role_a == "s" else (leaf_b, leaf_a)
+        chosen_pairs[(src, dst)] = leaf_pairs[(src, dst)]
+    if len(chosen_pairs) < len(senders):
+        raise MeasurementError(
+            "no flow selection covers every leaf once as sender and receiver"
+        )
+    # Project the host-level demand onto the chosen leaf pairs: measure
+    # the single heaviest host flow of each chosen pair (one flow per
+    # leaf, as §5.1 requires).
+    selected = DemandMatrix()
+    best: dict[tuple[int, int], tuple[int, int, int]] = {}
+    for src_host, dst_host, size in demand.pairs():
+        key = (spec.leaf_of_host(src_host), spec.leaf_of_host(dst_host))
+        if key in chosen_pairs:
+            current = best.get(key)
+            if current is None or size > current[2]:
+                best[key] = (src_host, dst_host, size)
+    for src_host, dst_host, size in best.values():
+        selected.add(src_host, dst_host, size)
+    return selected

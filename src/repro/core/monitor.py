@@ -1,0 +1,155 @@
+"""The FlowPulse monitor: model + detection + localization, end to end.
+
+One :class:`FlowPulseMonitor` watches one job across the whole fabric.
+Per collective iteration it receives the per-leaf
+:class:`~repro.simnet.counters.IterationRecord` measurements (from the
+packet simulator's collectors or from the fast simulator), updates the
+load model if it is a learning one, runs every leaf's threshold
+detector independently — there is no inter-switch coordination, as in
+the paper — and localizes any deficit alarms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..simnet.counters import IterationRecord
+from .detection import DetectionConfig, DetectionResult, ThresholdDetector
+from .localization import LocalizationResult, Localizer
+from .prediction.base import LoadPredictor
+from .prediction.learning import LearningEvent
+
+
+@dataclass(frozen=True)
+class IterationVerdict:
+    """Outcome of monitoring one collective iteration."""
+
+    iteration: int
+    learning_event: LearningEvent
+    skipped: bool  # True while the learning predictor warms up / relearns
+    results: tuple[DetectionResult, ...] = ()
+    localizations: tuple[LocalizationResult, ...] = ()
+
+    @property
+    def triggered(self) -> bool:
+        return any(r.triggered for r in self.results)
+
+    @property
+    def max_score(self) -> float:
+        """The iteration's classifier score: worst |deviation| anywhere."""
+        return max((r.max_abs_deviation for r in self.results), default=0.0)
+
+    def suspected_links(self) -> frozenset[str]:
+        return frozenset(
+            link for loc in self.localizations for link in loc.suspected_links()
+        )
+
+
+@dataclass
+class RunVerdict:
+    """Aggregate over a monitored run (many iterations)."""
+
+    verdicts: list[IterationVerdict] = field(default_factory=list)
+
+    @property
+    def triggered(self) -> bool:
+        return any(v.triggered for v in self.verdicts)
+
+    @property
+    def first_detection_iteration(self) -> int | None:
+        for verdict in self.verdicts:
+            if verdict.triggered:
+                return verdict.iteration
+        return None
+
+    @property
+    def max_score(self) -> float:
+        scored = [v.max_score for v in self.verdicts if not v.skipped]
+        return max(scored, default=0.0)
+
+    def suspected_links(self) -> frozenset[str]:
+        return frozenset(
+            link for v in self.verdicts for link in v.suspected_links()
+        )
+
+    def suspicion_counts(self) -> dict[str, int]:
+        """How many iteration-leaf observations implicated each link."""
+        counts: dict[str, int] = {}
+        for verdict in self.verdicts:
+            for localization in verdict.localizations:
+                for suspicion in localization.suspicions:
+                    counts[suspicion.link] = counts.get(suspicion.link, 0) + 1
+        return counts
+
+
+class FlowPulseMonitor:
+    """Fabric-wide FlowPulse instance for one monitored job."""
+
+    def __init__(
+        self,
+        predictor: LoadPredictor,
+        config: DetectionConfig | None = None,
+        localizer: Localizer | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.config = config or DetectionConfig()
+        self.detector = ThresholdDetector(self.config)
+        self.localizer = localizer or Localizer(
+            sender_threshold=self.config.threshold
+        )
+
+    # ------------------------------------------------------------------
+    def process_iteration(
+        self, records: list[IterationRecord]
+    ) -> IterationVerdict:
+        """Monitor one iteration; records must be ordered by leaf."""
+        iteration = records[0].tag.iteration if records else -1
+        event = self.predictor.update(records)
+        if not self.predictor.ready or event is LearningEvent.HEALING_DETECTED:
+            return IterationVerdict(
+                iteration=iteration, learning_event=event, skipped=True
+            )
+        if event in (LearningEvent.BASELINE_READY, LearningEvent.REBASELINED):
+            # The baseline was built *from* these records; checking them
+            # against it would be circular.
+            return IterationVerdict(
+                iteration=iteration, learning_event=event, skipped=True
+            )
+        prediction = self.predictor.predict()
+        results = []
+        localizations = []
+        for record in records:
+            leaf_prediction = prediction.for_leaf(record.leaf)
+            result = self.detector.evaluate(record, leaf_prediction)
+            results.append(result)
+            if result.triggered:
+                localizations.append(
+                    self.localizer.localize(record, leaf_prediction, result)
+                )
+        return IterationVerdict(
+            iteration=iteration,
+            learning_event=event,
+            skipped=False,
+            results=tuple(results),
+            localizations=tuple(localizations),
+        )
+
+    def process_run(
+        self, run_records: list[list[IterationRecord]]
+    ) -> RunVerdict:
+        """Monitor a sequence of iterations."""
+        verdict = RunVerdict()
+        for records in run_records:
+            verdict.verdicts.append(self.process_iteration(records))
+        return verdict
+
+
+def score_for_roc(verdict: RunVerdict, cap: float = 10.0) -> float:
+    """Collapse a run verdict to a finite ROC score.
+
+    Infinite deviations (traffic on a port predicted idle) are capped so
+    ROC sweeps stay numerically well-behaved.
+    """
+    score = verdict.max_score
+    return min(score, cap) if math.isfinite(score) else cap

@@ -1,0 +1,18 @@
+"""Per-link load models (paper §5.2): analytical, simulation, learning."""
+
+from .analytical import AnalyticalPredictor
+from .base import LoadPrediction, LoadPredictor, PortPrediction, PredictionError
+from .learning import LearnedPredictor, LearningEvent, imbalance
+from .simulation import SimulationPredictor
+
+__all__ = [
+    "AnalyticalPredictor",
+    "LearnedPredictor",
+    "LearningEvent",
+    "LoadPrediction",
+    "LoadPredictor",
+    "PortPrediction",
+    "PredictionError",
+    "SimulationPredictor",
+    "imbalance",
+]

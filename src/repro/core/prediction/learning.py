@@ -1,0 +1,169 @@
+"""Learning-based load model (paper §5.2, Fig. 3).
+
+The expected load on each port can simply be *measured* during the
+first iterations of the collective.  The caveat the paper calls out: a
+transient fault present during those first iterations pollutes the
+baseline.  When the fault later heals, the load re-balances more
+evenly; the predictor recognizes that signature — a significant
+deviation *toward* balance — and replaces its baseline with fresh
+measurements instead of declaring a fault.
+"""
+
+from __future__ import annotations
+
+import statistics
+from enum import Enum
+
+from ...simnet.counters import IterationRecord
+from .base import LoadPrediction, LoadPredictor, PortPrediction, PredictionError
+
+
+class LearningEvent(Enum):
+    """What the learning predictor did with one iteration's records."""
+
+    NONE = "none"  # baseline held; records available for detection
+    WARMUP = "warmup"  # still collecting the initial baseline
+    BASELINE_READY = "baseline_ready"  # warmup finished this iteration
+    HEALING_DETECTED = "healing"  # re-balancing observed; re-learning
+    REBASELINED = "rebaselined"  # replacement baseline finished
+
+
+def imbalance(volumes: list[float]) -> float:
+    """Max relative deviation from the mean across ports.
+
+    Zero for a perfectly even split; grows when some ports carry less
+    (or more) than their fair share.  This is the "how balanced is the
+    network" score used to tell healing (imbalance drops) from a new
+    fault (imbalance grows).
+    """
+    positive = [v for v in volumes if v > 0]
+    if len(positive) < 2:
+        return 0.0
+    mean = statistics.fmean(positive)
+    if mean <= 0:
+        return 0.0
+    return max(abs(v - mean) / mean for v in positive)
+
+
+class LearnedPredictor(LoadPredictor):
+    """Baseline-from-observation predictor with healing rebaseline.
+
+    Parameters
+    ----------
+    warmup_iterations:
+        Iterations averaged into each baseline.
+    deviation_trigger:
+        Relative per-port deviation from the baseline that counts as "a
+        significant change happened" (compared alongside the detector's
+        own threshold).
+    balance_margin:
+        How much the fabric-wide imbalance must *drop* for the change to
+        be classified as healing rather than a new fault.
+    """
+
+    name = "learned"
+
+    def __init__(
+        self,
+        warmup_iterations: int = 3,
+        deviation_trigger: float = 0.01,
+        balance_margin: float = 0.005,
+    ) -> None:
+        if warmup_iterations < 1:
+            raise PredictionError("warmup needs at least one iteration")
+        if deviation_trigger <= 0 or balance_margin <= 0:
+            raise PredictionError("triggers must be positive")
+        self.warmup_iterations = warmup_iterations
+        self.deviation_trigger = deviation_trigger
+        self.balance_margin = balance_margin
+        self._pending: list[list[IterationRecord]] = []
+        self._prediction: LoadPrediction | None = None
+        self._baseline_imbalance: float = 0.0
+        #: (iteration_index, prediction) for every baseline adopted —
+        #: the time series Fig. 3 plots.
+        self.baseline_history: list[tuple[int, LoadPrediction]] = []
+        self._iterations_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return self._prediction is not None
+
+    def predict(self) -> LoadPrediction:
+        if self._prediction is None:
+            raise PredictionError(
+                "learning predictor has no baseline yet (warmup in progress)"
+            )
+        return self._prediction
+
+    # ------------------------------------------------------------------
+    def update(self, records: list[IterationRecord]) -> LearningEvent:
+        """Feed one iteration's observed records."""
+        self._iterations_seen += 1
+        if self._prediction is None:
+            return self._warmup_step(records)
+
+        observed_imbalance = self._fabric_imbalance(records)
+        deviation = self._max_deviation(records)
+        rebalanced = (
+            observed_imbalance < self._baseline_imbalance - self.balance_margin
+        )
+        if deviation > self.deviation_trigger and rebalanced:
+            # The network got *more* symmetric: a transient fault healed.
+            # Discard the polluted baseline and re-learn from here.
+            self._prediction = None
+            self._pending = [records]
+            return LearningEvent.HEALING_DETECTED
+        return LearningEvent.NONE
+
+    def _warmup_step(self, records: list[IterationRecord]) -> LearningEvent:
+        self._pending.append(records)
+        if len(self._pending) < self.warmup_iterations:
+            return LearningEvent.WARMUP
+        self._adopt_baseline()
+        first = len(self.baseline_history) == 1
+        return LearningEvent.BASELINE_READY if first else LearningEvent.REBASELINED
+
+    # ------------------------------------------------------------------
+    def _adopt_baseline(self) -> None:
+        n_leaves = len(self._pending[0])
+        k = len(self._pending)
+        per_leaf = []
+        for leaf in range(n_leaves):
+            ports: dict[int, float] = {}
+            senders: dict[tuple[int, int], float] = {}
+            for records in self._pending:
+                record = records[leaf]
+                if record.leaf != leaf:
+                    raise PredictionError("records must be ordered by leaf")
+                for spine, size in record.port_bytes.items():
+                    ports[spine] = ports.get(spine, 0.0) + size / k
+                for key, size in record.sender_bytes.items():
+                    senders[key] = senders.get(key, 0.0) + size / k
+            per_leaf.append(
+                PortPrediction(leaf=leaf, port_bytes=ports, sender_bytes=senders)
+            )
+        self._prediction = LoadPrediction(per_leaf=tuple(per_leaf))
+        self._baseline_imbalance = max(
+            (imbalance(list(p.port_bytes.values())) for p in per_leaf),
+            default=0.0,
+        )
+        self._pending = []
+        self.baseline_history.append((self._iterations_seen - 1, self._prediction))
+
+    def _fabric_imbalance(self, records: list[IterationRecord]) -> float:
+        return max(
+            (imbalance(list(r.port_bytes.values())) for r in records), default=0.0
+        )
+
+    def _max_deviation(self, records: list[IterationRecord]) -> float:
+        worst = 0.0
+        assert self._prediction is not None
+        for record in records:
+            prediction = self._prediction.for_leaf(record.leaf)
+            for spine, expected in prediction.port_bytes.items():
+                if expected <= 0:
+                    continue
+                observed = record.port_bytes.get(spine, 0)
+                worst = max(worst, abs(observed - expected) / expected)
+        return worst

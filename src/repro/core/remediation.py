@@ -1,0 +1,170 @@
+"""Operator remediation loop: detect -> localize -> confirm -> disable.
+
+The paper's opening argument (§1) is that faulty components must be
+quickly *detected, localized, and disabled* — excluded from routing so
+the fabric's resilience can route around them until the next
+maintenance window.  This module closes that loop on top of the
+monitor:
+
+1. :class:`ConfirmationPolicy` turns raw per-iteration suspicions into
+   confirmed faults (a cable must be implicated in ``confirm_after`` of
+   the last ``window`` monitored iterations — one noisy iteration never
+   takes a link out of service).
+2. :class:`RemediationEngine` disables the confirmed cable in the
+   control plane (both directions, as a switch OS would), rebuilds the
+   load model so temporal symmetry is re-established over the surviving
+   links, and keeps monitoring.
+
+Disabling on suspicion is deliberately conservative: when localization
+narrows a deficit to two candidate cables (the single-sender ring case,
+see :mod:`repro.core.localization`), the engine takes both out of
+service — the fabric loses one healthy cable but regains a clean
+symmetry baseline, which mirrors operator practice of erring toward
+draining hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..topology.graph import down_link, parse_fabric_link, up_link
+from .monitor import IterationVerdict
+
+
+class RemediationError(RuntimeError):
+    """Raised on inconsistent remediation configuration."""
+
+
+@dataclass(frozen=True)
+class ConfirmationPolicy:
+    """How much evidence is needed before a cable is disabled.
+
+    A cable is confirmed when it is implicated in at least
+    ``confirm_after`` of the last ``window`` monitored iterations.
+    """
+
+    confirm_after: int = 2
+    window: int = 4
+
+    def __post_init__(self) -> None:
+        if self.confirm_after < 1:
+            raise RemediationError("confirm_after must be at least 1")
+        if self.window < self.confirm_after:
+            raise RemediationError("window must cover confirm_after iterations")
+
+
+def cable_of(link: str) -> tuple[int, int]:
+    """Normalize a directional link name to its physical cable
+    (leaf, spine)."""
+    _direction, leaf, spine = parse_fabric_link(link)
+    return leaf, spine
+
+
+def cable_links(cable: tuple[int, int]) -> frozenset[str]:
+    """Both directional link names of a physical cable."""
+    leaf, spine = cable
+    return frozenset({up_link(leaf, spine), down_link(spine, leaf)})
+
+
+def cable_of3(link: str) -> tuple:
+    """Three-level cable normalization: maps a directional link name of
+    a pod fabric (``up:/down:`` pod links, ``csup:/csdown:`` core links)
+    to its physical cable identity."""
+    direction, rest = link.split(":", 1)
+    a, b = rest.split("->")
+    if direction in ("up", "down"):
+        leaf_part, spine_part = (a, b) if direction == "up" else (b, a)
+        return ("pod", leaf_part, spine_part)
+    if direction in ("csup", "csdown"):
+        spine_part, core_part = (a, b) if direction == "csup" else (b, a)
+        return ("core", spine_part, core_part)
+    raise RemediationError(f"not a three-level link name: {link!r}")
+
+
+def cable_links3(cable: tuple) -> frozenset[str]:
+    """Both directional names of a three-level physical cable."""
+    kind, x, y = cable
+    if kind == "pod":
+        return frozenset({f"up:{x}->{y}", f"down:{y}->{x}"})
+    if kind == "core":
+        return frozenset({f"csup:{x}->{y}", f"csdown:{y}->{x}"})
+    raise RemediationError(f"unknown cable kind {kind!r}")
+
+
+@dataclass
+class RemediationAction:
+    """One confirmed fault and the links taken out of service."""
+
+    iteration: int
+    cables: frozenset[tuple[int, int]]
+    disabled_links: frozenset[str]
+
+
+@dataclass
+class RemediationEngine:
+    """Tracks suspicions across iterations and disables confirmed cables.
+
+    The engine is transport-agnostic: callers feed it
+    :class:`~repro.core.monitor.IterationVerdict` objects and apply the
+    returned actions to whatever holds the routing state (a
+    :class:`~repro.topology.graph.ControlPlane`, a
+    :class:`~repro.fastsim.model.FabricModel`, or a live
+    :class:`~repro.simnet.network.Network`).
+    """
+
+    policy: ConfirmationPolicy = field(default_factory=ConfirmationPolicy)
+    history: deque = field(default_factory=deque)
+    actions: list[RemediationAction] = field(default_factory=list)
+    disabled_cables: set = field(default_factory=set)
+    #: Cable-identity functions; swap for :func:`cable_of3` /
+    #: :func:`cable_links3` when remediating a three-level fabric.
+    cable_fn: Callable[[str], tuple] = cable_of
+    links_fn: Callable[[tuple], frozenset] = cable_links
+
+    def observe(self, verdict: IterationVerdict) -> RemediationAction | None:
+        """Feed one monitored iteration; returns an action if a cable
+        crossed the confirmation bar.
+
+        Accepts anything exposing ``iteration``, ``suspected_links()``
+        and (optionally) ``skipped`` — both two-level and three-level
+        verdicts qualify.
+        """
+        if getattr(verdict, "skipped", False):
+            return None
+        implicated = {self.cable_fn(link) for link in verdict.suspected_links()}
+        self.history.append(implicated)
+        while len(self.history) > self.policy.window:
+            self.history.popleft()
+
+        confirmed = set()
+        for cable in implicated:
+            if cable in self.disabled_cables:
+                continue
+            count = sum(1 for past in self.history if cable in past)
+            if count >= self.policy.confirm_after:
+                confirmed.add(cable)
+        if not confirmed:
+            return None
+        self.disabled_cables.update(confirmed)
+        links = frozenset(
+            link for cable in confirmed for link in self.links_fn(cable)
+        )
+        action = RemediationAction(
+            iteration=verdict.iteration,
+            cables=frozenset(confirmed),
+            disabled_links=links,
+        )
+        self.actions.append(action)
+        return action
+
+    @property
+    def total_disabled_links(self) -> frozenset[str]:
+        return frozenset(
+            link for action in self.actions for link in action.disabled_links
+        )
+
+    def reset_history(self) -> None:
+        """Clear the evidence window (e.g. after the model is rebuilt)."""
+        self.history.clear()

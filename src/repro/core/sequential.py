@@ -1,0 +1,142 @@
+"""Sequential (CUSUM) detection of sub-threshold faults.
+
+The paper's limitation (§7 "Fault Types"): "Faults ... that impact less
+than 1.5 % of packets traversing a given path are still undetectable
+with FlowPulse."  That is a property of single-iteration thresholding,
+not of temporal symmetry itself: a persistent small deficit
+accumulates.  This extension runs a one-sided CUSUM per ingress port on
+the *relative deficit* series
+
+    S_t = max(0, S_{t-1} + (deficit_t - drift))
+
+and alarms when ``S_t`` crosses a decision level.  With drift ~2 sigma
+and decision ~8 sigma of the spraying noise, healthy ports almost never
+accumulate, while a fault whose per-iteration deficit exceeds the drift
+is caught after ``decision / (deficit - drift)`` iterations — trading
+latency for sensitivity below the instantaneous threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simnet.counters import IterationRecord
+from .prediction.base import LoadPredictor
+
+
+class SequentialError(ValueError):
+    """Raised for unusable CUSUM configuration."""
+
+
+@dataclass(frozen=True)
+class CusumConfig:
+    """CUSUM tuning, in units of relative deficit."""
+
+    drift: float  # per-iteration allowance subtracted before accumulating
+    decision: float  # alarm level of the accumulated statistic
+
+    def __post_init__(self) -> None:
+        if self.drift < 0:
+            raise SequentialError("drift cannot be negative")
+        if self.decision <= 0:
+            raise SequentialError("decision level must be positive")
+
+    @classmethod
+    def from_noise(
+        cls, sigma: float, drift_sigmas: float = 2.0, decision_sigmas: float = 8.0
+    ) -> "CusumConfig":
+        """Tune from the spraying-noise sigma (see
+        :func:`repro.core.threshold_model.port_noise_sigma`)."""
+        if sigma < 0:
+            raise SequentialError("sigma cannot be negative")
+        return cls(drift=drift_sigmas * sigma, decision=decision_sigmas * sigma)
+
+    def iterations_to_detect(self, deficit: float) -> float:
+        """Expected detection latency for a steady relative deficit."""
+        gain = deficit - self.drift
+        if gain <= 0:
+            return float("inf")
+        return self.decision / gain
+
+
+@dataclass(frozen=True)
+class CusumAlarm:
+    """One port whose accumulated deficit crossed the decision level."""
+
+    leaf: int
+    spine: int
+    statistic: float
+    iterations_accumulated: int
+
+
+@dataclass(frozen=True)
+class CusumVerdict:
+    """Outcome of one monitored iteration."""
+
+    iteration: int
+    alarms: tuple[CusumAlarm, ...]
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.alarms)
+
+
+@dataclass
+class CusumMonitor:
+    """Fabric-wide sequential monitor over a load predictor.
+
+    Complements (does not replace) the instantaneous threshold detector:
+    run both, let the threshold catch big faults in one iteration and
+    the CUSUM surface persistent small ones.
+    """
+
+    predictor: LoadPredictor
+    config: CusumConfig
+    _stats: dict[tuple[int, int], float] = field(default_factory=dict)
+    _since: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def process_iteration(self, records: list[IterationRecord]) -> CusumVerdict:
+        prediction = self.predictor.predict()
+        alarms = []
+        iteration = records[0].tag.iteration if records else -1
+        for record in records:
+            leaf_prediction = prediction.for_leaf(record.leaf)
+            for spine, expected in leaf_prediction.port_bytes.items():
+                if expected <= 0:
+                    continue
+                observed = float(record.port_bytes.get(spine, 0))
+                deficit = (expected - observed) / expected
+                key = (record.leaf, spine)
+                previous = self._stats.get(key, 0.0)
+                updated = max(0.0, previous + deficit - self.config.drift)
+                if updated > 0 and previous == 0:
+                    self._since[key] = 1
+                elif updated > 0:
+                    self._since[key] = self._since.get(key, 0) + 1
+                else:
+                    self._since.pop(key, None)
+                self._stats[key] = updated
+                if updated > self.config.decision:
+                    alarms.append(
+                        CusumAlarm(
+                            leaf=record.leaf,
+                            spine=spine,
+                            statistic=updated,
+                            iterations_accumulated=self._since.get(key, 1),
+                        )
+                    )
+        return CusumVerdict(iteration=iteration, alarms=tuple(alarms))
+
+    def process_run(self, runs: list[list[IterationRecord]]) -> list[CusumVerdict]:
+        return [self.process_iteration(records) for records in runs]
+
+    def reset(self, leaf: int | None = None) -> None:
+        """Clear accumulated state (e.g. after remediation), fabric-wide
+        or for one leaf."""
+        if leaf is None:
+            self._stats.clear()
+            self._since.clear()
+            return
+        for key in [k for k in self._stats if k[0] == leaf]:
+            del self._stats[key]
+            self._since.pop(key, None)

@@ -1,0 +1,109 @@
+"""Data-plane resource model for FlowPulse's switch-side state.
+
+The paper deploys FlowPulse "using programmable switches, which have
+become prevalent in training clusters" (§5).  This module quantifies
+what that costs on the ASIC, so deployability claims are checkable:
+
+- **counters**: one byte counter per (monitored job, spine ingress
+  port) for detection, plus one per (job, port, sending leaf) for
+  localization;
+- **registers**: current iteration id and baseline/threshold words per
+  counter;
+- **per-packet work**: one tag match, one counter increment, and a
+  bounded-rate window check — well within a single match-action stage.
+
+The localization breakdown dominates: it scales with the number of
+leaves sending through each port, which is why the paper measures a
+single collective with one non-local sender per leaf (§5.1) — in that
+regime, per-sender state collapses to one entry per port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.graph import ClosSpec
+
+#: Width of one byte counter (48-bit counters padded to 8 B, as on
+#: commodity programmable ASICs).
+COUNTER_BYTES = 8
+#: Baseline + threshold + iteration-id words kept per monitored port.
+CONTROL_WORDS_BYTES = 3 * 4
+#: A conservative per-stage SRAM budget for one match-action stage of a
+#: Tofino-class switch (~1.25 MiB usable per stage).
+TOFINO_STAGE_SRAM_BYTES = 1_310_720
+
+
+@dataclass(frozen=True)
+class SwitchCost:
+    """Per-leaf-switch data-plane footprint of FlowPulse."""
+
+    jobs: int
+    ports: int
+    senders_per_port: int
+    detection_counters: int
+    localization_counters: int
+    sram_bytes: int
+    per_packet_actions: int
+
+    @property
+    def fits_one_stage(self) -> bool:
+        """Whether the state fits a single Tofino-class SRAM stage."""
+        return self.sram_bytes <= TOFINO_STAGE_SRAM_BYTES
+
+    @property
+    def sram_fraction_of_stage(self) -> float:
+        return self.sram_bytes / TOFINO_STAGE_SRAM_BYTES
+
+
+def leaf_switch_cost(
+    spec: ClosSpec,
+    monitored_jobs: int = 1,
+    senders_per_port: int = 1,
+) -> SwitchCost:
+    """Footprint of FlowPulse on one leaf switch.
+
+    ``senders_per_port`` is 1 for ring collectives (the §5.1 condition);
+    general collectives can raise it up to ``n_leaves - 1``.
+    """
+    if monitored_jobs < 1:
+        raise ValueError("need at least one monitored job")
+    if not 1 <= senders_per_port <= spec.n_leaves - 1:
+        raise ValueError(
+            f"senders_per_port must be in [1, {spec.n_leaves - 1}]"
+        )
+    ports = spec.n_spines
+    detection = monitored_jobs * ports
+    localization = monitored_jobs * ports * senders_per_port
+    sram = (
+        (detection + localization) * COUNTER_BYTES
+        + detection * CONTROL_WORDS_BYTES
+    )
+    # Per packet: tag match, detection increment, localization increment.
+    return SwitchCost(
+        jobs=monitored_jobs,
+        ports=ports,
+        senders_per_port=senders_per_port,
+        detection_counters=detection,
+        localization_counters=localization,
+        sram_bytes=sram,
+        per_packet_actions=3,
+    )
+
+
+def fabric_cost_report(spec: ClosSpec, monitored_jobs: int = 1) -> str:
+    """One-paragraph deployability summary for a fabric."""
+    ring = leaf_switch_cost(spec, monitored_jobs, senders_per_port=1)
+    worst = leaf_switch_cost(
+        spec, monitored_jobs, senders_per_port=spec.n_leaves - 1
+    )
+    return (
+        f"FlowPulse on a {spec.n_leaves}x{spec.n_spines} fabric, "
+        f"{monitored_jobs} monitored job(s): "
+        f"{ring.detection_counters + ring.localization_counters} counters "
+        f"({ring.sram_bytes} B SRAM, {ring.sram_fraction_of_stage:.2%} of one "
+        f"stage) per leaf for ring collectives; worst-case all-senders "
+        f"localization needs {worst.sram_bytes} B "
+        f"({worst.sram_fraction_of_stage:.2%} of one stage); "
+        f"{ring.per_packet_actions} actions per tagged packet."
+    )

@@ -1,0 +1,314 @@
+"""Fast per-iteration volume simulator.
+
+Produces, for each collective iteration, the same
+:class:`~repro.simnet.counters.IterationRecord` objects the packet
+simulator's collectors emit — per-leaf, per-spine-port, per-sender byte
+volumes — but in microseconds instead of seconds, which is what makes
+the paper's trial sweeps (Fig. 5) tractable.
+
+The model distinguishes three layers of fault knowledge, mirroring the
+paper:
+
+- ``known_disabled``: pre-existing faults in the routing tables;
+  excluded from spraying entirely.
+- ``known_gray``: links the operator knows drop a fraction of packets
+  (visible in error counters); still routed over.  Only the
+  simulation-based predictor can account for these (paper §5.2).
+- ``silent``: the faults FlowPulse must detect; unknown to every
+  predictor, applied only when simulating "reality".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..collectives.demand import DemandMatrix
+from ..simnet.counters import IterationRecord
+from ..simnet.packet import FlowTag
+from ..units import DEFAULT_MTU
+from ..topology.graph import ClosSpec, ControlPlane, down_link, up_link
+from .sampling import (
+    FastSimError,
+    deliver_transfer_bytes,
+    expected_arrival_bytes,
+    spray_counts,
+)
+
+
+@dataclass(frozen=True)
+class FabricModel:
+    """Statistical description of the fabric for the fast simulator."""
+
+    spec: ClosSpec
+    known_disabled: frozenset[str] = frozenset()
+    known_gray: dict[str, float] = field(default_factory=dict)
+    silent: dict[str, float] = field(default_factory=dict)
+    spraying: str = "random"
+    mtu: int = DEFAULT_MTU
+
+    def __post_init__(self) -> None:
+        for rates in (self.known_gray, self.silent):
+            for name, rate in rates.items():
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(f"drop rate for {name} must be in [0,1]")
+        if self.mtu <= 0:
+            raise ValueError("mtu must be positive")
+
+    # ------------------------------------------------------------------
+    def control(self) -> ControlPlane:
+        """The control-plane view (knows only disabled links)."""
+        return ControlPlane(self.spec, known_disabled=self.known_disabled)
+
+    def drop_rate(self, link: str, include_silent: bool = True) -> float:
+        """Combined drop probability on ``link``.
+
+        Known-gray and silent faults compose independently; a disabled
+        link drops everything (but is never sprayed onto anyway).
+        """
+        if link in self.known_disabled:
+            return 1.0
+        keep = 1.0 - self.known_gray.get(link, 0.0)
+        if include_silent:
+            keep *= 1.0 - self.silent.get(link, 0.0)
+        return 1.0 - keep
+
+    def survive_probs(
+        self, src_leaf: int, dst_leaf: int, spines: list[int], include_silent: bool = True
+    ) -> np.ndarray:
+        """End-to-end per-spine survival probability for a leaf pair."""
+        probs = np.empty(len(spines))
+        for idx, spine in enumerate(spines):
+            up_keep = 1.0 - self.drop_rate(up_link(src_leaf, spine), include_silent)
+            down_keep = 1.0 - self.drop_rate(down_link(spine, dst_leaf), include_silent)
+            probs[idx] = up_keep * down_keep
+        return probs
+
+    # ------------------------------------------------------------------
+    def with_silent(self, faults: dict[str, float]) -> "FabricModel":
+        """A copy with the given silent faults injected."""
+        return replace(self, silent=dict(faults))
+
+    def healthy_view(self) -> "FabricModel":
+        """The predictor's view: silent faults removed."""
+        return replace(self, silent={})
+
+    def without_gray(self) -> "FabricModel":
+        """A view without known-gray knowledge (analytical model's view)."""
+        return replace(self, known_gray={}, silent={})
+
+
+def simulate_iteration(
+    model: FabricModel,
+    demand: DemandMatrix,
+    rng: np.random.Generator,
+    tag: FlowTag | None = None,
+    include_silent: bool = True,
+) -> list[IterationRecord]:
+    """Simulate one collective iteration; returns one record per leaf.
+
+    Each source-destination leaf pair sprays its bytes over the control
+    plane's valid spines; drops (known-gray and, when
+    ``include_silent``, silent) are re-sprayed as the RoCE transport
+    would retransmit them.  Records carry iteration-index pseudo-times.
+    """
+    spec = model.spec
+    control = model.control()
+    tag = tag or FlowTag(job_id=0, iteration=0)
+    port_bytes: list[dict[int, int]] = [dict() for _ in range(spec.n_leaves)]
+    sender_bytes: list[dict[tuple[int, int], int]] = [dict() for _ in range(spec.n_leaves)]
+
+    for (src_leaf, dst_leaf), size in sorted(demand.leaf_pairs(spec).items()):
+        spines = control.valid_spines(src_leaf, dst_leaf)
+        survive = model.survive_probs(src_leaf, dst_leaf, spines, include_silent)
+        arrived = deliver_transfer_bytes(size, model.mtu, survive, model.spraying, rng)
+        ports = port_bytes[dst_leaf]
+        senders = sender_bytes[dst_leaf]
+        for idx, spine in enumerate(spines):
+            got = int(arrived[idx])
+            if got:
+                ports[spine] = ports.get(spine, 0) + got
+                key = (spine, src_leaf)
+                senders[key] = senders.get(key, 0) + got
+
+    return [
+        IterationRecord(
+            leaf=leaf,
+            tag=tag,
+            port_bytes=port_bytes[leaf],
+            sender_bytes=sender_bytes[leaf],
+            start_ns=tag.iteration,
+            end_ns=tag.iteration + 1,
+        )
+        for leaf in range(spec.n_leaves)
+    ]
+
+
+def simulate_iteration_with_spines(
+    model: FabricModel,
+    demand: DemandMatrix,
+    rng: np.random.Generator,
+    tag: FlowTag | None = None,
+    include_silent: bool = True,
+) -> tuple[list[IterationRecord], list[IterationRecord]]:
+    """Like :func:`simulate_iteration`, additionally returning the
+    *spine-tier* measurements: per spine switch, the tagged bytes
+    arriving on its ingress port from each source leaf (i.e. what
+    survived the up links).  These are the counters the corroboration
+    step (:mod:`repro.core.corroboration`) uses to split a leaf-observed
+    deficit into its up-link and down-link components.
+
+    For spine records, ``leaf`` carries the spine index and the
+    ``port_bytes``/``sender_bytes`` keys are source-leaf indices.
+    """
+    spec = model.spec
+    control = model.control()
+    tag = tag or FlowTag(job_id=0, iteration=0)
+    port_bytes: list[dict[int, int]] = [dict() for _ in range(spec.n_leaves)]
+    sender_bytes: list[dict[tuple[int, int], int]] = [dict() for _ in range(spec.n_leaves)]
+    spine_ingress: list[dict[int, int]] = [dict() for _ in range(spec.n_spines)]
+
+    for (src_leaf, dst_leaf), size in sorted(demand.leaf_pairs(spec).items()):
+        spines = control.valid_spines(src_leaf, dst_leaf)
+        up_keep = np.array(
+            [
+                1.0 - model.drop_rate(up_link(src_leaf, s), include_silent)
+                for s in spines
+            ]
+        )
+        down_keep = np.array(
+            [
+                1.0 - model.drop_rate(down_link(s, dst_leaf), include_silent)
+                for s in spines
+            ]
+        )
+        if np.all(up_keep * down_keep == 0.0):
+            raise FastSimError("every valid path drops all packets")
+        n_full, rem = divmod(size, model.mtu)
+        ports = port_bytes[dst_leaf]
+        senders = sender_bytes[dst_leaf]
+        for packets, bytes_each in ((n_full, model.mtu), (1 if rem else 0, rem)):
+            pending = packets
+            for _round in range(10_000):
+                if pending == 0:
+                    break
+                counts = spray_counts(pending, len(spines), model.spraying, rng)
+                at_spine = rng.binomial(counts, up_keep)
+                at_leaf = rng.binomial(at_spine, down_keep)
+                pending = int(counts.sum() - at_leaf.sum())
+                for idx, spine in enumerate(spines):
+                    if at_spine[idx]:
+                        spine_ingress[spine][src_leaf] = (
+                            spine_ingress[spine].get(src_leaf, 0)
+                            + int(at_spine[idx]) * bytes_each
+                        )
+                    got = int(at_leaf[idx]) * bytes_each
+                    if got:
+                        ports[spine] = ports.get(spine, 0) + got
+                        key = (spine, src_leaf)
+                        senders[key] = senders.get(key, 0) + got
+            else:
+                raise FastSimError("retransmission did not converge")
+
+    leaves = [
+        IterationRecord(
+            leaf=leaf,
+            tag=tag,
+            port_bytes=port_bytes[leaf],
+            sender_bytes=sender_bytes[leaf],
+            start_ns=tag.iteration,
+            end_ns=tag.iteration + 1,
+        )
+        for leaf in range(spec.n_leaves)
+    ]
+    spine_records = [
+        IterationRecord(
+            leaf=spine,
+            tag=tag,
+            port_bytes=spine_ingress[spine],
+            sender_bytes={
+                (src, src): volume
+                for src, volume in spine_ingress[spine].items()
+            },
+            start_ns=tag.iteration,
+            end_ns=tag.iteration + 1,
+        )
+        for spine in range(spec.n_spines)
+    ]
+    return leaves, spine_records
+
+
+def expected_iteration(
+    model: FabricModel,
+    demand: DemandMatrix,
+    include_silent: bool = False,
+) -> list[IterationRecord]:
+    """Closed-form expected volumes per leaf (no sampling noise).
+
+    This is what the simulation-based predictor (paper §5.2) computes:
+    the mean per-port volume given everything the operator knows —
+    disabled links *and* known-gray drop rates.
+    """
+    spec = model.spec
+    control = model.control()
+    tag = FlowTag(job_id=0, iteration=0)
+    port_bytes: list[dict[int, float]] = [dict() for _ in range(spec.n_leaves)]
+    sender_bytes: list[dict[tuple[int, int], float]] = [
+        dict() for _ in range(spec.n_leaves)
+    ]
+    for (src_leaf, dst_leaf), size in sorted(demand.leaf_pairs(spec).items()):
+        spines = control.valid_spines(src_leaf, dst_leaf)
+        survive = model.survive_probs(src_leaf, dst_leaf, spines, include_silent)
+        arrived = expected_arrival_bytes(size, model.mtu, survive)
+        ports = port_bytes[dst_leaf]
+        senders = sender_bytes[dst_leaf]
+        for idx, spine in enumerate(spines):
+            got = float(arrived[idx])
+            if got:
+                ports[spine] = ports.get(spine, 0.0) + got
+                key = (spine, src_leaf)
+                senders[key] = senders.get(key, 0.0) + got
+    return [
+        IterationRecord(
+            leaf=leaf,
+            tag=tag,
+            port_bytes=port_bytes[leaf],
+            sender_bytes=sender_bytes[leaf],
+            start_ns=0,
+            end_ns=1,
+        )
+        for leaf in range(spec.n_leaves)
+    ]
+
+
+#: Schedule of silent faults per iteration: callable(iteration) -> faults.
+FaultSchedule = "callable[[int], dict[str, float]]"
+
+
+def run_iterations(
+    model: FabricModel,
+    demand: DemandMatrix,
+    n_iterations: int,
+    seed: int = 0,
+    job_id: int = 1,
+    fault_schedule=None,
+) -> list[list[IterationRecord]]:
+    """Run ``n_iterations`` collective instances; returns per-iteration
+    record lists.
+
+    ``fault_schedule(iteration)`` may override the silent-fault set per
+    iteration — this is how transient faults (paper Fig. 3) are modelled
+    at iteration granularity.
+    """
+    if n_iterations < 1:
+        raise FastSimError("need at least one iteration")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    results = []
+    for iteration in range(n_iterations):
+        step_model = model
+        if fault_schedule is not None:
+            step_model = model.with_silent(fault_schedule(iteration))
+        tag = FlowTag(job_id=job_id, iteration=iteration)
+        results.append(simulate_iteration(step_model, demand, rng, tag=tag))
+    return results

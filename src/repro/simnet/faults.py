@@ -1,0 +1,170 @@
+"""Fault models for links.
+
+The paper distinguishes *known* faults (disconnected links recorded in
+switch routing tables, excluded from spraying) from *silent* faults
+(links that drop a fraction of packets without any telemetry signal).
+Silent faults are what FlowPulse must catch.
+
+Fault classes implement :meth:`LinkFault.drops`, called once per packet
+at the moment the packet would be delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .packet import Packet
+
+
+class LinkFault:
+    """Base class for per-link fault behaviours."""
+
+    #: True for faults the control plane knows about (pre-existing
+    #: disconnects); such links are excluded from spraying.
+    known: bool = False
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        """Return True if this packet is silently dropped."""
+        raise NotImplementedError
+
+    def active_at(self, now: int) -> bool:
+        """Whether the fault is in effect at time ``now``."""
+        return True
+
+
+@dataclass
+class DropFault(LinkFault):
+    """Silently drop each packet with probability ``rate``.
+
+    This is the paper's injected "new fault": a gray link corrupting a
+    set fraction of packets, which the switch then discards (§6).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.rate}")
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.rate)
+
+
+#: Gray links that corrupt bits beyond FEC manifest as drops in the
+#: switch; the paper treats corruption and loss identically (§7).
+CorruptionFault = DropFault
+
+
+@dataclass
+class DisconnectFault(LinkFault):
+    """A fully failed link.
+
+    With ``known=True`` it models a *pre-existing* fault: the routing
+    tables exclude the link, so no traffic should reach it.  With
+    ``known=False`` it models a silent total failure (e.g. a transient
+    FIB black hole on one path).
+    """
+
+    known: bool = True
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        return True
+
+
+@dataclass
+class BlackHoleFault(LinkFault):
+    """Drop only packets matching a destination predicate.
+
+    Models FIB corruption where a switch silently discards traffic for
+    specific destinations while forwarding everything else (paper §1).
+    """
+
+    dst_hosts: frozenset[int] = frozenset()
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        return packet.dst_host in self.dst_hosts
+
+
+@dataclass
+class TransientDropFault(LinkFault):
+    """A drop fault active only during ``[start_ns, end_ns)``.
+
+    Used to reproduce Fig. 3: a fault present during the first training
+    iterations that heals, prompting the learning predictor to
+    rebaseline.
+    """
+
+    rate: float
+    start_ns: int = 0
+    end_ns: int = 2**63 - 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.rate}")
+        if self.end_ns < self.start_ns:
+            raise ValueError("fault ends before it starts")
+
+    def active_at(self, now: int) -> bool:
+        return self.start_ns <= now < self.end_ns
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        return self.active_at(now) and bool(rng.random() < self.rate)
+
+
+@dataclass
+class IntermittentDropFault(LinkFault):
+    """A flapping fault: drops at ``rate`` during periodic bursts.
+
+    The fault cycles with ``period_ns``; it is active for the first
+    ``duty`` fraction of each period.  Models link flaps and
+    load-dependent gray failures.
+    """
+
+    rate: float
+    period_ns: int
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.rate}")
+        if self.period_ns <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty cycle must be in [0, 1]")
+
+    def active_at(self, now: int) -> bool:
+        phase = (now % self.period_ns) / self.period_ns
+        return phase < self.duty
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        return self.active_at(now) and bool(rng.random() < self.rate)
+
+
+@dataclass
+class FaultInjector:
+    """Registry of faults applied to a network, keyed by link name.
+
+    The network consults the injector for every delivery; the control
+    plane consults :meth:`known_disabled` when building routing tables.
+    """
+
+    faults: dict[str, LinkFault] = field(default_factory=dict)
+
+    def inject(self, link_name: str, fault: LinkFault) -> None:
+        """Attach ``fault`` to the link called ``link_name``."""
+        if link_name in self.faults:
+            raise ValueError(f"link {link_name} already has a fault")
+        self.faults[link_name] = fault
+
+    def clear(self, link_name: str) -> None:
+        """Remove the fault on ``link_name`` (fault healed)."""
+        self.faults.pop(link_name, None)
+
+    def fault_on(self, link_name: str) -> LinkFault | None:
+        return self.faults.get(link_name)
+
+    def known_disabled(self) -> frozenset[str]:
+        """Links the control plane knows to be down (pre-existing faults)."""
+        return frozenset(name for name, f in self.faults.items() if f.known)

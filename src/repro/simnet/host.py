@@ -1,0 +1,88 @@
+"""End hosts.
+
+Each host models a GPU node's NIC: one uplink to its leaf switch, a
+reliable transport, and application callbacks.  The collective
+schedulers in :mod:`repro.collectives` drive hosts through this API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .engine import Simulator
+from .link import Link, Node
+from .packet import FlowTag, Packet, PacketKind, Priority
+from .transport import ReliableTransport
+
+#: Application-level receive callback: (src_host, msg_id, tag, size).
+MessageCallback = Callable[[int, int, FlowTag | None, int], None]
+
+
+class Host(Node):
+    """A single end host (one NIC, one GPU, paper §2)."""
+
+    def __init__(self, sim: Simulator, index: int) -> None:
+        self.sim = sim
+        self.index = index
+        self.name = f"host{index}"
+        self.uplink: Link = None  # wired by the network builder
+        self.transport: ReliableTransport = None  # wired by the builder
+        self._message_callbacks: list[MessageCallback] = []
+        self.received_messages = 0
+        self.received_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_uplink(self, link: Link) -> None:
+        self.uplink = link
+        link.on_tx_done = self._on_wire
+
+    def attach_transport(self, transport: ReliableTransport) -> None:
+        self.transport = transport
+
+    def _on_wire(self, packet: Packet) -> None:
+        self.transport.on_wire(packet)
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst_host: int,
+        size_bytes: int,
+        tag: FlowTag | None = None,
+        priority: Priority = Priority.NORMAL,
+        on_acked=None,
+    ) -> int:
+        """Send a reliable message; returns its message id."""
+        return self.transport.send_message(
+            dst_host, size_bytes, tag=tag, priority=priority, on_acked=on_acked
+        )
+
+    def on_message(self, callback: MessageCallback) -> None:
+        """Register a callback fired when a full message is received."""
+        self._message_callbacks.append(callback)
+
+    def deliver_message(
+        self, src_host: int, msg_id: int, tag: FlowTag | None, size_bytes: int
+    ) -> None:
+        """Called by the transport when a message completes reassembly."""
+        self.received_messages += 1
+        self.received_bytes += size_bytes
+        for callback in self._message_callbacks:
+            callback(src_host, msg_id, tag, size_bytes)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link: Link) -> None:
+        if packet.dst_host != self.index:
+            raise RuntimeError(
+                f"{self.name} received packet for host {packet.dst_host}"
+            )
+        if packet.kind is PacketKind.DATA:
+            self.transport.on_data(packet)
+        elif packet.kind is PacketKind.ACK:
+            self.transport.on_ack(packet)
+        # PROBE / control frames are consumed silently.

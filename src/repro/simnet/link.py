@@ -1,0 +1,153 @@
+"""Unidirectional links.
+
+A :class:`Link` models the egress port + wire between two adjacent
+nodes: it owns the egress queue, serializes packets at line rate,
+applies propagation delay, and consults the fault injector at delivery
+time.  Silent faults drop packets here *without* touching any switch
+counter — exactly the failure FlowPulse is designed to surface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .engine import Simulator
+from .faults import FaultInjector
+from .packet import Packet, Priority
+from .queues import PriorityByteQueue
+from ..units import transmission_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .trace import Tracer
+
+
+class Node:
+    """Anything a link can deliver packets to (switch or host)."""
+
+    name: str = "node"
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        raise NotImplementedError
+
+
+class Link:
+    """A unidirectional link with an output queue and optional fault.
+
+    Packets are pushed with :meth:`enqueue`.  The link drains its queue
+    in strict priority order at ``rate_bps``, delivers after
+    ``prop_delay_ns``, and silently discards packets the injected fault
+    decides to drop.  ``paused`` priorities (PFC) are held in the queue
+    but not transmitted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dst: Node,
+        rate_bps: int,
+        prop_delay_ns: int,
+        rng: np.random.Generator,
+        injector: FaultInjector | None = None,
+        queue_capacity: int | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        if prop_delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.rng = rng
+        self.injector = injector
+        self.tracer = tracer
+        self.queue = PriorityByteQueue(capacity_bytes=queue_capacity)
+        self._busy = False
+        self._paused: set[Priority] = set()
+        #: Optional hook fired when a packet finishes serialization;
+        #: the reliable transport uses it to start retransmission timers.
+        self.on_tx_done: Callable[[Packet], None] | None = None
+
+        # Statistics.
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.faulted_packets = 0
+        self.faulted_bytes = 0
+        self.overflow_packets = 0
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission; False on queue overflow."""
+        if not self.queue.push(packet):
+            self.overflow_packets += 1
+            if self.tracer is not None:
+                self.tracer.record("overflow", self, packet)
+            return False
+        self._try_transmit()
+        return True
+
+    def _try_transmit(self) -> None:
+        if self._busy:
+            return
+        packet = self.queue.pop(skip_priorities=self._paused)
+        if packet is None:
+            return
+        self._busy = True
+        tx_time = transmission_time_ns(packet.size, self.rate_bps)
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self._busy = False
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        packet.hop(self.name)
+        if self.tracer is not None:
+            self.tracer.record("tx", self, packet)
+        if self.on_tx_done is not None:
+            self.on_tx_done(packet)
+        self.sim.schedule(self.prop_delay_ns, self._deliver, packet)
+        self._try_transmit()
+
+    def _deliver(self, packet: Packet) -> None:
+        fault = self.injector.fault_on(self.name) if self.injector else None
+        if fault is not None and fault.drops(packet, self.sim.now, self.rng):
+            self.faulted_packets += 1
+            self.faulted_bytes += packet.size
+            if self.tracer is not None:
+                self.tracer.record("drop", self, packet)
+            return
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.size
+        if self.tracer is not None:
+            self.tracer.record("rx", self, packet)
+        self.dst.receive(packet, self)
+
+    # ------------------------------------------------------------------
+    # PFC control
+    # ------------------------------------------------------------------
+    def pause(self, priority: Priority) -> None:
+        """PFC pause: stop transmitting packets of ``priority``."""
+        self._paused.add(priority)
+
+    def resume(self, priority: Priority) -> None:
+        """PFC resume: allow ``priority`` to transmit again."""
+        self._paused.discard(priority)
+        self._try_transmit()
+
+    @property
+    def paused_priorities(self) -> frozenset[Priority]:
+        return frozenset(self._paused)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} q={len(self.queue)}p/{self.queue.bytes_used}B>"

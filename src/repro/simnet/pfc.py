@@ -1,0 +1,81 @@
+"""Priority Flow Control.
+
+The modelled fabric uses lossless queues with link-layer PFC (paper
+§2).  :class:`PfcController` wires an egress queue's backlog watermarks
+to pause/resume of the links that feed the congested node: when a
+port's backlog exceeds ``xoff_bytes`` the controller pauses the
+offending priorities on all upstream links, and resumes them once the
+backlog drains below ``xon_bytes``.
+
+With infinite queues PFC is not needed for losslessness; it exists so
+that finite-buffer configurations remain lossless too, and so that
+head-of-line-blocking effects of permanent faults (paper §7 "Blocking
+Networks") can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .link import Link
+from .packet import Priority
+
+#: Priorities subject to PFC pause.  CONTROL (ACKs, pause frames) is
+#: never paused, mirroring the dedicated no-drop control class of real
+#: deployments.
+PAUSABLE = (Priority.BACKGROUND, Priority.NORMAL, Priority.MEASURED)
+
+
+@dataclass
+class PfcConfig:
+    """Watermarks for a PFC domain, in bytes."""
+
+    xoff_bytes: int = 256 * 1024
+    xon_bytes: int = 128 * 1024
+
+    def __post_init__(self) -> None:
+        if self.xon_bytes >= self.xoff_bytes:
+            raise ValueError("xon watermark must be below xoff")
+        if self.xon_bytes < 0:
+            raise ValueError("watermarks must be non-negative")
+
+
+@dataclass
+class PfcController:
+    """Backpressure coordinator for one congestion point.
+
+    A congestion point is an egress link whose queue may fill; the
+    ``feeders`` are the ingress links whose traffic can land in that
+    queue.  Real PFC sends pause frames upstream; we model the resulting
+    behaviour directly (the frame flight time is one propagation delay,
+    negligible against the watermark hysteresis).
+    """
+
+    watched: Link
+    feeders: list[Link]
+    config: PfcConfig = field(default_factory=PfcConfig)
+    pauses_sent: int = 0
+    resumes_sent: int = 0
+
+    def __post_init__(self) -> None:
+        self._paused = False
+        self.watched.queue.on_backlog_change = self._on_backlog_change
+
+    def _on_backlog_change(self, backlog_bytes: int) -> None:
+        if not self._paused and backlog_bytes >= self.config.xoff_bytes:
+            self._paused = True
+            self.pauses_sent += 1
+            for feeder in self.feeders:
+                for priority in PAUSABLE:
+                    feeder.pause(priority)
+        elif self._paused and backlog_bytes <= self.config.xon_bytes:
+            self._paused = False
+            self.resumes_sent += 1
+            for feeder in self.feeders:
+                for priority in PAUSABLE:
+                    feeder.resume(priority)
+
+    @property
+    def paused(self) -> bool:
+        """Whether the domain is currently asserting backpressure."""
+        return self._paused

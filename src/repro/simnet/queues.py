@@ -1,0 +1,92 @@
+"""Egress queues.
+
+Switches in the modelled fabric are output-queued: each egress port owns
+a priority-aware byte queue drained by its link at line rate.  The
+fabric is lossless (paper §2) — queues never drop; backpressure is
+exerted through PFC (see :mod:`repro.simnet.pfc`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from .packet import Packet, Priority
+
+#: Priorities from most to least urgent, the drain order of the queue.
+_DRAIN_ORDER = sorted(Priority, key=lambda p: p.value, reverse=True)
+
+
+class PriorityByteQueue:
+    """A strict-priority queue of packets with byte accounting.
+
+    ``on_backlog_change(bytes_used)`` fires after every push/pop so PFC
+    watermarks can react.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        on_backlog_change: Callable[[int], None] | None = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive or None")
+        self.capacity_bytes = capacity_bytes
+        self.on_backlog_change = on_backlog_change
+        self._lanes: dict[Priority, deque[Packet]] = {p: deque() for p in Priority}
+        self._bytes = 0
+        self._packets = 0
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    def push(self, packet: Packet) -> bool:
+        """Enqueue; returns False if the queue is at capacity."""
+        if (
+            self.capacity_bytes is not None
+            and self._bytes + packet.size > self.capacity_bytes
+        ):
+            return False
+        self._lanes[packet.priority].append(packet)
+        self._bytes += packet.size
+        self._packets += 1
+        self.peak_bytes = max(self.peak_bytes, self._bytes)
+        self._notify()
+        return True
+
+    def pop(self, skip_priorities: Iterable[Priority] = ()) -> Packet | None:
+        """Dequeue the head packet of the highest non-skipped priority."""
+        skipped = set(skip_priorities)
+        for priority in _DRAIN_ORDER:
+            if priority in skipped:
+                continue
+            lane = self._lanes[priority]
+            if lane:
+                packet = lane.popleft()
+                self._bytes -= packet.size
+                self._packets -= 1
+                self._notify()
+                return packet
+        return None
+
+    def peek_priority(self, skip_priorities: Iterable[Priority] = ()) -> Priority | None:
+        """Priority of the packet :meth:`pop` would return, or None."""
+        skipped = set(skip_priorities)
+        for priority in _DRAIN_ORDER:
+            if priority not in skipped and self._lanes[priority]:
+                return priority
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return self._packets
+
+    def __bool__(self) -> bool:
+        return self._packets > 0
+
+    def _notify(self) -> None:
+        if self.on_backlog_change is not None:
+            self.on_backlog_change(self._bytes)

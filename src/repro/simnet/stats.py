@@ -1,0 +1,127 @@
+"""Flow and iteration statistics.
+
+The paper's motivation (§1) is that silent faults degrade application
+performance: a single faulty link inflates the completion time of every
+flow crossing it, and bulk-synchronous training inherits the slowest
+flow's delay.  :class:`FctTracker` measures exactly that on the packet
+simulator — per-message flow completion times (send-call to full
+reassembly at the receiver), with percentile summaries — so experiments
+can report the *performance* cost of a fault next to FlowPulse's
+detection of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .host import Host
+from .packet import FlowTag
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed message."""
+
+    src_host: int
+    dst_host: int
+    msg_id: int
+    size_bytes: int
+    tag: FlowTag | None
+    start_ns: int
+    end_ns: int
+
+    @property
+    def fct_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Percentile summary of flow completion times."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    max_ns: int
+
+    @classmethod
+    def of(cls, records: list[FlowRecord]) -> "FctSummary":
+        if not records:
+            raise ValueError("no completed flows to summarize")
+        fcts = np.array([r.fct_ns for r in records], dtype=float)
+        return cls(
+            count=len(records),
+            mean_ns=float(fcts.mean()),
+            p50_ns=float(np.percentile(fcts, 50)),
+            p99_ns=float(np.percentile(fcts, 99)),
+            max_ns=int(fcts.max()),
+        )
+
+
+class FctTracker:
+    """Tracks message completion times on a set of hosts.
+
+    Wraps each host's ``send`` to stamp the start time and registers a
+    receive callback to stamp completion.  Works with any driver
+    (collective runners included) because it interposes transparently.
+    """
+
+    def __init__(self, hosts: list[Host]) -> None:
+        self.records: list[FlowRecord] = []
+        self._starts: dict[int, tuple[int, int]] = {}  # msg_id -> (start, size)
+        for host in hosts:
+            self._wrap(host)
+
+    def _wrap(self, host: Host) -> None:
+        original_send = host.send
+
+        def tracked_send(dst_host, size_bytes, tag=None, priority=None, on_acked=None):
+            kwargs = {"tag": tag, "on_acked": on_acked}
+            if priority is not None:
+                kwargs["priority"] = priority
+            msg_id = original_send(dst_host, size_bytes, **kwargs)
+            self._starts[msg_id] = (host.sim.now, size_bytes)
+            return msg_id
+
+        host.send = tracked_send
+        host.on_message(
+            lambda src, msg_id, tag, size, h=host: self._complete(
+                h, src, msg_id, tag, size
+            )
+        )
+
+    def _complete(self, host: Host, src: int, msg_id: int, tag, size: int) -> None:
+        start = self._starts.pop(msg_id, None)
+        if start is None:
+            return  # message sent before tracking started
+        start_ns, _size = start
+        self.records.append(
+            FlowRecord(
+                src_host=src,
+                dst_host=host.index,
+                msg_id=msg_id,
+                size_bytes=size,
+                tag=tag,
+                start_ns=start_ns,
+                end_ns=host.sim.now,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self, tag_filter: FlowTag | None = None) -> FctSummary:
+        """Percentile summary, optionally restricted to one flow tag."""
+        records = self.records
+        if tag_filter is not None:
+            records = [r for r in records if r.tag == tag_filter]
+        return FctSummary.of(records)
+
+    def flows_through(self, src_host: int, dst_host: int) -> list[FlowRecord]:
+        """Completed flows of one host pair, in completion order."""
+        return [
+            r
+            for r in self.records
+            if r.src_host == src_host and r.dst_host == dst_host
+        ]

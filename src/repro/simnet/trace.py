@@ -1,0 +1,95 @@
+"""Packet/event tracing.
+
+A lightweight tracer that records link-level events (tx, rx, drop,
+overflow) into a bounded buffer.  Used by tests to assert path
+properties (e.g. "every packet of this flow crossed exactly one spine")
+and by the examples for human-readable debugging output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .packet import Packet
+from ..units import format_time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .link import Link
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded link event."""
+
+    time_ns: int
+    event: str  # "tx" | "rx" | "drop" | "overflow"
+    link: str
+    pid: int
+    src_host: int
+    dst_host: int
+    size: int
+    kind: str
+    seq: int
+
+    def __str__(self) -> str:
+        return (
+            f"[{format_time(self.time_ns)}] {self.event:8s} {self.link:20s} "
+            f"pid={self.pid} {self.src_host}->{self.dst_host} "
+            f"{self.kind} seq={self.seq} {self.size}B"
+        )
+
+
+class Tracer:
+    """Bounded event recorder attachable to links.
+
+    ``predicate`` filters which packets are recorded; by default all
+    are.  ``max_events`` bounds memory (the oldest events are evicted).
+    """
+
+    def __init__(
+        self,
+        max_events: int = 100_000,
+        predicate: Callable[[Packet], bool] | None = None,
+    ) -> None:
+        self.events: deque[TraceEvent] = deque(maxlen=max_events)
+        self.predicate = predicate
+        self.counts: Counter[str] = Counter()
+
+    def record(self, event: str, link: "Link", packet: Packet) -> None:
+        """Record one event (called by links)."""
+        self.counts[event] += 1
+        if self.predicate is not None and not self.predicate(packet):
+            return
+        self.events.append(
+            TraceEvent(
+                time_ns=link.sim.now,
+                event=event,
+                link=link.name,
+                pid=packet.pid,
+                src_host=packet.src_host,
+                dst_host=packet.dst_host,
+                size=packet.size,
+                kind=packet.kind.value,
+                seq=packet.seq,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def events_for_packet(self, pid: int) -> list[TraceEvent]:
+        """All recorded events for one packet id, in time order."""
+        return [e for e in self.events if e.pid == pid]
+
+    def drops(self) -> list[TraceEvent]:
+        """All recorded fault drops."""
+        return [e for e in self.events if e.event == "drop"]
+
+    def links_crossed(self, pid: int) -> list[str]:
+        """Links a packet was received on, in order."""
+        return [e.link for e in self.events_for_packet(pid) if e.event == "rx"]
+
+    def summary(self) -> str:
+        """One-line counts of each event type."""
+        parts = [f"{name}={count}" for name, count in sorted(self.counts.items())]
+        return ", ".join(parts) if parts else "no events"

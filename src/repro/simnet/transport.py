@@ -1,0 +1,273 @@
+"""Reordering-tolerant reliable transport.
+
+Mimics the paper's evaluation transport (§6): a RoCE-like NIC with
+out-of-order writes, no congestion control, and loss recovery through a
+retransmission timeout (5 us in the paper).  Packets of one message may
+arrive in any order and along any spine; the receiver tracks a sequence
+set, acknowledges every packet, and considers the message complete once
+every sequence number has landed.
+
+Retransmitted packets re-enter the fabric and are sprayed afresh — the
+mechanism behind FlowPulse's observed-volume signature: a drop at rate
+*p* on one spine port shows up as a ``p * (1 - 1/s)`` volume deficit on
+that port and a small surplus everywhere else.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .engine import EventHandle, Simulator
+from .packet import FlowTag, Packet, PacketKind, Priority
+from ..units import DEFAULT_MTU, MICROSECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Host
+
+
+class TransportError(RuntimeError):
+    """Raised on transport misconfiguration or unrecoverable loss."""
+
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class _TxPacketState:
+    """Sender-side state for one in-flight sequence number."""
+
+    size: int
+    retransmissions: int = 0
+    timer: EventHandle | None = None
+
+
+@dataclass
+class _TxMessage:
+    """Sender-side state for one message."""
+
+    msg_id: int
+    dst_host: int
+    total_bytes: int
+    n_packets: int
+    tag: FlowTag | None
+    priority: Priority
+    on_acked: Callable[["_TxMessage"], None] | None = None
+    pending: dict[int, _TxPacketState] = field(default_factory=dict)
+    failed: bool = False
+    retransmissions: int = 0
+
+    @property
+    def fully_acked(self) -> bool:
+        return not self.pending and not self.failed
+
+
+@dataclass
+class _RxMessage:
+    """Receiver-side reassembly state for one message."""
+
+    src_host: int
+    msg_id: int
+    n_packets: int
+    tag: FlowTag | None
+    seen: set[int] = field(default_factory=set)
+    received_bytes: int = 0
+    duplicate_packets: int = 0
+    delivered: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return len(self.seen) >= self.n_packets
+
+
+class ReliableTransport:
+    """Per-host reliable message transport over the sprayed fabric.
+
+    One instance is attached to each :class:`~repro.simnet.host.Host`.
+    Messages are segmented at ``mtu``; each packet is independently
+    acknowledged and independently retransmitted after ``rto_ns``
+    (measured from the moment the packet leaves the NIC wire, so host
+    queueing does not cause spurious timeouts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        mtu: int = DEFAULT_MTU,
+        rto_ns: int = 5 * MICROSECOND,
+        max_retransmissions: int = 64,
+    ) -> None:
+        if mtu <= 0:
+            raise TransportError("mtu must be positive")
+        if rto_ns <= 0:
+            raise TransportError("rto must be positive")
+        self.sim = sim
+        self.host = host
+        self.mtu = mtu
+        self.rto_ns = rto_ns
+        self.max_retransmissions = max_retransmissions
+        self._tx: dict[int, _TxMessage] = {}
+        self._rx: dict[tuple[int, int], _RxMessage] = {}
+        # Aggregate statistics.
+        self.sent_messages = 0
+        self.completed_messages = 0
+        self.failed_messages = 0
+        self.retransmitted_packets = 0
+        self.duplicate_packets = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_message(
+        self,
+        dst_host: int,
+        size_bytes: int,
+        tag: FlowTag | None = None,
+        priority: Priority = Priority.NORMAL,
+        on_acked: Callable[[_TxMessage], None] | None = None,
+    ) -> int:
+        """Send ``size_bytes`` to ``dst_host``; returns the message id.
+
+        ``on_acked`` fires once every packet has been acknowledged
+        (sender-side completion).  Receiver-side delivery is reported
+        through the destination host's message callbacks.
+        """
+        if size_bytes <= 0:
+            raise TransportError("message size must be positive")
+        if dst_host == self.host.index:
+            raise TransportError("loopback messages never enter the fabric")
+        msg_id = next(_msg_ids)
+        sizes = self._segment(size_bytes)
+        message = _TxMessage(
+            msg_id=msg_id,
+            dst_host=dst_host,
+            total_bytes=size_bytes,
+            n_packets=len(sizes),
+            tag=tag,
+            priority=priority,
+            on_acked=on_acked,
+        )
+        self._tx[msg_id] = message
+        self.sent_messages += 1
+        for seq, size in enumerate(sizes):
+            message.pending[seq] = _TxPacketState(size=size)
+            self._emit(message, seq)
+        return msg_id
+
+    def _segment(self, size_bytes: int) -> list[int]:
+        full, rem = divmod(size_bytes, self.mtu)
+        sizes = [self.mtu] * full
+        if rem:
+            sizes.append(rem)
+        return sizes
+
+    def _emit(self, message: _TxMessage, seq: int) -> None:
+        state = message.pending[seq]
+        packet = Packet(
+            src_host=self.host.index,
+            dst_host=message.dst_host,
+            size=state.size,
+            kind=PacketKind.DATA,
+            priority=message.priority,
+            tag=message.tag,
+            msg_id=message.msg_id,
+            seq=seq,
+            msg_packets=message.n_packets,
+            retransmission=state.retransmissions,
+        )
+        self.host.uplink.enqueue(packet)
+
+    def on_wire(self, packet: Packet) -> None:
+        """NIC callback: a locally-originated packet hit the wire.
+
+        Starts (or restarts) the retransmission timer for DATA packets.
+        """
+        if packet.kind is not PacketKind.DATA:
+            return
+        message = self._tx.get(packet.msg_id)
+        if message is None:
+            return
+        state = message.pending.get(packet.seq)
+        if state is None:  # acked while queued; timer not needed
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        backoff = self.rto_ns << min(state.retransmissions, 8)
+        state.timer = self.sim.schedule(
+            backoff, self._on_timeout, message.msg_id, packet.seq
+        )
+
+    def _on_timeout(self, msg_id: int, seq: int) -> None:
+        message = self._tx.get(msg_id)
+        if message is None:
+            return
+        state = message.pending.get(seq)
+        if state is None:
+            return  # acked in the meantime
+        if state.retransmissions >= self.max_retransmissions:
+            message.failed = True
+            self.failed_messages += 1
+            raise TransportError(
+                f"host {self.host.index}: msg {msg_id} seq {seq} exceeded "
+                f"{self.max_retransmissions} retransmissions"
+            )
+        state.retransmissions += 1
+        state.timer = None
+        message.retransmissions += 1
+        self.retransmitted_packets += 1
+        self._emit(message, seq)
+
+    def on_ack(self, packet: Packet) -> None:
+        """Handle an acknowledgement arriving from the fabric."""
+        message = self._tx.get(packet.msg_id)
+        if message is None:
+            return
+        state = message.pending.pop(packet.seq, None)
+        if state is None:
+            return  # duplicate ACK
+        if state.timer is not None:
+            state.timer.cancel()
+        if message.fully_acked:
+            del self._tx[message.msg_id]
+            self.completed_messages += 1
+            if message.on_acked is not None:
+                message.on_acked(message)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_data(self, packet: Packet) -> None:
+        """Handle a DATA packet addressed to this host."""
+        key = (packet.src_host, packet.msg_id)
+        rx = self._rx.get(key)
+        if rx is None:
+            rx = _RxMessage(
+                src_host=packet.src_host,
+                msg_id=packet.msg_id,
+                n_packets=packet.msg_packets,
+                tag=packet.tag,
+            )
+            self._rx[key] = rx
+        if packet.seq in rx.seen:
+            rx.duplicate_packets += 1
+            self.duplicate_packets += 1
+        else:
+            rx.seen.add(packet.seq)
+            rx.received_bytes += packet.size
+        self.host.uplink.enqueue(packet.make_ack())
+        if rx.complete and not rx.delivered:
+            rx.delivered = True
+            self.host.deliver_message(
+                src_host=rx.src_host,
+                msg_id=rx.msg_id,
+                tag=rx.tag,
+                size_bytes=rx.received_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight_messages(self) -> int:
+        """Messages sent but not yet fully acknowledged."""
+        return len(self._tx)

@@ -1,0 +1,28 @@
+"""Compatibility alias: units live at :mod:`repro.units` so that
+non-simulator layers (topology, analysis) can use them without pulling
+in the whole simulator package."""
+
+from ..units import (  # noqa: F401
+    BPS,
+    BYTE,
+    DEFAULT_MTU,
+    GB,
+    GBPS,
+    GIB,
+    KB,
+    KBPS,
+    KIB,
+    MB,
+    MBPS,
+    MIB,
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    bytes_per_second,
+    format_bytes,
+    format_time,
+    ns_to_ms,
+    ns_to_us,
+    transmission_time_ns,
+)

@@ -1,0 +1,307 @@
+"""Statistical volume simulator for three-level fabrics.
+
+Extends the two-level fast simulator to pod-based fat trees.  Per
+iteration it produces measurements for *both* tiers of observation
+points the paper's §7 extension calls for:
+
+- **leaf records**: per leaf, bytes received on each ingress port from
+  its pod spines, broken down by sending (global) leaf — identical in
+  shape to the two-level records;
+- **spine records**: per pod spine, bytes received on each ingress port
+  from its core group, broken down by *sending pod* (the granularity a
+  pod spine can attribute: all traffic from a pod enters the core layer
+  through that pod's same-index spine).
+
+Spraying is hierarchical, as in the real fabric: the leaf picks a valid
+pod spine uniformly, the spine picks a valid core of its group
+uniformly; drops at any hop are retransmitted from the source and
+re-sprayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..collectives.demand import DemandMatrix
+from ..fastsim.sampling import FastSimError, spray_counts
+from ..simnet.counters import IterationRecord
+from ..simnet.packet import FlowTag
+from ..units import DEFAULT_MTU
+from .topology import (
+    ThreeLevelControlPlane,
+    ThreeLevelSpec,
+    core_down_link,
+    core_up_link,
+    pod_down_link,
+    pod_up_link,
+)
+
+
+@dataclass(frozen=True)
+class ThreeLevelModel:
+    """Statistical description of a three-level fabric."""
+
+    spec: ThreeLevelSpec
+    known_disabled: frozenset[str] = frozenset()
+    silent: dict[str, float] = field(default_factory=dict)
+    spraying: str = "random"
+    mtu: int = DEFAULT_MTU
+
+    def __post_init__(self) -> None:
+        for name, rate in self.silent.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"drop rate for {name} must be in [0,1]")
+        if self.mtu <= 0:
+            raise ValueError("mtu must be positive")
+
+    def control(self) -> ThreeLevelControlPlane:
+        return ThreeLevelControlPlane(self.spec, self.known_disabled)
+
+    def keep(self, link: str, include_silent: bool = True) -> float:
+        """Per-packet survival probability on ``link``."""
+        if link in self.known_disabled:
+            return 0.0
+        if include_silent:
+            return 1.0 - self.silent.get(link, 0.0)
+        return 1.0
+
+    def with_silent(self, faults: dict[str, float]) -> "ThreeLevelModel":
+        return replace(self, silent=dict(faults))
+
+    def healthy_view(self) -> "ThreeLevelModel":
+        return replace(self, silent={})
+
+
+@dataclass(frozen=True)
+class ThreeLevelRecords:
+    """One iteration's measurements at both observation tiers.
+
+    ``leaves[g]`` is the record of global leaf ``g`` (ports = pod-spine
+    indices, senders = global leaf indices).  ``spines[(pod, s)]`` is
+    the record of pod ``pod``'s spine ``s`` (ports = core indices,
+    senders = source pod indices); its ``leaf`` field carries the global
+    spine id ``pod * spines_per_pod + s``.
+    """
+
+    tag: FlowTag
+    leaves: tuple[IterationRecord, ...]
+    spines: dict[tuple[int, int], IterationRecord]
+
+
+def demand_by_leaf_pair(
+    spec: ThreeLevelSpec, demand: DemandMatrix
+) -> dict[tuple[tuple[int, int], tuple[int, int]], int]:
+    """Aggregate host demand to ordered ((pod,leaf),(pod,leaf)) pairs,
+    dropping leaf-local traffic."""
+    result: dict = {}
+    for src_host, dst_host, size in demand.pairs():
+        src = spec.leaf_of_host(src_host)
+        dst = spec.leaf_of_host(dst_host)
+        if src != dst:
+            key = (src, dst)
+            result[key] = result.get(key, 0) + size
+    return result
+
+
+def simulate_iteration3(
+    model: ThreeLevelModel,
+    demand: DemandMatrix,
+    rng: np.random.Generator,
+    tag: FlowTag | None = None,
+) -> ThreeLevelRecords:
+    """Simulate one collective iteration on the three-level fabric."""
+    spec = model.spec
+    control = model.control()
+    tag = tag or FlowTag(job_id=0, iteration=0)
+
+    leaf_ports: list[dict[int, int]] = [dict() for _ in range(spec.n_leaves)]
+    leaf_senders: list[dict[tuple[int, int], int]] = [
+        dict() for _ in range(spec.n_leaves)
+    ]
+    spine_ports: dict[tuple[int, int], dict[int, int]] = {}
+    spine_senders: dict[tuple[int, int], dict[tuple[int, int], int]] = {}
+
+    for (src, dst), size in sorted(demand_by_leaf_pair(spec, demand).items()):
+        n_full, rem = divmod(size, model.mtu)
+        for packets, bytes_each in ((n_full, model.mtu), (1 if rem else 0, rem)):
+            if packets == 0:
+                continue
+            _deliver_pair(
+                model,
+                control,
+                src,
+                dst,
+                packets,
+                bytes_each,
+                rng,
+                leaf_ports,
+                leaf_senders,
+                spine_ports,
+                spine_senders,
+            )
+
+    leaves = tuple(
+        IterationRecord(
+            leaf=g,
+            tag=tag,
+            port_bytes=leaf_ports[g],
+            sender_bytes=leaf_senders[g],
+            start_ns=tag.iteration,
+            end_ns=tag.iteration + 1,
+        )
+        for g in range(spec.n_leaves)
+    )
+    spines = {
+        key: IterationRecord(
+            leaf=key[0] * spec.spines_per_pod + key[1],
+            tag=tag,
+            port_bytes=ports,
+            sender_bytes=spine_senders[key],
+            start_ns=tag.iteration,
+            end_ns=tag.iteration + 1,
+        )
+        for key, ports in spine_ports.items()
+    }
+    # Ensure every pod spine has a record, even if silent.
+    for pod in range(spec.n_pods):
+        for s in range(spec.spines_per_pod):
+            spines.setdefault(
+                (pod, s),
+                IterationRecord(
+                    leaf=pod * spec.spines_per_pod + s,
+                    tag=tag,
+                    port_bytes={},
+                    sender_bytes={},
+                    start_ns=tag.iteration,
+                    end_ns=tag.iteration + 1,
+                ),
+            )
+    return ThreeLevelRecords(tag=tag, leaves=leaves, spines=spines)
+
+
+def _deliver_pair(
+    model,
+    control,
+    src,
+    dst,
+    n_packets,
+    bytes_each,
+    rng,
+    leaf_ports,
+    leaf_senders,
+    spine_ports,
+    spine_senders,
+    max_rounds: int = 10_000,
+):
+    spec = model.spec
+    (src_pod, src_leaf), (dst_pod, dst_leaf) = src, dst
+    src_global = spec.global_leaf(src_pod, src_leaf)
+    dst_global = spec.global_leaf(dst_pod, dst_leaf)
+
+    def land_leaf(spine, count):
+        if count:
+            size = count * bytes_each
+            ports = leaf_ports[dst_global]
+            ports[spine] = ports.get(spine, 0) + size
+            senders = leaf_senders[dst_global]
+            key = (spine, src_global)
+            senders[key] = senders.get(key, 0) + size
+
+    def land_spine(spine, core, count):
+        if count:
+            size = count * bytes_each
+            key = (dst_pod, spine)
+            ports = spine_ports.setdefault(key, {})
+            ports[core] = ports.get(core, 0) + size
+            senders = spine_senders.setdefault(key, {})
+            skey = (core, src_pod)
+            senders[skey] = senders.get(skey, 0) + size
+
+    if src_pod == dst_pod:
+        spines = control.valid_intra_pod_spines(src_pod, src_leaf, dst_leaf)
+        keep = np.array(
+            [
+                model.keep(pod_up_link(src_pod, src_leaf, s))
+                * model.keep(pod_down_link(dst_pod, s, dst_leaf))
+                for s in spines
+            ]
+        )
+        if np.all(keep == 0.0):
+            raise FastSimError("all intra-pod paths drop everything")
+        pending = n_packets
+        for _round in range(max_rounds):
+            counts = spray_counts(pending, len(spines), model.spraying, rng)
+            arrived = rng.binomial(counts, keep)
+            for idx, s in enumerate(spines):
+                land_leaf(s, int(arrived[idx]))
+            pending = int(counts.sum() - arrived.sum())
+            if pending == 0:
+                return
+        raise FastSimError("intra-pod retransmission did not converge")
+
+    # Inter-pod: hierarchical spray (spine, then core within the group).
+    paths = control.valid_inter_pod_paths(src_pod, src_leaf, dst_pod, dst_leaf)
+    spines = sorted({s for s, _c in paths})
+    cores_by_spine = {
+        s: sorted(c for ss, c in paths if ss == s) for s in spines
+    }
+    pending = n_packets
+    for _round in range(max_rounds):
+        spine_counts = spray_counts(pending, len(spines), model.spraying, rng)
+        pending = 0
+        for sidx, s in enumerate(spines):
+            if spine_counts[sidx] == 0:
+                continue
+            up_keep = model.keep(pod_up_link(src_pod, src_leaf, s))
+            survived_up = int(rng.binomial(int(spine_counts[sidx]), up_keep))
+            pending += int(spine_counts[sidx]) - survived_up
+            if survived_up == 0:
+                continue
+            cores = cores_by_spine[s]
+            core_counts = spray_counts(survived_up, len(cores), model.spraying, rng)
+            for cidx, c in enumerate(cores):
+                count = int(core_counts[cidx])
+                if count == 0:
+                    continue
+                keep_cs = model.keep(core_up_link(src_pod, s, c)) * model.keep(
+                    core_down_link(c, dst_pod, s)
+                )
+                at_spine = int(rng.binomial(count, keep_cs))
+                pending += count - at_spine
+                land_spine(s, c, at_spine)
+                at_leaf = int(
+                    rng.binomial(at_spine, model.keep(pod_down_link(dst_pod, s, dst_leaf)))
+                )
+                pending += at_spine - at_leaf
+                land_leaf(s, at_leaf)
+        if pending == 0:
+            return
+    raise FastSimError("inter-pod retransmission did not converge")
+
+
+def run_iterations3(
+    model: ThreeLevelModel,
+    demand: DemandMatrix,
+    n_iterations: int,
+    seed: int = 0,
+    job_id: int = 1,
+    fault_schedule=None,
+) -> list[ThreeLevelRecords]:
+    """Run several iterations; ``fault_schedule(iteration)`` may vary the
+    silent faults per iteration as in the two-level runner."""
+    if n_iterations < 1:
+        raise FastSimError("need at least one iteration")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    results = []
+    for iteration in range(n_iterations):
+        step = model
+        if fault_schedule is not None:
+            step = model.with_silent(fault_schedule(iteration))
+        results.append(
+            simulate_iteration3(
+                step, demand, rng, tag=FlowTag(job_id=job_id, iteration=iteration)
+            )
+        )
+    return results

@@ -1,0 +1,295 @@
+"""Two-tier FlowPulse monitoring on three-level fabrics (paper §7).
+
+The leaf tier works exactly as in the two-level design: each leaf
+compares the tagged ingress volume from its pod spines against a
+fault-aware analytical prediction.  The new spine tier does the same on
+each pod spine's ingress ports from its core group; its per-sending-pod
+breakdown plays the role Fig. 4's per-sender comparison plays at the
+leaves.
+
+Localization combines the tiers:
+
+- a spine-tier deficit names a core-layer cable — local (core->spine)
+  when every sending pod suffers, remote (source pod's spine->core)
+  when only one does;
+- a leaf-tier deficit whose spine *also* alarmed is explained by the
+  core layer and produces no extra suspicion;
+- a leaf-tier deficit with a quiet spine tier lies inside the pods:
+  local pod down-link when all senders suffer, the affected sender's
+  pod up-link otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.detection import DetectionConfig, DetectionResult, ThresholdDetector
+from ..core.localization import LinkSuspicion
+from ..core.prediction.base import LoadPrediction, PortPrediction
+from ..collectives.demand import DemandMatrix
+from .model import ThreeLevelModel, ThreeLevelRecords, demand_by_leaf_pair
+from .topology import (
+    core_down_link,
+    core_up_link,
+    pod_down_link,
+    pod_up_link,
+)
+
+
+# ----------------------------------------------------------------------
+# Analytical predictions for both tiers
+# ----------------------------------------------------------------------
+def predict_three_level(
+    model: ThreeLevelModel, demand: DemandMatrix
+) -> tuple[LoadPrediction, dict[tuple[int, int], PortPrediction]]:
+    """Expected volumes at every leaf and every pod spine.
+
+    Returns ``(leaf_prediction, spine_predictions)`` where the leaf
+    prediction is indexed by global leaf and spine predictions by
+    ``(pod, spine)``.
+    """
+    spec = model.spec
+    control = model.control()
+    leaf_ports: list[dict[int, float]] = [dict() for _ in range(spec.n_leaves)]
+    leaf_senders: list[dict[tuple[int, int], float]] = [
+        dict() for _ in range(spec.n_leaves)
+    ]
+    spine_ports: dict[tuple[int, int], dict[int, float]] = {}
+    spine_senders: dict[tuple[int, int], dict[tuple[int, int], float]] = {}
+
+    for (src, dst), size in sorted(demand_by_leaf_pair(spec, demand).items()):
+        (src_pod, src_leaf), (dst_pod, dst_leaf) = src, dst
+        src_global = spec.global_leaf(src_pod, src_leaf)
+        dst_global = spec.global_leaf(dst_pod, dst_leaf)
+        if src_pod == dst_pod:
+            spines = control.valid_intra_pod_spines(src_pod, src_leaf, dst_leaf)
+            share = size / len(spines)
+            for s in spines:
+                ports = leaf_ports[dst_global]
+                ports[s] = ports.get(s, 0.0) + share
+                senders = leaf_senders[dst_global]
+                key = (s, src_global)
+                senders[key] = senders.get(key, 0.0) + share
+            continue
+        paths = control.valid_inter_pod_paths(src_pod, src_leaf, dst_pod, dst_leaf)
+        spines = sorted({s for s, _c in paths})
+        spine_share = size / len(spines)
+        for s in spines:
+            ports = leaf_ports[dst_global]
+            ports[s] = ports.get(s, 0.0) + spine_share
+            senders = leaf_senders[dst_global]
+            key = (s, src_global)
+            senders[key] = senders.get(key, 0.0) + spine_share
+            cores = sorted(c for ss, c in paths if ss == s)
+            core_share = spine_share / len(cores)
+            skey = (dst_pod, s)
+            sports = spine_ports.setdefault(skey, {})
+            ssenders = spine_senders.setdefault(skey, {})
+            for c in cores:
+                sports[c] = sports.get(c, 0.0) + core_share
+                pkey = (c, src_pod)
+                ssenders[pkey] = ssenders.get(pkey, 0.0) + core_share
+
+    leaf_prediction = LoadPrediction(
+        per_leaf=tuple(
+            PortPrediction(
+                leaf=g, port_bytes=leaf_ports[g], sender_bytes=leaf_senders[g]
+            )
+            for g in range(spec.n_leaves)
+        )
+    )
+    spine_predictions = {}
+    for pod in range(spec.n_pods):
+        for s in range(spec.spines_per_pod):
+            key = (pod, s)
+            spine_predictions[key] = PortPrediction(
+                leaf=pod * spec.spines_per_pod + s,
+                port_bytes=spine_ports.get(key, {}),
+                sender_bytes=spine_senders.get(key, {}),
+            )
+    return leaf_prediction, spine_predictions
+
+
+# ----------------------------------------------------------------------
+# Two-tier monitoring
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThreeLevelVerdict:
+    """Outcome of monitoring one iteration at both tiers."""
+
+    iteration: int
+    leaf_results: tuple[DetectionResult, ...]
+    spine_results: dict[tuple[int, int], DetectionResult]
+    suspicions: tuple[LinkSuspicion, ...]
+
+    @property
+    def triggered(self) -> bool:
+        return any(r.triggered for r in self.leaf_results) or any(
+            r.triggered for r in self.spine_results.values()
+        )
+
+    def suspected_links(self) -> frozenset[str]:
+        return frozenset(s.link for s in self.suspicions)
+
+
+class ThreeLevelMonitor:
+    """FlowPulse deployed at both the leaf and spine tiers."""
+
+    def __init__(
+        self,
+        model: ThreeLevelModel,
+        demand: DemandMatrix,
+        config: DetectionConfig | None = None,
+    ) -> None:
+        # The monitor's model must not know the silent faults.
+        self.model = model.healthy_view()
+        self.spec = model.spec
+        self.config = config or DetectionConfig()
+        self.detector = ThresholdDetector(self.config)
+        self.leaf_prediction, self.spine_predictions = predict_three_level(
+            self.model, demand
+        )
+
+    # ------------------------------------------------------------------
+    def process_iteration(self, records: ThreeLevelRecords) -> ThreeLevelVerdict:
+        leaf_results = tuple(
+            self.detector.evaluate(record, self.leaf_prediction.for_leaf(record.leaf))
+            for record in records.leaves
+        )
+        spine_results = {
+            key: self.detector.evaluate(record, self.spine_predictions[key])
+            for key, record in sorted(records.spines.items())
+        }
+        suspicions = self._localize(records, leaf_results, spine_results)
+        return ThreeLevelVerdict(
+            iteration=records.tag.iteration,
+            leaf_results=leaf_results,
+            spine_results=spine_results,
+            suspicions=tuple(suspicions),
+        )
+
+    def process_run(self, runs: list[ThreeLevelRecords]) -> list[ThreeLevelVerdict]:
+        return [self.process_iteration(records) for records in runs]
+
+    # ------------------------------------------------------------------
+    def _localize(self, records, leaf_results, spine_results):
+        suspicions: list[LinkSuspicion] = []
+        threshold = self.config.threshold
+        # Spine tier first: core-layer faults.
+        core_implicated_spines: set[tuple[int, int]] = set()
+        for (pod, s), result in spine_results.items():
+            record = records.spines[(pod, s)]
+            prediction = self.spine_predictions[(pod, s)]
+            for alarm in result.deficit_alarms():
+                core = alarm.spine  # port index = core id at this tier
+                expected = {
+                    src_pod: size
+                    for (c, src_pod), size in prediction.sender_bytes.items()
+                    if c == core and size > 0
+                }
+                affected = [
+                    src_pod
+                    for src_pod, size in sorted(expected.items())
+                    if (record.sender_bytes.get((core, src_pod), 0) - size) / size
+                    < -threshold
+                ]
+                if not affected:
+                    affected = sorted(expected)
+                core_implicated_spines.add((pod, s))
+                if len(affected) == len(expected) and len(affected) >= 2:
+                    suspicions.append(
+                        LinkSuspicion(
+                            link=core_down_link(core, pod, s),
+                            kind="local",
+                            leaf=pod * self.spec.spines_per_pod + s,
+                            spine=core,
+                            affected_senders=tuple(affected),
+                            deviation=alarm.deviation,
+                        )
+                    )
+                else:
+                    for src_pod in affected:
+                        suspicions.append(
+                            LinkSuspicion(
+                                link=core_up_link(src_pod, s, core),
+                                kind="remote",
+                                leaf=pod * self.spec.spines_per_pod + s,
+                                spine=core,
+                                affected_senders=(src_pod,),
+                                deviation=alarm.deviation,
+                            )
+                        )
+                    if len(affected) == 1 and len(expected) == 1:
+                        # Single sending pod: cannot disambiguate the
+                        # core cable's two halves.
+                        suspicions.append(
+                            LinkSuspicion(
+                                link=core_down_link(core, pod, s),
+                                kind="local",
+                                leaf=pod * self.spec.spines_per_pod + s,
+                                spine=core,
+                                affected_senders=tuple(affected),
+                                deviation=alarm.deviation,
+                            )
+                        )
+        # Leaf tier: pod-internal faults, unless the core layer already
+        # explains the deficit at that spine.
+        for result in leaf_results:
+            record = records.leaves[result.leaf]
+            prediction = self.leaf_prediction.for_leaf(result.leaf)
+            pod = result.leaf // self.spec.leaves_per_pod
+            leaf_in_pod = result.leaf % self.spec.leaves_per_pod
+            for alarm in result.deficit_alarms():
+                s = alarm.spine
+                if (pod, s) in core_implicated_spines:
+                    continue  # explained by the core layer
+                expected = {
+                    src: size
+                    for (spine, src), size in prediction.sender_bytes.items()
+                    if spine == s and size > 0
+                }
+                affected = [
+                    src
+                    for src, size in sorted(expected.items())
+                    if (record.sender_bytes.get((s, src), 0) - size) / size
+                    < -threshold
+                ]
+                if not affected:
+                    affected = sorted(expected)
+                if len(affected) == len(expected) and len(affected) >= 2:
+                    suspicions.append(
+                        LinkSuspicion(
+                            link=pod_down_link(pod, s, leaf_in_pod),
+                            kind="local",
+                            leaf=result.leaf,
+                            spine=s,
+                            affected_senders=tuple(affected),
+                            deviation=alarm.deviation,
+                        )
+                    )
+                else:
+                    for src_global in affected:
+                        src_pod = src_global // self.spec.leaves_per_pod
+                        src_leaf = src_global % self.spec.leaves_per_pod
+                        suspicions.append(
+                            LinkSuspicion(
+                                link=pod_up_link(src_pod, src_leaf, s),
+                                kind="remote",
+                                leaf=result.leaf,
+                                spine=s,
+                                affected_senders=(src_global,),
+                                deviation=alarm.deviation,
+                            )
+                        )
+                    if len(affected) == 1 and len(expected) == 1:
+                        suspicions.append(
+                            LinkSuspicion(
+                                link=pod_down_link(pod, s, leaf_in_pod),
+                                kind="local",
+                                leaf=result.leaf,
+                                spine=s,
+                                affected_senders=tuple(affected),
+                                deviation=alarm.deviation,
+                            )
+                        )
+        return suspicions

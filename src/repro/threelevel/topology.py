@@ -1,0 +1,213 @@
+"""Three-level (pod-based) Clos topology.
+
+The paper evaluates a two-level fat tree and notes (§7) that FlowPulse
+"could extend to other topologies by deploying FlowPulse at both leaf
+and spine levels to monitor spine-leaf and core-spine links
+respectively".  This package implements that extension.
+
+Structure (a standard three-level fat tree):
+
+- ``n_pods`` pods, each with ``leaves_per_pod`` leaf switches and
+  ``spines_per_pod`` pod-spine switches; every leaf connects to every
+  spine of its pod.
+- Each pod spine of index *s* connects to the same group of
+  ``cores_per_spine`` core switches; core groups partition the
+  ``spines_per_pod * cores_per_spine`` cores.  An inter-pod packet that
+  chose pod spine *s* at the source therefore arrives at pod spine *s*
+  of the destination pod — the classic fat-tree up/down routing, which
+  keeps the downstream path deterministic once the upstream spraying
+  choices (spine, then core) are made.
+
+Link naming extends the two-level scheme:
+
+- ``up:L{p}.{l}->S{p}.{s}`` / ``down:S{p}.{s}->L{p}.{l}`` inside a pod;
+- ``csup:S{p}.{s}->C{c}`` / ``csdown:C{c}->S{p}.{s}`` for spine-core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class ThreeLevelError(ValueError):
+    """Raised for malformed three-level fabric descriptions."""
+
+
+# ----------------------------------------------------------------------
+# Canonical link names
+# ----------------------------------------------------------------------
+def pod_up_link(pod: int, leaf: int, spine: int) -> str:
+    """Leaf -> pod-spine upstream link."""
+    return f"up:L{pod}.{leaf}->S{pod}.{spine}"
+
+
+def pod_down_link(pod: int, spine: int, leaf: int) -> str:
+    """Pod-spine -> leaf downstream link."""
+    return f"down:S{pod}.{spine}->L{pod}.{leaf}"
+
+
+def core_up_link(pod: int, spine: int, core: int) -> str:
+    """Pod-spine -> core upstream link."""
+    return f"csup:S{pod}.{spine}->C{core}"
+
+
+def core_down_link(core: int, pod: int, spine: int) -> str:
+    """Core -> pod-spine downstream link."""
+    return f"csdown:C{core}->S{pod}.{spine}"
+
+
+@dataclass(frozen=True)
+class ThreeLevelSpec:
+    """Dimensions of a three-level fat tree."""
+
+    n_pods: int = 4
+    leaves_per_pod: int = 8
+    spines_per_pod: int = 4
+    cores_per_spine: int = 4
+    hosts_per_leaf: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_pods < 2:
+            raise ThreeLevelError("need at least two pods")
+        if self.leaves_per_pod < 1 or self.spines_per_pod < 1:
+            raise ThreeLevelError("pods need leaves and spines")
+        if self.cores_per_spine < 1:
+            raise ThreeLevelError("need at least one core per spine group")
+        if self.hosts_per_leaf < 1:
+            raise ThreeLevelError("need at least one host per leaf")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        return self.n_pods * self.leaves_per_pod
+
+    @property
+    def n_cores(self) -> int:
+        return self.spines_per_pod * self.cores_per_spine
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_leaves * self.hosts_per_leaf
+
+    def cores_of_spine(self, spine: int) -> range:
+        """The core group pod-spine index ``spine`` connects to (same
+        group in every pod)."""
+        if not 0 <= spine < self.spines_per_pod:
+            raise ThreeLevelError(f"spine {spine} out of range")
+        return range(
+            spine * self.cores_per_spine, (spine + 1) * self.cores_per_spine
+        )
+
+    def spine_of_core(self, core: int) -> int:
+        """The pod-spine index core ``core`` belongs to."""
+        if not 0 <= core < self.n_cores:
+            raise ThreeLevelError(f"core {core} out of range")
+        return core // self.cores_per_spine
+
+    # ------------------------------------------------------------------
+    def leaf_of_host(self, host: int) -> tuple[int, int]:
+        """(pod, leaf-in-pod) of a host."""
+        if not 0 <= host < self.n_hosts:
+            raise ThreeLevelError(f"host {host} out of range")
+        leaf_global = host // self.hosts_per_leaf
+        return leaf_global // self.leaves_per_pod, leaf_global % self.leaves_per_pod
+
+    def global_leaf(self, pod: int, leaf: int) -> int:
+        """Flat leaf index of (pod, leaf-in-pod)."""
+        if not 0 <= pod < self.n_pods or not 0 <= leaf < self.leaves_per_pod:
+            raise ThreeLevelError(f"leaf ({pod},{leaf}) out of range")
+        return pod * self.leaves_per_pod + leaf
+
+    def fabric_links(self) -> Iterator[str]:
+        """Every unidirectional link of the fabric."""
+        for pod in range(self.n_pods):
+            for leaf in range(self.leaves_per_pod):
+                for spine in range(self.spines_per_pod):
+                    yield pod_up_link(pod, leaf, spine)
+                    yield pod_down_link(pod, spine, leaf)
+            for spine in range(self.spines_per_pod):
+                for core in self.cores_of_spine(spine):
+                    yield core_up_link(pod, spine, core)
+                    yield core_down_link(core, pod, spine)
+
+
+@dataclass
+class ThreeLevelControlPlane:
+    """Routing state: which links are known-down, and the resulting
+    valid spray choices for every pair."""
+
+    spec: ThreeLevelSpec
+    known_disabled: frozenset[str] = frozenset()
+
+    def link_ok(self, name: str) -> bool:
+        return name not in self.known_disabled
+
+    def valid_intra_pod_spines(self, pod: int, src_leaf: int, dst_leaf: int) -> list[int]:
+        """Spray candidates for a same-pod pair: pod spines with healthy
+        up(src) and down(dst) links."""
+        spines = [
+            s
+            for s in range(self.spec.spines_per_pod)
+            if self.link_ok(pod_up_link(pod, src_leaf, s))
+            and self.link_ok(pod_down_link(pod, s, dst_leaf))
+        ]
+        if not spines:
+            raise ThreeLevelError(
+                f"pod {pod}: no valid spine between leaves {src_leaf} and {dst_leaf}"
+            )
+        return spines
+
+    def valid_inter_pod_paths(
+        self,
+        src_pod: int,
+        src_leaf: int,
+        dst_pod: int,
+        dst_leaf: int,
+    ) -> list[tuple[int, int]]:
+        """Spray candidates for an inter-pod pair: (spine, core) with
+        every hop of the up/down path healthy."""
+        paths = []
+        for spine in range(self.spec.spines_per_pod):
+            if not self.link_ok(pod_up_link(src_pod, src_leaf, spine)):
+                continue
+            if not self.link_ok(pod_down_link(dst_pod, spine, dst_leaf)):
+                continue
+            for core in self.spec.cores_of_spine(spine):
+                if not self.link_ok(core_up_link(src_pod, spine, core)):
+                    continue
+                if not self.link_ok(core_down_link(core, dst_pod, spine)):
+                    continue
+                paths.append((spine, core))
+        if not paths:
+            raise ThreeLevelError(
+                f"no valid path from pod {src_pod} leaf {src_leaf} to "
+                f"pod {dst_pod} leaf {dst_leaf}"
+            )
+        return paths
+
+    # ------------------------------------------------------------------
+    # Per-hop spray candidate sets (used by the packet-level switches).
+    # ------------------------------------------------------------------
+    def leaf_spray_spines(
+        self, src_pod: int, src_leaf: int, dst_pod: int, dst_leaf: int
+    ) -> list[int]:
+        """Pod spines a source leaf may spray onto for this destination."""
+        if src_pod == dst_pod:
+            return self.valid_intra_pod_spines(src_pod, src_leaf, dst_leaf)
+        paths = self.valid_inter_pod_paths(src_pod, src_leaf, dst_pod, dst_leaf)
+        return sorted({s for s, _c in paths})
+
+    def spine_spray_cores(self, src_pod: int, spine: int, dst_pod: int) -> list[int]:
+        """Cores a source pod spine may spray onto toward ``dst_pod``."""
+        cores = [
+            c
+            for c in self.spec.cores_of_spine(spine)
+            if self.link_ok(core_up_link(src_pod, spine, c))
+            and self.link_ok(core_down_link(c, dst_pod, spine))
+        ]
+        if not cores:
+            raise ThreeLevelError(
+                f"pod {src_pod} spine {spine}: no valid core toward pod {dst_pod}"
+            )
+        return cores

@@ -1,0 +1,36 @@
+"""Fabric topology descriptions and control-plane state."""
+
+from .fattree import (
+    full_fat_tree,
+    paper_default_spec,
+    radix_spec,
+    random_preexisting_faults,
+)
+from .parallel import ParallelFabric, virtualize
+from .graph import (
+    ClosSpec,
+    ControlPlane,
+    TopologyError,
+    down_link,
+    host_down_link,
+    host_up_link,
+    parse_fabric_link,
+    up_link,
+)
+
+__all__ = [
+    "ClosSpec",
+    "ParallelFabric",
+    "virtualize",
+    "ControlPlane",
+    "TopologyError",
+    "down_link",
+    "full_fat_tree",
+    "host_down_link",
+    "host_up_link",
+    "paper_default_spec",
+    "parse_fabric_link",
+    "radix_spec",
+    "random_preexisting_faults",
+    "up_link",
+]

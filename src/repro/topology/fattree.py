@@ -1,0 +1,98 @@
+"""Fat-tree constructors and pre-existing-fault generators.
+
+Helpers that build the :class:`~repro.topology.graph.ClosSpec`
+configurations the paper evaluates: the default 32-leaf/16-spine
+fabric, the radix sweep of Fig. 5(b), and fabrics seeded with random
+pre-existing (known) faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import ClosSpec, ControlPlane, TopologyError, down_link, up_link
+
+
+def paper_default_spec(**overrides) -> ClosSpec:
+    """The paper's default evaluation fabric: 32 leaves, 16 spines, one
+    host per leaf (§6 "Experimental setup")."""
+    params = dict(n_leaves=32, n_spines=16, hosts_per_leaf=1)
+    params.update(overrides)
+    return ClosSpec(**params)
+
+
+def radix_spec(radix: int, hosts_per_leaf: int = 1, **overrides) -> ClosSpec:
+    """Fabric for the radix sweep of Fig. 5(b).
+
+    A switch of radix *r* dedicates half its ports upstream, so the
+    fabric has ``r/2`` spines; we keep one host per leaf and scale the
+    leaf count with the radix (``r`` leaves), mirroring how the spray
+    fan-out — the quantity that matters for detectability — grows with
+    radix.
+    """
+    if radix < 2 or radix % 2 != 0:
+        raise TopologyError(f"radix must be an even integer >= 2, got {radix}")
+    params = dict(
+        n_leaves=radix, n_spines=radix // 2, hosts_per_leaf=hosts_per_leaf
+    )
+    params.update(overrides)
+    return ClosSpec(**params)
+
+
+def full_fat_tree(radix: int, **overrides) -> ClosSpec:
+    """A fully-populated non-blocking two-level fat tree of switch
+    radix ``radix``: r leaves x r/2 spines with r/2 hosts per leaf."""
+    if radix < 2 or radix % 2 != 0:
+        raise TopologyError(f"radix must be an even integer >= 2, got {radix}")
+    params = dict(
+        n_leaves=radix, n_spines=radix // 2, hosts_per_leaf=radix // 2
+    )
+    params.update(overrides)
+    return ClosSpec(**params)
+
+
+def random_preexisting_faults(
+    spec: ClosSpec,
+    count: int,
+    rng: np.random.Generator,
+    protect: frozenset[str] = frozenset(),
+) -> frozenset[str]:
+    """Pick ``count`` distinct leaf-spine links to disable as known
+    pre-existing faults (§6 "links with pre-existing faults are
+    disconnected").
+
+    The sample is rejection-checked so the fabric stays fully connected
+    — production networks route around dead links, they do not
+    partition.  ``protect`` names links that must stay healthy (e.g.
+    the link a later experiment will inject a *new* fault on).
+
+    Both directions of a chosen cable are disabled together, matching
+    how a switch OS takes a physical link out of service.
+    """
+    if count < 0:
+        raise ValueError("fault count cannot be negative")
+    cables = [
+        (leaf, spine)
+        for leaf in range(spec.n_leaves)
+        for spine in range(spec.n_spines)
+        if up_link(leaf, spine) not in protect
+        and down_link(spine, leaf) not in protect
+    ]
+    if count > len(cables):
+        raise TopologyError(f"cannot disable {count} of {len(cables)} cables")
+    for _attempt in range(200):
+        chosen = rng.choice(len(cables), size=count, replace=False)
+        disabled = frozenset(
+            name
+            for idx in chosen
+            for name in (
+                up_link(cables[idx][0], cables[idx][1]),
+                down_link(cables[idx][1], cables[idx][0]),
+            )
+        )
+        plane = ControlPlane(spec, known_disabled=disabled)
+        if plane.fully_connected():
+            return disabled
+    raise TopologyError(
+        f"could not place {count} pre-existing faults without partitioning"
+    )

@@ -1,0 +1,206 @@
+"""Two-level Clos fabric description and control plane.
+
+The paper's setting is a non-blocking two-level fat tree: ``n_leaves``
+leaf switches, each connected to every one of ``n_spines`` spine
+switches, with hosts attached only to leaves.  Upstream traffic is
+sprayed per-packet across spines; downstream paths are unique.
+
+:class:`ControlPlane` is the shared routing state: which leaf each host
+hangs off, and which leaf-spine links are *known* to be down
+(pre-existing faults).  Known-down links are excluded from spraying;
+silent faults, by definition, are absent from this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..units import GBPS
+
+
+class TopologyError(ValueError):
+    """Raised for malformed fabric descriptions or unroutable pairs."""
+
+
+# ----------------------------------------------------------------------
+# Canonical link names.  Links are unidirectional; one physical cable is
+# two named links.
+# ----------------------------------------------------------------------
+def up_link(leaf: int, spine: int) -> str:
+    """Name of the leaf->spine (upstream) link."""
+    return f"up:L{leaf}->S{spine}"
+
+
+def down_link(spine: int, leaf: int) -> str:
+    """Name of the spine->leaf (downstream) link."""
+    return f"down:S{spine}->L{leaf}"
+
+
+def host_up_link(host: int) -> str:
+    """Name of the host->leaf link."""
+    return f"hostup:H{host}"
+
+
+def host_down_link(host: int) -> str:
+    """Name of the leaf->host link."""
+    return f"hostdown:H{host}"
+
+
+def parse_fabric_link(name: str) -> tuple[str, int, int]:
+    """Parse an up/down fabric link name to (direction, leaf, spine)."""
+    try:
+        direction, rest = name.split(":", 1)
+        a, b = rest.split("->")
+        if direction == "up":
+            leaf, spine = int(a[1:]), int(b[1:])
+        elif direction == "down":
+            spine, leaf = int(a[1:]), int(b[1:])
+        else:
+            raise ValueError(name)
+        return direction, leaf, spine
+    except (ValueError, IndexError) as exc:
+        raise TopologyError(f"not a fabric link name: {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class ClosSpec:
+    """Parameters of a two-level Clos fabric.
+
+    ``hosts_per_leaf`` defaults to 1, matching the paper's evaluation
+    ("each leaf is connected to a single end-host").  The fabric is
+    non-blocking when every leaf has at least as much uplink as downlink
+    capacity, i.e. ``n_spines >= hosts_per_leaf`` at equal link rates.
+    """
+
+    n_leaves: int = 32
+    n_spines: int = 16
+    hosts_per_leaf: int = 1
+    link_rate_bps: int = 400 * GBPS
+    host_link_rate_bps: int | None = None
+    #: ~20 m of fiber per hop; keeps the 8-hop request/ACK RTT around
+    #: 1-2 us, consistent with the paper's 5 us retransmission timeout.
+    prop_delay_ns: int = 100
+
+    def __post_init__(self) -> None:
+        if self.n_leaves < 2:
+            raise TopologyError("need at least two leaves")
+        if self.n_spines < 1:
+            raise TopologyError("need at least one spine")
+        if self.hosts_per_leaf < 1:
+            raise TopologyError("need at least one host per leaf")
+        if self.link_rate_bps <= 0:
+            raise TopologyError("link rate must be positive")
+        if self.prop_delay_ns < 0:
+            raise TopologyError("propagation delay cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_hosts(self) -> int:
+        return self.n_leaves * self.hosts_per_leaf
+
+    @property
+    def host_rate_bps(self) -> int:
+        return self.host_link_rate_bps or self.link_rate_bps
+
+    @property
+    def non_blocking(self) -> bool:
+        """True if uplink capacity covers worst-case host demand."""
+        up = self.n_spines * self.link_rate_bps
+        down = self.hosts_per_leaf * self.host_rate_bps
+        return up >= down
+
+    @property
+    def n_fabric_links(self) -> int:
+        """Number of unidirectional leaf-spine links."""
+        return 2 * self.n_leaves * self.n_spines
+
+    def leaf_of_host(self, host: int) -> int:
+        """Leaf switch index the host is attached to."""
+        if not 0 <= host < self.n_hosts:
+            raise TopologyError(f"host {host} out of range (n={self.n_hosts})")
+        return host // self.hosts_per_leaf
+
+    def hosts_of_leaf(self, leaf: int) -> range:
+        """Hosts attached to ``leaf``."""
+        if not 0 <= leaf < self.n_leaves:
+            raise TopologyError(f"leaf {leaf} out of range (n={self.n_leaves})")
+        return range(leaf * self.hosts_per_leaf, (leaf + 1) * self.hosts_per_leaf)
+
+    def fabric_links(self) -> Iterator[str]:
+        """Every unidirectional leaf-spine link name."""
+        for leaf in range(self.n_leaves):
+            for spine in range(self.n_spines):
+                yield up_link(leaf, spine)
+                yield down_link(spine, leaf)
+
+
+@dataclass
+class ControlPlane:
+    """Routing state shared by all switches.
+
+    ``known_disabled`` holds link names the switch OS has removed from
+    routing (pre-existing faults).  :meth:`valid_spines` is the spray
+    candidate set — the analytical load model (paper §5.2) is built on
+    exactly this set.
+    """
+
+    spec: ClosSpec
+    known_disabled: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for name in self.known_disabled:
+            parse_fabric_link(name)  # validates
+
+    def disable(self, *links: str) -> None:
+        """Mark links as known-down (e.g. after fault confirmation)."""
+        for name in links:
+            parse_fabric_link(name)
+        self.known_disabled = self.known_disabled | frozenset(links)
+
+    def enable(self, *links: str) -> None:
+        """Return links to service (maintenance completed)."""
+        self.known_disabled = self.known_disabled - frozenset(links)
+
+    def up_ok(self, leaf: int, spine: int) -> bool:
+        return up_link(leaf, spine) not in self.known_disabled
+
+    def down_ok(self, spine: int, leaf: int) -> bool:
+        return down_link(spine, leaf) not in self.known_disabled
+
+    def valid_spines(self, src_leaf: int, dst_leaf: int) -> list[int]:
+        """Spines usable for traffic from ``src_leaf`` to ``dst_leaf``.
+
+        A spine is valid when both the upstream link from the source
+        leaf and the downstream link to the destination leaf are in
+        service.  Raises :class:`TopologyError` if the pair is
+        partitioned (no valid spine remains).
+        """
+        spines = [
+            s
+            for s in range(self.spec.n_spines)
+            if self.up_ok(src_leaf, s) and self.down_ok(s, dst_leaf)
+        ]
+        if not spines:
+            raise TopologyError(
+                f"no valid spine from leaf {src_leaf} to leaf {dst_leaf}"
+            )
+        return spines
+
+    def reachable(self, src_leaf: int, dst_leaf: int) -> bool:
+        """Whether any spine path exists between the two leaves."""
+        try:
+            self.valid_spines(src_leaf, dst_leaf)
+            return True
+        except TopologyError:
+            return False
+
+    def fully_connected(self) -> bool:
+        """True if every ordered leaf pair still has a path."""
+        pairs = (
+            (a, b)
+            for a in range(self.spec.n_leaves)
+            for b in range(self.spec.n_leaves)
+            if a != b
+        )
+        return all(self.reachable(a, b) for a, b in pairs)

@@ -1,0 +1,83 @@
+"""Parallel-link support (paper §7, "Parallel Links").
+
+Fabrics often run multiple parallel cables between a leaf and a spine
+to increase bandwidth.  The paper's proposal: treat the parallel links
+as independent, "effectively splitting the spine into virtual switches"
+— a single failed member then shows up exactly like a failed link to a
+(virtual) spine, and all of FlowPulse's machinery applies unchanged.
+
+:func:`virtualize` maps a fabric with ``k`` parallel links per
+leaf-spine pair onto a plain :class:`~repro.topology.graph.ClosSpec`
+with ``k`` times the spines, and the helpers translate link names
+between the physical and virtual views so operators can report faults
+in physical terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .graph import ClosSpec, TopologyError, down_link, parse_fabric_link, up_link
+
+
+@dataclass(frozen=True)
+class ParallelFabric:
+    """A two-level fabric with ``k`` parallel links per leaf-spine pair."""
+
+    base: ClosSpec
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise TopologyError("need at least one parallel link")
+
+    # ------------------------------------------------------------------
+    def virtual_spec(self) -> ClosSpec:
+        """The equivalent virtual fabric: each physical spine becomes
+        ``k`` virtual spines, each owning one member of every trunk.
+        Per-virtual-link rate is the member rate (the base spec's rate)."""
+        return replace(self.base, n_spines=self.base.n_spines * self.k)
+
+    def virtual_spine(self, spine: int, member: int) -> int:
+        """Virtual spine index of trunk ``member`` of physical ``spine``."""
+        if not 0 <= spine < self.base.n_spines:
+            raise TopologyError(f"spine {spine} out of range")
+        if not 0 <= member < self.k:
+            raise TopologyError(f"trunk member {member} out of range")
+        return spine * self.k + member
+
+    def physical_spine(self, virtual: int) -> tuple[int, int]:
+        """(physical spine, trunk member) of a virtual spine index."""
+        if not 0 <= virtual < self.base.n_spines * self.k:
+            raise TopologyError(f"virtual spine {virtual} out of range")
+        return virtual // self.k, virtual % self.k
+
+    # ------------------------------------------------------------------
+    def virtual_up_link(self, leaf: int, spine: int, member: int) -> str:
+        """Virtual name of trunk member ``member`` of the leaf->spine trunk."""
+        return up_link(leaf, self.virtual_spine(spine, member))
+
+    def virtual_down_link(self, spine: int, member: int, leaf: int) -> str:
+        return down_link(self.virtual_spine(spine, member), leaf)
+
+    def physical_description(self, virtual_link: str) -> str:
+        """Human-readable physical identity of a virtual link name."""
+        direction, leaf, virtual = parse_fabric_link(virtual_link)
+        spine, member = self.physical_spine(virtual)
+        arrow = (
+            f"L{leaf}->S{spine}" if direction == "up" else f"S{spine}->L{leaf}"
+        )
+        return f"{direction}:{arrow}#{member}"
+
+    def trunk_links(self, leaf: int, spine: int) -> frozenset[str]:
+        """All virtual link names (both directions) of one physical trunk."""
+        names = set()
+        for member in range(self.k):
+            names.add(self.virtual_up_link(leaf, spine, member))
+            names.add(self.virtual_down_link(spine, member, leaf))
+        return frozenset(names)
+
+
+def virtualize(spec: ClosSpec, k: int) -> ParallelFabric:
+    """Wrap a base fabric with ``k`` parallel links per leaf-spine pair."""
+    return ParallelFabric(base=spec, k=k)

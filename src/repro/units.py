@@ -1,0 +1,83 @@
+"""Units and conversions used throughout the packet-level simulator.
+
+The simulator keeps time as integer nanoseconds and sizes as integer
+bytes.  Integer time makes event ordering exactly reproducible across
+platforms, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+# Time units, expressed in nanoseconds.
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+# Size units, expressed in bytes.
+BYTE = 1
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Rate units, expressed in bits per second.
+BPS = 1
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+#: Default MTU used by the RoCE-like transport (4 KiB payload pages are
+#: typical for RDMA fabrics).
+DEFAULT_MTU = 4096
+
+
+def transmission_time_ns(size_bytes: int, rate_bps: int) -> int:
+    """Time to serialize ``size_bytes`` onto a link of ``rate_bps``.
+
+    Rounds up to the next nanosecond so that a busy link is never
+    released early.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"negative packet size: {size_bytes}")
+    if rate_bps <= 0:
+        raise ValueError(f"non-positive link rate: {rate_bps}")
+    bits = size_bytes * 8
+    return -(-bits * SECOND // rate_bps)  # ceil division
+
+
+def bytes_per_second(rate_bps: int) -> float:
+    """Convert a bit rate to bytes per second."""
+    return rate_bps / 8.0
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert nanoseconds to microseconds (float, for reporting)."""
+    return ns / MICROSECOND
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert nanoseconds to milliseconds (float, for reporting)."""
+    return ns / MILLISECOND
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte count, used by reports and traces."""
+    size = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(size) < 1024.0 or unit == "TiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(ns: int) -> str:
+    """Human-readable time, used by reports and traces."""
+    if ns < MICROSECOND:
+        return f"{ns} ns"
+    if ns < MILLISECOND:
+        return f"{ns / MICROSECOND:.2f} us"
+    if ns < SECOND:
+        return f"{ns / MILLISECOND:.2f} ms"
+    return f"{ns / SECOND:.3f} s"

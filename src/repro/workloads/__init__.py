@@ -1,0 +1,26 @@
+"""Training-job models and fabric placement."""
+
+from .placement import JobPlacement, PlacementError, jobs_share_leaves, place_jobs
+from .training import (
+    PRESETS,
+    TrainingJob,
+    WorkloadError,
+    llama_8b,
+    llama_70b,
+    preset,
+    small_vision_model,
+)
+
+__all__ = [
+    "JobPlacement",
+    "PRESETS",
+    "PlacementError",
+    "TrainingJob",
+    "WorkloadError",
+    "jobs_share_leaves",
+    "llama_70b",
+    "llama_8b",
+    "place_jobs",
+    "preset",
+    "small_vision_model",
+]

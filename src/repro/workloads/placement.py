@@ -1,0 +1,81 @@
+"""Job placement on the fabric.
+
+Clusters run several jobs at once (paper §7 "Parallel Jobs"): each job
+gets a contiguous block of hosts, communicates over its own ring, and
+is monitored independently through its own flow tag.  These helpers
+carve a fabric into per-job host blocks and build the per-job rings.
+
+Contiguous (leaf-major) placement also preserves the
+single-non-local-flow-per-leaf property within each job whenever a job
+spans whole leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.ring import CollectiveError
+from ..topology.graph import ClosSpec
+
+
+class PlacementError(ValueError):
+    """Raised when jobs cannot be placed on the fabric."""
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """Hosts assigned to one job, with its ring ordering."""
+
+    job_id: int
+    hosts: tuple[int, ...]
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def ring(self) -> list[int]:
+        """Ring order: host-index order keeps same-leaf hosts adjacent."""
+        if self.n_hosts < 2:
+            raise CollectiveError("a ring needs at least two hosts")
+        return list(self.hosts)
+
+    def leaves(self, spec: ClosSpec) -> frozenset[int]:
+        """Leaves this job touches."""
+        return frozenset(spec.leaf_of_host(h) for h in self.hosts)
+
+
+def place_jobs(
+    spec: ClosSpec, sizes: list[int], first_job_id: int = 1
+) -> list[JobPlacement]:
+    """Contiguously place jobs of the given host counts.
+
+    Jobs are packed leaf-major in order; raises if they do not fit.
+    """
+    if any(size < 1 for size in sizes):
+        raise PlacementError("job sizes must be positive")
+    if sum(sizes) > spec.n_hosts:
+        raise PlacementError(
+            f"jobs need {sum(sizes)} hosts but the fabric has {spec.n_hosts}"
+        )
+    placements = []
+    cursor = 0
+    for offset, size in enumerate(sizes):
+        hosts = tuple(range(cursor, cursor + size))
+        placements.append(
+            JobPlacement(job_id=first_job_id + offset, hosts=hosts)
+        )
+        cursor += size
+    return placements
+
+
+def jobs_share_leaves(
+    spec: ClosSpec, placements: list[JobPlacement]
+) -> bool:
+    """Whether any leaf hosts ranks from more than one job."""
+    seen: dict[int, int] = {}
+    for placement in placements:
+        for leaf in placement.leaves(spec):
+            if leaf in seen and seen[leaf] != placement.job_id:
+                return True
+            seen[leaf] = placement.job_id
+    return False

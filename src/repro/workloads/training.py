@@ -1,0 +1,125 @@
+"""Training-job models.
+
+Translates model-level facts (parameter count, gradient dtype, degree
+of data parallelism, gradient bucketing) into the network-level
+quantities FlowPulse cares about: the bytes each AllReduce moves per
+iteration, how many tagged collectives a training step produces, and a
+rough compute time separating iterations.
+
+The paper grounds its claims in LLM-scale numbers — AllReduces of
+"tens to hundreds of megabytes, or even gigabytes per layer" and
+collectives that must reach GB scale for high detection accuracy
+(Fig. 5c).  The presets below reproduce that regime from public model
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.demand import Stage
+from ..collectives.ring import ring_allreduce_stages, ring_reduce_scatter_stages
+from ..units import GIB, MIB, SECOND
+
+
+class WorkloadError(ValueError):
+    """Raised for inconsistent training-job configurations."""
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """A data-parallel training job.
+
+    ``n_parameters`` is the full model size; each data-parallel rank
+    holds a replica and all ranks AllReduce the gradients every
+    iteration.  ``bucket_bytes`` mirrors NCCL-style gradient bucketing:
+    gradients are flushed in buckets, so one training iteration issues
+    ``ceil(gradient_bytes / bucket_bytes)`` collectives back to back.
+    FlowPulse measures one designated collective per iteration (§5.1);
+    :meth:`measured_collective_bytes` is its size.
+    """
+
+    name: str
+    n_parameters: int
+    grad_dtype_bytes: int = 2  # bf16 gradients
+    bucket_bytes: int = 1 * GIB
+    step_time_ns: int = SECOND  # compute+comm budget per iteration
+
+    def __post_init__(self) -> None:
+        if self.n_parameters <= 0:
+            raise WorkloadError("model needs parameters")
+        if self.grad_dtype_bytes <= 0:
+            raise WorkloadError("gradient dtype must have positive size")
+        if self.bucket_bytes <= 0:
+            raise WorkloadError("bucket size must be positive")
+        if self.step_time_ns <= 0:
+            raise WorkloadError("step time must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def gradient_bytes(self) -> int:
+        """Total gradient volume AllReduced per iteration."""
+        return self.n_parameters * self.grad_dtype_bytes
+
+    @property
+    def buckets_per_iteration(self) -> int:
+        """Collectives issued per training iteration."""
+        return -(-self.gradient_bytes // self.bucket_bytes)
+
+    def measured_collective_bytes(self) -> int:
+        """Size of the tagged, measured collective: the last (possibly
+        partial) bucket is skipped in favour of a full one when the
+        model has several buckets — bigger collective, better SNR."""
+        if self.gradient_bytes <= self.bucket_bytes:
+            return self.gradient_bytes
+        return self.bucket_bytes
+
+    # ------------------------------------------------------------------
+    def ring_stages(self, hosts: list[int], allreduce: bool = True) -> list[Stage]:
+        """The measured collective's ring schedule over ``hosts``."""
+        builder = ring_allreduce_stages if allreduce else ring_reduce_scatter_stages
+        return builder(hosts, self.measured_collective_bytes())
+
+    def per_edge_bytes(self, n_ranks: int, allreduce: bool = True) -> int:
+        """Bytes one ring edge carries during the measured collective."""
+        if n_ranks < 2:
+            raise WorkloadError("data parallelism needs at least two ranks")
+        total = self.measured_collective_bytes()
+        passes = 2 if allreduce else 1
+        return passes * (total - total // n_ranks)
+
+
+# ----------------------------------------------------------------------
+# Presets at public model scales.
+# ----------------------------------------------------------------------
+def llama_8b() -> TrainingJob:
+    """An ~8B-parameter dense model: 16 GiB of bf16 gradients/iteration."""
+    return TrainingJob(name="llama-8b", n_parameters=8_000_000_000)
+
+
+def llama_70b() -> TrainingJob:
+    """A ~70B-parameter dense model: 140 GB of bf16 gradients/iteration."""
+    return TrainingJob(name="llama-70b", n_parameters=70_000_000_000)
+
+
+def small_vision_model() -> TrainingJob:
+    """A ~300M-parameter model: the sub-GiB regime where Fig. 5(c) says
+    detection gets noisy."""
+    return TrainingJob(
+        name="vit-300m", n_parameters=300_000_000, bucket_bytes=256 * MIB
+    )
+
+
+PRESETS = {
+    job().name: job for job in (llama_8b, llama_70b, small_vision_model)
+}
+
+
+def preset(name: str) -> TrainingJob:
+    """Look up a preset training job by name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None

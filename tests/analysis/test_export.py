@@ -1,0 +1,69 @@
+"""Tests for results export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    ExportError,
+    ResultsWriter,
+    maybe_export,
+    results_writer,
+)
+
+
+def test_write_and_read_csv(tmp_path):
+    writer = ResultsWriter(tmp_path / "results")
+    path = writer.write_csv("fig5a", ["drop", "fpr"], [[0.015, 0.0], [0.02, 0.0]])
+    assert path.exists()
+    headers, rows = writer.read_csv("fig5a")
+    assert headers == ["drop", "fpr"]
+    assert rows == [["0.015", "0.0"], ["0.02", "0.0"]]
+
+
+def test_ragged_rows_rejected(tmp_path):
+    writer = ResultsWriter(tmp_path)
+    with pytest.raises(ExportError):
+        writer.write_csv("bad", ["a", "b"], [[1]])
+
+
+def test_invalid_names_rejected(tmp_path):
+    writer = ResultsWriter(tmp_path)
+    for bad in ("", "../escape", ".hidden"):
+        with pytest.raises(ExportError):
+            writer.write_csv(bad, ["a"], [[1]])
+
+
+def test_write_json(tmp_path):
+    writer = ResultsWriter(tmp_path)
+    path = writer.write_json("meta", {"threshold": 0.01, "trials": 12})
+    assert json.loads(path.read_text()) == {"threshold": 0.01, "trials": 12}
+
+
+def test_read_missing_csv(tmp_path):
+    writer = ResultsWriter(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        writer.read_csv("nothing")
+
+
+def test_directory_created(tmp_path):
+    target = tmp_path / "a" / "b"
+    ResultsWriter(target)
+    assert target.is_dir()
+
+
+def test_results_writer_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+    assert results_writer() is None
+    assert maybe_export("x", ["a"], [[1]]) is None
+
+
+def test_results_writer_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+    writer = results_writer()
+    assert writer is not None
+    path = maybe_export("table", ["a"], [[1]])
+    assert path is not None and path.exists()
+    assert path.parent == tmp_path / "out"

@@ -1,0 +1,85 @@
+"""Tests for classification metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ConfusionCounts, MetricsError, confusion_from_scores
+
+
+def test_rates_basic():
+    c = ConfusionCounts(tp=8, fn=2, fp=1, tn=9)
+    assert c.fpr == 0.1
+    assert c.fnr == 0.2
+    assert c.tpr == pytest.approx(0.8)
+    assert c.recall == pytest.approx(0.8)
+    assert c.precision == pytest.approx(8 / 9)
+    assert c.accuracy == pytest.approx(17 / 20)
+
+
+def test_perfect_flag():
+    assert ConfusionCounts(tp=5, tn=5).perfect
+    assert not ConfusionCounts(tp=5, tn=5, fp=1).perfect
+
+
+def test_empty_classes_defined():
+    c = ConfusionCounts()
+    assert c.fpr == 0.0
+    assert c.fnr == 0.0
+    assert c.precision == 1.0
+    assert c.accuracy == 1.0
+
+
+def test_f1_zero_when_nothing_found():
+    c = ConfusionCounts(fn=10, tn=10)
+    assert c.f1 == 0.0
+
+
+def test_f1_one_when_perfect():
+    c = ConfusionCounts(tp=10, tn=10)
+    assert c.f1 == 1.0
+
+
+def test_addition():
+    a = ConfusionCounts(tp=1, fp=2, tn=3, fn=4)
+    b = ConfusionCounts(tp=10, fp=20, tn=30, fn=40)
+    c = a + b
+    assert (c.tp, c.fp, c.tn, c.fn) == (11, 22, 33, 44)
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(MetricsError):
+        ConfusionCounts(tp=-1)
+
+
+def test_confusion_from_scores():
+    c = confusion_from_scores(
+        positive_scores=[0.02, 0.005], negative_scores=[0.004, 0.02], threshold=0.01
+    )
+    assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+
+
+def test_confusion_threshold_is_strict():
+    c = confusion_from_scores([0.01], [0.01], threshold=0.01)
+    assert c.tp == 0 and c.tn == 1
+
+
+def test_confusion_invalid_threshold():
+    with pytest.raises(MetricsError):
+        confusion_from_scores([1.0], [0.0], threshold=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0, 1), min_size=1, max_size=40),
+    st.lists(st.floats(0, 1), min_size=1, max_size=40),
+    st.floats(0.01, 0.99),
+)
+def test_property_counts_partition_trials(pos, neg, threshold):
+    c = confusion_from_scores(pos, neg, threshold)
+    assert c.tp + c.fn == len(pos) == c.positives
+    assert c.fp + c.tn == len(neg) == c.negatives
+    assert 0.0 <= c.fpr <= 1.0
+    assert 0.0 <= c.fnr <= 1.0

@@ -1,0 +1,72 @@
+"""Tests for incident reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import CableEvidence, incident_report, rank_cables
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, down_link
+from repro.units import MIB
+
+SPEC = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 512 * MIB)
+
+
+def monitored(silent, seed=0, threshold=0.01, n=4):
+    model = FabricModel(SPEC, silent=silent, mtu=1024)
+    records = run_iterations(model, DEMAND, n, seed=seed)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, DEMAND), DetectionConfig(threshold=threshold)
+    )
+    return monitor.process_run(records)
+
+
+def test_healthy_report_is_calm():
+    verdict = monitored({}, seed=91)
+    text = incident_report(verdict, threshold=0.01)
+    assert "no fault detected" in text
+    assert "INCIDENT" not in text
+    assert "monitored iterations: 4" in text
+
+
+def test_incident_report_names_the_cable():
+    verdict = monitored({down_link(2, 5): 0.05}, seed=92)
+    text = incident_report(verdict, threshold=0.01)
+    assert "INCIDENT" in text
+    assert "L5<->S2" in text
+    assert "first alarm at iteration 0" in text
+    assert "recommended action: drain cable" in text
+    assert "down:S2->L5" in text
+
+
+def test_rank_cables_orders_by_evidence():
+    verdict = monitored(
+        {down_link(2, 5): 0.08, down_link(0, 1): 0.02}, seed=93, n=5
+    )
+    ranked = rank_cables(verdict)
+    assert ranked
+    # The strong fault accumulates at least as much evidence as the
+    # marginal one and ranks first.
+    top = ranked[0]
+    assert top.cable == (5, 2)
+    assert top.implicated_iterations == 5
+    assert top.worst_deviation < -0.05
+
+
+def test_evidence_links_cover_both_directions():
+    evidence = CableEvidence(
+        cable=(3, 1),
+        implicated_iterations=2,
+        observing_leaves=frozenset({3}),
+        worst_deviation=-0.1,
+    )
+    assert evidence.links == frozenset({"up:L3->S1", "down:S1->L3"})
+
+
+def test_total_blackhole_reported_as_total():
+    verdict = monitored({down_link(1, 4): 1.0}, seed=94, threshold=0.05)
+    text = incident_report(verdict, threshold=0.05)
+    assert "total" in text

@@ -1,0 +1,50 @@
+"""Tests for report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import banner, format_percent, format_series, format_table
+
+
+def test_format_percent():
+    assert format_percent(0.015) == "1.50%"
+    assert format_percent(1.0, digits=0) == "100%"
+
+
+def test_table_alignment():
+    table = format_table(
+        ["name", "value"], [["alpha", 1], ["b", 123456]], title="T"
+    )
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # Columns align: 'alpha' and 'b' rows have the value at same offset.
+    assert lines[3].index("1") == lines[4].index("123456")
+
+
+def test_table_float_formatting():
+    table = format_table(["x"], [[0.123456789]])
+    assert "0.1235" in table
+
+
+def test_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_series():
+    text = format_series("fig", [1, 2], [0.1, 0.2], x_label="drop", y_label="fpr")
+    assert "fig" in text
+    assert "drop" in text and "fpr" in text
+    assert "0.1" in text and "0.2" in text
+
+
+def test_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("fig", [1], [1, 2])
+
+
+def test_banner_contains_text():
+    assert "hello" in banner("hello")

@@ -1,0 +1,98 @@
+"""Tests for AllToAll and expert-parallel demand."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CollectiveError,
+    alltoall_demand,
+    alltoall_stages,
+    expert_parallel_demand,
+)
+
+
+def test_stage_count_and_matchings():
+    hosts = list(range(5))
+    stages = alltoall_stages(hosts, 100)
+    assert len(stages) == 4
+    for stage in stages:
+        assert sorted(t.src for t in stage) == hosts
+        assert sorted(t.dst for t in stage) == hosts
+        for t in stage:
+            assert t.src != t.dst
+
+
+def test_every_ordered_pair_covered_once():
+    hosts = list(range(6))
+    demand = alltoall_demand(hosts, 100)
+    for src in hosts:
+        for dst in hosts:
+            if src != dst:
+                assert demand.get(src, dst) == 100
+
+
+def test_total_bytes():
+    demand = alltoall_demand(list(range(4)), 10)
+    assert demand.total_bytes == 4 * 3 * 10
+
+
+def test_validation():
+    with pytest.raises(CollectiveError):
+        alltoall_stages([0], 10)
+    with pytest.raises(CollectiveError):
+        alltoall_stages([0, 0], 10)
+    with pytest.raises(CollectiveError):
+        alltoall_stages([0, 1], 0)
+
+
+def test_expert_parallel_totals_exact():
+    rng = np.random.Generator(np.random.PCG64(0))
+    hosts = list(range(6))
+    total = 100_000
+    demand = expert_parallel_demand(hosts, total, rng)
+    for src in hosts:
+        sent = sum(demand.get(src, dst) for dst in hosts if dst != src)
+        assert sent == total
+
+
+def test_expert_parallel_every_peer_gets_something():
+    rng = np.random.Generator(np.random.PCG64(1))
+    demand = expert_parallel_demand(list(range(5)), 10_000, rng, concentration=0.2)
+    for src in range(5):
+        for dst in range(5):
+            if src != dst:
+                assert demand.get(src, dst) >= 1
+
+
+def test_expert_parallel_skew_grows_with_small_concentration():
+    rng_a = np.random.Generator(np.random.PCG64(2))
+    rng_b = np.random.Generator(np.random.PCG64(2))
+    hosts = list(range(8))
+    skewed = expert_parallel_demand(hosts, 1_000_000, rng_a, concentration=0.05)
+    flat = expert_parallel_demand(hosts, 1_000_000, rng_b, concentration=50.0)
+
+    def spread(demand):
+        sizes = [s for _, _, s in demand.pairs()]
+        return max(sizes) / min(sizes)
+
+    assert spread(skewed) > spread(flat)
+
+
+def test_expert_parallel_varies_between_draws():
+    rng = np.random.Generator(np.random.PCG64(3))
+    hosts = list(range(4))
+    a = expert_parallel_demand(hosts, 10_000, rng)
+    b = expert_parallel_demand(hosts, 10_000, rng)
+    assert a != b  # the dynamic demand the paper's future work targets
+
+
+def test_expert_parallel_validation():
+    rng = np.random.Generator(np.random.PCG64(0))
+    with pytest.raises(CollectiveError):
+        expert_parallel_demand([0], 100, rng)
+    with pytest.raises(CollectiveError):
+        expert_parallel_demand([0, 1, 2], 1, rng)
+    with pytest.raises(CollectiveError):
+        expert_parallel_demand([0, 1], 100, rng, concentration=0.0)

@@ -1,0 +1,98 @@
+"""Tests for demand matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import DemandError, DemandMatrix, Transfer
+from repro.topology import ClosSpec
+
+
+def test_add_and_get():
+    m = DemandMatrix()
+    m.add(0, 1, 100)
+    m.add(0, 1, 50)
+    assert m.get(0, 1) == 150
+    assert m.get(1, 0) == 0
+    assert m.total_bytes == 150
+    assert len(m) == 1
+
+
+def test_self_loop_rejected():
+    m = DemandMatrix()
+    with pytest.raises(DemandError):
+        m.add(2, 2, 100)
+
+
+def test_non_positive_rejected():
+    m = DemandMatrix()
+    with pytest.raises(DemandError):
+        m.add(0, 1, 0)
+    with pytest.raises(DemandError):
+        m.add(0, 1, -5)
+
+
+def test_transfer_validation():
+    with pytest.raises(DemandError):
+        Transfer(src=1, dst=1, size=10)
+    with pytest.raises(DemandError):
+        Transfer(src=0, dst=1, size=0)
+
+
+def test_pairs_deterministic_order():
+    m = DemandMatrix()
+    m.add(3, 0, 1)
+    m.add(0, 1, 2)
+    m.add(0, 2, 3)
+    assert list(m.pairs()) == [(0, 1, 2), (0, 2, 3), (3, 0, 1)]
+
+
+def test_from_stages_aggregates():
+    stages = [
+        [Transfer(0, 1, 10), Transfer(1, 2, 20)],
+        [Transfer(0, 1, 5)],
+    ]
+    m = DemandMatrix.from_stages(stages)
+    assert m.get(0, 1) == 15
+    assert m.get(1, 2) == 20
+
+
+def test_equality():
+    a, b = DemandMatrix(), DemandMatrix()
+    a.add(0, 1, 5)
+    b.add(0, 1, 5)
+    assert a == b
+    b.add(1, 2, 1)
+    assert a != b
+
+
+def test_leaf_pairs_drop_local_traffic():
+    spec = ClosSpec(n_leaves=2, n_spines=2, hosts_per_leaf=2)
+    m = DemandMatrix()
+    m.add(0, 1, 100)  # hosts 0,1 both under leaf 0: local
+    m.add(0, 2, 200)  # leaf 0 -> leaf 1
+    m.add(1, 3, 300)  # leaf 0 -> leaf 1
+    pairs = m.leaf_pairs(spec)
+    assert pairs == {(0, 1): 500}
+    assert m.nonlocal_bytes(spec) == 500
+
+
+def test_senders_per_leaf():
+    spec = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+    m = DemandMatrix()
+    m.add(0, 2, 10)
+    m.add(1, 2, 10)
+    m.add(3, 0, 10)
+    senders = m.senders_per_leaf(spec)
+    assert senders[2] == {0, 1}
+    assert senders[0] == {3}
+
+
+def test_single_sender_condition():
+    spec = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+    ring = DemandMatrix()
+    for i in range(4):
+        ring.add(i, (i + 1) % 4, 10)
+    assert ring.is_single_sender_per_leaf(spec)
+    ring.add(0, 2, 5)  # leaf 2 now has two senders
+    assert not ring.is_single_sender_per_leaf(spec)

@@ -1,0 +1,90 @@
+"""Tests for hierarchical (locality-optimized) AllReduce."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import (
+    CollectiveError,
+    hierarchical_allreduce_stages,
+    hierarchical_demand,
+    leaf_leaders,
+)
+from repro.topology import ClosSpec
+
+SPEC = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=4)
+
+
+def test_leaders_are_first_hosts():
+    assert leaf_leaders(SPEC) == [0, 4, 8, 12]
+
+
+def test_phase_structure():
+    stages = hierarchical_allreduce_stages(SPEC, 400_000)
+    # local reduce + 2*(N-1) leader ring stages + local broadcast.
+    assert len(stages) == 1 + 2 * 3 + 1
+    local_reduce = stages[0]
+    assert all(t.dst in leaf_leaders(SPEC) for t in local_reduce)
+    local_bcast = stages[-1]
+    assert all(t.src in leaf_leaders(SPEC) for t in local_bcast)
+
+
+def test_only_leaders_cross_the_fabric():
+    demand = hierarchical_demand(SPEC, 400_000)
+    leaders = set(leaf_leaders(SPEC))
+    for src, dst, _size in demand.pairs():
+        if SPEC.leaf_of_host(src) != SPEC.leaf_of_host(dst):
+            assert src in leaders and dst in leaders
+
+
+def test_single_sender_per_leaf_despite_multi_host_leaves():
+    """The property §5.1 relies on: hierarchical scheduling restores the
+    one-non-local-flow-per-leaf condition."""
+    demand = hierarchical_demand(SPEC, 400_000)
+    assert demand.is_single_sender_per_leaf(SPEC)
+
+
+def test_fabric_volume_matches_leader_ring():
+    from repro.collectives import ring_demand
+
+    demand = hierarchical_demand(SPEC, 400_000)
+    leader_ring = ring_demand(leaf_leaders(SPEC), 400_000, allreduce=True)
+    assert demand.nonlocal_bytes(SPEC) == leader_ring.total_bytes
+
+
+def test_single_host_leaves_have_no_local_phases():
+    spec = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+    stages = hierarchical_allreduce_stages(spec, 400_000)
+    assert len(stages) == 2 * 3  # just the leader ring
+
+
+def test_reduce_scatter_variant():
+    stages = hierarchical_allreduce_stages(SPEC, 400_000, allreduce=False)
+    assert len(stages) == 1 + 3 + 1
+
+
+def test_too_small_rejected():
+    with pytest.raises(CollectiveError):
+        hierarchical_allreduce_stages(SPEC, 2)
+
+
+def test_detection_works_on_hierarchical_demand():
+    """End to end on fastsim: a fault on a leader-ring path is caught
+    with the hierarchical demand driving the prediction."""
+    import numpy as np
+
+    from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+    from repro.fastsim import FabricModel, run_iterations
+    from repro.topology import down_link
+    from repro.units import MIB
+
+    demand = hierarchical_demand(SPEC, 512 * MIB)
+    fault = down_link(1, 2)
+    model = FabricModel(SPEC, silent={fault: 0.05}, mtu=1024)
+    records = run_iterations(model, demand, 3, seed=81)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, demand), DetectionConfig(threshold=0.01)
+    )
+    verdict = monitor.process_run(records)
+    assert verdict.triggered
+    assert fault in verdict.suspected_links()

@@ -1,0 +1,85 @@
+"""Tests for halving-doubling collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import (
+    CollectiveError,
+    halving_doubling_allgather_stages,
+    halving_doubling_allreduce_stages,
+    halving_doubling_demand,
+    halving_doubling_reduce_scatter_stages,
+)
+from repro.core import plan_measurement, select_measured_flows
+from repro.topology import ClosSpec
+
+
+def test_stage_count_is_log2():
+    stages = halving_doubling_reduce_scatter_stages(list(range(8)), 800)
+    assert len(stages) == 3
+    stages = halving_doubling_allreduce_stages(list(range(8)), 800)
+    assert len(stages) == 6
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(CollectiveError):
+        halving_doubling_reduce_scatter_stages(list(range(6)), 600)
+    with pytest.raises(CollectiveError):
+        halving_doubling_reduce_scatter_stages([0], 100)
+
+
+def test_duplicate_hosts_rejected():
+    with pytest.raises(CollectiveError):
+        halving_doubling_reduce_scatter_stages([0, 0, 1, 2], 100)
+
+
+def test_stage_partners_are_xor_pairs():
+    hosts = [10, 11, 12, 13]  # ranks 0..3
+    stages = halving_doubling_reduce_scatter_stages(hosts, 400)
+    # Stage 0: rank i <-> i^1.
+    for t in stages[0]:
+        i = hosts.index(t.src)
+        assert t.dst == hosts[i ^ 1]
+    # Stage 1: rank i <-> i^2.
+    for t in stages[1]:
+        i = hosts.index(t.src)
+        assert t.dst == hosts[i ^ 2]
+
+
+def test_halving_volumes_shrink():
+    stages = halving_doubling_reduce_scatter_stages(list(range(8)), 1024)
+    sizes = [stage[0].size for stage in stages]
+    assert sizes == [512, 256, 128]
+
+
+def test_doubling_volumes_grow():
+    stages = halving_doubling_allgather_stages(list(range(8)), 1024)
+    sizes = [stage[0].size for stage in stages]
+    assert sizes == [128, 256, 512]
+
+
+def test_allreduce_total_volume_matches_ring_regime():
+    """Halving-doubling moves ~2*total per rank, like Ring-AllReduce."""
+    total = 1 << 20
+    demand = halving_doubling_demand(list(range(8)), total)
+    sent_by_rank0 = sum(size for src, _dst, size in demand.pairs() if src == 0)
+    # 2 * (total/2 + total/4 + total/8) = 2 * total * 7/8.
+    assert sent_by_rank0 == 2 * (total - total // 8)
+
+
+def test_too_small_to_halve():
+    with pytest.raises(CollectiveError):
+        halving_doubling_reduce_scatter_stages(list(range(16)), 8)
+
+
+def test_violates_single_sender_and_planner_fixes_it():
+    """Recursive exchanges give destination leaves multiple senders, so
+    the §5.1 measurement planner must select a flow subset."""
+    spec = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+    demand = halving_doubling_demand(list(range(8)), 1 << 20)
+    assert not demand.is_single_sender_per_leaf(spec)
+    plan = plan_measurement(1, demand, spec)
+    assert plan.is_jitter_resilient(spec)
+    selected = select_measured_flows(demand, spec)
+    assert selected.total_bytes < demand.total_bytes

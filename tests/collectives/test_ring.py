@@ -1,0 +1,168 @@
+"""Tests for ring collective schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveError,
+    DemandMatrix,
+    chunk_sizes,
+    locality_optimized_ring,
+    paper_collective_stages,
+    ring_allgather_stages,
+    ring_allreduce_stages,
+    ring_demand,
+    ring_reduce_scatter_stages,
+    stage_count,
+)
+
+
+def test_chunk_sizes_exact_split():
+    assert chunk_sizes(100, 4) == [25, 25, 25, 25]
+
+
+def test_chunk_sizes_remainder_spread():
+    sizes = chunk_sizes(103, 4)
+    assert sizes == [26, 26, 26, 25]
+    assert sum(sizes) == 103
+
+
+def test_chunk_sizes_validation():
+    with pytest.raises(CollectiveError):
+        chunk_sizes(10, 0)
+    with pytest.raises(CollectiveError):
+        chunk_sizes(3, 4)  # would create empty chunks
+
+
+def test_reduce_scatter_stage_count():
+    stages = ring_reduce_scatter_stages(list(range(8)), 800)
+    assert len(stages) == 7
+    assert stage_count(8) == 7
+
+
+def test_paper_collective_is_31_stages_for_32_nodes():
+    stages = paper_collective_stages(list(range(32)), 32_000)
+    assert len(stages) == 31
+
+
+def test_allreduce_doubles_stages():
+    stages = ring_allreduce_stages(list(range(5)), 500)
+    assert len(stages) == 8
+    assert stage_count(5, allreduce=True) == 8
+
+
+def test_every_stage_is_a_full_ring_rotation():
+    ring = [3, 1, 4, 0]
+    for stage in ring_reduce_scatter_stages(ring, 400):
+        srcs = [t.src for t in stage]
+        dsts = [t.dst for t in stage]
+        assert sorted(srcs) == sorted(ring)
+        assert sorted(dsts) == sorted(ring)
+        for t in stage:
+            k = ring.index(t.src)
+            assert t.dst == ring[(k + 1) % len(ring)]
+
+
+def test_reduce_scatter_total_bytes():
+    n, total = 8, 817
+    stages = ring_reduce_scatter_stages(list(range(n)), total)
+    moved = sum(t.size for stage in stages for t in stage)
+    # Each of the N-1 stages moves the whole gradient once (N chunks
+    # in flight, one per node).
+    sizes = chunk_sizes(total, n)
+    expected = sum(
+        sizes[(k - t) % n] for t in range(n - 1) for k in range(n)
+    )
+    assert moved == expected
+
+
+def test_reduce_scatter_chunk_rotation_is_correct():
+    # After N-1 stages, node k must have received every chunk except the
+    # one it ends up owning; track chunk indices explicitly.
+    n = 5
+    ring = list(range(n))
+    received: dict[int, set[int]] = {k: set() for k in ring}
+    for t in range(n - 1):
+        for k in range(n):
+            chunk = (k - t) % n
+            received[ring[(k + 1) % n]].add(chunk)
+    for k in range(n):
+        assert len(received[k]) == n - 1
+
+
+def test_ring_demand_per_edge():
+    n, total = 4, 400
+    demand = ring_demand(list(range(n)), total)
+    # Each edge carries all chunks except one: total - chunk = 300.
+    for i in range(n):
+        assert demand.get(i, (i + 1) % n) == 300
+
+
+def test_ring_demand_allreduce_doubles():
+    demand = ring_demand(list(range(4)), 400, allreduce=True)
+    assert demand.get(0, 1) == 600
+
+
+def test_allgather_moves_same_volume_as_reduce_scatter():
+    ring = list(range(6))
+    rs = sum(t.size for s in ring_reduce_scatter_stages(ring, 606) for t in s)
+    ag = sum(t.size for s in ring_allgather_stages(ring, 606) for t in s)
+    assert rs == ag
+
+
+def test_ring_validation():
+    with pytest.raises(CollectiveError):
+        ring_reduce_scatter_stages([0], 100)
+    with pytest.raises(CollectiveError):
+        ring_reduce_scatter_stages([0, 0, 1], 100)
+    with pytest.raises(CollectiveError):
+        stage_count(1)
+
+
+def test_locality_optimized_ring_identity_for_leaf_major_hosts():
+    assert locality_optimized_ring(8) == list(range(8))
+    assert locality_optimized_ring(8, hosts_per_leaf=2) == list(range(8))
+
+
+def test_locality_optimized_ring_validation():
+    with pytest.raises(CollectiveError):
+        locality_optimized_ring(1)
+    with pytest.raises(CollectiveError):
+        locality_optimized_ring(8, hosts_per_leaf=3)
+
+
+def test_demand_matches_stage_aggregation():
+    ring = list(range(7))
+    total = 1234
+    stages = ring_reduce_scatter_stages(ring, total)
+    assert ring_demand(ring, total) == DemandMatrix.from_stages(stages)
+
+
+@given(st.integers(2, 20), st.integers(1, 10**7))
+def test_property_stage_bytes_conserved(n, total):
+    if total < n:
+        total = n  # chunking needs at least one byte per chunk
+    stages = ring_reduce_scatter_stages(list(range(n)), total)
+    sizes = chunk_sizes(total, n)
+    assert sum(sizes) == total
+    # Every stage moves exactly one full gradient's worth of bytes
+    # (each node forwards one chunk, and the N chunks in a stage are a
+    # permutation of all chunk indices).
+    for t, stage in enumerate(stages):
+        stage_chunks = sorted((k - t) % n for k in range(n))
+        assert stage_chunks == list(range(n))
+        assert sum(tr.size for tr in stage) == total
+
+
+@given(st.integers(2, 16), st.integers(16, 10**6))
+def test_property_ring_demand_single_sender(n, total):
+    demand = ring_demand(list(range(n)), total)
+    # Exactly one incoming edge per node.
+    receivers = {}
+    for src, dst, _size in demand.pairs():
+        receivers.setdefault(dst, []).append(src)
+    assert all(len(v) == 1 for v in receivers.values())
+    assert len(receivers) == n

@@ -1,0 +1,153 @@
+"""Tests for the staged collective runner on the packet simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import (
+    JitterModel,
+    ScheduleError,
+    StagedCollectiveRunner,
+    Transfer,
+    locality_optimized_ring,
+    ring_reduce_scatter_stages,
+)
+from repro.simnet import Network
+from repro.topology import ClosSpec
+
+
+def small_net(**kwargs):
+    spec = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+    return Network(spec, seed=2, **kwargs)
+
+
+def ring_stages(net, total=80_000):
+    ring = locality_optimized_ring(net.spec.n_hosts)
+    return ring_reduce_scatter_stages(ring, total)
+
+
+def test_runs_requested_iterations():
+    net = small_net()
+    runner = StagedCollectiveRunner(net, 1, ring_stages(net), iterations=3)
+    times = runner.run()
+    assert len(times) == 3
+    for start, end in times:
+        assert end > start
+
+
+def test_iterations_do_not_overlap():
+    net = small_net()
+    runner = StagedCollectiveRunner(
+        net, 1, ring_stages(net), iterations=3, compute_time_ns=5_000
+    )
+    times = runner.run()
+    for (s0, e0), (s1, e1) in zip(times, times[1:]):
+        assert s1 >= e0 + 5_000
+
+
+def test_collectors_see_every_iteration():
+    net = small_net()
+    collectors = net.install_collectors(job_id=1)
+    runner = StagedCollectiveRunner(net, 1, ring_stages(net), iterations=3)
+    runner.run()
+    net.finalize_collectors()
+    for collector in collectors:
+        assert [r.tag.iteration for r in collector.records] == [0, 1, 2]
+
+
+def test_per_iteration_volume_matches_demand():
+    net = small_net()
+    collectors = net.install_collectors(job_id=1)
+    total = 80_000
+    stages = ring_stages(net, total)
+    runner = StagedCollectiveRunner(net, 1, stages, iterations=2)
+    runner.run()
+    net.finalize_collectors()
+    # Each leaf receives from its ring predecessor: total - one chunk.
+    expected = total - total // 4
+    for collector in collectors:
+        for record in collector.records:
+            assert record.total_bytes == expected
+
+
+def test_callback_fires_per_iteration():
+    net = small_net()
+    done = []
+    runner = StagedCollectiveRunner(
+        net,
+        1,
+        ring_stages(net),
+        iterations=2,
+        on_iteration_done=lambda it, now: done.append(it),
+    )
+    runner.run()
+    assert done == [0, 1]
+
+
+def test_jitter_delays_start_but_not_correctness():
+    net = small_net()
+    collectors = net.install_collectors(job_id=1)
+    jitter = JitterModel(max_jitter_ns=20_000, straggler_prob=0.5, straggler_delay_ns=50_000)
+    runner = StagedCollectiveRunner(
+        net, 1, ring_stages(net), iterations=2, jitter=jitter, seed=7
+    )
+    runner.run()
+    net.finalize_collectors()
+    expected = 80_000 - 80_000 // 4
+    for collector in collectors:
+        for record in collector.records:
+            assert record.total_bytes == expected
+
+
+def test_jitter_model_validation():
+    with pytest.raises(ValueError):
+        JitterModel(max_jitter_ns=-1)
+    with pytest.raises(ValueError):
+        JitterModel(straggler_prob=1.5)
+
+
+def test_empty_stages_rejected():
+    net = small_net()
+    with pytest.raises(ScheduleError):
+        StagedCollectiveRunner(net, 1, [], iterations=1)
+
+
+def test_zero_iterations_rejected():
+    net = small_net()
+    with pytest.raises(ScheduleError):
+        StagedCollectiveRunner(net, 1, ring_stages(net), iterations=0)
+
+
+def test_double_start_rejected():
+    net = small_net()
+    runner = StagedCollectiveRunner(net, 1, ring_stages(net), iterations=1)
+    runner.start()
+    with pytest.raises(ScheduleError):
+        runner.start()
+    net.run()
+
+
+def test_single_transfer_schedule():
+    net = small_net()
+    collectors = net.install_collectors(job_id=1)
+    stages = [[Transfer(src=0, dst=2, size=10_000)]]
+    runner = StagedCollectiveRunner(net, 1, stages, iterations=2)
+    runner.run()
+    net.finalize_collectors()
+    assert collectors[2].records[0].total_bytes == 10_000
+    assert collectors[0].records == []
+
+
+def test_stage_dependencies_pipeline():
+    """A node's stage j+1 message is sent only after its stage-j send is
+    acked and its stage-j receive arrived: iteration end must exceed the
+    sum of per-stage serialization lower bounds."""
+    net = small_net()
+    stages = ring_stages(net, total=400_000)
+    runner = StagedCollectiveRunner(net, 1, stages, iterations=1)
+    (start, end), = runner.run()
+    # Lower bound: 3 stages of 100_000 bytes over a 400 Gbps host link.
+    from repro.units import transmission_time_ns
+
+    per_stage = transmission_time_ns(100_000, net.spec.host_rate_bps)
+    assert end - start >= 3 * per_stage

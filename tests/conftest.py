@@ -1,0 +1,41 @@
+"""Shared fixtures for the FlowPulse reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.topology import ClosSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test randomness."""
+    return np.random.Generator(np.random.PCG64(1234))
+
+
+@pytest.fixture
+def small_spec() -> ClosSpec:
+    """A small fabric: 4 leaves x 2 spines, one host per leaf."""
+    return ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+
+
+@pytest.fixture
+def medium_spec() -> ClosSpec:
+    """A mid-size fabric: 8 leaves x 4 spines, one host per leaf."""
+    return ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+
+
+@pytest.fixture
+def small_ring_demand(small_spec):
+    """Ring reduce-scatter demand over the small fabric."""
+    ring = locality_optimized_ring(small_spec.n_hosts)
+    return ring_demand(ring, 400_000)
+
+
+@pytest.fixture
+def medium_ring_demand(medium_spec):
+    """Ring reduce-scatter demand over the medium fabric."""
+    ring = locality_optimized_ring(medium_spec.n_hosts)
+    return ring_demand(ring, 800_000)

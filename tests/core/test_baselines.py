@@ -1,0 +1,150 @@
+"""Tests for the strawman baseline detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import (
+    CentralizedAggregation,
+    DetectionConfig,
+    ProbingDetector,
+    SpatialSymmetryDetector,
+)
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, ControlPlane, down_link, up_link
+
+
+SPEC = ClosSpec(n_leaves=4, n_spines=4, hosts_per_leaf=1)
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 64 * 1024 * 1024)
+
+
+def simulate(disabled=frozenset(), fault=None, seed=0):
+    model = FabricModel(SPEC, known_disabled=disabled, mtu=256)
+    schedule = (lambda it: fault) if fault else None
+    return run_iterations(model, DEMAND, 1, seed=seed, fault_schedule=schedule)[0]
+
+
+# ----------------------------------------------------------------------
+# Spatial symmetry
+# ----------------------------------------------------------------------
+def test_spatial_quiet_on_pristine_fabric():
+    detector = SpatialSymmetryDetector(
+        DetectionConfig(threshold=0.02), n_spines=SPEC.n_spines
+    )
+    verdicts = detector.evaluate_fabric(simulate())
+    assert not any(v.triggered for v in verdicts)
+
+
+def test_spatial_catches_new_fault_on_pristine_fabric():
+    detector = SpatialSymmetryDetector(
+        DetectionConfig(threshold=0.02), n_spines=SPEC.n_spines
+    )
+    verdicts = detector.evaluate_fabric(
+        simulate(fault={down_link(0, 1): 0.2})
+    )
+    assert verdicts[1].triggered
+
+
+def test_spatial_false_positives_under_preexisting_faults():
+    """The paper's §1 argument: pre-existing faults break spatial
+    symmetry, so this detector alarms on a perfectly healthy fabric."""
+    disabled = frozenset({up_link(0, 1), down_link(1, 0)})
+    detector = SpatialSymmetryDetector(
+        DetectionConfig(threshold=0.02), n_spines=SPEC.n_spines
+    )
+    verdicts = detector.evaluate_fabric(simulate(disabled=disabled, seed=2))
+    assert any(v.triggered for v in verdicts)  # false alarms, no fault exists
+
+
+def test_spatial_single_port_never_triggers():
+    from repro.simnet import FlowTag, IterationRecord
+
+    record = IterationRecord(
+        leaf=0, tag=FlowTag(1, 0), port_bytes={0: 100}, sender_bytes={}, start_ns=0, end_ns=1
+    )
+    verdict = SpatialSymmetryDetector().evaluate(record)
+    assert not verdict.triggered
+
+
+# ----------------------------------------------------------------------
+# Probing
+# ----------------------------------------------------------------------
+def test_probe_paths_cover_every_leaf_pair_spine():
+    control = ControlPlane(SPEC)
+    prober = ProbingDetector(SPEC, control)
+    paths = prober.paths()
+    assert len(paths) == 4 * 3 * 4  # src x dst x spine
+
+
+def test_probe_paths_respect_disabled_links():
+    control = ControlPlane(SPEC, known_disabled=frozenset({up_link(0, 0)}))
+    prober = ProbingDetector(SPEC, control)
+    assert (0, 1, 0) not in prober.paths()
+    assert (1, 0, 0) in prober.paths()
+
+
+def test_probe_overhead_scales_quadratically():
+    small = ProbingDetector(SPEC, ControlPlane(SPEC))
+    big_spec = ClosSpec(n_leaves=8, n_spines=8, hosts_per_leaf=1)
+    big = ProbingDetector(big_spec, ControlPlane(big_spec))
+    assert big.bytes_per_round() > 4 * small.bytes_per_round()
+
+
+def test_probe_round_detection_probability(rng):
+    control = ControlPlane(SPEC)
+    prober = ProbingDetector(SPEC, control, probes_per_path=1)
+    faulty_path = (0, 1, 2)
+    detected = sum(
+        prober.run_round({faulty_path: 0.3}, rng).detected for _ in range(300)
+    )
+    assert 60 < detected < 120  # ~ 30% of rounds
+
+
+def test_probe_expected_rounds():
+    prober = ProbingDetector(SPEC, ControlPlane(SPEC), probes_per_path=2)
+    # Per round: 1-(1-0.5)^2 = 0.75 -> 4/3 rounds.
+    assert prober.expected_rounds_to_detect(0.5) == pytest.approx(4 / 3)
+    with pytest.raises(ValueError):
+        prober.expected_rounds_to_detect(0.0)
+
+
+def test_probe_validation():
+    with pytest.raises(ValueError):
+        ProbingDetector(SPEC, ControlPlane(SPEC), probes_per_path=0)
+
+
+def test_flowpulse_injects_zero_probe_bytes():
+    """The contrast the paper draws: FlowPulse is passive."""
+    prober = ProbingDetector(SPEC, ControlPlane(SPEC))
+    assert prober.bytes_per_round() > 0  # probing always pays
+
+
+# ----------------------------------------------------------------------
+# Centralized aggregation
+# ----------------------------------------------------------------------
+def test_aggregation_cost_scales_with_fabric():
+    small = CentralizedAggregation(SPEC)
+    big_spec = ClosSpec(n_leaves=32, n_spines=16, hosts_per_leaf=1)
+    big = CentralizedAggregation(big_spec)
+    assert (
+        big.cost_per_interval().bytes_transferred
+        > 10 * small.cost_per_interval().bytes_transferred
+    )
+
+
+def test_aggregation_latency_is_half_interval():
+    agg = CentralizedAggregation(SPEC, report_interval_iterations=20)
+    assert agg.cost_per_interval().reaction_latency_iterations == 10.0
+
+
+def test_aggregation_detects_counter_mismatch():
+    agg = CentralizedAggregation(SPEC)
+    assert agg.detects(tx_packets=1000, rx_packets=998)
+    assert not agg.detects(tx_packets=1000, rx_packets=1000)
+
+
+def test_aggregation_validation():
+    with pytest.raises(ValueError):
+        CentralizedAggregation(SPEC, report_interval_iterations=0)

@@ -1,0 +1,141 @@
+"""Tests for ROC computation and threshold calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CalibrationError,
+    auc,
+    calibrate_threshold,
+    classify,
+    roc_curve,
+    separating_interval,
+)
+
+
+POS = [0.02, 0.03, 0.05, 0.04]
+NEG = [0.002, 0.004, 0.006, 0.005]
+
+
+def test_classify_threshold_strict():
+    decisions = classify([0.01, 0.02, 0.005], threshold=0.01)
+    assert list(decisions) == [False, True, False]
+
+
+def test_roc_perfect_point():
+    points = roc_curve(POS, NEG, thresholds=[0.01])
+    (point,) = points
+    assert point.perfect
+    assert point.fpr == 0.0 and point.tpr == 1.0 and point.fnr == 0.0
+
+
+def test_roc_too_low_threshold_has_false_positives():
+    (point,) = roc_curve(POS, NEG, thresholds=[0.003])
+    assert point.fpr > 0.0
+    assert point.tpr == 1.0
+
+
+def test_roc_too_high_threshold_misses():
+    (point,) = roc_curve(POS, NEG, thresholds=[0.045])
+    assert point.fpr == 0.0
+    assert point.tpr == 0.25
+
+
+def test_roc_requires_trials():
+    with pytest.raises(CalibrationError):
+        roc_curve([], NEG, [0.01])
+    with pytest.raises(CalibrationError):
+        roc_curve(POS, [], [0.01])
+    with pytest.raises(CalibrationError):
+        roc_curve(POS, NEG, [0.0])
+
+
+def test_auc_perfectly_separable_is_one():
+    points = roc_curve(POS, NEG, thresholds=np.linspace(0.001, 0.06, 30))
+    assert auc(points) == pytest.approx(1.0, abs=0.02)
+
+
+def test_auc_random_scores_is_half():
+    rng = np.random.Generator(np.random.PCG64(0))
+    pos = rng.random(2000)
+    neg = rng.random(2000)
+    points = roc_curve(pos, neg, thresholds=np.linspace(0.01, 0.99, 50))
+    assert auc(points) == pytest.approx(0.5, abs=0.05)
+
+
+def test_auc_empty_rejected():
+    with pytest.raises(CalibrationError):
+        auc([])
+
+
+def test_separating_interval_exists():
+    interval = separating_interval(POS, NEG)
+    assert interval == (max(NEG), min(POS))
+    low, high = interval
+    (point,) = roc_curve(POS, NEG, thresholds=[(low + high) / 2])
+    assert point.perfect
+
+
+def test_separating_interval_absent_when_overlap():
+    assert separating_interval([0.01, 0.05], [0.02, 0.001]) is None
+
+
+def test_paper_threshold_separates_default_condition():
+    """The headline condition: 1% threshold lies inside the separating
+    interval when positives sit at ~1.4% and negatives below ~0.5%."""
+    interval = separating_interval([0.014, 0.015, 0.0145], [0.004, 0.005, 0.0048])
+    low, high = interval
+    assert low < 0.01 < high
+
+
+def test_calibrate_threshold_from_negatives():
+    threshold = calibrate_threshold(NEG, safety_factor=1.5)
+    assert threshold == pytest.approx(max(NEG) * 1.5)
+    assert all(~classify(NEG, threshold))
+
+
+def test_calibrate_threshold_quantile():
+    threshold = calibrate_threshold(NEG, safety_factor=1.0, quantile=0.5)
+    assert threshold == pytest.approx(float(np.quantile(NEG, 0.5)))
+
+
+def test_calibrate_threshold_zero_noise_falls_back_to_paper_default():
+    assert calibrate_threshold([0.0, 0.0]) == 0.01
+
+
+def test_calibrate_threshold_validation():
+    with pytest.raises(CalibrationError):
+        calibrate_threshold([])
+    with pytest.raises(CalibrationError):
+        calibrate_threshold(NEG, safety_factor=0.5)
+    with pytest.raises(CalibrationError):
+        calibrate_threshold(NEG, quantile=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+    st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+    st.floats(0.001, 1.0),
+)
+def test_property_rates_are_probabilities(pos, neg, threshold):
+    (point,) = roc_curve(pos, neg, thresholds=[threshold])
+    assert 0.0 <= point.fpr <= 1.0
+    assert 0.0 <= point.tpr <= 1.0
+    assert point.fnr == pytest.approx(1.0 - point.tpr)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 1.0), min_size=2, max_size=50),
+    st.lists(st.floats(0.0, 1.0), min_size=2, max_size=50),
+)
+def test_property_tpr_fpr_monotone_in_threshold(pos, neg):
+    points = roc_curve(pos, neg, thresholds=[0.1, 0.2, 0.4, 0.8])
+    for a, b in zip(points, points[1:]):
+        assert b.tpr <= a.tpr
+        assert b.fpr <= a.fpr

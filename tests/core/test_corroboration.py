@@ -1,0 +1,113 @@
+"""Tests for spine-tier corroboration of ambiguous localizations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.core.corroboration import (
+    CorroborationError,
+    SpineCorroborator,
+)
+from repro.fastsim import FabricModel
+from repro.fastsim.model import simulate_iteration_with_spines
+from repro.simnet import FlowTag
+from repro.topology import ClosSpec, down_link, up_link
+from repro.units import GIB
+
+SPEC = ClosSpec(n_leaves=16, n_spines=8, hosts_per_leaf=1)
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 4 * GIB)
+
+
+def run_with_spines(silent, seed=0):
+    model = FabricModel(SPEC, silent=silent, mtu=1024)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return simulate_iteration_with_spines(
+        model, DEMAND, rng, tag=FlowTag(1, 0)
+    )
+
+
+def ambiguous_suspicions(leaves):
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, DEMAND), DetectionConfig(threshold=0.01)
+    )
+    verdict = monitor.process_iteration(leaves)
+    assert verdict.triggered
+    return [s for loc in verdict.localizations for s in loc.suspicions]
+
+
+def test_spine_record_volume_conservation():
+    leaves, spines = run_with_spines({})
+    # Every byte that reaches a leaf crossed a spine exactly once.
+    leaf_total = sum(r.total_bytes for r in leaves)
+    spine_total = sum(r.total_bytes for r in spines)
+    assert spine_total == leaf_total
+
+
+def test_expected_spine_ingress_matches_healthy_measurement():
+    corroborator = SpineCorroborator(SPEC, DEMAND)
+    _leaves, spines = run_with_spines({}, seed=1)
+    for record in spines:
+        for src_leaf, observed in record.port_bytes.items():
+            expected = corroborator.expected[(record.leaf, src_leaf)]
+            assert abs(observed - expected) / expected < 0.02
+
+
+def test_down_fault_resolved_to_down_link():
+    fault = down_link(3, 9)
+    leaves, spines = run_with_spines({fault: 0.05}, seed=2)
+    suspicions = ambiguous_suspicions(leaves)
+    assert {s.link for s in suspicions} == {fault, up_link(8, 3)}
+    corroborator = SpineCorroborator(SPEC, DEMAND)
+    resolved = corroborator.resolve(suspicions, spines)
+    assert len(resolved) == 1
+    assert resolved[0].link == fault
+    assert resolved[0].ruled_out == up_link(8, 3)
+    # The spine saw full (or surplus) volume from the sender.
+    assert resolved[0].spine_deficit > -0.01
+
+
+def test_up_fault_resolved_to_up_link():
+    fault = up_link(8, 3)  # sender leaf 8 -> spine 3
+    leaves, spines = run_with_spines({fault: 0.05}, seed=3)
+    suspicions = ambiguous_suspicions(leaves)
+    assert {s.link for s in suspicions} == {fault, down_link(3, 9)}
+    corroborator = SpineCorroborator(SPEC, DEMAND)
+    resolved = corroborator.resolve(suspicions, spines)
+    assert len(resolved) == 1
+    assert resolved[0].link == fault
+    assert resolved[0].ruled_out == down_link(3, 9)
+    # The spine itself was short of the sender's traffic.
+    assert resolved[0].spine_deficit < -0.03
+
+
+def test_unambiguous_suspicions_pass_through_untouched():
+    corroborator = SpineCorroborator(SPEC, DEMAND)
+    _leaves, spines = run_with_spines({}, seed=4)
+    from repro.core.localization import LinkSuspicion
+
+    lone = LinkSuspicion(
+        link=down_link(2, 5),
+        kind="local",
+        leaf=5,
+        spine=2,
+        affected_senders=(4, 6),
+        deviation=-0.1,
+    )
+    assert corroborator.resolve([lone], spines) == []
+
+
+def test_missing_spine_record_raises():
+    fault = down_link(3, 9)
+    leaves, _spines = run_with_spines({fault: 0.05}, seed=5)
+    suspicions = ambiguous_suspicions(leaves)
+    corroborator = SpineCorroborator(SPEC, DEMAND)
+    with pytest.raises(CorroborationError):
+        corroborator.resolve(suspicions, [])
+
+
+def test_threshold_validation():
+    with pytest.raises(CorroborationError):
+        SpineCorroborator(SPEC, DEMAND, threshold=0.0)

@@ -1,0 +1,148 @@
+"""Tests for the threshold detector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DetectionConfig, DetectionError, ThresholdDetector
+from repro.core.prediction import PortPrediction
+from repro.simnet import FlowTag, IterationRecord
+
+
+def record(leaf=0, iteration=0, **port_bytes):
+    ports = {int(k[1:]): v for k, v in port_bytes.items()}
+    return IterationRecord(
+        leaf=leaf,
+        tag=FlowTag(1, iteration),
+        port_bytes=ports,
+        sender_bytes={(p, 0): v for p, v in ports.items()},
+        start_ns=0,
+        end_ns=1,
+    )
+
+
+def prediction(leaf=0, **port_bytes):
+    ports = {int(k[1:]): float(v) for k, v in port_bytes.items()}
+    return PortPrediction(
+        leaf=leaf,
+        port_bytes=ports,
+        sender_bytes={(p, 0): v for p, v in ports.items()},
+    )
+
+
+def test_no_alarm_when_observation_matches():
+    detector = ThresholdDetector(DetectionConfig(threshold=0.01))
+    result = detector.evaluate(record(p0=1000, p1=1000), prediction(p0=1000, p1=1000))
+    assert not result.triggered
+    assert result.max_abs_deviation == 0.0
+
+
+def test_deficit_beyond_threshold_alarms():
+    detector = ThresholdDetector(DetectionConfig(threshold=0.01))
+    result = detector.evaluate(record(p0=980, p1=1000), prediction(p0=1000, p1=1000))
+    assert result.triggered
+    (alarm,) = result.alarms
+    assert alarm.spine == 0
+    assert alarm.is_deficit
+    assert math.isclose(alarm.deviation, -0.02)
+
+
+def test_surplus_beyond_threshold_alarms_too():
+    detector = ThresholdDetector(DetectionConfig(threshold=0.01))
+    result = detector.evaluate(record(p0=1020, p1=1000), prediction(p0=1000, p1=1000))
+    assert result.triggered
+    (alarm,) = result.alarms
+    assert not alarm.is_deficit
+
+
+def test_deviation_exactly_at_threshold_does_not_alarm():
+    detector = ThresholdDetector(DetectionConfig(threshold=0.02))
+    result = detector.evaluate(record(p0=980, p1=1000), prediction(p0=1000, p1=1000))
+    assert not result.triggered
+
+
+def test_paper_threshold_default_is_one_percent():
+    assert DetectionConfig().threshold == 0.01
+
+
+def test_missing_port_counts_as_total_deficit():
+    detector = ThresholdDetector()
+    result = detector.evaluate(record(p1=1000), prediction(p0=1000, p1=1000))
+    assert result.triggered
+    (alarm,) = result.alarms
+    assert alarm.spine == 0
+    assert alarm.deviation == -1.0
+
+
+def test_unexpected_traffic_on_idle_port():
+    detector = ThresholdDetector()
+    result = detector.evaluate(record(p0=1000, p1=500), prediction(p0=1000))
+    assert result.triggered
+    (alarm,) = result.alarms
+    assert alarm.spine == 1
+    assert math.isinf(alarm.deviation)
+    assert result.max_abs_deviation == math.inf
+
+
+def test_idle_port_staying_idle_is_fine():
+    detector = ThresholdDetector()
+    result = detector.evaluate(record(p0=1000), prediction(p0=1000, p1=0.0))
+    assert not result.triggered
+
+
+def test_leaf_mismatch_rejected():
+    detector = ThresholdDetector()
+    with pytest.raises(DetectionError):
+        detector.evaluate(record(leaf=0, p0=1), prediction(leaf=1, p0=1))
+
+
+def test_config_validation():
+    with pytest.raises(DetectionError):
+        DetectionConfig(threshold=0.0)
+    with pytest.raises(DetectionError):
+        DetectionConfig(min_port_bytes=-1)
+
+
+def test_deficit_alarms_filter():
+    detector = ThresholdDetector(DetectionConfig(threshold=0.01))
+    result = detector.evaluate(
+        record(p0=900, p1=1100), prediction(p0=1000, p1=1000)
+    )
+    deficits = result.deficit_alarms()
+    assert [a.spine for a in deficits] == [0]
+    assert len(result.alarms) == 2
+
+
+def test_iteration_propagated():
+    detector = ThresholdDetector()
+    result = detector.evaluate(record(iteration=7, p0=1), prediction(p0=1))
+    assert result.iteration == 7
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(0.001, 0.5),
+    st.floats(-0.6, 0.6),
+)
+def test_property_alarm_iff_deviation_exceeds_threshold(threshold, deviation):
+    detector = ThresholdDetector(DetectionConfig(threshold=threshold))
+    observed = 1_000_000 * (1 + deviation)
+    result = detector.evaluate(
+        record(p0=int(observed), p1=1_000_000),
+        prediction(p0=1_000_000, p1=1_000_000),
+    )
+    actual_dev = abs(int(observed) - 1_000_000) / 1_000_000
+    assert result.triggered == (actual_dev > threshold)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 10**9), min_size=1, max_size=16))
+def test_property_exact_match_never_alarms(volumes):
+    detector = ThresholdDetector()
+    ports_rec = {f"p{i}": v for i, v in enumerate(volumes)}
+    result = detector.evaluate(record(**ports_rec), prediction(**ports_rec))
+    assert not result.triggered

@@ -1,0 +1,120 @@
+"""Tests for dynamic-demand (AllToAll / expert-parallel) monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import alltoall_demand, expert_parallel_demand
+from repro.core import DetectionConfig
+from repro.core.dynamic import DynamicDemandMonitor
+from repro.fastsim import FabricModel, simulate_iteration
+from repro.simnet import FlowTag
+from repro.topology import ClosSpec, down_link, up_link
+from repro.units import MIB
+
+SPEC = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+
+
+def run_dynamic(monitor, demands, silent=None, seed=0):
+    """Simulate each iteration with its own demand; monitor them."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    model = FabricModel(SPEC, silent=silent or {}, mtu=1024)
+    verdicts = []
+    for iteration, demand in enumerate(demands):
+        records = simulate_iteration(
+            model, demand, rng, tag=FlowTag(1, iteration)
+        )
+        verdicts.append(monitor.process_iteration(demand, records))
+    return verdicts
+
+
+def expert_demands(n, seed=0, total=1024 * MIB):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    hosts = list(range(SPEC.n_hosts))
+    return [
+        expert_parallel_demand(hosts, total, rng, concentration=0.5)
+        for _ in range(n)
+    ]
+
+
+def test_varying_demand_healthy_is_quiet():
+    monitor = DynamicDemandMonitor(SPEC, config=DetectionConfig(threshold=0.01))
+    demands = expert_demands(4, seed=1)
+    # The demands genuinely differ between iterations.
+    assert demands[0] != demands[1]
+    verdicts = run_dynamic(monitor, demands, seed=1)
+    assert not any(v.triggered for v in verdicts)
+    assert monitor.predictions_computed == 4
+
+
+def test_static_monitor_would_false_alarm_on_dynamic_demand():
+    """The §7 motivation: predicting iteration k+1 from iteration k's
+    demand breaks once the matrix changes."""
+    from repro.core import AnalyticalPredictor, FlowPulseMonitor
+
+    demands = expert_demands(2, seed=2)
+    rng = np.random.Generator(np.random.PCG64(2))
+    model = FabricModel(SPEC, mtu=1024)
+    records_1 = simulate_iteration(model, demands[1], rng, tag=FlowTag(1, 1))
+    stale = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, demands[0]), DetectionConfig(threshold=0.01)
+    )
+    verdict = stale.process_iteration(records_1)
+    assert verdict.triggered  # stale prediction -> spurious alarms
+
+
+def test_dynamic_fault_detected_on_down_link():
+    fault = down_link(1, 3)
+    monitor = DynamicDemandMonitor(SPEC, config=DetectionConfig(threshold=0.01))
+    verdicts = run_dynamic(
+        monitor, expert_demands(3, seed=3), silent={fault: 0.05}, seed=3
+    )
+    assert all(v.triggered for v in verdicts)
+    suspected = frozenset().union(*(v.suspected_links() for v in verdicts))
+    assert fault in suspected
+
+
+def test_dynamic_fault_localized_remote_with_multi_senders():
+    """AllToAll gives every port many senders, so Fig. 4's comparison
+    uniquely names an upstream fault even in the dynamic case."""
+    fault = up_link(2, 1)
+    monitor = DynamicDemandMonitor(SPEC, config=DetectionConfig(threshold=0.01))
+    demands = [alltoall_demand(list(range(SPEC.n_hosts)), 64 * MIB)] * 3
+    verdicts = run_dynamic(monitor, demands, silent={fault: 0.05}, seed=4)
+    assert any(v.triggered for v in verdicts)
+    suspicions = [
+        s
+        for v in verdicts
+        for loc in v.localizations
+        for s in loc.suspicions
+    ]
+    assert suspicions
+    assert {s.link for s in suspicions} == {fault}
+    assert all(s.kind == "remote" for s in suspicions)
+
+
+def test_known_disabled_respected():
+    disabled = frozenset({down_link(0, 2), up_link(2, 0)})
+    monitor = DynamicDemandMonitor(
+        SPEC, known_disabled=disabled, config=DetectionConfig(threshold=0.01)
+    )
+    rng = np.random.Generator(np.random.PCG64(5))
+    model = FabricModel(SPEC, known_disabled=disabled, mtu=1024)
+    demand = alltoall_demand(list(range(SPEC.n_hosts)), 64 * MIB)
+    records = simulate_iteration(model, demand, rng, tag=FlowTag(1, 0))
+    verdict = monitor.process_iteration(demand, records)
+    assert not verdict.triggered
+
+
+def test_process_run_convenience():
+    monitor = DynamicDemandMonitor(SPEC, config=DetectionConfig(threshold=0.01))
+    demands = expert_demands(3, seed=6)
+    rng = np.random.Generator(np.random.PCG64(6))
+    model = FabricModel(SPEC, mtu=1024)
+    pairs = [
+        (demand, simulate_iteration(model, demand, rng, tag=FlowTag(1, i)))
+        for i, demand in enumerate(demands)
+    ]
+    verdicts = monitor.process_run(pairs)
+    assert [v.iteration for v in verdicts] == [0, 1, 2]

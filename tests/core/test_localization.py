@@ -1,0 +1,150 @@
+"""Tests for the Fig. 4 localization rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DetectionConfig,
+    Localizer,
+    ThresholdDetector,
+)
+from repro.core.prediction import PortPrediction
+from repro.simnet import FlowTag, IterationRecord
+from repro.topology import down_link, up_link
+
+
+def build(leaf, observed_by_sender, predicted_by_sender):
+    """observed/predicted: {(spine, src_leaf): bytes}."""
+    obs_ports, pred_ports = {}, {}
+    for (spine, _src), v in observed_by_sender.items():
+        obs_ports[spine] = obs_ports.get(spine, 0) + v
+    for (spine, _src), v in predicted_by_sender.items():
+        pred_ports[spine] = pred_ports.get(spine, 0.0) + v
+    record = IterationRecord(
+        leaf=leaf,
+        tag=FlowTag(1, 0),
+        port_bytes=obs_ports,
+        sender_bytes=dict(observed_by_sender),
+        start_ns=0,
+        end_ns=1,
+    )
+    prediction = PortPrediction(
+        leaf=leaf,
+        port_bytes=pred_ports,
+        sender_bytes={k: float(v) for k, v in predicted_by_sender.items()},
+    )
+    return record, prediction
+
+
+def localize(record, prediction, threshold=0.01):
+    detector = ThresholdDetector(DetectionConfig(threshold=threshold))
+    result = detector.evaluate(record, prediction)
+    return Localizer(sender_threshold=threshold).localize(record, prediction, result)
+
+
+def test_all_senders_affected_blames_local_link():
+    # Both senders through spine 1 are down 10%: local link S1->L2.
+    predicted = {(0, 0): 1000, (1, 0): 1000, (0, 3): 1000, (1, 3): 1000}
+    observed = {(0, 0): 1000, (1, 0): 900, (0, 3): 1000, (1, 3): 900}
+    record, prediction = build(2, observed, predicted)
+    result = localize(record, prediction)
+    assert result.suspected_links() == frozenset({down_link(1, 2)})
+    (suspicion,) = result.suspicions
+    assert suspicion.kind == "local"
+    assert set(suspicion.affected_senders) == {0, 3}
+
+
+def test_single_sender_affected_blames_remote_uplink():
+    # Fig. 4: only sender leaf 0's traffic via spine 1 is depressed.
+    predicted = {(0, 0): 1000, (1, 0): 1000, (0, 3): 1000, (1, 3): 1000}
+    observed = {(0, 0): 1000, (1, 0): 850, (0, 3): 1000, (1, 3): 1000}
+    record, prediction = build(2, observed, predicted)
+    result = localize(record, prediction, threshold=0.02)
+    assert result.suspected_links() == frozenset({up_link(0, 1)})
+    (suspicion,) = result.suspicions
+    assert suspicion.kind == "remote"
+    assert suspicion.affected_senders == (0,)
+
+
+def test_two_of_three_senders_affected_blames_both_remotes():
+    predicted = {(0, s): 1000 for s in (1, 2, 3)}
+    observed = {(0, 1): 800, (0, 2): 820, (0, 3): 1000}
+    record, prediction = build(0, observed, predicted)
+    result = localize(record, prediction, threshold=0.05)
+    assert result.suspected_links() == frozenset({up_link(1, 0), up_link(2, 0)})
+    assert all(s.kind == "remote" for s in result.suspicions)
+
+
+def test_no_alarm_no_suspicion():
+    predicted = {(0, 0): 1000, (1, 0): 1000}
+    record, prediction = build(2, {k: int(v) for k, v in predicted.items()}, predicted)
+    result = localize(record, prediction)
+    assert result.suspicions == ()
+
+
+def test_surplus_alarms_not_localized():
+    # Retransmit overflow elsewhere shows as surplus; only deficits are
+    # attributed to links.
+    predicted = {(0, 0): 1000, (1, 0): 1000}
+    observed = {(0, 0): 1100, (1, 0): 1000}
+    record, prediction = build(2, observed, predicted)
+    result = localize(record, prediction, threshold=0.05)
+    assert result.suspicions == ()
+
+
+def test_thin_spread_deficit_defaults_to_local():
+    # Port-level deficit present, but no single sender crosses the
+    # per-sender threshold: blame the shared local link.
+    predicted = {(0, s): 1000 for s in (1, 2, 3)}
+    observed = {(0, 1): 950, (0, 2): 950, (0, 3): 950}
+    record, prediction = build(0, observed, predicted)
+    # Port deficit = 5% > 3% threshold; per-sender = 5% > threshold too,
+    # so all three are affected -> local.
+    result = localize(record, prediction, threshold=0.03)
+    (suspicion,) = result.suspicions
+    assert suspicion.kind == "local"
+    assert suspicion.link == down_link(0, 0)
+
+
+def test_multiple_ports_localized_independently():
+    predicted = {(0, 1): 1000, (1, 1): 1000}
+    observed = {(0, 1): 800, (1, 1): 800}
+    record, prediction = build(3, observed, predicted)
+    result = localize(record, prediction, threshold=0.05)
+    # Single sender on each port: each deficit narrows to the two
+    # candidate cables of that port's path.
+    assert result.suspected_links() == frozenset(
+        {down_link(0, 3), down_link(1, 3), up_link(1, 0), up_link(1, 1)}
+    )
+
+
+def test_single_sender_port_yields_both_candidate_cables():
+    """With one sender per port (the ring case), Fig. 4's sender
+    comparison cannot disambiguate: the suspicion set must contain both
+    the local downstream link and the sender's upstream link."""
+    predicted = {(0, 2): 1000, (1, 2): 1000}
+    observed = {(0, 2): 890, (1, 2): 1000}
+    record, prediction = build(3, observed, predicted)
+    result = localize(record, prediction, threshold=0.05)
+    assert result.suspected_links() == frozenset(
+        {down_link(0, 3), up_link(2, 0)}
+    )
+    kinds = {s.kind for s in result.suspicions}
+    assert kinds == {"local", "remote"}
+    assert all(s.spine == 0 for s in result.suspicions)
+
+
+def test_sender_threshold_validation():
+    with pytest.raises(ValueError):
+        Localizer(sender_threshold=0.0)
+
+
+def test_localization_result_metadata():
+    predicted = {(0, 0): 1000}
+    observed = {(0, 0): 500}
+    record, prediction = build(5, observed, predicted)
+    result = localize(record, prediction)
+    assert result.leaf == 5
+    assert result.iteration == 0
+    assert result.suspicions[0].deviation < 0

@@ -1,0 +1,92 @@
+"""Tests for measurement planning (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import (
+    DemandMatrix,
+    alltoall_demand,
+    locality_optimized_ring,
+    ring_demand,
+)
+from repro.core import MeasurementError, plan_measurement, select_measured_flows
+from repro.simnet import Priority
+from repro.topology import ClosSpec
+
+
+SPEC = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+
+
+def test_ring_demand_measured_in_full():
+    demand = ring_demand(locality_optimized_ring(4), 400)
+    plan = plan_measurement(1, demand, SPEC)
+    assert plan.demand == demand
+    assert plan.priority is Priority.MEASURED
+    assert plan.is_jitter_resilient(SPEC)
+
+
+def test_alltoall_gets_flow_selection():
+    demand = alltoall_demand(list(range(4)), 100)
+    plan = plan_measurement(1, demand, SPEC)
+    assert plan.demand != demand
+    assert plan.is_jitter_resilient(SPEC)
+
+
+def test_selection_covers_every_leaf_once_each_way():
+    demand = alltoall_demand(list(range(4)), 100)
+    selected = select_measured_flows(demand, SPEC)
+    senders = [SPEC.leaf_of_host(src) for src, _dst, _ in selected.pairs()]
+    receivers = [SPEC.leaf_of_host(dst) for _src, dst, _ in selected.pairs()]
+    assert sorted(senders) == [0, 1, 2, 3]
+    assert sorted(receivers) == [0, 1, 2, 3]
+
+
+def test_selection_prefers_heavy_flows():
+    demand = DemandMatrix()
+    # Two choices for each leaf; the heavy cycle 0->1->0 vs light 0->1
+    # alternatives.  Build a graph where a heavy perfect matching exists.
+    demand.add(0, 1, 1000)
+    demand.add(1, 0, 1000)
+    demand.add(2, 3, 1000)
+    demand.add(3, 2, 1000)
+    demand.add(0, 2, 1)
+    demand.add(2, 0, 1)
+    selected = select_measured_flows(demand, SPEC)
+    sizes = sorted(size for _, _, size in selected.pairs())
+    assert sizes == [1000, 1000, 1000, 1000]
+
+
+def test_selection_single_flow_per_leaf_pair():
+    spec = ClosSpec(n_leaves=2, n_spines=2, hosts_per_leaf=2)
+    demand = DemandMatrix()
+    demand.add(0, 2, 100)  # leaf0 -> leaf1
+    demand.add(1, 3, 900)  # leaf0 -> leaf1 (heavier host flow)
+    demand.add(2, 0, 100)  # leaf1 -> leaf0
+    selected = select_measured_flows(demand, spec)
+    # The heavier host flow represents the (0, 1) leaf pair.
+    assert selected.get(1, 3) == 900
+    assert selected.get(0, 2) == 0
+    assert selected.get(2, 0) == 100
+
+
+def test_unbalanced_leaves_rejected():
+    demand = DemandMatrix()
+    demand.add(0, 1, 10)  # leaf 0 sends, leaf 1 receives; no reverse cover
+    with pytest.raises(MeasurementError):
+        select_measured_flows(demand, SPEC)
+
+
+def test_empty_demand_rejected():
+    spec = ClosSpec(n_leaves=2, n_spines=2, hosts_per_leaf=2)
+    demand = DemandMatrix()
+    demand.add(0, 1, 10)  # local only
+    with pytest.raises(MeasurementError):
+        select_measured_flows(demand, spec)
+
+
+def test_plan_ids_and_priority():
+    demand = ring_demand(locality_optimized_ring(4), 400)
+    plan = plan_measurement(42, demand, SPEC)
+    assert plan.job_id == 42
+    assert plan.priority is Priority.MEASURED

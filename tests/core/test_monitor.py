@@ -1,0 +1,122 @@
+"""Tests for the end-to-end FlowPulse monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import (
+    AnalyticalPredictor,
+    DetectionConfig,
+    FlowPulseMonitor,
+    LearnedPredictor,
+    LearningEvent,
+    score_for_roc,
+)
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, down_link
+
+
+SPEC = ClosSpec(n_leaves=4, n_spines=4, hosts_per_leaf=1)
+# Large enough that multinomial spray noise (~sqrt(s/n) relative) sits
+# well below the 1 % detection threshold at mtu=256.
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 256 * 1024 * 1024)
+
+
+def monitor_with_analytical(threshold=0.01):
+    predictor = AnalyticalPredictor(SPEC, DEMAND)
+    return FlowPulseMonitor(predictor, DetectionConfig(threshold=threshold))
+
+
+def simulate(fault=None, n=4, seed=0, mtu=256):
+    model = FabricModel(SPEC, mtu=mtu)
+    schedule = (lambda it: fault) if fault else None
+    return run_iterations(model, DEMAND, n, seed=seed, fault_schedule=schedule)
+
+
+def test_healthy_run_never_triggers():
+    monitor = monitor_with_analytical()
+    verdict = monitor.process_run(simulate())
+    assert not verdict.triggered
+    assert verdict.first_detection_iteration is None
+    assert verdict.suspected_links() == frozenset()
+
+
+def test_faulty_run_triggers_and_localizes():
+    fault_link = down_link(1, 2)
+    monitor = monitor_with_analytical()
+    verdict = monitor.process_run(simulate(fault={fault_link: 0.1}))
+    assert verdict.triggered
+    assert verdict.first_detection_iteration == 0
+    assert fault_link in verdict.suspected_links()
+
+
+def test_suspicion_counts_accumulate():
+    fault_link = down_link(1, 2)
+    monitor = monitor_with_analytical()
+    verdict = monitor.process_run(simulate(fault={fault_link: 0.2}, n=5))
+    counts = verdict.suspicion_counts()
+    assert counts.get(fault_link, 0) >= 4  # implicated nearly every iteration
+
+
+def test_verdict_scores_monotone_in_drop_rate():
+    scores = []
+    for rate in (0.02, 0.05, 0.15):
+        monitor = monitor_with_analytical()
+        verdict = monitor.process_run(
+            simulate(fault={down_link(0, 1): rate}, seed=3)
+        )
+        scores.append(verdict.max_score)
+    assert scores == sorted(scores)
+
+
+def test_learning_monitor_skips_warmup_then_detects():
+    predictor = LearnedPredictor(warmup_iterations=2)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.01))
+
+    def schedule(it):
+        return {down_link(0, 1): 0.1} if it >= 3 else {}
+
+    model = FabricModel(SPEC, mtu=256)
+    records = run_iterations(model, DEMAND, 6, seed=1, fault_schedule=schedule)
+    verdicts = [monitor.process_iteration(r) for r in records]
+    assert verdicts[0].skipped and verdicts[1].skipped
+    assert verdicts[1].learning_event is LearningEvent.BASELINE_READY
+    assert not verdicts[2].skipped and not verdicts[2].triggered
+    assert any(v.triggered for v in verdicts[3:])
+
+
+def test_learning_monitor_suppresses_healing():
+    predictor = LearnedPredictor(warmup_iterations=2)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.01))
+
+    def schedule(it):
+        return {down_link(0, 1): 0.15} if it < 3 else {}
+
+    model = FabricModel(SPEC, mtu=256)
+    records = run_iterations(model, DEMAND, 8, seed=2, fault_schedule=schedule)
+    verdicts = [monitor.process_iteration(r) for r in records]
+    healing = [v for v in verdicts if v.learning_event is LearningEvent.HEALING_DETECTED]
+    assert healing and all(v.skipped for v in healing)
+    # After rebaseline, the healthy fabric is quiet.
+    post = [v for v in verdicts if v.learning_event is LearningEvent.REBASELINED]
+    assert post
+    tail = verdicts[verdicts.index(post[0]) + 1 :]
+    assert tail and not any(v.triggered for v in tail)
+
+
+def test_score_for_roc_caps_infinities():
+    monitor = monitor_with_analytical()
+    # A black-hole-like total fault on a port produces -1 deviation
+    # (finite); fabricate an infinite one via an unexpected port.
+    records = simulate()
+    records[0][0].port_bytes[99] = 12345  # traffic on a nonexistent port
+    verdict = monitor.process_run(records)
+    assert score_for_roc(verdict) == 10.0
+
+
+def test_iteration_verdict_exposes_results_per_leaf():
+    monitor = monitor_with_analytical()
+    verdict = monitor.process_iteration(simulate(n=1)[0])
+    assert len(verdict.results) == SPEC.n_leaves
+    assert verdict.iteration == 0

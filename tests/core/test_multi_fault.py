@@ -1,0 +1,121 @@
+"""Detection and localization under multiple simultaneous faults and
+exotic fault types (black holes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import _same_cable
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, down_link, up_link
+from repro.units import GIB
+
+SPEC = ClosSpec(n_leaves=16, n_spines=8, hosts_per_leaf=1)
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 4 * GIB)
+
+
+def monitor_run(silent, seed=0, threshold=0.01, n=3):
+    model = FabricModel(SPEC, silent=silent, mtu=1024)
+    records = run_iterations(model, DEMAND, n, seed=seed)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, DEMAND), DetectionConfig(threshold=threshold)
+    )
+    return monitor.process_run(records)
+
+
+def test_two_simultaneous_faults_both_localized():
+    faults = {down_link(1, 3): 0.05, down_link(6, 11): 0.05}
+    verdict = monitor_run(faults, seed=71)
+    assert verdict.triggered
+    suspected = verdict.suspected_links()
+    for fault in faults:
+        assert any(_same_cable(link, fault) for link in suspected), fault
+
+
+def test_three_faults_mixed_directions():
+    faults = {
+        down_link(0, 1): 0.08,
+        up_link(5, 3): 0.08,
+        down_link(7, 14): 0.08,
+    }
+    verdict = monitor_run(faults, seed=72)
+    suspected = verdict.suspected_links()
+    for fault in faults:
+        assert any(_same_cable(link, fault) for link in suspected), fault
+
+
+def test_faults_on_same_leaf_different_spines():
+    faults = {down_link(2, 9): 0.06, down_link(5, 9): 0.06}
+    verdict = monitor_run(faults, seed=73)
+    # Leaf 9 alarms on two distinct ports.
+    alarming_ports = {
+        (r.leaf, a.spine)
+        for v in verdict.verdicts
+        for r in v.results
+        if r.triggered
+        for a in r.deficit_alarms()
+    }
+    assert (9, 2) in alarming_ports
+    assert (9, 5) in alarming_ports
+
+
+def test_total_silent_path_failure_is_a_loud_signal():
+    """A 100% silent drop (transient black hole) on one path: the port
+    receives nothing (deviation -1), and the retransmitted copies show
+    up as a ~1/(s-1) surplus on the surviving ports."""
+    verdict = monitor_run({down_link(3, 7): 1.0}, seed=74, threshold=0.05)
+    assert verdict.triggered
+    deviations = [
+        a.deviation
+        for v in verdict.verdicts
+        for r in v.results
+        if r.leaf == 7
+        for a in r.alarms
+    ]
+    assert min(deviations) == pytest.approx(-1.0)
+    surplus = [d for d in deviations if d > 0]
+    assert surplus
+    assert max(surplus) == pytest.approx(1 / (SPEC.n_spines - 1), rel=0.1)
+
+
+def test_destination_black_hole_on_simnet():
+    """FIB-corruption black hole (paper §1): a spine silently drops
+    packets for one destination only.  The destination's leaf sees the
+    deficit; other leaves served by the same spine stay clean."""
+    from repro.collectives import StagedCollectiveRunner, ring_reduce_scatter_stages
+    from repro.simnet import BlackHoleFault, Network
+
+    spec = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+    net = Network(spec, seed=75, spray="round_robin", mtu=512)
+    # Spine 1's downlink to leaf 3 black-holes traffic to host 3 only.
+    net.inject_fault(
+        down_link(1, 3), BlackHoleFault(dst_hosts=frozenset({3}))
+    )
+    collectors = net.install_collectors(job_id=1)
+    ring = locality_optimized_ring(spec.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, 400_000)
+    StagedCollectiveRunner(net, 1, stages, iterations=2).run()
+    net.finalize_collectors()
+
+    demand = ring_demand(ring, 400_000)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand), DetectionConfig(threshold=0.05)
+    )
+    matrix = [
+        [collectors[leaf].records[i] for leaf in range(spec.n_leaves)]
+        for i in range(2)
+    ]
+    verdict = monitor.process_run(matrix)
+    assert verdict.triggered
+    # Only leaf 3 raises deficit alarms.
+    leaves_alarming = {
+        r.leaf
+        for v in verdict.verdicts
+        for r in v.results
+        if r.deficit_alarms()
+    }
+    assert leaves_alarming == {3}
+    assert down_link(1, 3) in verdict.suspected_links()

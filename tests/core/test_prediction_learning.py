@@ -1,0 +1,135 @@
+"""Tests for the learning predictor and its healing rebaseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import LearnedPredictor, LearningEvent, PredictionError, imbalance
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, down_link
+
+
+SPEC = ClosSpec(n_leaves=4, n_spines=4, hosts_per_leaf=1)
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 4_000_000)
+
+
+def records_with(fault_schedule, n, seed=0):
+    model = FabricModel(SPEC, mtu=256)
+    return run_iterations(model, DEMAND, n, seed=seed, fault_schedule=fault_schedule)
+
+
+def test_imbalance_zero_for_even_split():
+    assert imbalance([100.0, 100.0, 100.0]) == 0.0
+
+
+def test_imbalance_grows_with_skew():
+    assert imbalance([50.0, 100.0, 150.0]) > imbalance([90.0, 100.0, 110.0])
+
+
+def test_imbalance_degenerate_inputs():
+    assert imbalance([]) == 0.0
+    assert imbalance([100.0]) == 0.0
+    assert imbalance([0.0, 0.0]) == 0.0
+
+
+def test_warmup_then_ready():
+    predictor = LearnedPredictor(warmup_iterations=3)
+    runs = records_with(lambda it: {}, 4)
+    assert predictor.update(runs[0]) is LearningEvent.WARMUP
+    assert not predictor.ready
+    assert predictor.update(runs[1]) is LearningEvent.WARMUP
+    assert predictor.update(runs[2]) is LearningEvent.BASELINE_READY
+    assert predictor.ready
+    assert predictor.update(runs[3]) is LearningEvent.NONE
+
+
+def test_predict_before_ready_raises():
+    with pytest.raises(PredictionError):
+        LearnedPredictor().predict()
+
+
+def test_baseline_is_mean_of_warmup():
+    predictor = LearnedPredictor(warmup_iterations=2)
+    runs = records_with(lambda it: {}, 2)
+    for records in runs:
+        predictor.update(records)
+    prediction = predictor.predict()
+    for leaf in range(SPEC.n_leaves):
+        for spine in runs[0][leaf].port_bytes:
+            mean = (
+                runs[0][leaf].port_bytes[spine] + runs[1][leaf].port_bytes[spine]
+            ) / 2
+            assert np.isclose(prediction.for_leaf(leaf).port_bytes[spine], mean)
+
+
+def test_baseline_reflects_steady_fault():
+    """A fault present throughout warmup is learned as 'normal' — the
+    caveat the paper's Fig. 3 narrative starts from."""
+    fault = {down_link(0, 1): 0.2}
+    predictor = LearnedPredictor(warmup_iterations=3)
+    runs = records_with(lambda it: fault, 3)
+    for records in runs:
+        predictor.update(records)
+    prediction = predictor.predict()
+    ports = prediction.for_leaf(1).port_bytes
+    assert ports[0] < ports[1] * 0.9  # the deficit is baked in
+
+
+def test_healing_triggers_rebaseline():
+    """Fault active during warmup, heals at iteration 3: the predictor
+    must notice the re-balancing, relearn, and the new baseline must be
+    even again (Fig. 3)."""
+    fault = {down_link(0, 1): 0.2}
+
+    def schedule(iteration):
+        return fault if iteration < 3 else {}
+
+    predictor = LearnedPredictor(warmup_iterations=3)
+    runs = records_with(schedule, 8)
+    events = [predictor.update(records) for records in runs]
+    assert events[:3] == [
+        LearningEvent.WARMUP,
+        LearningEvent.WARMUP,
+        LearningEvent.BASELINE_READY,
+    ]
+    assert events[3] is LearningEvent.HEALING_DETECTED
+    assert LearningEvent.REBASELINED in events[4:]
+    # The adopted baseline is the healed, balanced one.
+    ports = predictor.predict().for_leaf(1).port_bytes
+    values = list(ports.values())
+    assert imbalance(values) < 0.05
+    assert len(predictor.baseline_history) == 2
+
+
+def test_new_fault_is_not_mistaken_for_healing():
+    """A new fault makes the distribution *less* even: the predictor
+    must hold its baseline (detection handles the alarm)."""
+
+    def schedule(iteration):
+        return {down_link(0, 1): 0.2} if iteration >= 3 else {}
+
+    predictor = LearnedPredictor(warmup_iterations=3)
+    runs = records_with(schedule, 6)
+    events = [predictor.update(records) for records in runs]
+    assert events[3:] == [LearningEvent.NONE] * 3
+    assert len(predictor.baseline_history) == 1
+
+
+def test_validation():
+    with pytest.raises(PredictionError):
+        LearnedPredictor(warmup_iterations=0)
+    with pytest.raises(PredictionError):
+        LearnedPredictor(deviation_trigger=0)
+    with pytest.raises(PredictionError):
+        LearnedPredictor(balance_margin=-0.1)
+
+
+def test_sender_breakdown_learned_too():
+    predictor = LearnedPredictor(warmup_iterations=2)
+    for records in records_with(lambda it: {}, 2):
+        predictor.update(records)
+    leaf1 = predictor.predict().for_leaf(1)
+    assert leaf1.sender_bytes
+    assert np.isclose(sum(leaf1.sender_bytes.values()), leaf1.total_bytes)

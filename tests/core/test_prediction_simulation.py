@@ -1,0 +1,102 @@
+"""Tests for the simulation-based predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, PredictionError, SimulationPredictor
+from repro.fastsim import FabricModel
+from repro.topology import ClosSpec, down_link
+
+
+def setup(n_spines=4, gray=None, silent=None, disabled=frozenset()):
+    spec = ClosSpec(n_leaves=4, n_spines=n_spines, hosts_per_leaf=1)
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 400_000)
+    model = FabricModel(
+        spec,
+        known_disabled=disabled,
+        known_gray=gray or {},
+        silent=silent or {},
+        mtu=512,
+    )
+    return spec, demand, model
+
+
+def test_expected_backend_matches_analytical_when_no_gray():
+    spec, demand, model = setup(disabled=frozenset({down_link(0, 1)}))
+    sim = SimulationPredictor(model, demand, backend="expected").predict()
+    ana = AnalyticalPredictor(
+        spec, demand, known_disabled=frozenset({down_link(0, 1)})
+    ).predict()
+    for leaf in range(4):
+        sim_ports = sim.for_leaf(leaf).port_bytes
+        ana_ports = ana.for_leaf(leaf).port_bytes
+        assert set(sim_ports) == set(ana_ports)
+        for spine, volume in ana_ports.items():
+            assert np.isclose(sim_ports[spine], volume, rtol=1e-9)
+
+
+def test_expected_backend_incorporates_known_gray():
+    spec, demand, model = setup(gray={down_link(0, 1): 0.1})
+    sim = SimulationPredictor(model, demand, backend="expected").predict()
+    ana = AnalyticalPredictor(spec, demand).predict()
+    # The gray-aware prediction expects *less* on the gray port.
+    assert (
+        sim.for_leaf(1).port_bytes[0] < ana.for_leaf(1).port_bytes[0]
+    )
+    # And slightly more on the healthy ports (retransmit respray).
+    assert sim.for_leaf(1).port_bytes[1] > ana.for_leaf(1).port_bytes[1]
+
+
+def test_predictor_never_sees_silent_faults():
+    _, demand, model = setup(silent={down_link(0, 1): 0.5})
+    sim = SimulationPredictor(model, demand, backend="expected").predict()
+    # Prediction is built from the healthy view: even split.
+    ports = sim.for_leaf(1).port_bytes
+    assert np.isclose(ports[0], ports[1], rtol=1e-9)
+
+
+def test_sampled_backend_close_to_expected():
+    _, demand, model = setup(gray={down_link(0, 1): 0.1})
+    expected = SimulationPredictor(model, demand, backend="expected").predict()
+    sampled = SimulationPredictor(
+        model, demand, backend="sampled", n_runs=32, seed=4
+    ).predict()
+    for leaf in range(4):
+        for spine, volume in expected.for_leaf(leaf).port_bytes.items():
+            assert np.isclose(
+                sampled.for_leaf(leaf).port_bytes[spine], volume, rtol=0.15
+            )
+
+
+def test_sampled_backend_deterministic_per_seed():
+    _, demand, model = setup()
+    a = SimulationPredictor(model, demand, backend="sampled", n_runs=4, seed=9)
+    b = SimulationPredictor(model, demand, backend="sampled", n_runs=4, seed=9)
+    for leaf in range(4):
+        assert a.predict().for_leaf(leaf).port_bytes == b.predict().for_leaf(
+            leaf
+        ).port_bytes
+
+
+def test_invalid_backend_rejected():
+    _, demand, model = setup()
+    with pytest.raises(PredictionError):
+        SimulationPredictor(model, demand, backend="quantum")
+
+
+def test_invalid_runs_rejected():
+    _, demand, model = setup()
+    with pytest.raises(PredictionError):
+        SimulationPredictor(model, demand, backend="sampled", n_runs=0)
+
+
+def test_sender_breakdown_present():
+    _, demand, model = setup()
+    prediction = SimulationPredictor(model, demand).predict()
+    leaf1 = prediction.for_leaf(1)
+    assert leaf1.sender_bytes
+    total_by_sender = sum(leaf1.sender_bytes.values())
+    assert np.isclose(total_by_sender, leaf1.total_bytes)

@@ -1,0 +1,130 @@
+"""Tests for the remediation engine and confirmation policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConfirmationPolicy,
+    IterationVerdict,
+    LearningEvent,
+    RemediationEngine,
+    RemediationError,
+    cable_links,
+    cable_of,
+)
+from repro.core.detection import DetectionResult, PortDeviation
+from repro.core.localization import LinkSuspicion, LocalizationResult
+from repro.topology import down_link, up_link
+
+
+def verdict_with(iteration, links, skipped=False):
+    """Build an IterationVerdict implicating the given links."""
+    suspicions = tuple(
+        LinkSuspicion(
+            link=link,
+            kind="local",
+            leaf=0,
+            spine=0,
+            affected_senders=(1,),
+            deviation=-0.05,
+        )
+        for link in links
+    )
+    localization = LocalizationResult(leaf=0, iteration=iteration, suspicions=suspicions)
+    deviation = PortDeviation(leaf=0, spine=0, predicted=1.0, observed=0.9, deviation=-0.1)
+    result = DetectionResult(
+        leaf=0,
+        iteration=iteration,
+        deviations=(deviation,),
+        alarms=(deviation,) if links else (),
+    )
+    return IterationVerdict(
+        iteration=iteration,
+        learning_event=LearningEvent.NONE,
+        skipped=skipped,
+        results=(result,),
+        localizations=(localization,) if links else (),
+    )
+
+
+def test_cable_normalization():
+    assert cable_of(up_link(3, 7)) == (3, 7)
+    assert cable_of(down_link(7, 3)) == (3, 7)
+    assert cable_links((3, 7)) == frozenset({up_link(3, 7), down_link(7, 3)})
+
+
+def test_policy_validation():
+    with pytest.raises(RemediationError):
+        ConfirmationPolicy(confirm_after=0)
+    with pytest.raises(RemediationError):
+        ConfirmationPolicy(confirm_after=3, window=2)
+
+
+def test_single_implication_not_confirmed():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=2, window=4))
+    action = engine.observe(verdict_with(0, [down_link(1, 0)]))
+    assert action is None
+    assert engine.actions == []
+
+
+def test_repeated_implication_confirms_and_disables_both_directions():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=2, window=4))
+    engine.observe(verdict_with(0, [down_link(1, 0)]))
+    action = engine.observe(verdict_with(1, [down_link(1, 0)]))
+    assert action is not None
+    assert action.cables == frozenset({(0, 1)})
+    assert action.disabled_links == frozenset({up_link(0, 1), down_link(1, 0)})
+    assert action.iteration == 1
+
+
+def test_confirmed_cable_not_reconfirmed():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=2, window=4))
+    link = down_link(1, 0)
+    engine.observe(verdict_with(0, [link]))
+    assert engine.observe(verdict_with(1, [link])) is not None
+    assert engine.observe(verdict_with(2, [link])) is None
+    assert len(engine.actions) == 1
+
+
+def test_window_forgets_stale_evidence():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=2, window=2))
+    link = down_link(1, 0)
+    engine.observe(verdict_with(0, [link]))
+    engine.observe(verdict_with(1, []))  # evidence ages out of the window
+    engine.observe(verdict_with(2, []))
+    assert engine.observe(verdict_with(3, [link])) is None
+
+
+def test_skipped_iterations_ignored():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=1, window=1))
+    action = engine.observe(verdict_with(0, [down_link(1, 0)], skipped=True))
+    assert action is None
+
+
+def test_up_and_down_suspicions_count_as_one_cable():
+    # The ambiguous single-sender case implicates both directions of
+    # different cables; each cable accumulates evidence independently.
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=2, window=4))
+    links = [down_link(1, 0), up_link(5, 1)]
+    engine.observe(verdict_with(0, links))
+    action = engine.observe(verdict_with(1, links))
+    assert action is not None
+    assert action.cables == frozenset({(0, 1), (5, 1)})
+    assert len(action.disabled_links) == 4
+
+
+def test_total_disabled_links_accumulates():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=1, window=1))
+    engine.observe(verdict_with(0, [down_link(1, 0)]))
+    engine.observe(verdict_with(1, [down_link(2, 3)]))
+    assert engine.total_disabled_links == frozenset(
+        {up_link(0, 1), down_link(1, 0), up_link(3, 2), down_link(2, 3)}
+    )
+
+
+def test_reset_history():
+    engine = RemediationEngine(ConfirmationPolicy(confirm_after=2, window=4))
+    engine.observe(verdict_with(0, [down_link(1, 0)]))
+    engine.reset_history()
+    assert engine.observe(verdict_with(1, [down_link(1, 0)])) is None

@@ -1,0 +1,122 @@
+"""Tests for the CUSUM sequential detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.core.sequential import (
+    CusumConfig,
+    CusumMonitor,
+    SequentialError,
+)
+from repro.core.threshold_model import port_noise_sigma
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, down_link
+from repro.units import GIB
+
+SPEC = ClosSpec(n_leaves=32, n_spines=16, hosts_per_leaf=1)
+TOTAL = 8 * GIB
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), TOTAL)
+MTU = 1024
+SIGMA = port_noise_sigma(TOTAL - TOTAL // SPEC.n_leaves, SPEC.n_spines, MTU)
+
+
+def make_monitor():
+    return CusumMonitor(
+        predictor=AnalyticalPredictor(SPEC, DEMAND),
+        config=CusumConfig.from_noise(SIGMA),
+    )
+
+
+def simulate(silent, n, seed):
+    model = FabricModel(SPEC, silent=silent, mtu=MTU)
+    return run_iterations(model, DEMAND, n, seed=seed)
+
+
+def test_config_validation():
+    with pytest.raises(SequentialError):
+        CusumConfig(drift=-0.1, decision=1.0)
+    with pytest.raises(SequentialError):
+        CusumConfig(drift=0.1, decision=0.0)
+    with pytest.raises(SequentialError):
+        CusumConfig.from_noise(-1.0)
+
+
+def test_expected_latency_formula():
+    config = CusumConfig(drift=0.002, decision=0.01)
+    assert config.iterations_to_detect(0.004) == pytest.approx(5.0)
+    assert config.iterations_to_detect(0.001) == float("inf")
+
+
+def test_healthy_run_accumulates_nothing():
+    monitor = make_monitor()
+    verdicts = monitor.process_run(simulate({}, 20, seed=201))
+    assert not any(v.triggered for v in verdicts)
+    # Accumulated statistics stay far below the decision level.
+    assert all(s < monitor.config.decision / 2 for s in monitor._stats.values())
+
+
+def test_subthreshold_fault_caught_sequentially():
+    """A 0.5% drop is invisible to the 1% instantaneous threshold (the
+    paper's stated blind spot) but accumulates past the CUSUM decision
+    level within a few tens of iterations."""
+    fault = down_link(3, 17)
+    records = simulate({fault: 0.005}, 40, seed=202)
+
+    # Instantaneous detector: blind.
+    instant = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, DEMAND), DetectionConfig(threshold=0.01)
+    )
+    assert not instant.process_run(records).triggered
+
+    # Sequential detector: catches it, on the right port.
+    monitor = make_monitor()
+    verdicts = monitor.process_run(records)
+    triggered = [v for v in verdicts if v.triggered]
+    assert triggered
+    alarm = triggered[0].alarms[0]
+    assert (alarm.leaf, alarm.spine) == (17, 3)
+    # Latency is in the regime the formula predicts.
+    deficit = 0.005 * (1 - 1 / SPEC.n_spines)
+    expected = monitor.config.iterations_to_detect(deficit)
+    assert triggered[0].iteration <= 3 * expected
+
+
+def test_larger_fault_detected_faster():
+    fault = down_link(5, 9)
+
+    def first_alarm(rate, seed):
+        monitor = make_monitor()
+        verdicts = monitor.process_run(simulate({fault: rate}, 40, seed=seed))
+        for v in verdicts:
+            if v.triggered:
+                return v.iteration
+        return None
+
+    slow = first_alarm(0.005, seed=203)
+    fast = first_alarm(0.010, seed=203)
+    assert fast is not None and slow is not None
+    assert fast < slow
+
+
+def test_reset_clears_state():
+    monitor = make_monitor()
+    monitor.process_run(simulate({down_link(1, 2): 0.01}, 5, seed=204))
+    assert monitor._stats
+    monitor.reset(leaf=2)
+    assert not any(k[0] == 2 for k in monitor._stats)
+    monitor.reset()
+    assert not monitor._stats
+
+
+def test_alarm_reports_accumulation_span():
+    fault = down_link(2, 11)
+    monitor = make_monitor()
+    verdicts = monitor.process_run(simulate({fault: 0.01}, 30, seed=205))
+    triggered = [v for v in verdicts if v.triggered]
+    assert triggered
+    alarm = triggered[0].alarms[0]
+    assert alarm.iterations_accumulated >= 2
+    assert alarm.statistic > monitor.config.decision

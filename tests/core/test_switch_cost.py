@@ -1,0 +1,71 @@
+"""Tests for the data-plane resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.switch_cost import (
+    COUNTER_BYTES,
+    CONTROL_WORDS_BYTES,
+    TOFINO_STAGE_SRAM_BYTES,
+    fabric_cost_report,
+    leaf_switch_cost,
+)
+from repro.topology import ClosSpec, paper_default_spec
+
+
+def test_ring_regime_counts():
+    spec = paper_default_spec()
+    cost = leaf_switch_cost(spec, monitored_jobs=1, senders_per_port=1)
+    assert cost.detection_counters == 16
+    assert cost.localization_counters == 16
+    assert cost.sram_bytes == 32 * COUNTER_BYTES + 16 * CONTROL_WORDS_BYTES
+
+
+def test_ring_regime_is_negligible_sram():
+    cost = leaf_switch_cost(paper_default_spec())
+    assert cost.fits_one_stage
+    assert cost.sram_fraction_of_stage < 0.01
+
+
+def test_worst_case_multi_sender_still_fits():
+    spec = paper_default_spec()
+    cost = leaf_switch_cost(spec, senders_per_port=spec.n_leaves - 1)
+    assert cost.localization_counters == 16 * 31
+    assert cost.fits_one_stage
+
+
+def test_many_jobs_scale_linearly():
+    spec = paper_default_spec()
+    one = leaf_switch_cost(spec, monitored_jobs=1)
+    ten = leaf_switch_cost(spec, monitored_jobs=10)
+    assert ten.detection_counters == 10 * one.detection_counters
+    assert ten.sram_bytes == 10 * one.sram_bytes
+
+
+def test_large_fabric_worst_case_can_exceed_stage():
+    spec = ClosSpec(n_leaves=512, n_spines=64, hosts_per_leaf=1)
+    cost = leaf_switch_cost(spec, monitored_jobs=8, senders_per_port=511)
+    assert not cost.fits_one_stage  # the scaling limit §5.1 sidesteps
+
+
+def test_validation():
+    spec = paper_default_spec()
+    with pytest.raises(ValueError):
+        leaf_switch_cost(spec, monitored_jobs=0)
+    with pytest.raises(ValueError):
+        leaf_switch_cost(spec, senders_per_port=0)
+    with pytest.raises(ValueError):
+        leaf_switch_cost(spec, senders_per_port=32)
+
+
+def test_report_mentions_key_numbers():
+    text = fabric_cost_report(paper_default_spec())
+    assert "32x16" in text
+    assert "counters" in text
+    assert "actions per tagged packet" in text
+
+
+def test_per_packet_work_is_constant():
+    cost = leaf_switch_cost(paper_default_spec(), senders_per_port=31)
+    assert cost.per_packet_actions == 3  # independent of state size

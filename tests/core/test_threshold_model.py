@@ -1,0 +1,124 @@
+"""Tests for the analytical threshold model, validated against the
+fast simulator's actual noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.core.threshold_model import (
+    ThresholdModelError,
+    port_noise_sigma,
+    recommend_threshold,
+)
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, down_link
+from repro.units import GIB
+
+
+SPEC = ClosSpec(n_leaves=32, n_spines=16, hosts_per_leaf=1)
+DEMAND = ring_demand(locality_optimized_ring(SPEC.n_hosts), 8 * GIB)
+MTU = 1024
+
+
+def test_sigma_formula():
+    # 1M packets over 16 spines: sqrt(16 * (15/16) / 1e6).
+    sigma = port_noise_sigma(1_000_000 * MTU, 16, MTU, "random")
+    assert sigma == pytest.approx(np.sqrt(15 / 1e6), rel=1e-6)
+
+
+def test_sigma_shrinks_with_size_grows_with_spines():
+    small = port_noise_sigma(1 * GIB, 16, MTU)
+    large = port_noise_sigma(16 * GIB, 16, MTU)
+    assert large < small
+    few = port_noise_sigma(1 * GIB, 8, MTU)
+    many = port_noise_sigma(1 * GIB, 32, MTU)
+    assert few < many
+
+
+def test_adaptive_sigma_far_below_random():
+    random = port_noise_sigma(1 * GIB, 16, MTU, "random")
+    adaptive = port_noise_sigma(1 * GIB, 16, MTU, "adaptive")
+    assert adaptive < random / 100
+
+
+def test_single_spine_random_noise_is_zero():
+    assert port_noise_sigma(1 * GIB, 1, MTU, "random") == 0.0
+
+
+def test_validation():
+    with pytest.raises(ThresholdModelError):
+        port_noise_sigma(0, 16, MTU)
+    with pytest.raises(ThresholdModelError):
+        port_noise_sigma(1 * GIB, 0, MTU)
+    with pytest.raises(ThresholdModelError):
+        port_noise_sigma(1 * GIB, 16, 0)
+    with pytest.raises(ThresholdModelError):
+        port_noise_sigma(1 * GIB, 16, MTU, "warp")
+    with pytest.raises(ThresholdModelError):
+        recommend_threshold(SPEC, DEMAND, MTU, 0)
+    with pytest.raises(ThresholdModelError):
+        recommend_threshold(SPEC, DEMAND, MTU, 5, target_fpr=0.0)
+
+
+def test_recommendation_matches_paper_regime():
+    """On the paper-default setup the model must land below the paper's
+    1% threshold and declare >= 1.5% drops detectable — the empirical
+    operating point of Fig. 5(a)."""
+    rec = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=5)
+    assert 0.002 < rec.threshold < 0.010
+    assert rec.detectable(0.015)
+    assert not rec.detectable(0.003)
+    assert rec.observations == 5 * 32 * 16
+
+
+def test_recommended_threshold_holds_on_simulated_negatives():
+    """No false alarms across simulated healthy runs at the recommended
+    threshold (the model's entire purpose)."""
+    rec = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=5, target_fpr=0.01)
+    model = FabricModel(SPEC, mtu=MTU)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, DEMAND), DetectionConfig(threshold=rec.threshold)
+    )
+    false_alarms = 0
+    for seed in range(5):
+        records = run_iterations(model, DEMAND, 5, seed=seed)
+        if monitor.process_run(records).triggered:
+            false_alarms += 1
+    assert false_alarms == 0
+
+
+def test_detectable_faults_are_detected_at_recommendation():
+    rec = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=5)
+    drop = rec.min_detectable_drop
+    fault = down_link(2, 9)
+    model = FabricModel(SPEC, silent={fault: drop}, mtu=MTU)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, DEMAND), DetectionConfig(threshold=rec.threshold)
+    )
+    records = run_iterations(model, DEMAND, 5, seed=41)
+    assert monitor.process_run(records).triggered
+
+
+def test_threshold_grows_with_more_observations():
+    few = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=1)
+    many = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=50)
+    assert many.threshold > few.threshold
+
+
+def test_known_faults_taken_into_account():
+    disabled = frozenset({down_link(0, 1)})
+    rec = recommend_threshold(
+        SPEC, DEMAND, MTU, n_iterations=5, known_disabled=disabled
+    )
+    base = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=5)
+    # One fewer port observed at leaf 1.
+    assert rec.observations == base.observations - 5
+
+
+def test_adaptive_spray_recommendation_is_tiny():
+    rec = recommend_threshold(SPEC, DEMAND, MTU, n_iterations=5, spraying="adaptive")
+    assert rec.threshold < 0.001
+    assert rec.min_detectable_drop < 0.002

@@ -1,0 +1,119 @@
+"""Cross-validation: fast simulator vs packet simulator vs analytics.
+
+These tests justify using :mod:`repro.fastsim` for the paper's sweeps —
+the statistical model must agree with the packet-level simulator on the
+quantities FlowPulse measures (per-port volumes per iteration), and
+both must match the analytical expectation in a healthy fabric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import (
+    StagedCollectiveRunner,
+    locality_optimized_ring,
+    ring_reduce_scatter_stages,
+    ring_demand,
+)
+from repro.fastsim import FabricModel, run_iterations
+from repro.simnet import DropFault, Network
+from repro.topology import ClosSpec, down_link
+
+
+SPEC = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+TOTAL = 400_000
+MTU = 1000
+
+
+def run_packet_sim(seed, fault=None, iterations=4):
+    net = Network(SPEC, seed=seed, spray="random", mtu=MTU)
+    if fault:
+        link, rate = fault
+        net.inject_fault(link, DropFault(rate))
+    collectors = net.install_collectors(job_id=1)
+    ring = locality_optimized_ring(SPEC.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, TOTAL)
+    StagedCollectiveRunner(net, 1, stages, iterations=iterations).run()
+    net.finalize_collectors()
+    return collectors
+
+
+def run_fast_sim(seed, fault=None, iterations=4):
+    silent = {fault[0]: fault[1]} if fault else {}
+    model = FabricModel(SPEC, silent=silent, spraying="random", mtu=MTU)
+    demand = ring_demand(locality_optimized_ring(SPEC.n_hosts), TOTAL)
+    return run_iterations(model, demand, iterations, seed=seed)
+
+
+def per_port_share(volumes_by_iteration):
+    """Mean fraction of a leaf's traffic arriving via spine 0."""
+    shares = []
+    for volumes in volumes_by_iteration:
+        total = sum(volumes.values())
+        shares.append(volumes.get(0, 0) / total)
+    return float(np.mean(shares))
+
+
+def test_healthy_fabric_both_sims_split_evenly():
+    packet = run_packet_sim(seed=1)
+    fast = run_fast_sim(seed=1)
+    for leaf in range(SPEC.n_leaves):
+        p_share = per_port_share([r.port_bytes for r in packet[leaf].records])
+        f_share = per_port_share([rs[leaf].port_bytes for rs in fast])
+        assert abs(p_share - 0.5) < 0.08
+        assert abs(f_share - 0.5) < 0.08
+
+
+def test_total_ingress_volume_identical():
+    """Both simulators must account exactly the demand bytes per leaf
+    (the fabric is lossless; retransmissions replace drops 1:1)."""
+    packet = run_packet_sim(seed=2, iterations=2)
+    fast = run_fast_sim(seed=2, iterations=2)
+    expected = TOTAL - TOTAL // SPEC.n_leaves  # ring edge volume
+    for leaf in range(SPEC.n_leaves):
+        for record in packet[leaf].records:
+            assert record.total_bytes == expected
+        for rs in fast:
+            assert rs[leaf].total_bytes == expected
+
+
+def test_faulty_port_deficit_agrees():
+    """A 20 % drop on down:S0->L1 must depress spine 0's share at leaf 1
+    by ~p(1-1/s) = 10 % in both simulators."""
+    fault = (down_link(0, 1), 0.2)
+    packet = run_packet_sim(seed=3, fault=fault, iterations=6)
+    fast = run_fast_sim(seed=3, fault=fault, iterations=6)
+    p_share = per_port_share([r.port_bytes for r in packet[1].records])
+    f_share = per_port_share([rs[1].port_bytes for rs in fast])
+    expected_share = 0.5 * (1 - 0.2) / (0.5 * (1 - 0.2) + 0.5 + 0.5 * 0.2 * 0.5)
+    assert abs(p_share - f_share) < 0.05
+    assert abs(p_share - expected_share) < 0.06
+    assert abs(f_share - expected_share) < 0.04
+
+
+def test_unaffected_leaves_agree():
+    fault = (down_link(0, 1), 0.2)
+    packet = run_packet_sim(seed=4, fault=fault, iterations=4)
+    fast = run_fast_sim(seed=4, fault=fault, iterations=4)
+    for leaf in (0, 2, 3):
+        p_share = per_port_share([r.port_bytes for r in packet[leaf].records])
+        f_share = per_port_share([rs[leaf].port_bytes for rs in fast])
+        assert abs(p_share - 0.5) < 0.08
+        assert abs(f_share - 0.5) < 0.08
+
+
+def test_variance_same_order_of_magnitude():
+    """The per-iteration noise (what sets the detector's floor) must be
+    comparable between the two simulators."""
+    packet = run_packet_sim(seed=5, iterations=8)
+    fast = run_fast_sim(seed=5, iterations=8)
+
+    def rel_std(volumes_by_iteration):
+        values = [v.get(0, 0) for v in volumes_by_iteration]
+        return np.std(values) / np.mean(values)
+
+    p = rel_std([r.port_bytes for r in packet[2].records])
+    f = rel_std([rs[2].port_bytes for rs in fast])
+    assert p < 0.2 and f < 0.2
+    assert (p + 1e-3) / (f + 1e-3) < 6 and (f + 1e-3) / (p + 1e-3) < 6

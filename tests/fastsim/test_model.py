@@ -1,0 +1,166 @@
+"""Tests for the fabric model and per-iteration simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.fastsim import (
+    FabricModel,
+    FastSimError,
+    expected_iteration,
+    run_iterations,
+    simulate_iteration,
+)
+from repro.topology import ClosSpec, down_link, up_link
+
+
+@pytest.fixture
+def spec():
+    return ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+
+
+@pytest.fixture
+def demand(spec):
+    return ring_demand(locality_optimized_ring(spec.n_hosts), 400_000)
+
+
+def test_model_validation(spec):
+    with pytest.raises(ValueError):
+        FabricModel(spec, silent={"down:S0->L1": 1.5})
+    with pytest.raises(ValueError):
+        FabricModel(spec, mtu=0)
+
+
+def test_drop_rate_composition(spec):
+    model = FabricModel(
+        spec,
+        known_disabled=frozenset({up_link(0, 0)}),
+        known_gray={down_link(0, 1): 0.1},
+        silent={down_link(0, 1): 0.2},
+    )
+    assert model.drop_rate(up_link(0, 0)) == 1.0
+    assert np.isclose(model.drop_rate(down_link(0, 1)), 1 - 0.9 * 0.8)
+    assert np.isclose(model.drop_rate(down_link(0, 1), include_silent=False), 0.1)
+    assert model.drop_rate(down_link(1, 1)) == 0.0
+
+
+def test_views(spec):
+    model = FabricModel(
+        spec, known_gray={"down:S0->L1": 0.1}, silent={"down:S0->L2": 0.2}
+    )
+    healthy = model.healthy_view()
+    assert healthy.silent == {}
+    assert healthy.known_gray == model.known_gray
+    bare = model.without_gray()
+    assert bare.known_gray == {} and bare.silent == {}
+    injected = model.with_silent({"up:L0->S1": 0.3})
+    assert injected.silent == {"up:L0->S1": 0.3}
+
+
+def test_simulate_iteration_returns_record_per_leaf(spec, demand, rng):
+    model = FabricModel(spec)
+    records = simulate_iteration(model, demand, rng)
+    assert [r.leaf for r in records] == [0, 1, 2, 3]
+
+
+def test_simulate_iteration_conserves_pair_bytes(spec, demand, rng):
+    model = FabricModel(spec, silent={down_link(0, 1): 0.1})
+    records = simulate_iteration(model, demand, rng)
+    pair_bytes = demand.leaf_pairs(spec)
+    for record in records:
+        expected = sum(
+            size for (src, dst), size in pair_bytes.items() if dst == record.leaf
+        )
+        assert record.total_bytes == expected
+
+
+def test_sender_breakdown_consistent_with_ports(spec, demand, rng):
+    model = FabricModel(spec)
+    records = simulate_iteration(model, demand, rng)
+    for record in records:
+        for spine, total in record.port_bytes.items():
+            by_sender = sum(
+                size for (s, _src), size in record.sender_bytes.items() if s == spine
+            )
+            assert by_sender == total
+
+
+def test_disabled_link_carries_nothing(spec, demand, rng):
+    model = FabricModel(spec, known_disabled=frozenset({down_link(0, 1)}))
+    records = simulate_iteration(model, demand, rng)
+    assert 0 not in records[1].port_bytes  # leaf 1 never hears from spine 0
+    assert 0 in records[2].port_bytes  # others still do
+
+
+def test_expected_iteration_even_split(spec, demand):
+    model = FabricModel(spec)
+    records = expected_iteration(model, demand)
+    pair_bytes = demand.leaf_pairs(spec)
+    for record in records:
+        inbound = sum(
+            size for (src, dst), size in pair_bytes.items() if dst == record.leaf
+        )
+        for spine in range(spec.n_spines):
+            assert np.isclose(record.port_bytes[spine], inbound / spec.n_spines)
+
+
+def test_expected_iteration_includes_known_gray(spec, demand):
+    gray = {down_link(0, 1): 0.05}
+    model = FabricModel(spec, known_gray=gray)
+    records = expected_iteration(model, demand)
+    leaf1 = records[1]
+    assert leaf1.port_bytes[0] < leaf1.port_bytes[1]
+
+
+def test_run_iterations_deterministic_per_seed(spec, demand):
+    model = FabricModel(spec)
+    a = run_iterations(model, demand, 3, seed=5)
+    b = run_iterations(model, demand, 3, seed=5)
+    assert [
+        r.port_bytes for records in a for r in records
+    ] == [r.port_bytes for records in b for r in records]
+
+
+def test_run_iterations_tags_count_up(spec, demand):
+    records = run_iterations(FabricModel(spec), demand, 4, seed=0, job_id=9)
+    for iteration, per_leaf in enumerate(records):
+        for record in per_leaf:
+            assert record.tag.iteration == iteration
+            assert record.tag.job_id == 9
+
+
+def test_fault_schedule_applied_per_iteration(spec, demand):
+    # Fine MTU keeps multinomial noise well below the fault's signal.
+    model = FabricModel(spec, mtu=256)
+    target = down_link(0, 1)
+
+    def schedule(iteration):
+        return {target: 0.5} if iteration == 1 else {}
+
+    runs = run_iterations(model, demand, 3, seed=3, fault_schedule=schedule)
+    volumes = [runs[i][1].port_bytes[0] for i in range(3)]
+    assert volumes[1] < volumes[0] * 0.85  # the faulty iteration dips
+    assert abs(volumes[2] - volumes[0]) < volumes[0] * 0.15
+
+
+def test_run_iterations_validation(spec, demand):
+    with pytest.raises(FastSimError):
+        run_iterations(FabricModel(spec), demand, 0)
+
+
+def test_temporal_symmetry_holds_without_new_faults(spec, demand):
+    """The paper's core invariant: with a *fixed* fault set, per-port
+    volume is nearly identical across iterations (§4)."""
+    model = FabricModel(
+        spec,
+        known_disabled=frozenset({up_link(2, 0), down_link(0, 2)}),
+        mtu=256,
+    )
+    runs = run_iterations(model, demand, 6, seed=8)
+    for leaf in range(spec.n_leaves):
+        for spine in runs[0][leaf].port_bytes:
+            series = [runs[i][leaf].port_bytes.get(spine, 0) for i in range(6)]
+            mean = np.mean(series)
+            assert np.std(series) / mean < 0.05

@@ -1,0 +1,108 @@
+"""Tests for FlowPulse collectors and port counters."""
+
+from __future__ import annotations
+
+from repro.simnet import CollectiveCollector, FlowTag, Packet, PacketKind, PortCounters
+
+
+def _pkt(tag, size=1000, src=0, kind=PacketKind.DATA):
+    return Packet(src_host=src, dst_host=9, size=size, tag=tag, kind=kind)
+
+
+def test_collector_accumulates_port_bytes():
+    c = CollectiveCollector(leaf=1, job_id=5)
+    tag = FlowTag(5, 0)
+    c.observe(_pkt(tag, size=100), spine=0, src_leaf=2, now=10)
+    c.observe(_pkt(tag, size=200), spine=0, src_leaf=2, now=11)
+    c.observe(_pkt(tag, size=300), spine=1, src_leaf=3, now=12)
+    record = c.finalize(now=20)
+    assert record.port_bytes == {0: 300, 1: 300}
+    assert record.sender_bytes == {(0, 2): 300, (1, 3): 300}
+    assert record.total_bytes == 600
+
+
+def test_collector_window_closes_on_next_iteration():
+    records = []
+    c = CollectiveCollector(leaf=0, job_id=5, on_record=records.append)
+    c.observe(_pkt(FlowTag(5, 0)), spine=0, src_leaf=1, now=1)
+    c.observe(_pkt(FlowTag(5, 1)), spine=0, src_leaf=1, now=2)
+    assert len(records) == 1
+    assert records[0].tag.iteration == 0
+    assert c.current_iteration == 1
+
+
+def test_collector_ignores_other_jobs():
+    c = CollectiveCollector(leaf=0, job_id=5)
+    c.observe(_pkt(FlowTag(6, 0)), spine=0, src_leaf=1, now=1)
+    assert c.finalize(2) is None
+
+
+def test_collector_ignores_acks():
+    c = CollectiveCollector(leaf=0, job_id=5)
+    c.observe(_pkt(FlowTag(5, 0), kind=PacketKind.ACK), spine=0, src_leaf=1, now=1)
+    assert c.finalize(2) is None
+
+
+def test_collector_ignores_untagged_packets():
+    c = CollectiveCollector(leaf=0, job_id=5)
+    c.observe(_pkt(None), spine=0, src_leaf=1, now=1)
+    assert c.finalize(2) is None
+
+
+def test_collector_straggler_packet_counted_in_current_window():
+    # A late packet of iteration 0 arriving after iteration 1 started is
+    # miscounted into the open window (as real hardware would).
+    c = CollectiveCollector(leaf=0, job_id=5)
+    c.observe(_pkt(FlowTag(5, 0), size=10), spine=0, src_leaf=1, now=1)
+    c.observe(_pkt(FlowTag(5, 1), size=20), spine=0, src_leaf=1, now=2)
+    c.observe(_pkt(FlowTag(5, 0), size=30), spine=0, src_leaf=1, now=3)  # straggler
+    record = c.finalize(4)
+    assert record.tag.iteration == 1
+    assert record.port_bytes == {0: 50}
+
+
+def test_collector_skipped_iteration_closes_window():
+    records = []
+    c = CollectiveCollector(leaf=0, job_id=5, on_record=records.append)
+    c.observe(_pkt(FlowTag(5, 0)), spine=0, src_leaf=1, now=1)
+    c.observe(_pkt(FlowTag(5, 4)), spine=0, src_leaf=1, now=2)
+    assert records[0].tag.iteration == 0
+    assert c.current_iteration == 4
+
+
+def test_collector_finalize_empty_returns_none():
+    assert CollectiveCollector(leaf=0, job_id=1).finalize(0) is None
+
+
+def test_collector_window_times():
+    c = CollectiveCollector(leaf=0, job_id=5)
+    c.observe(_pkt(FlowTag(5, 0)), spine=0, src_leaf=1, now=100)
+    record = c.finalize(500)
+    assert record.start_ns == 100
+    assert record.end_ns == 500
+
+
+def test_record_volume_vector_dense():
+    c = CollectiveCollector(leaf=0, job_id=5)
+    c.observe(_pkt(FlowTag(5, 0), size=10), spine=2, src_leaf=1, now=1)
+    record = c.finalize(2)
+    assert record.volume_vector(4) == [0, 0, 10, 0]
+
+
+def test_records_list_preserved_across_windows():
+    c = CollectiveCollector(leaf=0, job_id=5)
+    for iteration in range(3):
+        c.observe(_pkt(FlowTag(5, iteration)), spine=0, src_leaf=1, now=iteration)
+    c.finalize(10)
+    assert [r.tag.iteration for r in c.records] == [0, 1, 2]
+
+
+def test_port_counters():
+    counters = PortCounters()
+    counters.count_rx(0, 100)
+    counters.count_rx(0, 50)
+    counters.count_tx(1, 70)
+    assert counters.rx_bytes[0] == 150
+    assert counters.rx_packets[0] == 2
+    assert counters.tx_bytes[1] == 70
+    assert counters.totals() == (150, 70)

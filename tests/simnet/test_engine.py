@@ -1,0 +1,223 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet import SimulationError, Simulator
+
+
+def test_starts_at_time_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [10]
+    assert sim.now == 10
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    for delay in (30, 10, 20):
+        sim.schedule(delay, fired.append, delay)
+    sim.run()
+    assert fired == [10, 20, 30]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in ("a", "b", "c"):
+        sim.schedule(5, fired.append, label)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(42, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 42
+
+
+def test_cannot_schedule_into_past():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_zero_delay_event_fires_now():
+    sim = Simulator()
+    sim.schedule(7, lambda: sim.schedule(0, fired.append, sim.now))
+    fired = []
+    sim.run()
+    assert fired == [7]
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.schedule(1, chain, depth + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=1000)
+    assert sim.now == 1000
+
+
+def test_run_max_events():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i + 1, lambda: None)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert sim.pending_events == 7
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, 1)
+    sim.schedule(2, sim.stop)
+    sim.schedule(3, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_cancel_prevents_event():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(5, fired.append, "cancelled")
+    sim.schedule(6, fired.append, "kept")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(1, lambda: None)
+    sim.run()
+    handle.cancel()  # must not raise
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(5, lambda: None)
+    sim.schedule(6, lambda: None)
+    assert sim.pending_events == 2
+    handle.cancel()
+    assert sim.pending_events == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    assert sim.peek_time() == 5
+    first.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_peek_time_empty_queue():
+    assert Simulator().peek_time() is None
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 4
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1, reenter)
+    sim.run()
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda a, b: seen.append((a, b)), "x", 2)
+    sim.run()
+    assert seen == [("x", 2)]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+def test_property_events_always_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.booleans()), min_size=1, max_size=100
+    )
+)
+def test_property_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for idx, (delay, cancel) in enumerate(entries):
+        handles.append((sim.schedule(delay, fired.append, idx), cancel))
+    expected = []
+    for idx, (handle, cancel) in enumerate(handles):
+        if cancel:
+            handle.cancel()
+        else:
+            expected.append(idx)
+    sim.run()
+    assert sorted(fired) == expected

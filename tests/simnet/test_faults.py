@@ -1,0 +1,137 @@
+"""Tests for fault models and the injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simnet import (
+    BlackHoleFault,
+    DisconnectFault,
+    DropFault,
+    FaultInjector,
+    IntermittentDropFault,
+    Packet,
+    TransientDropFault,
+)
+
+
+def _pkt(dst=1):
+    return Packet(src_host=0, dst_host=dst, size=100)
+
+
+@pytest.fixture
+def frng():
+    return np.random.Generator(np.random.PCG64(7))
+
+
+def test_drop_fault_rate_zero_never_drops(frng):
+    fault = DropFault(0.0)
+    assert not any(fault.drops(_pkt(), 0, frng) for _ in range(100))
+
+
+def test_drop_fault_rate_one_always_drops(frng):
+    fault = DropFault(1.0)
+    assert all(fault.drops(_pkt(), 0, frng) for _ in range(100))
+
+
+def test_drop_fault_statistics(frng):
+    fault = DropFault(0.25)
+    drops = sum(fault.drops(_pkt(), 0, frng) for _ in range(10_000))
+    assert 2200 < drops < 2800
+
+
+def test_drop_fault_invalid_rate():
+    with pytest.raises(ValueError):
+        DropFault(1.5)
+    with pytest.raises(ValueError):
+        DropFault(-0.1)
+
+
+def test_drop_fault_is_silent_by_default():
+    assert not DropFault(0.5).known
+
+
+def test_disconnect_fault_drops_everything(frng):
+    fault = DisconnectFault()
+    assert fault.known
+    assert fault.drops(_pkt(), 0, frng)
+
+
+def test_silent_disconnect(frng):
+    fault = DisconnectFault(known=False)
+    assert not fault.known
+    assert fault.drops(_pkt(), 0, frng)
+
+
+def test_black_hole_matches_destination(frng):
+    fault = BlackHoleFault(dst_hosts=frozenset({3, 4}))
+    assert fault.drops(_pkt(dst=3), 0, frng)
+    assert fault.drops(_pkt(dst=4), 0, frng)
+    assert not fault.drops(_pkt(dst=5), 0, frng)
+
+
+def test_transient_fault_window(frng):
+    fault = TransientDropFault(rate=1.0, start_ns=100, end_ns=200)
+    assert not fault.drops(_pkt(), 50, frng)
+    assert fault.drops(_pkt(), 150, frng)
+    assert not fault.drops(_pkt(), 200, frng)  # end is exclusive
+    assert not fault.drops(_pkt(), 500, frng)
+
+
+def test_transient_fault_active_at():
+    fault = TransientDropFault(rate=0.5, start_ns=10, end_ns=20)
+    assert not fault.active_at(9)
+    assert fault.active_at(10)
+    assert not fault.active_at(20)
+
+
+def test_transient_fault_invalid_window():
+    with pytest.raises(ValueError):
+        TransientDropFault(rate=0.5, start_ns=100, end_ns=50)
+
+
+def test_intermittent_fault_duty_cycle(frng):
+    fault = IntermittentDropFault(rate=1.0, period_ns=100, duty=0.5)
+    assert fault.active_at(0)
+    assert fault.active_at(49)
+    assert not fault.active_at(50)
+    assert not fault.active_at(99)
+    assert fault.active_at(100)  # next period
+
+
+def test_intermittent_fault_validation():
+    with pytest.raises(ValueError):
+        IntermittentDropFault(rate=0.5, period_ns=0)
+    with pytest.raises(ValueError):
+        IntermittentDropFault(rate=0.5, period_ns=10, duty=1.5)
+
+
+def test_injector_inject_and_lookup():
+    injector = FaultInjector()
+    fault = DropFault(0.1)
+    injector.inject("up:L0->S1", fault)
+    assert injector.fault_on("up:L0->S1") is fault
+    assert injector.fault_on("up:L0->S2") is None
+
+
+def test_injector_rejects_double_injection():
+    injector = FaultInjector()
+    injector.inject("up:L0->S1", DropFault(0.1))
+    with pytest.raises(ValueError):
+        injector.inject("up:L0->S1", DropFault(0.2))
+
+
+def test_injector_clear_heals():
+    injector = FaultInjector()
+    injector.inject("up:L0->S1", DropFault(0.1))
+    injector.clear("up:L0->S1")
+    assert injector.fault_on("up:L0->S1") is None
+    injector.clear("up:L0->S1")  # idempotent
+
+
+def test_known_disabled_lists_only_known_faults():
+    injector = FaultInjector()
+    injector.inject("up:L0->S1", DisconnectFault(known=True))
+    injector.inject("down:S2->L3", DropFault(0.05))  # silent
+    assert injector.known_disabled() == frozenset({"up:L0->S1"})

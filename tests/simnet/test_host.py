@@ -1,0 +1,57 @@
+"""Tests for host behaviour and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import FlowTag, Network, Packet, PacketKind
+from repro.topology import ClosSpec
+
+
+def make_net():
+    return Network(ClosSpec(n_leaves=2, n_spines=2, hosts_per_leaf=1), seed=1)
+
+
+def test_multiple_receive_callbacks_all_fire():
+    net = make_net()
+    seen_a, seen_b = [], []
+    net.host(1).on_message(lambda src, mid, tag, size: seen_a.append(size))
+    net.host(1).on_message(lambda src, mid, tag, size: seen_b.append(size))
+    net.host(0).send(1, 1234)
+    net.run()
+    assert seen_a == [1234]
+    assert seen_b == [1234]
+
+
+def test_misdelivered_packet_raises():
+    net = make_net()
+    stray = Packet(src_host=0, dst_host=1, size=10)
+    with pytest.raises(RuntimeError, match="received packet for host"):
+        net.host(0).receive(stray, net.link("hostdown:H0"))
+
+
+def test_received_bytes_accumulate():
+    net = make_net()
+    net.host(1).on_message(lambda *a: None)
+    net.host(0).send(1, 1000)
+    net.host(0).send(1, 2000)
+    net.run()
+    assert net.host(1).received_messages == 2
+    assert net.host(1).received_bytes == 3000
+
+
+def test_probe_packets_consumed_silently():
+    net = make_net()
+    probe = Packet(src_host=0, dst_host=1, size=64, kind=PacketKind.PROBE)
+    net.host(1).receive(probe, net.link("hostdown:H1"))  # must not raise
+    assert net.host(1).received_messages == 0
+
+
+def test_tagged_and_untagged_messages_coexist():
+    net = make_net()
+    tags = []
+    net.host(1).on_message(lambda src, mid, tag, size: tags.append(tag))
+    net.host(0).send(1, 100, tag=FlowTag(7, 3))
+    net.host(0).send(1, 100)
+    net.run()
+    assert sorted(tags, key=lambda t: t is not None) == [None, FlowTag(7, 3)]

@@ -1,0 +1,75 @@
+"""Tests for packet and flow-tag types."""
+
+from __future__ import annotations
+
+from repro.simnet import ACK_SIZE, FlowTag, Packet, PacketKind, Priority
+
+
+def test_flow_tag_next_iteration():
+    tag = FlowTag(job_id=3, iteration=7)
+    nxt = tag.next_iteration()
+    assert nxt.job_id == 3
+    assert nxt.iteration == 8
+    assert nxt.collective == tag.collective
+
+
+def test_flow_tag_ordering_by_iteration():
+    assert FlowTag(1, 2) < FlowTag(1, 3)
+
+
+def test_flow_tag_hashable_and_frozen():
+    tags = {FlowTag(1, 0), FlowTag(1, 0), FlowTag(1, 1)}
+    assert len(tags) == 2
+
+
+def test_packet_ids_unique():
+    a = Packet(src_host=0, dst_host=1, size=100)
+    b = Packet(src_host=0, dst_host=1, size=100)
+    assert a.pid != b.pid
+
+
+def test_packet_defaults():
+    p = Packet(src_host=0, dst_host=1, size=100)
+    assert p.kind is PacketKind.DATA
+    assert p.is_data
+    assert p.priority is Priority.NORMAL
+    assert p.retransmission == 0
+    assert p.path == []
+
+
+def test_packet_hop_records_path():
+    p = Packet(src_host=0, dst_host=1, size=100)
+    p.hop("up:L0->S1")
+    p.hop("down:S1->L1")
+    assert p.path == ["up:L0->S1", "down:S1->L1"]
+
+
+def test_make_ack_reverses_direction():
+    tag = FlowTag(9, 4)
+    p = Packet(src_host=2, dst_host=5, size=4096, tag=tag, msg_id=11, seq=3)
+    ack = p.make_ack()
+    assert ack.src_host == 5
+    assert ack.dst_host == 2
+    assert ack.kind is PacketKind.ACK
+    assert not ack.is_data
+    assert ack.size == ACK_SIZE
+    assert ack.msg_id == 11
+    assert ack.seq == 3
+    assert ack.tag == tag
+    assert ack.priority is Priority.CONTROL
+
+
+def test_flow_key_distinguishes_messages():
+    a = Packet(src_host=0, dst_host=1, size=10, msg_id=1)
+    b = Packet(src_host=0, dst_host=1, size=10, msg_id=2)
+    assert a.flow_key() != b.flow_key()
+
+
+def test_flow_key_same_for_same_message():
+    a = Packet(src_host=0, dst_host=1, size=10, msg_id=1, seq=0)
+    b = Packet(src_host=0, dst_host=1, size=10, msg_id=1, seq=5)
+    assert a.flow_key() == b.flow_key()
+
+
+def test_priority_ordering():
+    assert Priority.BACKGROUND < Priority.NORMAL < Priority.MEASURED < Priority.CONTROL

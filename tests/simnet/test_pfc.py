@@ -1,0 +1,120 @@
+"""Tests for priority flow control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.simnet import (
+    Link,
+    Node,
+    Packet,
+    PfcConfig,
+    PfcController,
+    Priority,
+    Simulator,
+)
+
+
+class _Null(Node):
+    def receive(self, packet, link):
+        pass
+
+
+def _setup(xoff=1000, xon=500):
+    sim = Simulator()
+    rng = np.random.Generator(np.random.PCG64(0))
+    # Slow watched link so its queue can actually fill.
+    watched = Link(sim, "watched", _Null(), 8, 0, rng)  # 8 bps: glacial
+    feeder = Link(sim, "feeder", _Null(), units.GBPS, 0, rng)
+    controller = PfcController(
+        watched, [feeder], PfcConfig(xoff_bytes=xoff, xon_bytes=xon)
+    )
+    return sim, watched, feeder, controller
+
+
+def _pkt(size, priority=Priority.NORMAL):
+    return Packet(src_host=0, dst_host=1, size=size, priority=priority)
+
+
+def test_pause_asserted_at_xoff():
+    sim, watched, feeder, controller = _setup(xoff=1000, xon=500)
+    watched.enqueue(_pkt(10))  # starts transmitting (slowly)
+    watched.enqueue(_pkt(600))
+    assert not controller.paused
+    watched.enqueue(_pkt(600))  # backlog 1200 >= xoff
+    assert controller.paused
+    assert Priority.NORMAL in feeder.paused_priorities
+
+
+def test_control_priority_never_paused():
+    sim, watched, feeder, controller = _setup()
+    watched.enqueue(_pkt(10))
+    watched.enqueue(_pkt(2000))
+    assert controller.paused
+    assert Priority.CONTROL not in feeder.paused_priorities
+
+
+def test_resume_at_xon():
+    sim, watched, feeder, controller = _setup(xoff=1000, xon=500)
+    watched.enqueue(_pkt(10))
+    watched.enqueue(_pkt(1200))
+    assert controller.paused
+    # Drain: let the slow link transmit the queued packet.
+    sim.run()
+    assert not controller.paused
+    assert feeder.paused_priorities == frozenset()
+
+
+def test_pause_resume_counters():
+    sim, watched, feeder, controller = _setup()
+    watched.enqueue(_pkt(10))
+    watched.enqueue(_pkt(2000))
+    sim.run()
+    assert controller.pauses_sent == 1
+    assert controller.resumes_sent == 1
+
+
+def test_hysteresis_no_flapping_between_watermarks():
+    sim, watched, feeder, controller = _setup(xoff=1000, xon=200)
+    watched.enqueue(_pkt(10))
+    watched.enqueue(_pkt(600))  # 600: below xoff, no pause
+    assert not controller.paused
+    watched.enqueue(_pkt(600))  # 1200: pause
+    assert controller.paused
+    # Draining to 600 (between xon and xoff) keeps the pause asserted.
+    controller._on_backlog_change(600)
+    assert controller.paused
+
+
+def test_invalid_watermarks_rejected():
+    with pytest.raises(ValueError):
+        PfcConfig(xoff_bytes=100, xon_bytes=100)
+    with pytest.raises(ValueError):
+        PfcConfig(xoff_bytes=100, xon_bytes=-5)
+
+
+def test_lossless_with_finite_buffers_and_pfc():
+    """With PFC, a finite-buffer hotspot loses nothing."""
+    sim = Simulator()
+    rng = np.random.Generator(np.random.PCG64(0))
+    sink = _Null()
+    slow = Link(sim, "slow", sink, units.MBPS, 0, rng, queue_capacity=20_000)
+    feeder = Link(sim, "feeder", _FeederTarget(slow), units.GBPS, 0, rng)
+    PfcController(slow, [feeder], PfcConfig(xoff_bytes=10_000, xon_bytes=5_000))
+    for _ in range(100):
+        feeder.enqueue(_pkt(1000))
+    sim.run()
+    assert slow.overflow_packets == 0
+    assert slow.delivered_packets == 100
+
+
+class _FeederTarget(Node):
+    """Forwards deliveries into another link (a one-port switch)."""
+
+    def __init__(self, out: Link):
+        self.out = out
+
+    def receive(self, packet, link):
+        self.out.enqueue(packet)

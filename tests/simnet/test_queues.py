@@ -1,0 +1,150 @@
+"""Tests for the priority byte queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet import Packet, Priority, PriorityByteQueue
+
+
+def _pkt(size=100, priority=Priority.NORMAL):
+    return Packet(src_host=0, dst_host=1, size=size, priority=priority)
+
+
+def test_fifo_within_priority():
+    q = PriorityByteQueue()
+    a, b = _pkt(), _pkt()
+    q.push(a)
+    q.push(b)
+    assert q.pop() is a
+    assert q.pop() is b
+
+
+def test_strict_priority_order():
+    q = PriorityByteQueue()
+    low = _pkt(priority=Priority.BACKGROUND)
+    mid = _pkt(priority=Priority.NORMAL)
+    high = _pkt(priority=Priority.MEASURED)
+    ctrl = _pkt(priority=Priority.CONTROL)
+    for p in (low, mid, high, ctrl):
+        q.push(p)
+    assert q.pop() is ctrl
+    assert q.pop() is high
+    assert q.pop() is mid
+    assert q.pop() is low
+
+
+def test_pop_empty_returns_none():
+    assert PriorityByteQueue().pop() is None
+
+
+def test_byte_accounting():
+    q = PriorityByteQueue()
+    q.push(_pkt(size=100))
+    q.push(_pkt(size=250))
+    assert q.bytes_used == 350
+    assert len(q) == 2
+    q.pop()
+    assert q.bytes_used == 250
+    assert len(q) == 1
+
+
+def test_capacity_rejects_overflow():
+    q = PriorityByteQueue(capacity_bytes=150)
+    assert q.push(_pkt(size=100))
+    assert not q.push(_pkt(size=100))
+    assert len(q) == 1
+
+
+def test_capacity_exact_fit_accepted():
+    q = PriorityByteQueue(capacity_bytes=200)
+    assert q.push(_pkt(size=100))
+    assert q.push(_pkt(size=100))
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        PriorityByteQueue(capacity_bytes=0)
+
+
+def test_skip_priorities_on_pop():
+    q = PriorityByteQueue()
+    normal = _pkt(priority=Priority.NORMAL)
+    control = _pkt(priority=Priority.CONTROL)
+    q.push(normal)
+    q.push(control)
+    # With CONTROL paused, NORMAL is served.
+    assert q.pop(skip_priorities={Priority.CONTROL}) is normal
+    assert q.pop(skip_priorities={Priority.CONTROL}) is None
+    assert q.pop() is control
+
+
+def test_peek_priority():
+    q = PriorityByteQueue()
+    assert q.peek_priority() is None
+    q.push(_pkt(priority=Priority.NORMAL))
+    q.push(_pkt(priority=Priority.MEASURED))
+    assert q.peek_priority() is Priority.MEASURED
+    assert q.peek_priority(skip_priorities={Priority.MEASURED}) is Priority.NORMAL
+
+
+def test_bool_reflects_emptiness():
+    q = PriorityByteQueue()
+    assert not q
+    q.push(_pkt())
+    assert q
+
+
+def test_backlog_callback_fires_on_push_and_pop():
+    backlogs = []
+    q = PriorityByteQueue(on_backlog_change=backlogs.append)
+    q.push(_pkt(size=10))
+    q.push(_pkt(size=20))
+    q.pop()
+    assert backlogs == [10, 30, 20]
+
+
+def test_peak_bytes_tracks_high_watermark():
+    q = PriorityByteQueue()
+    q.push(_pkt(size=100))
+    q.push(_pkt(size=100))
+    q.pop()
+    q.pop()
+    assert q.peak_bytes == 200
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(Priority)), st.integers(min_value=1, max_value=5000)
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_drain_order_is_priority_then_fifo(entries):
+    q = PriorityByteQueue()
+    packets = [_pkt(size=size, priority=pri) for pri, size in entries]
+    for p in packets:
+        q.push(p)
+    drained = []
+    while q:
+        drained.append(q.pop())
+    # Expected: stable sort by descending priority preserves FIFO within.
+    expected = sorted(packets, key=lambda p: -p.priority.value)
+    assert drained == expected
+    assert q.bytes_used == 0
+
+
+@given(st.lists(st.integers(1, 1000), min_size=0, max_size=50))
+def test_property_bytes_used_equals_sum_of_contents(sizes):
+    q = PriorityByteQueue()
+    for size in sizes:
+        q.push(_pkt(size=size))
+    assert q.bytes_used == sum(sizes)
+    popped = 0
+    while q:
+        popped += q.pop().size
+    assert popped == sum(sizes)

@@ -1,0 +1,189 @@
+"""Tests for spray policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.simnet import (
+    EcmpHash,
+    LeastQueueSpray,
+    Link,
+    Node,
+    Packet,
+    PowerOfTwoSpray,
+    RandomSpray,
+    RoundRobinSpray,
+    Simulator,
+    make_policy,
+)
+
+
+class _Null(Node):
+    def receive(self, packet, link):
+        pass
+
+
+def make_links(n, sizes=None):
+    """Links with optional pre-loaded queue backlogs."""
+    sim = Simulator()
+    rng = np.random.Generator(np.random.PCG64(0))
+    links = [
+        Link(sim, f"l{i}", _Null(), units.GBPS, 0, rng) for i in range(n)
+    ]
+    if sizes:
+        for link, size in zip(links, sizes):
+            if size:
+                # Two packets: the first starts transmitting (leaves the
+                # queue), the second stays queued as backlog.
+                link.enqueue(Packet(src_host=0, dst_host=1, size=1))
+                link.enqueue(Packet(src_host=0, dst_host=1, size=size))
+    return links
+
+
+def _pkt(src=0, dst=1, msg=1):
+    return Packet(src_host=src, dst_host=dst, size=100, msg_id=msg)
+
+
+@pytest.fixture
+def srng():
+    return np.random.Generator(np.random.PCG64(42))
+
+
+def test_random_spray_covers_all_candidates(srng):
+    links = make_links(4)
+    policy = RandomSpray()
+    chosen = {policy.choose(links, _pkt(), srng).name for _ in range(200)}
+    assert chosen == {"l0", "l1", "l2", "l3"}
+
+
+def test_random_spray_roughly_uniform(srng):
+    links = make_links(4)
+    policy = RandomSpray()
+    counts = {link.name: 0 for link in links}
+    for _ in range(4000):
+        counts[policy.choose(links, _pkt(), srng).name] += 1
+    for count in counts.values():
+        assert 800 < count < 1200
+
+
+def test_least_queue_picks_emptiest(srng):
+    links = make_links(3, sizes=[500, 0, 900])
+    policy = LeastQueueSpray()
+    assert policy.choose(links, _pkt(), srng).name == "l1"
+
+
+def test_least_queue_breaks_ties_randomly(srng):
+    links = make_links(3, sizes=[900, 0, 0])
+    policy = LeastQueueSpray()
+    chosen = {policy.choose(links, _pkt(), srng).name for _ in range(100)}
+    assert chosen == {"l1", "l2"}
+
+
+def test_po2_prefers_less_loaded(srng):
+    links = make_links(2, sizes=[900, 0])
+    policy = PowerOfTwoSpray()
+    counts = {0: 0, 1: 0}
+    for _ in range(100):
+        name = policy.choose(links, _pkt(), srng).name
+        counts[int(name[1])] += 1
+    assert counts[1] == 100
+
+
+def test_po2_single_candidate(srng):
+    links = make_links(1)
+    assert PowerOfTwoSpray().choose(links, _pkt(), srng) is links[0]
+
+
+def test_ecmp_is_deterministic_per_flow(srng):
+    links = make_links(8)
+    policy = EcmpHash()
+    packet = _pkt(msg=77)
+    first = policy.choose(links, packet, srng)
+    for _ in range(20):
+        assert policy.choose(links, _pkt(msg=77), srng) is first
+
+
+def test_ecmp_spreads_distinct_flows(srng):
+    links = make_links(8)
+    policy = EcmpHash()
+    chosen = {
+        policy.choose(links, _pkt(src=s, msg=s), srng).name for s in range(64)
+    }
+    assert len(chosen) > 3  # many flows land on many uplinks
+
+
+def test_round_robin_cycles(srng):
+    links = make_links(3)
+    policy = RoundRobinSpray()
+    names = [policy.choose(links, _pkt(), srng).name for _ in range(6)]
+    assert names == ["l0", "l1", "l2", "l0", "l1", "l2"]
+
+
+def test_round_robin_perfectly_even(srng):
+    links = make_links(4)
+    policy = RoundRobinSpray()
+    counts = {link.name: 0 for link in links}
+    for _ in range(400):
+        counts[policy.choose(links, _pkt(), srng).name] += 1
+    assert set(counts.values()) == {100}
+
+
+def test_flowlet_sticks_within_gap(srng):
+    from repro.simnet import FlowletSpray
+
+    links = make_links(4)
+    policy = FlowletSpray(gap_ns=1000)
+    first = policy.choose(links, _pkt(msg=5), srng)
+    # Back-to-back packets of the same flow stay on the same uplink.
+    for _ in range(20):
+        assert policy.choose(links, _pkt(msg=5), srng) is first
+
+
+def test_flowlet_repicks_after_gap(srng):
+    from repro.simnet import FlowletSpray
+
+    links = make_links(8)
+    policy = FlowletSpray(gap_ns=10)
+    sim = links[0].sim
+    chosen = set()
+    for _ in range(64):
+        chosen.add(policy.choose(links, _pkt(msg=6), srng).name)
+        sim.schedule(100, lambda: None)
+        sim.run()  # advance time past the flowlet gap
+    assert len(chosen) > 2
+
+
+def test_flowlet_different_flows_independent(srng):
+    from repro.simnet import FlowletSpray
+
+    links = make_links(8)
+    policy = FlowletSpray(gap_ns=1_000_000)
+    chosen = {
+        policy.choose(links, _pkt(src=s, msg=s), srng).name for s in range(64)
+    }
+    assert len(chosen) > 2
+
+
+def test_flowlet_invalid_gap():
+    from repro.simnet import FlowletSpray
+
+    with pytest.raises(ValueError):
+        FlowletSpray(gap_ns=0)
+
+
+def test_make_policy_by_name():
+    from repro.simnet import FlowletSpray
+
+    assert isinstance(make_policy("random"), RandomSpray)
+    assert isinstance(make_policy("adaptive"), LeastQueueSpray)
+    assert isinstance(make_policy("po2"), PowerOfTwoSpray)
+    assert isinstance(make_policy("ecmp"), EcmpHash)
+    assert isinstance(make_policy("round_robin"), RoundRobinSpray)
+    assert isinstance(make_policy("flowlet"), FlowletSpray)
+
+
+def test_make_policy_unknown_name():
+    with pytest.raises(ValueError, match="unknown spray policy"):
+        make_policy("bogus")

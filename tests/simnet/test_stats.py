@@ -1,0 +1,97 @@
+"""Tests for flow-completion-time tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import (
+    StagedCollectiveRunner,
+    locality_optimized_ring,
+    ring_reduce_scatter_stages,
+)
+from repro.simnet import DropFault, FlowTag, Network
+from repro.simnet.stats import FctSummary, FctTracker
+from repro.topology import ClosSpec, down_link
+
+
+def make_net(**kwargs):
+    spec = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=1)
+    return Network(spec, seed=8, spray="round_robin", mtu=512, **kwargs)
+
+
+def test_tracks_single_flow():
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    net.host(0).send(2, 10_000)
+    net.run()
+    assert len(tracker.records) == 1
+    record = tracker.records[0]
+    assert record.src_host == 0
+    assert record.dst_host == 2
+    assert record.size_bytes == 10_000
+    assert record.fct_ns > 0
+
+
+def test_summary_percentiles():
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    for dst in (1, 2, 3):
+        net.host(0).send(dst, 20_000)
+    net.run()
+    summary = tracker.summary()
+    assert summary.count == 3
+    assert summary.p50_ns <= summary.p99_ns <= summary.max_ns
+    assert summary.mean_ns > 0
+
+
+def test_summary_empty_raises():
+    with pytest.raises(ValueError):
+        FctSummary.of([])
+
+
+def test_tag_filter():
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    net.host(0).send(2, 10_000, tag=FlowTag(1, 0))
+    net.host(0).send(3, 10_000, tag=FlowTag(2, 0))
+    net.run()
+    assert tracker.summary(tag_filter=FlowTag(1, 0)).count == 1
+
+
+def test_fault_inflates_fct():
+    """The §1 claim, quantified: a silent fault stretches the FCT of the
+    flows crossing it via retransmission timeouts."""
+    def p99(fault_rate):
+        net = make_net()
+        if fault_rate:
+            net.inject_fault(down_link(0, 2), DropFault(fault_rate))
+            net.inject_fault(down_link(1, 2), DropFault(fault_rate))
+        tracker = FctTracker(net.hosts)
+        for _ in range(10):
+            net.host(0).send(2, 20_000)
+        net.run()
+        return tracker.summary().p99_ns
+
+    assert p99(0.3) > 2 * p99(0.0)
+
+
+def test_works_under_collective_runner():
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    ring = locality_optimized_ring(net.spec.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, 200_000)
+    StagedCollectiveRunner(net, 1, stages, iterations=2).run()
+    # 3 stages x 4 hosts x 2 iterations messages tracked.
+    assert len(tracker.records) == 3 * 4 * 2
+
+
+def test_flows_through_pair():
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    net.host(0).send(2, 1_000)
+    net.host(0).send(2, 2_000)
+    net.host(1).send(2, 3_000)
+    net.run()
+    pair = tracker.flows_through(0, 2)
+    assert len(pair) == 2
+    assert {r.size_bytes for r in pair} == {1_000, 2_000}

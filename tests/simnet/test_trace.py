@@ -1,0 +1,65 @@
+"""Tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.simnet import Network, PacketKind, Tracer
+from repro.topology import ClosSpec
+
+
+def run_traced(predicate=None, max_events=100_000):
+    tracer = Tracer(max_events=max_events, predicate=predicate)
+    net = Network(ClosSpec(n_leaves=2, n_spines=2), seed=0, mtu=1000, tracer=tracer)
+    net.host(1).on_message(lambda *a: None)
+    net.host(0).send(1, 5_000)
+    net.run()
+    return tracer
+
+
+def test_records_events_with_counts():
+    tracer = run_traced()
+    assert tracer.counts["tx"] > 0
+    assert tracer.counts["rx"] > 0
+    assert "drop" not in tracer.counts
+
+
+def test_events_for_packet_in_time_order():
+    tracer = run_traced()
+    pid = tracer.events[0].pid
+    events = tracer.events_for_packet(pid)
+    times = [e.time_ns for e in events]
+    assert times == sorted(times)
+
+
+def test_links_crossed_gives_full_path():
+    tracer = run_traced()
+    data_pids = {e.pid for e in tracer.events if e.kind == "data"}
+    pid = min(data_pids)
+    path = tracer.links_crossed(pid)
+    assert path[0].startswith("hostup:")
+    assert path[-1].startswith("hostdown:")
+    assert len(path) == 4  # host->leaf->spine->leaf->host
+
+
+def test_predicate_filters_recorded_events():
+    tracer = run_traced(predicate=lambda p: p.kind is PacketKind.DATA)
+    kinds = {e.kind for e in tracer.events}
+    assert kinds == {"data"}
+    # Counts still include everything (cheap aggregate view).
+    assert tracer.counts["rx"] > len([e for e in tracer.events if e.event == "rx"]) / 2
+
+
+def test_bounded_buffer_evicts_oldest():
+    tracer = run_traced(max_events=5)
+    assert len(tracer.events) == 5
+
+
+def test_summary_mentions_counts():
+    tracer = run_traced()
+    summary = tracer.summary()
+    assert "tx=" in summary and "rx=" in summary
+
+
+def test_event_str_is_informative():
+    tracer = run_traced()
+    text = str(tracer.events[0])
+    assert "hostup:" in text or "up:" in text

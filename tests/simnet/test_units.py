@@ -1,0 +1,77 @@
+"""Tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_transmission_time_simple():
+    # 1000 bytes at 8 Gbps = 8000 bits / 8e9 bps = 1 microsecond.
+    assert units.transmission_time_ns(1000, 8 * units.GBPS) == 1000
+
+
+def test_transmission_time_rounds_up():
+    # 1 byte at 3 bps: 8/3 s -> ceil to nanoseconds.
+    assert units.transmission_time_ns(1, 3) == -(-8 * units.SECOND // 3)
+
+
+def test_transmission_time_zero_bytes():
+    assert units.transmission_time_ns(0, units.GBPS) == 0
+
+
+def test_transmission_time_negative_size_rejected():
+    with pytest.raises(ValueError):
+        units.transmission_time_ns(-1, units.GBPS)
+
+
+def test_transmission_time_zero_rate_rejected():
+    with pytest.raises(ValueError):
+        units.transmission_time_ns(100, 0)
+
+
+def test_bytes_per_second():
+    assert units.bytes_per_second(units.GBPS) == 125e6
+
+
+def test_time_constants_consistent():
+    assert units.SECOND == 1000 * units.MILLISECOND
+    assert units.MILLISECOND == 1000 * units.MICROSECOND
+    assert units.MICROSECOND == 1000 * units.NANOSECOND
+
+
+def test_size_constants_consistent():
+    assert units.GIB == 1024 * units.MIB == 1024 * 1024 * units.KIB
+    assert units.GB == 1000 * units.MB == 1_000_000 * units.KB
+
+
+def test_format_bytes():
+    assert units.format_bytes(512) == "512 B"
+    assert units.format_bytes(2048) == "2.0 KiB"
+    assert units.format_bytes(3 * units.MIB) == "3.0 MiB"
+    assert units.format_bytes(5 * units.GIB) == "5.0 GiB"
+
+
+def test_format_time():
+    assert units.format_time(500) == "500 ns"
+    assert units.format_time(1500) == "1.50 us"
+    assert units.format_time(2_500_000) == "2.50 ms"
+    assert units.format_time(3 * units.SECOND) == "3.000 s"
+
+
+def test_ns_conversions():
+    assert units.ns_to_us(2500) == 2.5
+    assert units.ns_to_ms(2_500_000) == 2.5
+
+
+@given(st.integers(0, 10**12), st.integers(1, 10**12))
+def test_property_transmission_time_never_undershoots(size, rate):
+    t = units.transmission_time_ns(size, rate)
+    # t nanoseconds at `rate` bps must cover size*8 bits.
+    assert t * rate >= size * 8 * units.SECOND
+    # And t-1 must not (tight ceiling), unless t is 0.
+    if t > 0:
+        assert (t - 1) * rate < size * 8 * units.SECOND

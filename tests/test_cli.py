@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "--leaves", "8",
+    "--spines", "4",
+    "--collective-gib", "1",
+]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_detect_fault_exits_zero(capsys):
+    code = main(["detect", *SMALL, "--drop-rate", "0.05"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "detected: True" in out
+    assert "suspects:" in out
+
+
+def test_detect_healthy_exits_zero(capsys):
+    code = main(["detect", *SMALL, "--healthy"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "detected: False" in out
+    assert "healthy control" in out
+
+
+def test_detect_subthreshold_fault_exits_one(capsys):
+    # 0.2% drop is far below the 1% threshold: a miss, exit code 1.
+    code = main(["detect", *SMALL, "--drop-rate", "0.002"])
+    assert code == 1
+
+
+def test_roc_prints_table(capsys):
+    code = main(
+        [
+            "roc",
+            *SMALL,
+            "--trials", "3",
+            "--drop-rates", "0.02",
+            "--thresholds", "0.01",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "FPR" in out and "TPR" in out
+    assert "2.0%" in out
+
+
+def test_closed_loop_recovers(capsys):
+    code = main(
+        [
+            "closed-loop",
+            *SMALL,
+            "--drop-rate", "0.05",
+            "--iterations", "6",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "DISABLED" in out
+    assert "recovered (quiet after remediation): True" in out
+
+
+def test_detect_report_flag(capsys):
+    code = main(["detect", *SMALL, "--drop-rate", "0.05", "--report"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "INCIDENT" in out
+    assert "recommended action: drain cable" in out
+
+
+def test_healthy_report_flag(capsys):
+    code = main(["detect", *SMALL, "--healthy", "--report"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no fault detected" in out
+
+
+def test_custom_threshold_respected(capsys):
+    code = main(["detect", *SMALL, "--drop-rate", "0.05", "--threshold", "0.02"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "threshold 2.00%" in out
+
+
+def test_preexisting_faults_flag(capsys):
+    code = main(
+        ["detect", *SMALL, "--drop-rate", "0.05", "--preexisting", "2"]
+    )
+    assert code == 0
+
+
+def test_learned_predictor_flag(capsys):
+    code = main(
+        [
+            "detect",
+            *SMALL,
+            "--drop-rate", "0.05",
+            "--predictor", "learned",
+            "--iterations", "6",
+        ]
+    )
+    # Learned predictor with fault from iteration 0 bakes the fault into
+    # its baseline: no alarm, exit 1 — the documented caveat.
+    out = capsys.readouterr().out
+    assert "detected" in out
+    assert code in (0, 1)

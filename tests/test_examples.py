@@ -1,0 +1,75 @@
+"""Smoke tests: every example must run to completion and print its
+success line (examples are documentation that executes)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_every_example_is_covered_here():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "silent_fault_hunt.py",
+        "transient_fault_learning.py",
+        "multi_job_isolation.py",
+        "closed_loop_remediation.py",
+        "three_level_fabric.py",
+        "threshold_calibration.py",
+    }
+    assert scripts == covered
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "OK: silent fault caught and localized." in out
+
+
+def test_silent_fault_hunt():
+    out = run_example("silent_fault_hunt.py")
+    assert "headline check (1.5% corruption): detected=True" in out
+    assert "healthy-fabric control: detected=False" in out
+
+
+def test_transient_fault_learning():
+    out = run_example("transient_fault_learning.py")
+    assert "healing" in out
+    assert "rebaselined" in out
+    assert "baselines adopted: 2" in out
+
+
+def test_multi_job_isolation():
+    out = run_example("multi_job_isolation.py")
+    assert "OK: detection unaffected by background traffic." in out
+
+
+def test_closed_loop_remediation():
+    out = run_example("closed_loop_remediation.py")
+    assert "OK: fault drained and symmetry restored." in out
+
+
+def test_three_level_fabric():
+    out = run_example("three_level_fabric.py")
+    assert "OK: each tier catches the faults" in out
+
+
+def test_threshold_calibration():
+    out = run_example("threshold_calibration.py")
+    assert "OK: both calibration procedures give working thresholds." in out

@@ -1,0 +1,359 @@
+"""End-to-end integration tests: packet simulator -> switch collectors
+-> FlowPulse monitor, exercising the paper's full pipeline at reduced
+scale (the benchmarks run the paper-size configurations).
+
+Detection-focused tests use the deterministic ``round_robin`` spray so
+that collective sizes stay packet-sim friendly while spray noise stays
+far below the detection threshold; the statistical noise behaviour of
+``random`` spraying is validated against fastsim in
+tests/fastsim/test_agreement.py and exercised at scale by the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    DemandMatrix,
+    JitterModel,
+    StagedCollectiveRunner,
+    Transfer,
+    locality_optimized_ring,
+    ring_demand,
+    ring_reduce_scatter_stages,
+)
+from repro.core import (
+    AnalyticalPredictor,
+    DetectionConfig,
+    FlowPulseMonitor,
+    LearnedPredictor,
+)
+from repro.simnet import DropFault, FlowTag, IterationRecord, Network
+from repro.topology import ClosSpec, down_link, up_link
+
+
+SPEC = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=1)
+TOTAL = 2_000_000
+MTU = 512
+
+
+def records_matrix(collectors, iterations, job_id=1):
+    """Per-iteration record lists, synthesizing empty records for leaves
+    that saw no tagged traffic (their collectors never opened a window)."""
+    matrix = []
+    for i in range(iterations):
+        row = []
+        for leaf, collector in enumerate(collectors):
+            per_iter = {r.tag.iteration: r for r in collector.records}
+            row.append(
+                per_iter.get(
+                    i,
+                    IterationRecord(
+                        leaf=leaf,
+                        tag=FlowTag(job_id, i),
+                        port_bytes={},
+                        sender_bytes={},
+                        start_ns=0,
+                        end_ns=0,
+                    ),
+                )
+            )
+        matrix.append(row)
+    return matrix
+
+
+def run_monitored(
+    fault=None,
+    iterations=4,
+    seed=0,
+    threshold=0.05,
+    spray="round_robin",
+    jitter=JitterModel(),
+    known_disabled=frozenset(),
+    stages=None,
+    demand=None,
+    rto_ns=5_000,
+):
+    """Run a ring collective on simnet and monitor it with FlowPulse."""
+    net = Network(
+        SPEC,
+        seed=seed,
+        spray=spray,
+        mtu=MTU,
+        known_disabled=known_disabled,
+        rto_ns=rto_ns,
+    )
+    if fault:
+        link, rate = fault
+        net.inject_fault(link, DropFault(rate))
+    collectors = net.install_collectors(job_id=1)
+    if stages is None:
+        ring = locality_optimized_ring(SPEC.n_hosts)
+        stages = ring_reduce_scatter_stages(ring, TOTAL)
+    if demand is None:
+        demand = DemandMatrix.from_stages(stages)
+    StagedCollectiveRunner(net, 1, stages, iterations=iterations, jitter=jitter).run()
+    net.finalize_collectors()
+
+    predictor = AnalyticalPredictor(SPEC, demand, known_disabled=known_disabled)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=threshold))
+    return monitor.process_run(records_matrix(collectors, iterations)), net
+
+
+def test_healthy_fabric_stays_quiet():
+    verdict, _ = run_monitored(seed=1)
+    assert not verdict.triggered
+
+
+def test_down_fault_detected_and_cable_localized():
+    fault_link = down_link(1, 3)
+    verdict, net = run_monitored(fault=(fault_link, 0.3), seed=2)
+    assert verdict.triggered
+    assert net.total_fault_drops() > 0
+    assert fault_link in verdict.suspected_links()
+
+
+def test_up_fault_detected_with_cable_candidates():
+    fault_link = up_link(2, 1)  # leaf 2's uplink to spine 1
+    verdict, _ = run_monitored(fault=(fault_link, 0.3), seed=3)
+    assert verdict.triggered
+    # Leaf 3 (ring successor of 2) observes; candidates include the
+    # true upstream cable.
+    assert fault_link in verdict.suspected_links()
+
+
+def test_detection_with_preexisting_known_faults():
+    """Temporal symmetry's selling point: the fault-aware model absorbs
+    pre-existing disconnects; only the new silent fault alarms."""
+    disabled = frozenset({up_link(5, 0), down_link(0, 5)})
+    # Healthy run with pre-existing faults: quiet.
+    verdict, _ = run_monitored(known_disabled=disabled, seed=4)
+    assert not verdict.triggered
+    # New silent fault on top: detected.
+    fault_link = down_link(2, 6)
+    verdict, _ = run_monitored(
+        fault=(fault_link, 0.3), known_disabled=disabled, seed=5
+    )
+    assert verdict.triggered
+    assert fault_link in verdict.suspected_links()
+
+
+def test_jitter_and_stragglers_do_not_cause_false_alarms():
+    """§4/§5.1: volume-based temporal symmetry is straggler-oblivious
+    for single-sender-per-leaf collectives."""
+    jitter = JitterModel(
+        max_jitter_ns=50_000, straggler_prob=0.3, straggler_delay_ns=200_000
+    )
+    verdict, _ = run_monitored(jitter=jitter, seed=6)
+    assert not verdict.triggered
+
+
+def test_round_robin_noise_floor_below_random():
+    """Deterministic spraying splits far more evenly than random: the
+    healthy-run worst deviation (the detector's noise floor) must drop
+    by an order of magnitude."""
+    random_verdict, _ = run_monitored(seed=7, spray="random", threshold=0.5)
+    rr_verdict, _ = run_monitored(seed=7, spray="round_robin", threshold=0.5)
+    assert rr_verdict.max_score < random_verdict.max_score / 5
+
+
+def test_multi_sender_localization_disambiguates_remote():
+    """Fig. 4's actual scenario: two senders share the observed port; a
+    fault on one sender's uplink is localized as remote, uniquely."""
+    # Leaves 1 and 2 both send to leaf 0.
+    stages = [
+        [Transfer(src=1, dst=0, size=TOTAL), Transfer(src=2, dst=0, size=TOTAL)]
+    ]
+    fault_link = up_link(1, 2)  # sender leaf 1 -> spine 2
+    # A 2:1 incast queues data at the receiver's downlink; the paper's
+    # 5 us RTO (tuned for an uncongested ring) would fire spuriously, so
+    # size it to the incast drain time.
+    verdict, _ = run_monitored(
+        fault=(fault_link, 0.3), stages=stages, seed=8, rto_ns=1_000_000
+    )
+    assert verdict.triggered
+    suspicions = [
+        s
+        for v in verdict.verdicts
+        for loc in v.localizations
+        for s in loc.suspicions
+    ]
+    remote = [s for s in suspicions if s.kind == "remote"]
+    assert remote
+    assert all(s.link == fault_link for s in remote)
+    # The local link is NOT suspected: leaf 2's traffic through spine 2
+    # arrived intact, so the deficit cannot be on the shared link.
+    assert down_link(2, 0) not in {s.link for s in suspicions}
+
+
+def test_learning_predictor_full_pipeline_on_simnet():
+    """Learn the baseline from the first packet-simulated iterations,
+    then catch a fault injected mid-run."""
+    net = Network(SPEC, seed=9, spray="round_robin", mtu=MTU)
+    collectors = net.install_collectors(job_id=1)
+    ring = locality_optimized_ring(SPEC.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, TOTAL)
+
+    fault_link = down_link(3, 4)
+    injected = {"done": False}
+
+    def maybe_inject(iteration, now):
+        if iteration == 3 and not injected["done"]:
+            net.inject_fault(fault_link, DropFault(0.35))
+            injected["done"] = True
+
+    StagedCollectiveRunner(
+        net, 1, stages, iterations=7, on_iteration_done=maybe_inject
+    ).run()
+    net.finalize_collectors()
+
+    predictor = LearnedPredictor(warmup_iterations=3, deviation_trigger=0.05)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.05))
+    verdict = monitor.process_run(records_matrix(collectors, 7))
+    assert verdict.triggered
+    assert verdict.first_detection_iteration >= 4
+    assert fault_link in verdict.suspected_links()
+
+
+def test_detection_latency_is_one_iteration():
+    """§6: 'instantaneous' detection — the first faulty iteration
+    already trips the detector."""
+    verdict, _ = run_monitored(fault=(down_link(0, 1), 0.3), seed=10)
+    assert verdict.first_detection_iteration == 0
+
+
+def test_scores_scale_with_severity_on_simnet():
+    scores = []
+    for rate in (0.1, 0.2, 0.4):
+        verdict, _ = run_monitored(fault=(down_link(1, 2), rate), seed=11)
+        scores.append(verdict.max_score)
+    assert scores == sorted(scores)
+
+
+def test_fault_inflates_iteration_completion_time():
+    """The paper's motivation (§1): faults inflate flow (and hence
+    iteration) completion times via retransmission stalls — the damage
+    FlowPulse exists to stop early."""
+    def iteration_time(fault_rate):
+        net = Network(SPEC, seed=41, spray="round_robin", mtu=MTU)
+        if fault_rate:
+            net.inject_fault(down_link(1, 3), DropFault(fault_rate))
+        ring = locality_optimized_ring(SPEC.n_hosts)
+        stages = ring_reduce_scatter_stages(ring, TOTAL)
+        runner = StagedCollectiveRunner(net, 1, stages, iterations=1)
+        (start, end), = runner.run()
+        return end - start
+
+    healthy = iteration_time(0.0)
+    faulty = iteration_time(0.3)
+    # 30% loss on one path forces RTO stalls on the ring's critical
+    # path every stage: a large, user-visible slowdown.
+    assert faulty > healthy * 1.5
+
+
+def test_intermittent_fault_detected_in_active_iterations_only():
+    """A flapping fault (paper §7 'Fault Types'): iterations overlapping
+    the fault's active window alarm; the others stay quiet."""
+    from repro.simnet import TransientDropFault
+
+    net = Network(SPEC, seed=42, spray="round_robin", mtu=MTU)
+    collectors = net.install_collectors(job_id=1)
+    ring = locality_optimized_ring(SPEC.n_hosts)
+    stages = ring_reduce_scatter_stages(ring, TOTAL)
+    runner = StagedCollectiveRunner(
+        net, 1, stages, iterations=4, compute_time_ns=50_000
+    )
+    runner.start()
+    net.run(until=1)  # materialize iteration timing baseline
+    # Fault active only during a window covering iterations 1-2.
+    net.run()
+    times = runner.iteration_times
+    window = (times[1][0], times[2][1])
+    # Re-run with the fault scheduled over that window.
+    net2 = Network(SPEC, seed=42, spray="round_robin", mtu=MTU)
+    collectors2 = net2.install_collectors(job_id=1)
+    runner2 = StagedCollectiveRunner(
+        net2, 1, stages, iterations=4, compute_time_ns=50_000
+    )
+    net2.inject_fault(
+        down_link(1, 3),
+        TransientDropFault(rate=0.3, start_ns=window[0], end_ns=window[1]),
+    )
+    runner2.run()
+    net2.finalize_collectors()
+    demand = ring_demand(locality_optimized_ring(SPEC.n_hosts), TOTAL)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(SPEC, demand), DetectionConfig(threshold=0.05)
+    )
+    verdict = monitor.process_run(records_matrix(collectors2, 4))
+    flagged = [v.iteration for v in verdict.verdicts if v.triggered]
+    assert flagged  # the transient window was caught
+    assert set(flagged) <= {1, 2}
+    assert 0 not in flagged and 3 not in flagged
+
+
+def test_blocking_network_with_pfc_and_background(rng):
+    """§7 'Blocking Networks': an oversubscribed fabric (4 hosts per
+    leaf, 2 spines) with finite buffers, PFC, and background congestion.
+    The prioritized measured collective still completes losslessly and
+    its volumes still match the prediction."""
+    spec = ClosSpec(n_leaves=4, n_spines=2, hosts_per_leaf=4)
+    net = Network(
+        spec,
+        seed=31,
+        spray="round_robin",
+        mtu=512,
+        queue_capacity=512 * 1024,
+        enable_pfc=True,
+        rto_ns=2_000_000,  # congestion inflates RTTs; avoid spurious retx
+    )
+    collectors = net.install_collectors(job_id=1)
+
+    # Measured job: one ring participant per leaf (hosts 0, 4, 8, 12),
+    # the paper's single-non-local-flow-per-leaf condition.
+    ring = [0, 4, 8, 12]
+    stages = ring_reduce_scatter_stages(ring, 400_000)
+    runner = StagedCollectiveRunner(net, 1, stages, iterations=2)
+
+    # Background: the other hosts all-to-all at BACKGROUND priority.
+    from repro.simnet import FlowTag, Priority
+
+    others = [h for h in range(spec.n_hosts) if h not in ring]
+    for i, src in enumerate(others):
+        dst = others[(i + 5) % len(others)]
+        if dst != src:
+            net.host(src).send(
+                dst,
+                400_000,
+                tag=FlowTag(99, 0),
+                priority=Priority.BACKGROUND,
+            )
+    runner.run()
+    net.finalize_collectors()
+
+    # Lossless: nothing overflowed anywhere.
+    assert all(link.overflow_packets == 0 for link in net.links.values())
+    # PFC actually engaged under this load.
+    assert any(c.pauses_sent > 0 for c in net.pfc_controllers)
+
+    demand = DemandMatrix.from_stages(stages)
+    predictor = AnalyticalPredictor(spec, demand)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.05))
+    verdict = monitor.process_run(records_matrix(collectors, 2))
+    assert not verdict.triggered
+
+
+def test_volume_conservation_across_pipeline():
+    """The bytes the monitor sees equal the collective's demand: nothing
+    is lost or double-counted end to end (lossless fabric + dedupe)."""
+    verdict, net = run_monitored(seed=12, iterations=2)
+    demand = ring_demand(locality_optimized_ring(SPEC.n_hosts), TOTAL)
+    expected = demand.nonlocal_bytes(SPEC)
+    total_observed = 0
+    for leaf in net.leaves:
+        for collector in leaf.collectors:
+            for record in collector.records:
+                total_observed += record.total_bytes
+    assert total_observed == expected * 2  # two iterations

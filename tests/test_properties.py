@@ -1,0 +1,204 @@
+"""Cross-module property tests: end-to-end invariants of the whole
+pipeline under randomized fabrics, demands, and faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import _same_cable
+from repro.collectives import (
+    DemandMatrix,
+    locality_optimized_ring,
+    ring_demand,
+)
+from repro.core import (
+    AnalyticalPredictor,
+    DetectionConfig,
+    FlowPulseMonitor,
+    SimulationPredictor,
+)
+from repro.fastsim import FabricModel, expected_iteration, run_iterations
+from repro.topology import ClosSpec, down_link, up_link
+from repro.units import MIB
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_leaves=st.integers(3, 8),
+    n_spines=st.integers(2, 6),
+    direction=st.sampled_from(["up", "down"]),
+    drop_permille=st.integers(30, 300),
+    seed=st.integers(0, 10_000),
+)
+def test_property_injected_fault_always_detected_and_cable_named(
+    n_leaves, n_spines, direction, drop_permille, seed
+):
+    """Any silent fault >= 3% on any leaf-spine link of any small fabric
+    is detected within 3 iterations and its cable is among the suspects."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    spec = ClosSpec(n_leaves=n_leaves, n_spines=n_spines, hosts_per_leaf=1)
+    leaf = int(rng.integers(n_leaves))
+    spine = int(rng.integers(n_spines))
+    fault = (
+        up_link(leaf, spine) if direction == "up" else down_link(spine, leaf)
+    )
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 512 * MIB)
+    model = FabricModel(spec, silent={fault: drop_permille / 1000}, mtu=1024)
+    records = run_iterations(model, demand, 3, seed=seed)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand), DetectionConfig(threshold=0.01)
+    )
+    verdict = monitor.process_run(records)
+    assert verdict.triggered
+    assert any(
+        _same_cable(link, fault) for link in verdict.suspected_links()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_leaves=st.integers(3, 8),
+    n_spines=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_property_healthy_fabric_never_alarms_above_noise_model(
+    n_leaves, n_spines, seed
+):
+    """With no silent fault, the score stays under 6x the analytic noise
+    sigma (a generous bound that holds for all seeds)."""
+    from repro.core import port_noise_sigma
+
+    spec = ClosSpec(n_leaves=n_leaves, n_spines=n_spines, hosts_per_leaf=1)
+    total = 512 * MIB
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), total)
+    model = FabricModel(spec, mtu=1024)
+    records = run_iterations(model, demand, 2, seed=seed)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand), DetectionConfig(threshold=0.5)
+    )
+    verdict = monitor.process_run(records)
+    pair_bytes = max(v for _, _, v in demand.pairs())
+    sigma = port_noise_sigma(pair_bytes, n_spines, 1024, "random")
+    assert verdict.max_score < max(6 * sigma, 1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_leaves=st.integers(3, 6),
+    n_spines=st.integers(2, 4),
+    pairs=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 10**7)),
+        min_size=1,
+        max_size=12,
+    ),
+    seed=st.integers(0, 10_000),
+)
+def test_property_fastsim_conserves_arbitrary_demand(
+    n_leaves, n_spines, pairs, seed
+):
+    """For any demand matrix, each leaf receives exactly its inbound
+    non-local demand (the fabric is lossless end to end)."""
+    spec = ClosSpec(n_leaves=n_leaves, n_spines=n_spines, hosts_per_leaf=1)
+    demand = DemandMatrix()
+    for src, dst, size in pairs:
+        src %= spec.n_hosts
+        dst %= spec.n_hosts
+        if src != dst:
+            demand.add(src, dst, size)
+    if len(demand) == 0:
+        return
+    rng = np.random.Generator(np.random.PCG64(seed))
+    from repro.fastsim import simulate_iteration
+
+    records = simulate_iteration(FabricModel(spec, mtu=777), demand, rng)
+    leaf_pairs = demand.leaf_pairs(spec)
+    for record in records:
+        inbound = sum(
+            v for (s, d), v in leaf_pairs.items() if d == record.leaf
+        )
+        assert record.total_bytes == inbound
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_spines=st.integers(2, 6),
+    dead_spines=st.integers(0, 2),
+    seed=st.integers(0, 10_000),
+)
+def test_property_analytical_equals_simulation_expectation(
+    n_spines, dead_spines, seed
+):
+    """The analytical d/(s-f) model and the simulation predictor's
+    closed-form expectation agree exactly whenever the only known
+    faults are binary (up/down) — the regime of Fig. 2."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    spec = ClosSpec(n_leaves=5, n_spines=n_spines, hosts_per_leaf=1)
+    dead_spines = min(dead_spines, n_spines - 1)
+    disabled = set()
+    for _ in range(dead_spines):
+        leaf = int(rng.integers(spec.n_leaves))
+        spine = int(rng.integers(n_spines))
+        name = down_link(spine, leaf)
+        # Keep connectivity: never kill the last spine of a leaf.
+        already = sum(
+            1 for s in range(n_spines) if down_link(s, leaf) in disabled
+        )
+        if already < n_spines - 1:
+            disabled.add(name)
+    disabled = frozenset(disabled)
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 1_000_000)
+    model = FabricModel(spec, known_disabled=disabled, mtu=1024)
+    analytical = AnalyticalPredictor(spec, demand, known_disabled=disabled).predict()
+    simulated = SimulationPredictor(model, demand, backend="expected").predict()
+    for leaf in range(spec.n_leaves):
+        a = analytical.for_leaf(leaf).port_bytes
+        s = simulated.for_leaf(leaf).port_bytes
+        assert set(a) == set(s)
+        for spine, volume in a.items():
+            assert s[spine] == pytest.approx(volume, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    implications=st.lists(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)), max_size=3),
+        min_size=1,
+        max_size=12,
+    ),
+    confirm_after=st.integers(1, 3),
+)
+def test_property_remediation_needs_enough_evidence(implications, confirm_after):
+    """The engine disables a cable only when it was implicated in at
+    least ``confirm_after`` of the last ``window`` iterations, and every
+    disabled cable was actually implicated."""
+    from collections import deque
+
+    from repro.core import ConfirmationPolicy, RemediationEngine
+    from tests.core.test_remediation import verdict_with
+
+    window = 4
+    engine = RemediationEngine(
+        ConfirmationPolicy(confirm_after=confirm_after, window=window)
+    )
+    recent: deque = deque(maxlen=window)
+    for iteration, cables in enumerate(implications):
+        links = [down_link(spine, leaf) for leaf, spine in cables]
+        recent.append({(leaf, spine) for leaf, spine in cables})
+        action = engine.observe(verdict_with(iteration, links))
+        if action is not None:
+            # Every cable acted on had enough in-window evidence.
+            for cable in action.cables:
+                count = sum(1 for past in recent if cable in past)
+                assert count >= confirm_after
+    # And globally: every disabled cable was implicated at least
+    # confirm_after times across the whole run.
+    all_implications = [
+        {(leaf, spine) for leaf, spine in cables} for cables in implications
+    ]
+    for action in engine.actions:
+        for cable in action.cables:
+            total = sum(1 for past in all_implications if cable in past)
+            assert total >= confirm_after

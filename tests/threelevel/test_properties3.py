@@ -1,0 +1,79 @@
+"""Property tests for the three-level simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.threelevel import (
+    ThreeLevelModel,
+    ThreeLevelSpec,
+    demand_by_leaf_pair,
+    simulate_iteration3,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_pods=st.integers(2, 4),
+    leaves_per_pod=st.integers(1, 3),
+    spines_per_pod=st.integers(1, 3),
+    cores_per_spine=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_property_three_level_conserves_volume(
+    n_pods, leaves_per_pod, spines_per_pod, cores_per_spine, seed
+):
+    """Every leaf receives exactly its inbound demand; the spine tier
+    carries exactly the inter-pod portion — for any fabric shape."""
+    spec = ThreeLevelSpec(
+        n_pods=n_pods,
+        leaves_per_pod=leaves_per_pod,
+        spines_per_pod=spines_per_pod,
+        cores_per_spine=cores_per_spine,
+        hosts_per_leaf=1,
+    )
+    if spec.n_hosts < 2:
+        return
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 1_000_000)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    records = simulate_iteration3(ThreeLevelModel(spec, mtu=700), demand, rng)
+    pairs = demand_by_leaf_pair(spec, demand)
+    for record in records.leaves:
+        pod, leaf = (
+            record.leaf // spec.leaves_per_pod,
+            record.leaf % spec.leaves_per_pod,
+        )
+        inbound = sum(v for (s, d), v in pairs.items() if d == (pod, leaf))
+        assert record.total_bytes == inbound
+    inter = sum(v for ((sp, _), (dp, _)), v in pairs.items() if sp != dp)
+    assert sum(r.total_bytes for r in records.spines.values()) == inter
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    drop_permille=st.integers(0, 500),
+    seed=st.integers(0, 10_000),
+)
+def test_property_faults_never_lose_volume(drop_permille, seed):
+    """Silent faults trigger retransmission, never loss: leaf totals are
+    invariant to any drop rate."""
+    spec = ThreeLevelSpec(
+        n_pods=3, leaves_per_pod=2, spines_per_pod=2, cores_per_spine=2
+    )
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 500_000)
+    from repro.threelevel import core_down_link, pod_down_link
+
+    silent = {
+        core_down_link(0, 1, 0): drop_permille / 1000,
+        pod_down_link(0, 1, 1): drop_permille / 1000,
+    }
+    rng = np.random.Generator(np.random.PCG64(seed))
+    records = simulate_iteration3(
+        ThreeLevelModel(spec, silent=silent, mtu=700), demand, rng
+    )
+    pairs = demand_by_leaf_pair(spec, demand)
+    total_inbound = sum(pairs.values())
+    assert sum(r.total_bytes for r in records.leaves) == total_inbound

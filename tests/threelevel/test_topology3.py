@@ -1,0 +1,123 @@
+"""Tests for the three-level topology and control plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.threelevel import (
+    ThreeLevelControlPlane,
+    ThreeLevelError,
+    ThreeLevelSpec,
+    core_down_link,
+    core_up_link,
+    pod_down_link,
+    pod_up_link,
+)
+
+
+SPEC = ThreeLevelSpec(
+    n_pods=4, leaves_per_pod=4, spines_per_pod=2, cores_per_spine=2, hosts_per_leaf=1
+)
+
+
+def test_dimensions():
+    assert SPEC.n_leaves == 16
+    assert SPEC.n_cores == 4
+    assert SPEC.n_hosts == 16
+
+
+def test_validation():
+    with pytest.raises(ThreeLevelError):
+        ThreeLevelSpec(n_pods=1)
+    with pytest.raises(ThreeLevelError):
+        ThreeLevelSpec(leaves_per_pod=0)
+    with pytest.raises(ThreeLevelError):
+        ThreeLevelSpec(cores_per_spine=0)
+
+
+def test_core_grouping_partitions_cores():
+    seen = []
+    for spine in range(SPEC.spines_per_pod):
+        cores = list(SPEC.cores_of_spine(spine))
+        seen.extend(cores)
+        for core in cores:
+            assert SPEC.spine_of_core(core) == spine
+    assert sorted(seen) == list(range(SPEC.n_cores))
+
+
+def test_host_to_leaf_mapping():
+    assert SPEC.leaf_of_host(0) == (0, 0)
+    assert SPEC.leaf_of_host(3) == (0, 3)
+    assert SPEC.leaf_of_host(4) == (1, 0)
+    assert SPEC.leaf_of_host(15) == (3, 3)
+    assert SPEC.global_leaf(3, 3) == 15
+
+
+def test_out_of_range():
+    with pytest.raises(ThreeLevelError):
+        SPEC.leaf_of_host(16)
+    with pytest.raises(ThreeLevelError):
+        SPEC.global_leaf(4, 0)
+    with pytest.raises(ThreeLevelError):
+        SPEC.cores_of_spine(2)
+    with pytest.raises(ThreeLevelError):
+        SPEC.spine_of_core(4)
+
+
+def test_fabric_links_count():
+    links = list(SPEC.fabric_links())
+    # Per pod: leaves*spines*2 pod links + spines*cores_per_spine*2
+    # core links.
+    expected = SPEC.n_pods * (
+        SPEC.leaves_per_pod * SPEC.spines_per_pod * 2
+        + SPEC.spines_per_pod * SPEC.cores_per_spine * 2
+    )
+    assert len(links) == expected == len(set(links))
+
+
+def test_intra_pod_valid_spines():
+    plane = ThreeLevelControlPlane(SPEC)
+    assert plane.valid_intra_pod_spines(0, 0, 1) == [0, 1]
+    broken = ThreeLevelControlPlane(
+        SPEC, known_disabled=frozenset({pod_up_link(0, 0, 1)})
+    )
+    assert broken.valid_intra_pod_spines(0, 0, 1) == [0]
+    assert broken.valid_intra_pod_spines(0, 2, 1) == [0, 1]
+
+
+def test_inter_pod_paths_all_healthy():
+    plane = ThreeLevelControlPlane(SPEC)
+    paths = plane.valid_inter_pod_paths(0, 0, 1, 2)
+    # spines_per_pod * cores_per_spine combinations.
+    assert len(paths) == 4
+    assert all(core in SPEC.cores_of_spine(spine) for spine, core in paths)
+
+
+def test_inter_pod_paths_respect_core_faults():
+    dead = core_up_link(0, 1, 2)  # pod 0 spine 1 -> core 2
+    plane = ThreeLevelControlPlane(SPEC, known_disabled=frozenset({dead}))
+    paths = plane.valid_inter_pod_paths(0, 0, 1, 2)
+    assert (1, 2) not in paths
+    assert len(paths) == 3
+    # Traffic from pod 1 is unaffected by pod 0's core uplink fault.
+    assert len(plane.valid_inter_pod_paths(1, 0, 2, 0)) == 4
+
+
+def test_inter_pod_paths_respect_core_down_faults():
+    dead = core_down_link(3, 1, 1)  # core 3 -> pod 1 spine 1
+    plane = ThreeLevelControlPlane(SPEC, known_disabled=frozenset({dead}))
+    paths = plane.valid_inter_pod_paths(0, 0, 1, 2)
+    assert (1, 3) not in paths
+    # Pod 2 destinations unaffected.
+    assert len(plane.valid_inter_pod_paths(0, 0, 2, 0)) == 4
+
+
+def test_partition_raises():
+    dead = frozenset(
+        {pod_up_link(0, 0, s) for s in range(SPEC.spines_per_pod)}
+    )
+    plane = ThreeLevelControlPlane(SPEC, known_disabled=dead)
+    with pytest.raises(ThreeLevelError):
+        plane.valid_inter_pod_paths(0, 0, 1, 0)
+    with pytest.raises(ThreeLevelError):
+        plane.valid_intra_pod_spines(0, 0, 1)

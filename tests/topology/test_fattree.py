@@ -1,0 +1,106 @@
+"""Tests for fat-tree constructors and pre-existing fault placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    ClosSpec,
+    ControlPlane,
+    TopologyError,
+    down_link,
+    full_fat_tree,
+    paper_default_spec,
+    radix_spec,
+    random_preexisting_faults,
+    up_link,
+)
+
+
+def test_paper_default_matches_evaluation_setup():
+    spec = paper_default_spec()
+    assert (spec.n_leaves, spec.n_spines, spec.hosts_per_leaf) == (32, 16, 1)
+
+
+def test_paper_default_overrides():
+    spec = paper_default_spec(n_leaves=8)
+    assert spec.n_leaves == 8
+    assert spec.n_spines == 16
+
+
+def test_radix_spec_scaling():
+    spec = radix_spec(16)
+    assert spec.n_spines == 8
+    assert spec.n_leaves == 16
+    assert spec.hosts_per_leaf == 1
+
+
+def test_radix_spec_rejects_odd_or_tiny():
+    with pytest.raises(TopologyError):
+        radix_spec(7)
+    with pytest.raises(TopologyError):
+        radix_spec(0)
+
+
+def test_full_fat_tree_is_non_blocking():
+    spec = full_fat_tree(8)
+    assert (spec.n_leaves, spec.n_spines, spec.hosts_per_leaf) == (8, 4, 4)
+    assert spec.non_blocking
+
+
+def test_random_faults_disable_both_directions():
+    spec = ClosSpec(n_leaves=8, n_spines=4)
+    rng = np.random.Generator(np.random.PCG64(0))
+    disabled = random_preexisting_faults(spec, 3, rng)
+    assert len(disabled) == 6  # 3 cables x 2 directions
+    for name in disabled:
+        direction, leaf, spine = __import__(
+            "repro.topology.graph", fromlist=["parse_fabric_link"]
+        ).parse_fabric_link(name)
+        partner = up_link(leaf, spine) if direction == "down" else down_link(spine, leaf)
+        assert partner in disabled
+
+
+def test_random_faults_keep_fabric_connected():
+    spec = ClosSpec(n_leaves=8, n_spines=4)
+    rng = np.random.Generator(np.random.PCG64(1))
+    disabled = random_preexisting_faults(spec, 6, rng)
+    plane = ControlPlane(spec, known_disabled=disabled)
+    assert plane.fully_connected()
+
+
+def test_random_faults_respect_protected_links():
+    spec = ClosSpec(n_leaves=4, n_spines=2)
+    rng = np.random.Generator(np.random.PCG64(2))
+    protect = frozenset({up_link(0, 0), down_link(0, 0)})
+    for _ in range(20):
+        disabled = random_preexisting_faults(spec, 2, rng, protect=protect)
+        assert not (disabled & protect)
+
+
+def test_random_faults_zero_count():
+    spec = ClosSpec(n_leaves=4, n_spines=2)
+    rng = np.random.Generator(np.random.PCG64(3))
+    assert random_preexisting_faults(spec, 0, rng) == frozenset()
+
+
+def test_random_faults_negative_count_rejected():
+    spec = ClosSpec(n_leaves=4, n_spines=2)
+    rng = np.random.Generator(np.random.PCG64(3))
+    with pytest.raises(ValueError):
+        random_preexisting_faults(spec, -1, rng)
+
+
+def test_random_faults_too_many_rejected():
+    spec = ClosSpec(n_leaves=2, n_spines=2)
+    rng = np.random.Generator(np.random.PCG64(3))
+    with pytest.raises(TopologyError):
+        random_preexisting_faults(spec, 5, rng)
+
+
+def test_random_faults_deterministic_per_seed():
+    spec = ClosSpec(n_leaves=8, n_spines=4)
+    a = random_preexisting_faults(spec, 4, np.random.Generator(np.random.PCG64(9)))
+    b = random_preexisting_faults(spec, 4, np.random.Generator(np.random.PCG64(9)))
+    assert a == b

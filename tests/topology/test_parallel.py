@@ -1,0 +1,97 @@
+"""Tests for parallel-link virtualization (§7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import locality_optimized_ring, ring_demand
+from repro.core import AnalyticalPredictor, DetectionConfig, FlowPulseMonitor
+from repro.fastsim import FabricModel, run_iterations
+from repro.topology import ClosSpec, TopologyError
+from repro.topology.parallel import ParallelFabric, virtualize
+from repro.units import GIB
+
+
+BASE = ClosSpec(n_leaves=8, n_spines=2, hosts_per_leaf=1)
+
+
+def test_virtual_spec_multiplies_spines():
+    fabric = virtualize(BASE, 4)
+    assert fabric.virtual_spec().n_spines == 8
+    assert fabric.virtual_spec().n_leaves == BASE.n_leaves
+
+
+def test_invalid_k():
+    with pytest.raises(TopologyError):
+        virtualize(BASE, 0)
+
+
+def test_virtual_physical_roundtrip():
+    fabric = virtualize(BASE, 3)
+    for spine in range(BASE.n_spines):
+        for member in range(3):
+            virtual = fabric.virtual_spine(spine, member)
+            assert fabric.physical_spine(virtual) == (spine, member)
+
+
+def test_out_of_range_indices():
+    fabric = virtualize(BASE, 2)
+    with pytest.raises(TopologyError):
+        fabric.virtual_spine(2, 0)
+    with pytest.raises(TopologyError):
+        fabric.virtual_spine(0, 2)
+    with pytest.raises(TopologyError):
+        fabric.physical_spine(4)
+
+
+def test_physical_description():
+    fabric = virtualize(BASE, 2)
+    name = fabric.virtual_up_link(3, 1, 1)  # leaf3 -> spine1 member 1
+    assert name == "up:L3->S3"
+    assert fabric.physical_description(name) == "up:L3->S1#1"
+
+
+def test_trunk_links_cover_both_directions():
+    fabric = virtualize(BASE, 2)
+    trunk = fabric.trunk_links(0, 1)
+    assert len(trunk) == 4
+    assert fabric.virtual_down_link(1, 0, 0) in trunk
+
+
+def test_single_member_fault_detected_in_virtual_view():
+    """A silent fault on one trunk member is just a virtual-spine link
+    fault: FlowPulse detects it and the physical description names the
+    trunk member."""
+    fabric = virtualize(BASE, 2)
+    spec = fabric.virtual_spec()
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 8 * GIB)
+    fault = fabric.virtual_down_link(1, 1, 3)  # spine1 member1 -> leaf3
+    model = FabricModel(spec, silent={fault: 0.05}, mtu=1024)
+    records = run_iterations(model, demand, 3, seed=21)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand), DetectionConfig(threshold=0.01)
+    )
+    verdict = monitor.process_run(records)
+    assert verdict.triggered
+    assert fault in verdict.suspected_links()
+    assert fabric.physical_description(fault) == "down:S1->L3#1"
+
+
+def test_known_dead_member_absorbed_like_any_disabled_link():
+    """Losing one trunk member reduces bandwidth but the remaining
+    members keep the spine reachable — and the fault-aware model stays
+    calibrated (the paper's 'remaining links can still reach the same
+    set of hosts')."""
+    fabric = virtualize(BASE, 2)
+    spec = fabric.virtual_spec()
+    demand = ring_demand(locality_optimized_ring(spec.n_hosts), 8 * GIB)
+    dead = frozenset({fabric.virtual_up_link(2, 0, 0), fabric.virtual_down_link(0, 0, 2)})
+    model = FabricModel(spec, known_disabled=dead, mtu=1024)
+    records = run_iterations(model, demand, 3, seed=22)
+    monitor = FlowPulseMonitor(
+        AnalyticalPredictor(spec, demand, known_disabled=dead),
+        DetectionConfig(threshold=0.01),
+    )
+    verdict = monitor.process_run(records)
+    assert not verdict.triggered

@@ -1,0 +1,63 @@
+"""Tests for job placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import ClosSpec
+from repro.workloads import PlacementError, jobs_share_leaves, place_jobs
+
+
+SPEC = ClosSpec(n_leaves=8, n_spines=4, hosts_per_leaf=2)  # 16 hosts
+
+
+def test_contiguous_placement():
+    jobs = place_jobs(SPEC, [6, 4])
+    assert jobs[0].hosts == tuple(range(6))
+    assert jobs[1].hosts == tuple(range(6, 10))
+    assert jobs[0].job_id == 1
+    assert jobs[1].job_id == 2
+
+
+def test_placement_overflow_rejected():
+    with pytest.raises(PlacementError):
+        place_jobs(SPEC, [10, 10])
+
+
+def test_placement_zero_size_rejected():
+    with pytest.raises(PlacementError):
+        place_jobs(SPEC, [0, 4])
+
+
+def test_ring_order_is_host_order():
+    (job,) = place_jobs(SPEC, [4])
+    assert job.ring() == [0, 1, 2, 3]
+
+
+def test_ring_needs_two_hosts():
+    (job,) = place_jobs(SPEC, [1])
+    from repro.collectives import CollectiveError
+
+    with pytest.raises(CollectiveError):
+        job.ring()
+
+
+def test_leaves_of_job():
+    (job,) = place_jobs(SPEC, [5])
+    # Hosts 0..4 sit under leaves 0, 1, 2 (two hosts per leaf).
+    assert job.leaves(SPEC) == frozenset({0, 1, 2})
+
+
+def test_leaf_sharing_detection():
+    # 6 + 4 hosts with 2 hosts/leaf: job 1 ends mid-leaf? 6 hosts =
+    # leaves 0,1,2 exactly; job 2 = hosts 6..9 -> leaves 3,4: no sharing.
+    jobs = place_jobs(SPEC, [6, 4])
+    assert not jobs_share_leaves(SPEC, jobs)
+    # 5 + 5: job 1 covers half of leaf 2, job 2 the other half.
+    jobs = place_jobs(SPEC, [5, 5])
+    assert jobs_share_leaves(SPEC, jobs)
+
+
+def test_custom_first_job_id():
+    jobs = place_jobs(SPEC, [2, 2], first_job_id=10)
+    assert [j.job_id for j in jobs] == [10, 11]

@@ -1,0 +1,78 @@
+"""Tests for the training-job models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import GIB
+from repro.workloads import (
+    PRESETS,
+    TrainingJob,
+    WorkloadError,
+    llama_8b,
+    llama_70b,
+    preset,
+    small_vision_model,
+)
+
+
+def test_gradient_bytes():
+    job = TrainingJob(name="t", n_parameters=1_000_000, grad_dtype_bytes=2)
+    assert job.gradient_bytes == 2_000_000
+
+
+def test_llama_8b_is_gib_scale():
+    job = llama_8b()
+    assert job.gradient_bytes == 16_000_000_000
+    # One GiB bucket -> multiple collectives per iteration.
+    assert job.buckets_per_iteration == 15
+    assert job.measured_collective_bytes() == 1 * GIB
+
+
+def test_llama_70b_many_buckets():
+    job = llama_70b()
+    assert job.buckets_per_iteration > 100
+
+
+def test_small_model_single_bucket():
+    job = small_vision_model()
+    assert job.buckets_per_iteration == 3
+    assert job.measured_collective_bytes() == 256 * 1024 * 1024
+
+
+def test_tiny_model_measures_whole_gradient():
+    job = TrainingJob(name="tiny", n_parameters=10_000_000)
+    assert job.measured_collective_bytes() == job.gradient_bytes
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        TrainingJob(name="x", n_parameters=0)
+    with pytest.raises(WorkloadError):
+        TrainingJob(name="x", n_parameters=10, grad_dtype_bytes=0)
+    with pytest.raises(WorkloadError):
+        TrainingJob(name="x", n_parameters=10, bucket_bytes=0)
+
+
+def test_ring_stages_from_job():
+    job = TrainingJob(name="t", n_parameters=1_000_000)
+    stages = job.ring_stages(list(range(8)), allreduce=False)
+    assert len(stages) == 7
+    stages = job.ring_stages(list(range(8)), allreduce=True)
+    assert len(stages) == 14
+
+
+def test_per_edge_bytes():
+    job = TrainingJob(name="t", n_parameters=500_000)  # 1 MB gradient
+    # Reduce-scatter over 4 ranks: 1 MB - 250 KB = 750 KB per edge.
+    assert job.per_edge_bytes(4, allreduce=False) == 750_000
+    assert job.per_edge_bytes(4, allreduce=True) == 1_500_000
+    with pytest.raises(WorkloadError):
+        job.per_edge_bytes(1)
+
+
+def test_presets_lookup():
+    assert set(PRESETS) == {"llama-8b", "llama-70b", "vit-300m"}
+    assert preset("llama-8b").n_parameters == 8_000_000_000
+    with pytest.raises(WorkloadError):
+        preset("gpt-unknown")
