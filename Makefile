@@ -1,0 +1,20 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test lint bench sweep-bench
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q -p no:cacheprovider
+
+sweep-bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_sweep_throughput.py -q -s

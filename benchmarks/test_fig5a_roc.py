@@ -13,15 +13,22 @@ multinomial noise ~ sqrt(s/n).
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
-from repro.analysis import ExperimentConfig, format_percent, format_table, run_trial
-from repro.core import roc_curve, separating_interval
+from repro.analysis import (
+    ExperimentConfig,
+    SweepRunner,
+    SweepTask,
+    format_percent,
+    format_table,
+)
+from repro.core import roc_curve
 from repro.units import GIB
 
 DROP_RATES = (0.005, 0.008, 0.010, 0.015, 0.020, 0.030)
 THRESHOLDS = (0.0025, 0.005, 0.0075, 0.010, 0.015, 0.020)
 N_TRIALS = 12
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 BASE = dict(
     n_leaves=32,
     n_spines=16,
@@ -32,26 +39,34 @@ BASE = dict(
 
 
 def experiment():
-    # Negative trials are fault-independent: run once, reuse across rates.
-    negative_scores = [
-        run_trial(
-            ExperimentConfig(**BASE), injected=False, base_seed=100, trial=t
-        ).score
+    # One flat task grid through the sweep runner.  Negative trials are
+    # fault-independent: run once, reuse across rates.
+    runner = SweepRunner(jobs=JOBS)
+    tasks = [
+        SweepTask(
+            config=ExperimentConfig(**BASE), injected=False, base_seed=100, trial=t
+        )
         for t in range(N_TRIALS)
     ]
-    curves = {}
     for drop in DROP_RATES:
         config = ExperimentConfig(**BASE, drop_rate=drop)
-        positive_scores = [
-            run_trial(config, injected=True, base_seed=100, trial=t).score
+        tasks.extend(
+            SweepTask(config=config, injected=True, base_seed=100, trial=t)
             for t in range(N_TRIALS)
-        ]
-        curves[drop] = roc_curve(positive_scores, negative_scores, THRESHOLDS)
-    return curves, negative_scores
+        )
+    outcomes = runner.run_tasks(tasks)
+    negative_scores = [o.score for o in outcomes[:N_TRIALS]]
+    curves = {}
+    for idx, drop in enumerate(DROP_RATES):
+        chunk = outcomes[(idx + 1) * N_TRIALS : (idx + 2) * N_TRIALS]
+        curves[drop] = roc_curve(
+            [o.score for o in chunk], negative_scores, THRESHOLDS
+        )
+    return curves, negative_scores, runner.last_stats
 
 
 def test_fig5a_roc(run_once):
-    curves, negative_scores = run_once(experiment)
+    curves, negative_scores, stats = run_once(experiment)
 
     print()
     rows = []
@@ -87,6 +102,10 @@ def test_fig5a_roc(run_once):
     print(
         f"\nhealthy-run noise floor: max deviation "
         f"{format_percent(max(negative_scores))}"
+    )
+    print(
+        f"sweep engine: {stats.n_trials} trials in {stats.elapsed_s:.2f}s "
+        f"({stats.trials_per_sec:.1f} trials/sec, jobs={stats.jobs})"
     )
 
     def point(drop, threshold):

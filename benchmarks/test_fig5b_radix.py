@@ -13,11 +13,13 @@ signal (~0.8% * (1-1/s)) and the classifier breaks.
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import (
     ExperimentConfig,
+    SweepRunner,
     format_percent,
     format_table,
-    run_batch,
 )
 from repro.units import GIB
 
@@ -25,10 +27,14 @@ RADIXES = (16, 32, 64)
 DROP = 0.008
 THRESHOLD = 0.005
 N_TRIALS = 10
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def experiment():
+    runner = SweepRunner(jobs=JOBS)
     results = {}
+    trials = 0
+    elapsed = 0.0
     for radix in RADIXES:
         config = ExperimentConfig(
             n_leaves=radix,
@@ -39,12 +45,16 @@ def experiment():
             drop_rate=DROP,
             n_iterations=5,
         )
-        results[radix] = run_batch(config, n_trials=N_TRIALS, base_seed=200)
-    return results
+        results[radix] = runner.run_batch(config, n_trials=N_TRIALS, base_seed=200)
+        trials += runner.last_stats.n_trials
+        elapsed += runner.last_stats.elapsed_s
+    return results, (trials, elapsed)
 
 
 def test_fig5b_radix_sweep(run_once):
-    results = run_once(experiment)
+    results, (trials, elapsed) = run_once(experiment)
+    print(f"\nsweep engine: {trials} trials in {elapsed:.2f}s "
+          f"({trials / elapsed:.1f} trials/sec, jobs={JOBS})")
 
     print()
     rows = []

@@ -12,17 +12,20 @@ rates in the legend {1.0%, 1.5%, 2.5%}, paper-default fabric and
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import (
     ExperimentConfig,
+    SweepRunner,
     format_percent,
     format_table,
-    run_batch,
 )
 from repro.units import GIB, MIB
 
 SIZES = (256 * MIB, 1 * GIB, 4 * GIB, 16 * GIB)
 DROPS = (0.010, 0.015, 0.025)
 N_TRIALS = 10
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def size_label(size: int) -> str:
@@ -30,22 +33,33 @@ def size_label(size: int) -> str:
 
 
 def experiment():
+    # One sweep over drop_rate per collective size; each sweep fans its
+    # whole grid out through the runner.
+    runner = SweepRunner(jobs=JOBS)
     results = {}
+    trials = 0
+    elapsed = 0.0
     for size in SIZES:
-        for drop in DROPS:
-            config = ExperimentConfig(
-                collective_bytes=size,
-                mtu=1024,
-                threshold=0.01,
-                drop_rate=drop,
-                n_iterations=5,
-            )
-            results[(size, drop)] = run_batch(config, n_trials=N_TRIALS, base_seed=300)
-    return results
+        config = ExperimentConfig(
+            collective_bytes=size,
+            mtu=1024,
+            threshold=0.01,
+            n_iterations=5,
+        )
+        by_drop = runner.sweep(
+            config, "drop_rate", DROPS, n_trials=N_TRIALS, base_seed=300
+        )
+        for drop, batch in by_drop.items():
+            results[(size, drop)] = batch
+        trials += runner.last_stats.n_trials
+        elapsed += runner.last_stats.elapsed_s
+    return results, (trials, elapsed)
 
 
 def test_fig5c_collective_size_sweep(run_once):
-    results = run_once(experiment)
+    results, (trials, elapsed) = run_once(experiment)
+    print(f"\nsweep engine: {trials} trials in {elapsed:.2f}s "
+          f"({trials / elapsed:.1f} trials/sec, jobs={JOBS})")
 
     print()
     rows = []

@@ -17,6 +17,7 @@ from .export import ExportError, ResultsWriter, maybe_export, results_writer
 from .metrics import ConfusionCounts, MetricsError, confusion_from_scores
 from .report import CableEvidence, incident_report, rank_cables
 from .reporting import banner, format_percent, format_series, format_table
+from .sweeps import SweepError, SweepRunner, SweepStats, SweepTask
 
 __all__ = [
     "BatchResult",
@@ -46,4 +47,8 @@ __all__ = [
     "run_batch",
     "run_trial",
     "sweep",
+    "SweepError",
+    "SweepRunner",
+    "SweepStats",
+    "SweepTask",
 ]

@@ -138,6 +138,23 @@ def _trial_rng(base_seed: int, trial: int, injected: bool) -> np.random.SeedSequ
     return np.random.SeedSequence([base_seed, trial, int(injected)])
 
 
+#: Ring-demand matrices are pure functions of (n_hosts, bytes, allreduce)
+#: and are never mutated after construction, so trials sharing a config
+#: can share one instance instead of rebuilding it per trial.
+_DEMAND_CACHE: dict[tuple[int, int, bool], DemandMatrix] = {}
+
+
+def demand_for(config: ExperimentConfig) -> DemandMatrix:
+    """The (cached) ring-collective demand matrix for a configuration."""
+    key = (config.spec().n_hosts, config.collective_bytes, config.allreduce)
+    demand = _DEMAND_CACHE.get(key)
+    if demand is None:
+        ring = locality_optimized_ring(key[0])
+        demand = ring_demand(ring, config.collective_bytes, allreduce=config.allreduce)
+        _DEMAND_CACHE[key] = demand
+    return demand
+
+
 def build_trial(
     config: ExperimentConfig, base_seed: int = 0, trial: int = 0
 ) -> TrialSetup:
@@ -171,8 +188,7 @@ def build_trial(
         spraying=config.spraying,
         mtu=config.mtu,
     )
-    ring = locality_optimized_ring(spec.n_hosts)
-    demand = ring_demand(ring, config.collective_bytes, allreduce=config.allreduce)
+    demand = demand_for(config)
     return TrialSetup(config=config, model=model, demand=demand, fault_link=fault_link)
 
 
@@ -192,6 +208,34 @@ def make_predictor(
     )
 
 
+def predictor_baseline_key(
+    config: ExperimentConfig, setup: TrialSetup
+) -> tuple | None:
+    """Cache key under which a trial's predictor baseline may be shared.
+
+    The analytical and simulation predictors are pure functions of the
+    *known* network state (fabric shape, demand, disabled links, gray
+    rates) — never of the silent fault or the trial index — so trials
+    sharing that state can reuse one prediction instead of recomputing
+    :func:`~repro.fastsim.model.expected_iteration` per trial.  The
+    learned predictor is stateful (it trains on the trial's own
+    records), so it returns ``None``: never cached.
+    """
+    if config.predictor == "learned":
+        return None
+    return (
+        config.predictor,
+        config.n_leaves,
+        config.n_spines,
+        config.collective_bytes,
+        config.allreduce,
+        config.mtu,
+        config.spraying,
+        tuple(sorted(config.known_gray.items())),
+        setup.model.known_disabled,
+    )
+
+
 # ----------------------------------------------------------------------
 # Trial execution
 # ----------------------------------------------------------------------
@@ -200,9 +244,16 @@ def run_trial_with_verdict(
     injected: bool,
     base_seed: int = 0,
     trial: int = 0,
+    predictor_cache: dict | None = None,
 ) -> tuple[TrialOutcome, RunVerdict]:
     """Run one monitored training run; returns the outcome plus the full
-    per-iteration verdict (for reports and drill-down)."""
+    per-iteration verdict (for reports and drill-down).
+
+    ``predictor_cache`` (a plain dict owned by the caller, e.g. the
+    sweep runner) shares stateless predictor baselines between trials
+    with the same known network state; passing one cannot change any
+    result, only skip recomputation.
+    """
     setup = build_trial(config, base_seed=base_seed, trial=trial)
     seq = _trial_rng(base_seed, trial, injected)
     _build_seed, sim_seed = seq.spawn(2)
@@ -220,7 +271,16 @@ def run_trial_with_verdict(
         job_id=config.job_id,
         fault_schedule=fault_schedule,
     )
-    predictor = make_predictor(config, setup)
+    predictor = None
+    cache_key = None
+    if predictor_cache is not None:
+        cache_key = predictor_baseline_key(config, setup)
+        if cache_key is not None:
+            predictor = predictor_cache.get(cache_key)
+    if predictor is None:
+        predictor = make_predictor(config, setup)
+        if cache_key is not None:
+            predictor_cache[cache_key] = predictor
     monitor = FlowPulseMonitor(
         predictor, DetectionConfig(threshold=config.threshold)
     )
@@ -233,10 +293,15 @@ def run_trial(
     injected: bool,
     base_seed: int = 0,
     trial: int = 0,
+    predictor_cache: dict | None = None,
 ) -> TrialOutcome:
     """Run one monitored training run and return its outcome."""
     outcome, _verdict = run_trial_with_verdict(
-        config, injected, base_seed=base_seed, trial=trial
+        config,
+        injected,
+        base_seed=base_seed,
+        trial=trial,
+        predictor_cache=predictor_cache,
     )
     return outcome
 

@@ -1,0 +1,239 @@
+"""Parallel, deterministic sweep engine for trial grids (Fig. 5).
+
+The paper's evaluation grids need hundreds of monitored trials per
+point.  Each trial is an independent pure function of ``(config,
+injected, base_seed, trial)`` — all of its randomness derives from
+``numpy.random.SeedSequence([base_seed, trial, injected]).spawn(...)``
+(see :mod:`repro.analysis.experiments`) — so a grid can fan out over a
+``multiprocessing`` pool with a hard determinism contract:
+
+* **Bit-identical to serial**: a worker never draws from a shared
+  stream; its RNG is derived per-trial from the spawned seed sequence,
+  so ``jobs=N`` produces exactly the per-trial verdicts and scores of
+  ``jobs=1``, for any ``N`` and any scheduling order.
+* **Worker-count independent**: results depend only on ``base_seed``
+  and the task list, never on pool size, chunking, or completion order
+  (results are reassembled in task order).
+
+On top of the fan-out, the runner shares two kinds of derived state
+between trials of the same configuration (both caches are
+correctness-neutral — they only skip recomputation of pure functions):
+
+* the ring-collective demand matrix, and
+* stateless predictor baselines (the ``expected_iteration`` of the
+  healthy view), keyed by the *known* network state — see
+  :func:`repro.analysis.experiments.predictor_baseline_key`.
+
+Throughput is recorded per call in :attr:`SweepRunner.last_stats` so
+benchmarks can track trials/sec.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
+
+from .experiments import (
+    BatchResult,
+    ExperimentConfig,
+    ExperimentError,
+    TrialOutcome,
+    run_trial,
+)
+
+__all__ = [
+    "SweepError",
+    "SweepStats",
+    "SweepTask",
+    "SweepRunner",
+]
+
+
+class SweepError(RuntimeError):
+    """Raised for malformed sweep requests."""
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One trial of a sweep grid: a pure, picklable work unit."""
+
+    config: ExperimentConfig
+    injected: bool
+    base_seed: int = 0
+    trial: int = 0
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Throughput of the most recent runner call."""
+
+    n_trials: int
+    elapsed_s: float
+    jobs: int
+
+    @property
+    def trials_per_sec(self) -> float:
+        return self.n_trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+
+#: Per-process predictor-baseline cache.  Plain module state: every
+#: worker process (and the parent, for ``jobs=1``) keeps its own copy,
+#: so no cross-process synchronisation is needed and cached entries are
+#: reused across all tasks a worker handles.
+_BASELINE_CACHE: dict[tuple, Any] = {}
+
+
+def _run_task(task: SweepTask) -> TrialOutcome:
+    """Worker entry point: run one trial with baseline caching."""
+    return run_trial(
+        task.config,
+        injected=task.injected,
+        base_seed=task.base_seed,
+        trial=task.trial,
+        predictor_cache=_BASELINE_CACHE,
+    )
+
+
+@dataclass
+class SweepRunner:
+    """Fans trial grids out over a process pool, deterministically.
+
+    ``jobs=1`` (the default) runs inline in the calling process —
+    no pool, no pickling.  ``jobs=N`` uses a ``multiprocessing`` pool of
+    ``N`` workers; ``jobs=0`` means one worker per CPU.  Results are
+    identical in all cases.
+
+    ``cache_baselines=False`` disables predictor-baseline sharing (the
+    benchmark's honest serial comparison point); results are unchanged
+    either way.
+    """
+
+    jobs: int = 1
+    cache_baselines: bool = True
+    chunksize: int | None = None
+    last_stats: SweepStats | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise SweepError("jobs cannot be negative")
+        if self.jobs == 0:
+            self.jobs = os.cpu_count() or 1
+
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[SweepTask]) -> list[TrialOutcome]:
+        """Run a task list; returns outcomes in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        started = time.perf_counter()
+        if self.jobs == 1:
+            cache = _BASELINE_CACHE if self.cache_baselines else None
+            outcomes = [
+                run_trial(
+                    t.config,
+                    injected=t.injected,
+                    base_seed=t.base_seed,
+                    trial=t.trial,
+                    predictor_cache=cache,
+                )
+                for t in tasks
+            ]
+        else:
+            worker = _run_task if self.cache_baselines else _run_task_uncached
+            chunksize = self.chunksize or max(
+                1, len(tasks) // (4 * self.jobs) or 1
+            )
+            with multiprocessing.Pool(processes=self.jobs) as pool:
+                outcomes = pool.map(worker, tasks, chunksize=chunksize)
+        elapsed = time.perf_counter() - started
+        self.last_stats = SweepStats(
+            n_trials=len(tasks), elapsed_s=elapsed, jobs=self.jobs
+        )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        config: ExperimentConfig,
+        n_trials: int = 20,
+        base_seed: int = 0,
+    ) -> BatchResult:
+        """``n_trials`` fault trials plus ``n_trials`` healthy trials.
+
+        Trial-for-trial identical to
+        :func:`repro.analysis.experiments.run_batch`.
+        """
+        if n_trials < 1:
+            raise ExperimentError("need at least one trial")
+        tasks = [
+            SweepTask(config=config, injected=True, base_seed=base_seed, trial=t)
+            for t in range(n_trials)
+        ] + [
+            SweepTask(config=config, injected=False, base_seed=base_seed, trial=t)
+            for t in range(n_trials)
+        ]
+        outcomes = self.run_tasks(tasks)
+        return BatchResult(
+            config=config,
+            positives=tuple(outcomes[:n_trials]),
+            negatives=tuple(outcomes[n_trials:]),
+        )
+
+    def sweep(
+        self,
+        config: ExperimentConfig,
+        parameter: str,
+        values: Iterable,
+        n_trials: int = 20,
+        base_seed: int = 0,
+    ) -> dict:
+        """A batch per value of one config parameter, as one flat grid.
+
+        Returns ``{value: BatchResult}`` in the given value order; every
+        batch matches what :meth:`run_batch` (and the serial
+        ``experiments.sweep``) would produce for that value.  All
+        ``2 * n_trials * len(values)`` trials are dispatched to the pool
+        together, so workers stay busy across value boundaries.
+        """
+        values = list(values)
+        if not values:
+            raise SweepError("need at least one parameter value")
+        if n_trials < 1:
+            raise ExperimentError("need at least one trial")
+        configs = [replace(config, **{parameter: value}) for value in values]
+        tasks = []
+        for step in configs:
+            for injected in (True, False):
+                tasks.extend(
+                    SweepTask(
+                        config=step,
+                        injected=injected,
+                        base_seed=base_seed,
+                        trial=t,
+                    )
+                    for t in range(n_trials)
+                )
+        outcomes = self.run_tasks(tasks)
+        results = {}
+        per_value = 2 * n_trials
+        for idx, (value, step) in enumerate(zip(values, configs)):
+            chunk = outcomes[idx * per_value : (idx + 1) * per_value]
+            results[value] = BatchResult(
+                config=step,
+                positives=tuple(chunk[:n_trials]),
+                negatives=tuple(chunk[n_trials:]),
+            )
+        return results
+
+
+def _run_task_uncached(task: SweepTask) -> TrialOutcome:
+    """Worker entry point without baseline caching."""
+    return run_trial(
+        task.config,
+        injected=task.injected,
+        base_seed=task.base_seed,
+        trial=task.trial,
+    )

@@ -133,6 +133,60 @@ def cmd_roc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from dataclasses import fields
+
+    from .analysis import SweepRunner
+
+    config = _config(args, args.drop_rate)
+    field_types = {f.name: f.type for f in fields(ExperimentConfig)}
+    if args.parameter not in field_types:
+        print(f"unknown sweep parameter {args.parameter!r}", file=sys.stderr)
+        return 2
+    casters = {
+        "int": int,
+        "float": float,
+        "str": str,
+        "bool": lambda v: v.lower() in ("1", "true", "yes"),
+    }
+    caster = casters.get(field_types[args.parameter], float)
+    values = [caster(v) for v in args.values]
+    runner = SweepRunner(jobs=args.jobs)
+    results = runner.sweep(
+        config,
+        args.parameter,
+        values,
+        n_trials=args.trials,
+        base_seed=args.seed,
+    )
+    rows = []
+    for value, batch in results.items():
+        confusion = batch.confusion()
+        rows.append(
+            [
+                value,
+                format_percent(confusion.fpr, 1),
+                format_percent(confusion.tpr, 1),
+                format_percent(batch.localization_rate, 0),
+            ]
+        )
+    stats = runner.last_stats
+    print(
+        format_table(
+            [args.parameter, "FPR", "TPR", "localized"],
+            rows,
+            title=f"sweep over {args.parameter} "
+            f"({args.trials}+{args.trials} trials per value, jobs={runner.jobs})",
+        )
+    )
+    if stats is not None:
+        print(
+            f"\n{stats.n_trials} trials in {stats.elapsed_s:.2f}s "
+            f"({stats.trials_per_sec:.1f} trials/sec)"
+        )
+    return 0
+
+
 def cmd_closed_loop(args: argparse.Namespace) -> int:
     config = _config(args, args.drop_rate)
     setup = build_trial(config, base_seed=args.seed, trial=0)
@@ -205,6 +259,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.005, 0.01, 0.02],
     )
     roc.set_defaults(func=cmd_roc)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel trial grid over one config parameter",
+        description="Fan a trial grid out over worker processes. Results "
+        "are bit-identical for any --jobs value: every trial's RNG is "
+        "derived from SeedSequence(seed, trial, injected).",
+    )
+    _add_fabric_args(sweep)
+    sweep.add_argument("--drop-rate", type=float, default=0.015)
+    sweep.add_argument(
+        "--parameter",
+        default="drop_rate",
+        help="ExperimentConfig field to sweep (default drop_rate)",
+    )
+    sweep.add_argument(
+        "--values",
+        nargs="+",
+        required=True,
+        help="values of the swept parameter",
+    )
+    sweep.add_argument("--trials", type=int, default=8)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU); results are "
+        "independent of this value",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     loop = sub.add_parser(
         "closed-loop", help="detect -> localize -> disable -> recover"

@@ -16,6 +16,15 @@ paper:
   simulation-based predictor can account for these (paper §5.2).
 - ``silent``: the faults FlowPulse must detect; unknown to every
   predictor, applied only when simulating "reality".
+
+The hot path is vectorized: per-pair survival probabilities and valid
+spine sets are computed once per model and cached, and per-iteration
+byte volumes accumulate into dense numpy arrays over ``(dst_leaf,
+spine)`` and ``(dst_leaf, spine, src_leaf)``, converted to the sparse
+:class:`IterationRecord` dicts only at the boundary.  The RNG call
+sequence is identical to the original scalar implementation
+(:mod:`repro.fastsim._reference`), so results are bit-identical for
+equal seeds — a property the golden regression tests enforce.
 """
 
 from __future__ import annotations
@@ -28,10 +37,17 @@ from ..collectives.demand import DemandMatrix
 from ..simnet.counters import IterationRecord
 from ..simnet.packet import FlowTag
 from ..units import DEFAULT_MTU
-from ..topology.graph import ClosSpec, ControlPlane, down_link, up_link
+from ..topology.graph import (
+    ClosSpec,
+    ControlPlane,
+    TopologyError,
+    down_link,
+    parse_fabric_link,
+    up_link,
+)
 from .sampling import (
     FastSimError,
-    deliver_transfer_bytes,
+    _deliver_transfer_prevalidated,
     expected_arrival_bytes,
     spray_counts,
 )
@@ -39,7 +55,13 @@ from .sampling import (
 
 @dataclass(frozen=True)
 class FabricModel:
-    """Statistical description of the fabric for the fast simulator."""
+    """Statistical description of the fabric for the fast simulator.
+
+    The ``known_gray`` and ``silent`` mappings are *copied* at
+    construction time (like :meth:`with_silent` always did), so callers
+    mutating the dict they passed in cannot silently change a
+    validated model.
+    """
 
     spec: ClosSpec
     known_disabled: frozenset[str] = frozenset()
@@ -49,12 +71,21 @@ class FabricModel:
     mtu: int = DEFAULT_MTU
 
     def __post_init__(self) -> None:
+        # Defensive copies: the frozen dataclass must not alias
+        # caller-owned mutable state (a caller mutating its dict after
+        # validation would bypass the range checks below).
+        object.__setattr__(self, "known_gray", dict(self.known_gray))
+        object.__setattr__(self, "silent", dict(self.silent))
         for rates in (self.known_gray, self.silent):
             for name, rate in rates.items():
                 if not 0.0 <= rate <= 1.0:
                     raise ValueError(f"drop rate for {name} must be in [0,1]")
         if self.mtu <= 0:
             raise ValueError("mtu must be positive")
+        # Lazy per-instance caches (survival vectors, valid spine sets).
+        # Not dataclass fields: invisible to __eq__/replace()/repr.
+        object.__setattr__(self, "_path_cache", {})
+        object.__setattr__(self, "_keep_cache", {})
 
     # ------------------------------------------------------------------
     def control(self) -> ControlPlane:
@@ -74,16 +105,88 @@ class FabricModel:
             keep *= 1.0 - self.silent.get(link, 0.0)
         return 1.0 - keep
 
+    # ------------------------------------------------------------------
+    # Cached vectorized path state
+    # ------------------------------------------------------------------
+    def _keep_matrices(self, include_silent: bool) -> tuple[np.ndarray, np.ndarray]:
+        """``(up_keep, down_keep)`` survival matrices.
+
+        ``up_keep[leaf, spine]`` / ``down_keep[spine, leaf]`` hold
+        ``1.0 - drop_rate(link)`` for every fabric link.  Healthy links
+        are exactly 1.0; only faulted links are touched, with the same
+        floating-point expression the scalar path used, so the cached
+        values are bit-identical to recomputing per link.
+        """
+        cached = self._keep_cache.get(include_silent)  # type: ignore[attr-defined]
+        if cached is not None:
+            return cached
+        spec = self.spec
+        up_keep = np.ones((spec.n_leaves, spec.n_spines))
+        down_keep = np.ones((spec.n_spines, spec.n_leaves))
+        faulted = set(self.known_gray) | set(self.known_disabled)
+        if include_silent:
+            faulted |= set(self.silent)
+        for name in faulted:
+            try:
+                direction, leaf, spine = parse_fabric_link(name)
+            except TopologyError:
+                continue  # host links never appear on spine paths
+            if not (0 <= leaf < spec.n_leaves and 0 <= spine < spec.n_spines):
+                continue
+            keep = 1.0 - self.drop_rate(name, include_silent)
+            if direction == "up":
+                up_keep[leaf, spine] = keep
+            else:
+                down_keep[spine, leaf] = keep
+        self._keep_cache[include_silent] = (up_keep, down_keep)  # type: ignore[attr-defined]
+        return up_keep, down_keep
+
+    def _pair_paths(
+        self, src_leaf: int, dst_leaf: int, include_silent: bool
+    ) -> tuple[list[int], np.ndarray, np.ndarray, bool, bool, tuple]:
+        """Cached ``(spines, spine_index_array, survive, all_zero,
+        full_span, sender_keys)`` for a leaf pair.
+
+        ``spines`` is exactly ``control().valid_spines(src, dst)``,
+        ``survive`` exactly :meth:`survive_probs` over it, ``all_zero``
+        a precomputed ``all(survive == 0)`` so the sampling layer can
+        skip re-checking the cached vector on every transfer,
+        ``full_span`` whether the pair sprays over *every* spine in
+        order — letting accumulation use plain row adds instead of
+        fancy indexing — and ``sender_keys`` the pair's
+        ``(spine, src_leaf)`` record keys, prebuilt so per-iteration
+        sender accounting is a single ``dict.update``.
+        """
+        key = (src_leaf, dst_leaf, include_silent)
+        cached = self._path_cache.get(key)  # type: ignore[attr-defined]
+        if cached is not None:
+            return cached
+        if self.known_disabled:
+            control = self.control()
+            spines = control.valid_spines(src_leaf, dst_leaf)
+        else:
+            spines = list(range(self.spec.n_spines))
+        idx = np.asarray(spines, dtype=np.intp)
+        up_keep, down_keep = self._keep_matrices(include_silent)
+        survive = up_keep[src_leaf, idx] * down_keep[idx, dst_leaf]
+        entry = (
+            spines,
+            idx,
+            survive,
+            bool(np.all(survive == 0.0)),
+            spines == list(range(self.spec.n_spines)),
+            tuple((spine, src_leaf) for spine in spines),
+        )
+        self._path_cache[key] = entry  # type: ignore[attr-defined]
+        return entry
+
     def survive_probs(
         self, src_leaf: int, dst_leaf: int, spines: list[int], include_silent: bool = True
     ) -> np.ndarray:
         """End-to-end per-spine survival probability for a leaf pair."""
-        probs = np.empty(len(spines))
-        for idx, spine in enumerate(spines):
-            up_keep = 1.0 - self.drop_rate(up_link(src_leaf, spine), include_silent)
-            down_keep = 1.0 - self.drop_rate(down_link(spine, dst_leaf), include_silent)
-            probs[idx] = up_keep * down_keep
-        return probs
+        up_keep, down_keep = self._keep_matrices(include_silent)
+        idx = np.asarray(spines, dtype=np.intp)
+        return up_keep[src_leaf, idx] * down_keep[idx, dst_leaf]
 
     # ------------------------------------------------------------------
     def with_silent(self, faults: dict[str, float]) -> "FabricModel":
@@ -99,12 +202,95 @@ class FabricModel:
         return replace(self, known_gray={}, silent={})
 
 
+# ----------------------------------------------------------------------
+# Dense-array accumulation helpers
+# ----------------------------------------------------------------------
+def _records_from_arrays(
+    port_acc: np.ndarray,
+    sender_acc: np.ndarray,
+    tag: FlowTag,
+    start_ns: int,
+    end_ns: int,
+) -> list[IterationRecord]:
+    """Convert dense ``(leaf, spine)`` / ``(leaf, spine, src)`` volume
+    arrays to the sparse per-leaf :class:`IterationRecord` dicts.
+
+    One flat ``nonzero`` scan per array; ``tolist()`` yields native
+    Python ints/floats, matching the dtypes the dict-based path stored.
+    """
+    n_leaves = port_acc.shape[0]
+    port_bytes: list[dict] = [dict() for _ in range(n_leaves)]
+    sender_bytes: list[dict] = [dict() for _ in range(n_leaves)]
+    leaf_idx, spine_idx = np.nonzero(port_acc)
+    values = port_acc[leaf_idx, spine_idx]
+    for leaf, spine, value in zip(
+        leaf_idx.tolist(), spine_idx.tolist(), values.tolist()
+    ):
+        port_bytes[leaf][spine] = value
+    leaf_idx, spine_idx, src_idx = np.nonzero(sender_acc)
+    values = sender_acc[leaf_idx, spine_idx, src_idx]
+    for leaf, spine, src, value in zip(
+        leaf_idx.tolist(), spine_idx.tolist(), src_idx.tolist(), values.tolist()
+    ):
+        sender_bytes[leaf][spine, src] = value
+    return [
+        IterationRecord(
+            leaf=leaf,
+            tag=tag,
+            port_bytes=port_bytes[leaf],
+            sender_bytes=sender_bytes[leaf],
+            start_ns=start_ns,
+            end_ns=end_ns,
+        )
+        for leaf in range(n_leaves)
+    ]
+
+
+def _records_from_port_array(
+    port_acc: np.ndarray,
+    sender_bytes: list[dict],
+    tag: FlowTag,
+    start_ns: int,
+    end_ns: int,
+) -> list[IterationRecord]:
+    """Records from a dense ``(leaf, spine)`` port array plus per-leaf
+    sender dicts already built in sparse form on the hot path."""
+    n_leaves = port_acc.shape[0]
+    port_bytes: list[dict] = [dict() for _ in range(n_leaves)]
+    leaf_idx, spine_idx = np.nonzero(port_acc)
+    values = port_acc[leaf_idx, spine_idx]
+    for leaf, spine, value in zip(
+        leaf_idx.tolist(), spine_idx.tolist(), values.tolist()
+    ):
+        port_bytes[leaf][spine] = value
+    return [
+        IterationRecord(
+            leaf=leaf,
+            tag=tag,
+            port_bytes=port_bytes[leaf],
+            sender_bytes=sender_bytes[leaf],
+            start_ns=start_ns,
+            end_ns=end_ns,
+        )
+        for leaf in range(n_leaves)
+    ]
+
+
+def _sorted_leaf_pairs(
+    demand: DemandMatrix, spec: ClosSpec
+) -> list[tuple[tuple[int, int], int]]:
+    """``sorted(demand.leaf_pairs(spec).items())`` — the iteration order
+    of every simulation loop, in one place."""
+    return sorted(demand.leaf_pairs(spec).items())
+
+
 def simulate_iteration(
     model: FabricModel,
     demand: DemandMatrix,
     rng: np.random.Generator,
     tag: FlowTag | None = None,
     include_silent: bool = True,
+    _pairs: list | None = None,
 ) -> list[IterationRecord]:
     """Simulate one collective iteration; returns one record per leaf.
 
@@ -112,37 +298,47 @@ def simulate_iteration(
     plane's valid spines; drops (known-gray and, when
     ``include_silent``, silent) are re-sprayed as the RoCE transport
     would retransmit them.  Records carry iteration-index pseudo-times.
+
+    ``_pairs`` lets :func:`run_iterations` pass the sorted leaf-pair
+    list once instead of re-deriving it every iteration.
+
+    Bit-identical to :func:`repro.fastsim._reference
+    .reference_simulate_iteration` for equal seeds: the sequence of RNG
+    draws is unchanged, only the accumulation is vectorized.
     """
     spec = model.spec
-    control = model.control()
     tag = tag or FlowTag(job_id=0, iteration=0)
-    port_bytes: list[dict[int, int]] = [dict() for _ in range(spec.n_leaves)]
-    sender_bytes: list[dict[tuple[int, int], int]] = [dict() for _ in range(spec.n_leaves)]
-
-    for (src_leaf, dst_leaf), size in sorted(demand.leaf_pairs(spec).items()):
-        spines = control.valid_spines(src_leaf, dst_leaf)
-        survive = model.survive_probs(src_leaf, dst_leaf, spines, include_silent)
-        arrived = deliver_transfer_bytes(size, model.mtu, survive, model.spraying, rng)
-        ports = port_bytes[dst_leaf]
-        senders = sender_bytes[dst_leaf]
-        for idx, spine in enumerate(spines):
-            got = int(arrived[idx])
-            if got:
-                ports[spine] = ports.get(spine, 0) + got
-                key = (spine, src_leaf)
-                senders[key] = senders.get(key, 0) + got
-
-    return [
-        IterationRecord(
-            leaf=leaf,
-            tag=tag,
-            port_bytes=port_bytes[leaf],
-            sender_bytes=sender_bytes[leaf],
-            start_ns=tag.iteration,
-            end_ns=tag.iteration + 1,
+    port_acc = np.zeros((spec.n_leaves, spec.n_spines), dtype=np.int64)
+    sender_bytes: list[dict] = [dict() for _ in range(spec.n_leaves)]
+    mtu, spraying = model.mtu, model.spraying
+    for (src_leaf, dst_leaf), size in (
+        _sorted_leaf_pairs(demand, spec) if _pairs is None else _pairs
+    ):
+        _spines, idx, survive, all_zero, full_span, sender_keys = model._pair_paths(
+            src_leaf, dst_leaf, include_silent
         )
-        for leaf in range(spec.n_leaves)
-    ]
+        arrived = _deliver_transfer_prevalidated(
+            size, mtu, survive, spraying, rng, all_zero
+        )
+        if full_span:
+            port_acc[dst_leaf] += arrived
+        else:
+            port_acc[dst_leaf, idx] += arrived
+        # Each (src, dst) pair appears once, so its (spine, src) sender
+        # keys cannot collide: the += of the dict-based path reduces to
+        # one C-speed bulk insert.  Zero entries (possible for tiny
+        # transfers) are filtered to match the sparse dict convention.
+        values = arrived.tolist()
+        if 0 in values:
+            senders = sender_bytes[dst_leaf]
+            for key, value in zip(sender_keys, values):
+                if value:
+                    senders[key] = value
+        else:
+            sender_bytes[dst_leaf].update(zip(sender_keys, values))
+    return _records_from_port_array(
+        port_acc, sender_bytes, tag, tag.iteration, tag.iteration + 1
+    )
 
 
 def simulate_iteration_with_spines(
@@ -163,79 +359,57 @@ def simulate_iteration_with_spines(
     ``port_bytes``/``sender_bytes`` keys are source-leaf indices.
     """
     spec = model.spec
-    control = model.control()
     tag = tag or FlowTag(job_id=0, iteration=0)
-    port_bytes: list[dict[int, int]] = [dict() for _ in range(spec.n_leaves)]
-    sender_bytes: list[dict[tuple[int, int], int]] = [dict() for _ in range(spec.n_leaves)]
-    spine_ingress: list[dict[int, int]] = [dict() for _ in range(spec.n_spines)]
+    port_acc = np.zeros((spec.n_leaves, spec.n_spines), dtype=np.int64)
+    sender_acc = np.zeros(
+        (spec.n_leaves, spec.n_spines, spec.n_leaves), dtype=np.int64
+    )
+    spine_ingress = np.zeros((spec.n_spines, spec.n_leaves), dtype=np.int64)
 
+    up_keep_m, down_keep_m = model._keep_matrices(include_silent)
     for (src_leaf, dst_leaf), size in sorted(demand.leaf_pairs(spec).items()):
-        spines = control.valid_spines(src_leaf, dst_leaf)
-        up_keep = np.array(
-            [
-                1.0 - model.drop_rate(up_link(src_leaf, s), include_silent)
-                for s in spines
-            ]
+        _spines, idx, survive, all_zero, _full_span, _sender_keys = model._pair_paths(
+            src_leaf, dst_leaf, include_silent
         )
-        down_keep = np.array(
-            [
-                1.0 - model.drop_rate(down_link(s, dst_leaf), include_silent)
-                for s in spines
-            ]
-        )
-        if np.all(up_keep * down_keep == 0.0):
+        up_keep = up_keep_m[src_leaf, idx]
+        down_keep = down_keep_m[idx, dst_leaf]
+        if all_zero:
             raise FastSimError("every valid path drops all packets")
         n_full, rem = divmod(size, model.mtu)
-        ports = port_bytes[dst_leaf]
-        senders = sender_bytes[dst_leaf]
         for packets, bytes_each in ((n_full, model.mtu), (1 if rem else 0, rem)):
             pending = packets
             for _round in range(10_000):
                 if pending == 0:
                     break
-                counts = spray_counts(pending, len(spines), model.spraying, rng)
+                counts = spray_counts(pending, len(idx), model.spraying, rng)
                 at_spine = rng.binomial(counts, up_keep)
                 at_leaf = rng.binomial(at_spine, down_keep)
                 pending = int(counts.sum() - at_leaf.sum())
-                for idx, spine in enumerate(spines):
-                    if at_spine[idx]:
-                        spine_ingress[spine][src_leaf] = (
-                            spine_ingress[spine].get(src_leaf, 0)
-                            + int(at_spine[idx]) * bytes_each
-                        )
-                    got = int(at_leaf[idx]) * bytes_each
-                    if got:
-                        ports[spine] = ports.get(spine, 0) + got
-                        key = (spine, src_leaf)
-                        senders[key] = senders.get(key, 0) + got
+                spine_ingress[idx, src_leaf] += at_spine * bytes_each
+                got = at_leaf * bytes_each
+                port_acc[dst_leaf, idx] += got
+                sender_acc[dst_leaf, idx, src_leaf] += got
             else:
                 raise FastSimError("retransmission did not converge")
 
-    leaves = [
-        IterationRecord(
-            leaf=leaf,
-            tag=tag,
-            port_bytes=port_bytes[leaf],
-            sender_bytes=sender_bytes[leaf],
-            start_ns=tag.iteration,
-            end_ns=tag.iteration + 1,
+    leaves = _records_from_arrays(
+        port_acc, sender_acc, tag, tag.iteration, tag.iteration + 1
+    )
+    spine_records = []
+    for spine in range(spec.n_spines):
+        row = spine_ingress[spine]
+        srcs = np.nonzero(row)[0]
+        ingress = {int(src): int(row[src]) for src in srcs}
+        spine_records.append(
+            IterationRecord(
+                leaf=spine,
+                tag=tag,
+                port_bytes=ingress,
+                sender_bytes={(src, src): volume for src, volume in ingress.items()},
+                start_ns=tag.iteration,
+                end_ns=tag.iteration + 1,
+            )
         )
-        for leaf in range(spec.n_leaves)
-    ]
-    spine_records = [
-        IterationRecord(
-            leaf=spine,
-            tag=tag,
-            port_bytes=spine_ingress[spine],
-            sender_bytes={
-                (src, src): volume
-                for src, volume in spine_ingress[spine].items()
-            },
-            start_ns=tag.iteration,
-            end_ns=tag.iteration + 1,
-        )
-        for spine in range(spec.n_spines)
-    ]
     return leaves, spine_records
 
 
@@ -251,35 +425,17 @@ def expected_iteration(
     disabled links *and* known-gray drop rates.
     """
     spec = model.spec
-    control = model.control()
     tag = FlowTag(job_id=0, iteration=0)
-    port_bytes: list[dict[int, float]] = [dict() for _ in range(spec.n_leaves)]
-    sender_bytes: list[dict[tuple[int, int], float]] = [
-        dict() for _ in range(spec.n_leaves)
-    ]
+    port_acc = np.zeros((spec.n_leaves, spec.n_spines))
+    sender_acc = np.zeros((spec.n_leaves, spec.n_spines, spec.n_leaves))
     for (src_leaf, dst_leaf), size in sorted(demand.leaf_pairs(spec).items()):
-        spines = control.valid_spines(src_leaf, dst_leaf)
-        survive = model.survive_probs(src_leaf, dst_leaf, spines, include_silent)
-        arrived = expected_arrival_bytes(size, model.mtu, survive)
-        ports = port_bytes[dst_leaf]
-        senders = sender_bytes[dst_leaf]
-        for idx, spine in enumerate(spines):
-            got = float(arrived[idx])
-            if got:
-                ports[spine] = ports.get(spine, 0.0) + got
-                key = (spine, src_leaf)
-                senders[key] = senders.get(key, 0.0) + got
-    return [
-        IterationRecord(
-            leaf=leaf,
-            tag=tag,
-            port_bytes=port_bytes[leaf],
-            sender_bytes=sender_bytes[leaf],
-            start_ns=0,
-            end_ns=1,
+        _spines, idx, survive, _all_zero, _full_span, _sender_keys = model._pair_paths(
+            src_leaf, dst_leaf, include_silent
         )
-        for leaf in range(spec.n_leaves)
-    ]
+        arrived = expected_arrival_bytes(size, model.mtu, survive)
+        port_acc[dst_leaf, idx] += arrived
+        sender_acc[dst_leaf, idx, src_leaf] += arrived
+    return _records_from_arrays(port_acc, sender_acc, tag, 0, 1)
 
 
 #: Schedule of silent faults per iteration: callable(iteration) -> faults.
@@ -299,16 +455,27 @@ def run_iterations(
 
     ``fault_schedule(iteration)`` may override the silent-fault set per
     iteration — this is how transient faults (paper Fig. 3) are modelled
-    at iteration granularity.
+    at iteration granularity.  Consecutive iterations with an unchanged
+    fault set reuse the same model instance, so its cached survival
+    vectors survive across iterations.
     """
     if n_iterations < 1:
         raise FastSimError("need at least one iteration")
     rng = np.random.Generator(np.random.PCG64(seed))
+    # The demand matrix is fixed for the run, so the sorted pair list
+    # (the iteration order of every simulate call) is derived once.
+    pairs = _sorted_leaf_pairs(demand, model.spec)
     results = []
+    step_model = model
+    last_faults: dict[str, float] | None = None
     for iteration in range(n_iterations):
-        step_model = model
         if fault_schedule is not None:
-            step_model = model.with_silent(fault_schedule(iteration))
+            faults = fault_schedule(iteration)
+            if last_faults is None or faults != last_faults:
+                step_model = model.with_silent(faults)
+                last_faults = dict(faults)
         tag = FlowTag(job_id=job_id, iteration=iteration)
-        results.append(simulate_iteration(step_model, demand, rng, tag=tag))
+        results.append(
+            simulate_iteration(step_model, demand, rng, tag=tag, _pairs=pairs)
+        )
     return results

@@ -18,6 +18,19 @@ class FastSimError(RuntimeError):
     """Raised when the statistical model cannot make progress."""
 
 
+#: Cached uniform multinomial pvals per port count.  ``np.full(p, 1/p)``
+#: is bit-identical every time, so caching cannot change any draw.
+_UNIFORM_PVALS: dict[int, np.ndarray] = {}
+
+
+def _uniform_pvals(n_ports: int) -> np.ndarray:
+    pvals = _UNIFORM_PVALS.get(n_ports)
+    if pvals is None:
+        pvals = np.full(n_ports, 1.0 / n_ports)
+        _UNIFORM_PVALS[n_ports] = pvals
+    return pvals
+
+
 def spray_counts(
     n_packets: int, n_ports: int, mode: str, rng: np.random.Generator
 ) -> np.ndarray:
@@ -37,8 +50,8 @@ def spray_counts(
     if n_packets == 0:
         return np.zeros(n_ports, dtype=np.int64)
     if mode == "random":
-        return rng.multinomial(n_packets, np.full(n_ports, 1.0 / n_ports)).astype(
-            np.int64
+        return rng.multinomial(n_packets, _uniform_pvals(n_ports)).astype(
+            np.int64, copy=False
         )
     if mode == "adaptive":
         base, rem = divmod(n_packets, n_ports)
@@ -70,18 +83,40 @@ def deliver_packets(
         raise FastSimError("survive_prob must be a 1-D array of ports")
     if np.any((survive_prob < 0.0) | (survive_prob > 1.0)):
         raise FastSimError("survival probabilities must lie in [0, 1]")
+    return _deliver_packets_unchecked(n_packets, survive_prob, mode, rng, max_rounds)
+
+
+def _deliver_packets_unchecked(
+    n_packets: int,
+    survive_prob: np.ndarray,
+    mode: str,
+    rng: np.random.Generator,
+    max_rounds: int = 10_000,
+    all_zero: bool | None = None,
+) -> np.ndarray:
+    """:func:`deliver_packets` without input validation — for internal
+    callers whose ``survive_prob`` is a cached, already-validated float
+    array.  ``all_zero`` may carry a precomputed ``all(p == 0)`` verdict
+    for cached vectors.  Draw-for-draw identical to the checked path:
+    the uniform-spray multinomial is inlined (same draw), and pending
+    is tracked arithmetically — a spray round conserves its packet
+    count, so ``counts.sum()`` is ``pending`` by construction."""
     n_ports = survive_prob.size
-    delivered = np.zeros(n_ports, dtype=np.int64)
     pending = int(n_packets)
     if pending == 0:
-        return delivered
-    if np.all(survive_prob == 0.0):
+        return np.zeros(n_ports, dtype=np.int64)
+    if np.all(survive_prob == 0.0) if all_zero is None else all_zero:
         raise FastSimError("every valid port drops all packets: unrecoverable")
+    random_mode = mode == "random"
+    delivered: np.ndarray | None = None
     for _round in range(max_rounds):
-        counts = spray_counts(pending, n_ports, mode, rng)
+        if random_mode:
+            counts = rng.multinomial(pending, _uniform_pvals(n_ports))
+        else:
+            counts = spray_counts(pending, n_ports, mode, rng)
         arrived = rng.binomial(counts, survive_prob)
-        delivered += arrived
-        pending = int(counts.sum() - arrived.sum())
+        delivered = arrived if delivered is None else delivered + arrived
+        pending -= int(arrived.sum())
         if pending == 0:
             return delivered
     raise FastSimError(f"retransmission did not converge in {max_rounds} rounds")
@@ -104,13 +139,51 @@ def deliver_transfer_bytes(
         raise FastSimError("transfer size must be positive")
     if mtu <= 0:
         raise FastSimError("mtu must be positive")
+    survive_prob = np.asarray(survive_prob, dtype=float)
+    if survive_prob.ndim != 1 or survive_prob.size < 1:
+        raise FastSimError("survive_prob must be a 1-D array of ports")
+    if np.any((survive_prob < 0.0) | (survive_prob > 1.0)):
+        raise FastSimError("survival probabilities must lie in [0, 1]")
     n_full, rem = divmod(total_bytes, mtu)
     delivered = np.zeros(survive_prob.size, dtype=np.int64)
     if n_full:
-        delivered += deliver_packets(n_full, survive_prob, mode, rng) * mtu
+        delivered += _deliver_packets_unchecked(n_full, survive_prob, mode, rng) * mtu
     if rem:
-        delivered += deliver_packets(1, survive_prob, mode, rng) * rem
+        delivered += _deliver_packets_unchecked(1, survive_prob, mode, rng) * rem
     return delivered
+
+
+def _deliver_transfer_prevalidated(
+    total_bytes: int,
+    mtu: int,
+    survive_prob: np.ndarray,
+    mode: str,
+    rng: np.random.Generator,
+    all_zero: bool = False,
+) -> np.ndarray:
+    """:func:`deliver_transfer_bytes` for the model's cached survival
+    vectors: skips the per-call array validation (the vector was
+    validated when its cache entry was built) and takes the precomputed
+    ``all_zero`` verdict.  Draw-for-draw identical to the checked path.
+    """
+    if total_bytes <= 0:
+        raise FastSimError("transfer size must be positive")
+    if mtu <= 0:
+        raise FastSimError("mtu must be positive")
+    n_full, rem = divmod(total_bytes, mtu)
+    if n_full:
+        delivered = (
+            _deliver_packets_unchecked(n_full, survive_prob, mode, rng, all_zero=all_zero)
+            * mtu
+        )
+        if rem:
+            delivered += (
+                _deliver_packets_unchecked(1, survive_prob, mode, rng, all_zero=all_zero)
+                * rem
+            )
+        return delivered
+    # total_bytes > 0 with n_full == 0 implies a lone partial packet.
+    return _deliver_packets_unchecked(1, survive_prob, mode, rng, all_zero=all_zero) * rem
 
 
 def expected_arrival_bytes(

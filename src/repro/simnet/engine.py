@@ -104,15 +104,25 @@ class Simulator:
         self._stopped = False
         executed = 0
         try:
-            while self._queue and not self._stopped:
-                if until is not None and self._queue[0][0] > until:
+            while not self._stopped:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
                 if self.step():
                     executed += 1
+            # Fast-forward the clock to `until` only when the queue is
+            # actually drained up to it: if the run stopped early (via
+            # stop() or max_events) with events still pending at or
+            # before `until`, jumping the clock past them would make the
+            # next run() raise "event queue went backwards in time".
             if until is not None and self.now < until and not self._stopped:
-                self.now = until
+                next_time = self.peek_time()
+                if next_time is None or next_time > until:
+                    self.now = until
         finally:
             self._running = False
         return executed

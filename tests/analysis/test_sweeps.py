@@ -1,0 +1,142 @@
+"""Sweep engine: determinism contract, serial parity, and stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    SweepError,
+    SweepRunner,
+    SweepStats,
+    SweepTask,
+)
+from repro.analysis.experiments import ExperimentError, run_batch, run_trial, sweep
+from repro.units import MIB
+
+CONFIG = ExperimentConfig(
+    n_leaves=8,
+    n_spines=4,
+    collective_bytes=64 * MIB,
+    mtu=1024,
+    drop_rate=0.02,
+    n_iterations=4,
+)
+
+
+def small_tasks(n=3, base_seed=7):
+    return [
+        SweepTask(config=CONFIG, injected=injected, base_seed=base_seed, trial=t)
+        for injected in (True, False)
+        for t in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Determinism contract
+# ----------------------------------------------------------------------
+def test_jobs4_bit_identical_to_jobs1():
+    """The acceptance criterion: a pool of 4 workers produces exactly
+    the per-trial outcomes (verdicts, scores, suspects) of the inline
+    path, for a fixed base_seed."""
+    tasks = small_tasks(n=3, base_seed=123)
+    serial = SweepRunner(jobs=1).run_tasks(tasks)
+    pooled = SweepRunner(jobs=4).run_tasks(tasks)
+    assert pooled == serial
+    assert [o.score for o in pooled] == [o.score for o in serial]
+
+
+def test_worker_count_independence():
+    tasks = small_tasks(n=2, base_seed=5)
+    by_jobs = {j: SweepRunner(jobs=j).run_tasks(tasks) for j in (1, 2, 3)}
+    assert by_jobs[1] == by_jobs[2] == by_jobs[3]
+
+
+def test_chunksize_does_not_change_results():
+    tasks = small_tasks(n=2, base_seed=9)
+    a = SweepRunner(jobs=2, chunksize=1).run_tasks(tasks)
+    b = SweepRunner(jobs=2, chunksize=4).run_tasks(tasks)
+    assert a == b
+
+
+def test_baseline_cache_is_correctness_neutral():
+    tasks = small_tasks(n=2, base_seed=11)
+    cached = SweepRunner(jobs=1, cache_baselines=True).run_tasks(tasks)
+    uncached = SweepRunner(jobs=1, cache_baselines=False).run_tasks(tasks)
+    assert cached == uncached
+
+
+# ----------------------------------------------------------------------
+# Parity with the serial experiments API
+# ----------------------------------------------------------------------
+def test_run_tasks_matches_run_trial():
+    tasks = small_tasks(n=2, base_seed=3)
+    outcomes = SweepRunner(jobs=1).run_tasks(tasks)
+    for task, outcome in zip(tasks, outcomes):
+        assert outcome == run_trial(
+            task.config,
+            injected=task.injected,
+            base_seed=task.base_seed,
+            trial=task.trial,
+        )
+
+
+def test_run_batch_matches_serial_run_batch():
+    fast = SweepRunner(jobs=1).run_batch(CONFIG, n_trials=3, base_seed=42)
+    serial = run_batch(CONFIG, n_trials=3, base_seed=42)
+    assert fast.positives == serial.positives
+    assert fast.negatives == serial.negatives
+    assert fast.confusion() == serial.confusion()
+
+
+def test_sweep_matches_serial_sweep():
+    values = [0.01, 0.03]
+    fast = SweepRunner(jobs=1).sweep(
+        CONFIG, "drop_rate", values, n_trials=2, base_seed=17
+    )
+    serial = sweep(CONFIG, "drop_rate", values, n_trials=2, base_seed=17)
+    assert list(fast) == values
+    for value in values:
+        assert fast[value].positives == serial[value].positives
+        assert fast[value].negatives == serial[value].negatives
+        assert fast[value].config.drop_rate == value
+
+
+# ----------------------------------------------------------------------
+# Stats and validation
+# ----------------------------------------------------------------------
+def test_stats_recorded_per_call():
+    runner = SweepRunner(jobs=1)
+    assert runner.last_stats is None
+    runner.run_tasks(small_tasks(n=1))
+    stats = runner.last_stats
+    assert isinstance(stats, SweepStats)
+    assert stats.n_trials == 2
+    assert stats.jobs == 1
+    assert stats.elapsed_s > 0
+    assert stats.trials_per_sec > 0
+
+
+def test_empty_task_list_is_a_noop():
+    runner = SweepRunner(jobs=1)
+    assert runner.run_tasks([]) == []
+    assert runner.last_stats is None
+
+
+def test_jobs_zero_means_cpu_count():
+    assert SweepRunner(jobs=0).jobs >= 1
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(SweepError):
+        SweepRunner(jobs=-1)
+
+
+def test_sweep_rejects_empty_values():
+    with pytest.raises(SweepError):
+        SweepRunner().sweep(CONFIG, "drop_rate", [], n_trials=1)
+
+
+def test_run_batch_rejects_zero_trials():
+    with pytest.raises(ExperimentError):
+        SweepRunner().run_batch(CONFIG, n_trials=0)

@@ -59,10 +59,17 @@ def test_surplus_beyond_threshold_alarms_too():
     assert not alarm.is_deficit
 
 
-def test_deviation_exactly_at_threshold_does_not_alarm():
+def test_deviation_exactly_at_threshold_alarms():
+    """Boundary regression: the threshold is inclusive — a deviation of
+    exactly ``threshold`` ("beyond 1 %" read as "at least 1 %") alarms."""
     detector = ThresholdDetector(DetectionConfig(threshold=0.02))
     result = detector.evaluate(record(p0=980, p1=1000), prediction(p0=1000, p1=1000))
-    assert not result.triggered
+    assert result.triggered
+    (alarm,) = result.alarms
+    assert alarm.deviation == -0.02
+    # Just inside the boundary stays quiet.
+    quiet = detector.evaluate(record(p0=981, p1=1000), prediction(p0=1000, p1=1000))
+    assert not quiet.triggered
 
 
 def test_paper_threshold_default_is_one_percent():
@@ -136,7 +143,7 @@ def test_property_alarm_iff_deviation_exceeds_threshold(threshold, deviation):
         prediction(p0=1_000_000, p1=1_000_000),
     )
     actual_dev = abs(int(observed) - 1_000_000) / 1_000_000
-    assert result.triggered == (actual_dev > threshold)
+    assert result.triggered == (actual_dev >= threshold)
 
 
 @settings(max_examples=40, deadline=None)

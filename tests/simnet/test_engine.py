@@ -191,6 +191,102 @@ def test_callback_args_passed_through():
     assert seen == [("x", 2)]
 
 
+# ----------------------------------------------------------------------
+# Edge cases: until/max_events interaction and cancelled-head handling
+# ----------------------------------------------------------------------
+def test_run_until_with_max_events_does_not_skip_clock_ahead():
+    """Regression: when a run stops on max_events with events still
+    pending at or before `until`, the clock must NOT fast-forward to
+    `until` — doing so made the next run() raise "event queue went
+    backwards in time" on the leftover events."""
+    sim = Simulator()
+    fired = []
+    for t in (1, 2, 3, 4, 5):
+        sim.schedule(t, fired.append, t)
+    executed = sim.run(until=10, max_events=2)
+    assert executed == 2
+    assert fired == [1, 2]
+    assert sim.now == 2  # not 10: events at 3..5 are still due
+
+    # The leftover events must still run cleanly.
+    sim.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert sim.now == 5
+
+
+def test_run_until_max_events_fast_forwards_when_drained():
+    """When max_events is generous enough to drain everything due by
+    `until`, the idle-clock fast-forward still applies."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(3, fired.append, 3)
+    sim.schedule(50, fired.append, 50)
+    executed = sim.run(until=10, max_events=100)
+    assert executed == 1
+    assert fired == [3]
+    assert sim.now == 10
+
+
+def test_run_until_with_cancelled_head_event():
+    """A cancelled event sitting at the head of the queue before
+    `until` must not let run() fire a later real event past `until`."""
+    sim = Simulator()
+    fired = []
+    head = sim.schedule(5, fired.append, "cancelled")
+    sim.schedule(20, fired.append, "late")
+    head.cancel()
+    executed = sim.run(until=10)
+    assert executed == 0
+    assert fired == []
+    assert sim.now == 10
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 20
+
+
+def test_stop_prevents_idle_fast_forward():
+    """stop() mid-run leaves the clock at the stopping event even when
+    `until` lies further ahead, so pending events stay runnable."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(3, sim.stop)
+    sim.schedule(5, fired.append, 5)
+    sim.run(until=100)
+    assert sim.now == 3
+    sim.run()
+    assert fired == [5]
+
+
+def test_cancel_all_then_run_is_idle():
+    sim = Simulator()
+    handles = [sim.schedule(t, lambda: None) for t in (1, 2, 3)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.run() == 0
+    assert sim.now == 0
+    assert sim.events_executed == 0
+
+
+def test_peek_time_purges_cancelled_run_of_events():
+    sim = Simulator()
+    handles = [sim.schedule(t, lambda: None) for t in (1, 2, 3)]
+    keeper = sim.schedule(7, lambda: None)
+    for handle in handles:
+        handle.cancel()
+    assert sim.peek_time() == 7
+    assert sim.pending_events == 1
+    assert not keeper.cancelled
+
+
+def test_run_until_exact_event_time_fires_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 10)
+    sim.run(until=10)
+    assert fired == [10]
+    assert sim.now == 10
+
+
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
 def test_property_events_always_fire_in_nondecreasing_time(delays):
     sim = Simulator()

@@ -100,6 +100,62 @@ def test_preexisting_faults_flag(capsys):
     assert code == 0
 
 
+def test_sweep_prints_table_and_throughput(capsys):
+    code = main(
+        [
+            "sweep",
+            *SMALL,
+            "--values", "0.01", "0.03",
+            "--trials", "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sweep over drop_rate" in out
+    assert "FPR" in out and "TPR" in out
+    assert "trials/sec" in out
+
+
+def test_sweep_parallel_matches_serial(capsys):
+    args = ["sweep", *SMALL, "--values", "0.02", "--trials", "2"]
+    assert main([*args, "--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main([*args, "--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+
+    # Identical tables: jobs only changes throughput, never results.
+    def table_rows(text):
+        return [
+            line
+            for line in text.splitlines()
+            if "jobs=" not in line and "trials in" not in line
+        ]
+
+    assert table_rows(serial_out) == table_rows(parallel_out)
+
+
+def test_sweep_integer_parameter_casting(capsys):
+    code = main(
+        [
+            "sweep",
+            *SMALL,
+            "--parameter", "n_iterations",
+            "--values", "3", "4",
+            "--trials", "1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sweep over n_iterations" in out
+
+
+def test_sweep_unknown_parameter_errors(capsys):
+    code = main(["sweep", *SMALL, "--parameter", "bogus", "--values", "1"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown sweep parameter" in err
+
+
 def test_learned_predictor_flag(capsys):
     code = main(
         [
