@@ -22,6 +22,9 @@ Layers
 - :mod:`repro.workloads` — training-job models and multi-job placement.
 - :mod:`repro.analysis` — trial runner, metrics, closed-loop
   remediation runs, and report formatting.
+- :mod:`repro.telemetry` — metrics registry, structured event log,
+  detection audit trail, and Chrome-trace export (opt-in; nothing else
+  imports it).
 - :mod:`repro.cli` — ``python -m repro detect | roc | closed-loop``.
 
 Quickstart
@@ -32,7 +35,17 @@ Quickstart
 True
 """
 
-from . import analysis, collectives, core, fastsim, simnet, threelevel, topology, workloads
+from . import (
+    analysis,
+    collectives,
+    core,
+    fastsim,
+    simnet,
+    telemetry,
+    threelevel,
+    topology,
+    workloads,
+)
 
 __version__ = "0.1.0"
 
@@ -43,6 +56,7 @@ __all__ = [
     "core",
     "fastsim",
     "simnet",
+    "telemetry",
     "threelevel",
     "topology",
     "workloads",

@@ -245,6 +245,7 @@ def run_trial_with_verdict(
     base_seed: int = 0,
     trial: int = 0,
     predictor_cache: dict | None = None,
+    telemetry=None,
 ) -> tuple[TrialOutcome, RunVerdict]:
     """Run one monitored training run; returns the outcome plus the full
     per-iteration verdict (for reports and drill-down).
@@ -253,6 +254,12 @@ def run_trial_with_verdict(
     sweep runner) shares stateless predictor baselines between trials
     with the same known network state; passing one cannot change any
     result, only skip recomputation.
+
+    ``telemetry`` (duck-typed session) hands the monitor an audit
+    trail sink — every iteration's observed-vs-predicted table, alarms,
+    and localization verdicts are emitted as ``audit.*`` events (see
+    :mod:`repro.telemetry.audit`).  Observation only; verdicts are
+    bit-identical with or without it.
     """
     setup = build_trial(config, base_seed=base_seed, trial=trial)
     seq = _trial_rng(base_seed, trial, injected)
@@ -282,7 +289,7 @@ def run_trial_with_verdict(
         if cache_key is not None:
             predictor_cache[cache_key] = predictor
     monitor = FlowPulseMonitor(
-        predictor, DetectionConfig(threshold=config.threshold)
+        predictor, DetectionConfig(threshold=config.threshold), telemetry=telemetry
     )
     verdict = monitor.process_run(records)
     return _outcome(verdict, setup, injected), verdict

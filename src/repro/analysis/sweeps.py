@@ -68,15 +68,28 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class SweepStats:
-    """Throughput of the most recent runner call."""
+    """Throughput of the most recent runner call.
+
+    ``busy_s`` (only measured on instrumented runs, else 0) is the sum
+    of per-trial wall times across all workers; ``utilization`` divides
+    it by the pool's total capacity ``jobs * elapsed_s`` — the fraction
+    of worker-seconds spent inside trials rather than on pickling,
+    scheduling, or idling at the tail of the task list.
+    """
 
     n_trials: int
     elapsed_s: float
     jobs: int
+    busy_s: float = 0.0
 
     @property
     def trials_per_sec(self) -> float:
         return self.n_trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    @property
+    def utilization(self) -> float:
+        capacity = self.jobs * self.elapsed_s
+        return self.busy_s / capacity if capacity > 0 else 0.0
 
 
 #: Per-process predictor-baseline cache.  Plain module state: every
@@ -97,6 +110,26 @@ def _run_task(task: SweepTask) -> TrialOutcome:
     )
 
 
+def _run_task_timed(task: SweepTask) -> tuple[TrialOutcome, float]:
+    """Instrumented worker: ``(outcome, trial_wall_seconds)``.
+
+    The wall time is measured inside the worker process and shipped
+    back with the result — a cross-process telemetry session cannot
+    observe it, and the parent needs it for worker-utilization
+    accounting.  The trial itself is byte-for-byte :func:`_run_task`.
+    """
+    started = time.perf_counter()
+    outcome = _run_task(task)
+    return outcome, time.perf_counter() - started
+
+
+def _run_task_timed_uncached(task: SweepTask) -> tuple[TrialOutcome, float]:
+    """Instrumented worker without baseline caching."""
+    started = time.perf_counter()
+    outcome = _run_task_uncached(task)
+    return outcome, time.perf_counter() - started
+
+
 @dataclass
 class SweepRunner:
     """Fans trial grids out over a process pool, deterministically.
@@ -109,11 +142,21 @@ class SweepRunner:
     ``cache_baselines=False`` disables predictor-baseline sharing (the
     benchmark's honest serial comparison point); results are unchanged
     either way.
+
+    ``telemetry`` (a duck-typed session, see
+    :mod:`repro.telemetry.session`) and ``progress`` (a callable
+    ``progress(done, total, elapsed_s)`` invoked after every finished
+    trial) switch the runner onto its instrumented path: workers time
+    each trial and results stream back in task order through ``imap``.
+    Both are pure observation — the trials executed, their seeds, and
+    their outcomes are bit-identical to the uninstrumented run.
     """
 
     jobs: int = 1
     cache_baselines: bool = True
     chunksize: int | None = None
+    telemetry: Any = field(default=None, compare=False)
+    progress: Any = field(default=None, compare=False)
     last_stats: SweepStats | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -121,6 +164,10 @@ class SweepRunner:
             raise SweepError("jobs cannot be negative")
         if self.jobs == 0:
             self.jobs = os.cpu_count() or 1
+
+    @property
+    def _instrumented(self) -> bool:
+        return self.telemetry is not None or self.progress is not None
 
     # ------------------------------------------------------------------
     def run_tasks(self, tasks: Sequence[SweepTask]) -> list[TrialOutcome]:
@@ -131,28 +178,106 @@ class SweepRunner:
         started = time.perf_counter()
         if self.jobs == 1:
             cache = _BASELINE_CACHE if self.cache_baselines else None
-            outcomes = [
-                run_trial(
-                    t.config,
-                    injected=t.injected,
-                    base_seed=t.base_seed,
-                    trial=t.trial,
-                    predictor_cache=cache,
-                )
-                for t in tasks
-            ]
+            if self._instrumented:
+                outcomes = []
+                busy = 0.0
+                for index, t in enumerate(tasks):
+                    trial_started = time.perf_counter()
+                    outcome = run_trial(
+                        t.config,
+                        injected=t.injected,
+                        base_seed=t.base_seed,
+                        trial=t.trial,
+                        predictor_cache=cache,
+                    )
+                    trial_wall = time.perf_counter() - trial_started
+                    busy += trial_wall
+                    outcomes.append(outcome)
+                    self._observe_trial(
+                        index, len(tasks), t, outcome, trial_wall, started
+                    )
+            else:
+                busy = 0.0
+                outcomes = [
+                    run_trial(
+                        t.config,
+                        injected=t.injected,
+                        base_seed=t.base_seed,
+                        trial=t.trial,
+                        predictor_cache=cache,
+                    )
+                    for t in tasks
+                ]
         else:
-            worker = _run_task if self.cache_baselines else _run_task_uncached
             chunksize = self.chunksize or max(
                 1, len(tasks) // (4 * self.jobs) or 1
             )
             with multiprocessing.Pool(processes=self.jobs) as pool:
-                outcomes = pool.map(worker, tasks, chunksize=chunksize)
+                if self._instrumented:
+                    worker = (
+                        _run_task_timed
+                        if self.cache_baselines
+                        else _run_task_timed_uncached
+                    )
+                    outcomes = []
+                    busy = 0.0
+                    for index, (outcome, trial_wall) in enumerate(
+                        pool.imap(worker, tasks, chunksize=chunksize)
+                    ):
+                        busy += trial_wall
+                        outcomes.append(outcome)
+                        self._observe_trial(
+                            index, len(tasks), tasks[index], outcome,
+                            trial_wall, started,
+                        )
+                else:
+                    worker = _run_task if self.cache_baselines else _run_task_uncached
+                    busy = 0.0
+                    outcomes = pool.map(worker, tasks, chunksize=chunksize)
         elapsed = time.perf_counter() - started
         self.last_stats = SweepStats(
-            n_trials=len(tasks), elapsed_s=elapsed, jobs=self.jobs
+            n_trials=len(tasks), elapsed_s=elapsed, jobs=self.jobs, busy_s=busy
         )
+        if self.telemetry is not None:
+            stats = self.last_stats
+            self.telemetry.emit(
+                "sweep.run",
+                n_trials=stats.n_trials,
+                elapsed_s=stats.elapsed_s,
+                jobs=stats.jobs,
+                trials_per_sec=stats.trials_per_sec,
+                busy_s=stats.busy_s,
+                worker_utilization=stats.utilization,
+            )
+            self.telemetry.counter("sweep.runs").inc()
+            self.telemetry.counter("sweep.trials").inc(stats.n_trials)
+            self.telemetry.gauge("sweep.jobs").set(stats.jobs)
         return outcomes
+
+    # ------------------------------------------------------------------
+    def _observe_trial(
+        self,
+        index: int,
+        total: int,
+        task: SweepTask,
+        outcome: TrialOutcome,
+        trial_wall: float,
+        run_started: float,
+    ) -> None:
+        """Report one finished trial (instrumented path only)."""
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "sweep.trial",
+                index=index,
+                trial=task.trial,
+                injected=task.injected,
+                wall_s=trial_wall,
+                score=outcome.score,
+                triggered=outcome.triggered,
+            )
+            self.telemetry.histogram("sweep.trial_wall_s").observe(trial_wall)
+        if self.progress is not None:
+            self.progress(index + 1, total, time.perf_counter() - run_started)
 
     # ------------------------------------------------------------------
     def run_batch(

@@ -68,6 +68,113 @@ def _config(args: argparse.Namespace, drop_rate: float) -> ExperimentConfig:
 
 
 # ----------------------------------------------------------------------
+# Telemetry plumbing (shared by detect / roc / sweep)
+# ----------------------------------------------------------------------
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write telemetry (structured events + metric snapshots) "
+        "as JSONL, one JSON object per line",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of a companion "
+        "packet-level capture (open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report live progress on stderr",
+    )
+
+
+def _telemetry_session(args: argparse.Namespace):
+    """A TelemetrySession when any telemetry output was requested.
+
+    Telemetry is imported lazily and only here: the simulation packages
+    never import it, and without the flags the CLI does not either.
+    """
+    if args.metrics_out is None and args.trace_out is None:
+        return None
+    from .telemetry import TelemetrySession
+
+    return TelemetrySession()
+
+
+def _progress_callback(args: argparse.Namespace):
+    if not args.progress:
+        return None
+
+    def report(done: int, total: int, elapsed_s: float) -> None:
+        rate = done / elapsed_s if elapsed_s > 0 else 0.0
+        print(
+            f"\r[{done}/{total}] {elapsed_s:.1f}s ({rate:.1f} trials/sec)",
+            end="\n" if done >= total else "",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return report
+
+
+def _write_telemetry(
+    args: argparse.Namespace,
+    session,
+    config: ExperimentConfig,
+    fault_link: str | None,
+) -> None:
+    """Write ``--metrics-out`` / ``--trace-out`` artifacts.
+
+    The Chrome trace comes from a companion packet-level capture (see
+    :mod:`repro.telemetry.capture`) mirroring the reported fabric shape
+    and fault — the statistical simulator the commands run on has no
+    per-packet timeline of its own.
+    """
+    if session is None:
+        return
+    if args.trace_out is not None:
+        from .telemetry import capture_fabric_trace, write_chrome_trace
+
+        if args.progress:
+            print("capturing packet-level trace...", file=sys.stderr)
+        capture = capture_fabric_trace(
+            n_leaves=config.n_leaves,
+            n_spines=config.n_spines,
+            mtu=config.mtu,
+            fault_link=fault_link,
+            drop_rate=config.drop_rate if fault_link is not None else 0.0,
+            seed=args.seed,
+            spray=config.spraying,
+            telemetry=session,
+        )
+        n_events = write_chrome_trace(
+            args.trace_out,
+            capture.tracer,
+            metadata={
+                "fabric": f"{config.n_leaves}x{config.n_spines}",
+                "fault_link": fault_link,
+                "drop_rate": capture.drop_rate,
+                "fault_drops": capture.fault_drops,
+            },
+        )
+        print(
+            f"wrote {n_events} trace events to {args.trace_out} "
+            f"({capture.fault_drops} fault drops captured)",
+            file=sys.stderr,
+        )
+    if args.metrics_out is not None:
+        n_lines = session.write_jsonl(args.metrics_out)
+        print(
+            f"wrote {n_lines} telemetry lines to {args.metrics_out}",
+            file=sys.stderr,
+        )
+
+
+# ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -76,8 +183,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
     config = _config(args, args.drop_rate)
     inject = not args.healthy
+    session = _telemetry_session(args)
     outcome, verdict = run_trial_with_verdict(
-        config, injected=inject, base_seed=args.seed, trial=0
+        config, injected=inject, base_seed=args.seed, trial=0, telemetry=session
     )
     print(f"fabric: {args.leaves} leaves x {args.spines} spines, "
           f"{args.collective_gib:g} GiB ring collective, "
@@ -96,25 +204,59 @@ def cmd_detect(args: argparse.Namespace) -> int:
     if args.report:
         print()
         print(incident_report(verdict, threshold=args.threshold))
+    _write_telemetry(
+        args, session, config, outcome.fault_link if inject else None
+    )
     if inject:
         return 0 if outcome.triggered and outcome.localized_correctly else 1
     return 0 if not outcome.triggered else 1
 
 
 def cmd_roc(args: argparse.Namespace) -> int:
+    import time
+
     config = _config(args, 0.015)
-    negatives = [
-        run_trial(config, injected=False, base_seed=args.seed, trial=t).score
-        for t in range(args.trials)
-    ]
+    session = _telemetry_session(args)
+    progress = _progress_callback(args)
+    total = args.trials * (1 + len(args.drop_rates))
+    done = 0
+    started = time.perf_counter()
+
+    def scored(step: ExperimentConfig, injected: bool, trial: int) -> float:
+        nonlocal done
+        trial_started = time.perf_counter()
+        score = run_trial(
+            step, injected=injected, base_seed=args.seed, trial=trial
+        ).score
+        done += 1
+        if session is not None:
+            session.emit(
+                "roc.trial",
+                drop_rate=step.drop_rate if injected else 0.0,
+                trial=trial,
+                injected=injected,
+                score=score,
+                wall_s=time.perf_counter() - trial_started,
+            )
+            session.counter("roc.trials").inc()
+        if progress is not None:
+            progress(done, total, time.perf_counter() - started)
+        return score
+
+    negatives = [scored(config, False, t) for t in range(args.trials)]
     rows = []
     for drop in args.drop_rates:
         step = replace(config, drop_rate=drop)
-        positives = [
-            run_trial(step, injected=True, base_seed=args.seed, trial=t).score
-            for t in range(args.trials)
-        ]
+        positives = [scored(step, True, t) for t in range(args.trials)]
         for point in roc_curve(positives, negatives, args.thresholds):
+            if session is not None:
+                session.emit(
+                    "roc.point",
+                    drop_rate=drop,
+                    threshold=point.threshold,
+                    fpr=point.fpr,
+                    tpr=point.tpr,
+                )
             rows.append(
                 [
                     format_percent(drop, 1),
@@ -129,6 +271,12 @@ def cmd_roc(args: argparse.Namespace) -> int:
             rows,
             title=f"ROC ({args.trials}+{args.trials} trials per drop rate)",
         )
+    )
+    _write_telemetry(
+        args,
+        session,
+        replace(config, drop_rate=max(args.drop_rates)),
+        build_trial(config, base_seed=args.seed, trial=0).fault_link,
     )
     return 0
 
@@ -151,7 +299,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     }
     caster = casters.get(field_types[args.parameter], float)
     values = [caster(v) for v in args.values]
-    runner = SweepRunner(jobs=args.jobs)
+    session = _telemetry_session(args)
+    runner = SweepRunner(
+        jobs=args.jobs, telemetry=session, progress=_progress_callback(args)
+    )
     results = runner.sweep(
         config,
         args.parameter,
@@ -180,10 +331,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     if stats is not None:
+        utilization = (
+            f", worker utilization {format_percent(stats.utilization, 0)}"
+            if stats.busy_s > 0
+            else ""
+        )
         print(
             f"\n{stats.n_trials} trials in {stats.elapsed_s:.2f}s "
-            f"({stats.trials_per_sec:.1f} trials/sec)"
+            f"({stats.trials_per_sec:.1f} trials/sec, jobs={stats.jobs}"
+            f"{utilization})"
         )
+    _write_telemetry(
+        args,
+        session,
+        config,
+        build_trial(config, base_seed=args.seed, trial=0).fault_link,
+    )
     return 0
 
 
@@ -241,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--report", action="store_true", help="print a full incident report"
     )
+    _add_telemetry_args(detect)
     detect.set_defaults(func=cmd_detect)
 
     roc = sub.add_parser("roc", help="threshold x drop-rate ROC sweep")
@@ -258,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[0.005, 0.01, 0.02],
     )
+    _add_telemetry_args(roc)
     roc.set_defaults(func=cmd_roc)
 
     sweep = sub.add_parser(
@@ -288,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 = one per CPU); results are "
         "independent of this value",
     )
+    _add_telemetry_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     loop = sub.add_parser(

@@ -130,6 +130,28 @@ class DetectionResult:
     def deficit_alarms(self) -> tuple[PortDeviation, ...]:
         return tuple(a for a in self.alarms if a.is_deficit)
 
+    def audit_ports(self) -> list[dict]:
+        """The observed-vs-predicted table as JSON-ready dicts.
+
+        One entry per evaluated ingress port, in spine order, each with
+        the prediction, the observation, the signed relative deviation,
+        and whether the port crossed the alarm boundary.  This is the
+        payload of the telemetry audit trail's ``audit.leaf`` events;
+        building it forces the lazy deviation tuple, so it is only
+        called when telemetry is enabled.
+        """
+        alarmed = set(self.alarms)
+        return [
+            {
+                "spine": d.spine,
+                "predicted": d.predicted,
+                "observed": d.observed,
+                "deviation": d.deviation,
+                "alarm": d in alarmed,
+            }
+            for d in self.deviations
+        ]
+
     def __repr__(self) -> str:
         return (
             f"DetectionResult(leaf={self.leaf!r}, iteration={self.iteration!r}, "

@@ -91,6 +91,7 @@ class FlowPulseMonitor:
         predictor: LoadPredictor,
         config: DetectionConfig | None = None,
         localizer: Localizer | None = None,
+        telemetry=None,
     ) -> None:
         self.predictor = predictor
         self.config = config or DetectionConfig()
@@ -98,6 +99,11 @@ class FlowPulseMonitor:
         self.localizer = localizer or Localizer(
             sender_threshold=self.config.threshold
         )
+        #: Optional telemetry session (duck-typed; see
+        #: :mod:`repro.telemetry.audit` for the emitted schema).  The
+        #: audit trail is observation-only: it reads finished verdicts,
+        #: so enabling it cannot change any detection outcome.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def process_iteration(
@@ -106,16 +112,19 @@ class FlowPulseMonitor:
         """Monitor one iteration; records must be ordered by leaf."""
         iteration = records[0].tag.iteration if records else -1
         event = self.predictor.update(records)
-        if not self.predictor.ready or event is LearningEvent.HEALING_DETECTED:
-            return IterationVerdict(
+        if (
+            not self.predictor.ready
+            or event is LearningEvent.HEALING_DETECTED
+            or event in (LearningEvent.BASELINE_READY, LearningEvent.REBASELINED)
+        ):
+            # Not ready, or the baseline was built *from* these records
+            # (checking them against it would be circular): skip.
+            verdict = IterationVerdict(
                 iteration=iteration, learning_event=event, skipped=True
             )
-        if event in (LearningEvent.BASELINE_READY, LearningEvent.REBASELINED):
-            # The baseline was built *from* these records; checking them
-            # against it would be circular.
-            return IterationVerdict(
-                iteration=iteration, learning_event=event, skipped=True
-            )
+            if self.telemetry is not None:
+                self._audit(verdict)
+            return verdict
         prediction = self.predictor.predict()
         results = []
         localizations = []
@@ -127,13 +136,74 @@ class FlowPulseMonitor:
                 localizations.append(
                     self.localizer.localize(record, leaf_prediction, result)
                 )
-        return IterationVerdict(
+        verdict = IterationVerdict(
             iteration=iteration,
             learning_event=event,
             skipped=False,
             results=tuple(results),
             localizations=tuple(localizations),
         )
+        if self.telemetry is not None:
+            self._audit(verdict)
+        return verdict
+
+    # ------------------------------------------------------------------
+    def _audit(self, verdict: IterationVerdict) -> None:
+        """Emit the iteration's audit trail (schema:
+        :mod:`repro.telemetry.audit`).  Pure observation — reads the
+        finished verdict, mutates nothing."""
+        t = self.telemetry
+        t.emit(
+            "audit.iteration",
+            iteration=verdict.iteration,
+            learning_event=verdict.learning_event.name,
+            skipped=verdict.skipped,
+            triggered=verdict.triggered,
+            max_score=verdict.max_score,
+            leaves=len(verdict.results),
+        )
+        t.counter("audit.iterations").inc()
+        if verdict.skipped:
+            t.counter("audit.skipped_iterations").inc()
+            return
+        for result in verdict.results:
+            t.emit(
+                "audit.leaf",
+                iteration=verdict.iteration,
+                leaf=result.leaf,
+                triggered=result.triggered,
+                max_abs_deviation=result.max_abs_deviation,
+                ports=result.audit_ports(),
+            )
+            for alarm in result.alarms:
+                t.emit(
+                    "audit.alarm",
+                    iteration=verdict.iteration,
+                    leaf=alarm.leaf,
+                    spine=alarm.spine,
+                    predicted=alarm.predicted,
+                    observed=alarm.observed,
+                    deviation=alarm.deviation,
+                    deficit=alarm.is_deficit,
+                )
+                t.counter("audit.alarms").inc()
+        for localization in verdict.localizations:
+            t.emit(
+                "audit.localization",
+                iteration=verdict.iteration,
+                leaf=localization.leaf,
+                suspicions=[
+                    {
+                        "link": s.link,
+                        "kind": s.kind,
+                        "spine": s.spine,
+                        "affected_senders": list(s.affected_senders),
+                        "deviation": s.deviation,
+                    }
+                    for s in localization.suspicions
+                ],
+            )
+            t.counter("audit.localizations").inc()
 
     def process_run(
         self, run_records: list[list[IterationRecord]]

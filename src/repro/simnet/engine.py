@@ -9,6 +9,7 @@ explicitly seeded generators, so a run is a pure function of its seed.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -55,6 +56,11 @@ class Simulator:
         self.events_executed: int = 0
         self._running = False
         self._stopped = False
+        #: Optional telemetry session (duck-typed; see
+        #: :mod:`repro.telemetry.session`).  When set, every
+        #: :meth:`run` emits one ``engine.run`` event with its
+        #: event-loop throughput; the hot loop itself is untouched.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,6 +109,8 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        started_wall = time.perf_counter() if self.telemetry is not None else 0.0
+        started_now = self.now
         try:
             while not self._stopped:
                 next_time = self.peek_time()
@@ -125,6 +133,19 @@ class Simulator:
                     self.now = until
         finally:
             self._running = False
+        if self.telemetry is not None:
+            wall_s = time.perf_counter() - started_wall
+            self.telemetry.emit(
+                "engine.run",
+                executed=executed,
+                wall_s=wall_s,
+                events_per_sec=executed / wall_s if wall_s > 0 else 0.0,
+                start_ns=started_now,
+                end_ns=self.now,
+                pending=self.pending_events,
+            )
+            self.telemetry.counter("engine.events").inc(executed)
+            self.telemetry.histogram("engine.run_wall_s").observe(wall_s)
         return executed
 
     def stop(self) -> None:

@@ -53,6 +53,7 @@ class Link:
         injector: FaultInjector | None = None,
         queue_capacity: int | None = None,
         tracer: "Tracer | None" = None,
+        telemetry=None,
     ) -> None:
         if prop_delay_ns < 0:
             raise ValueError("propagation delay cannot be negative")
@@ -64,6 +65,10 @@ class Link:
         self.rng = rng
         self.injector = injector
         self.tracer = tracer
+        #: Optional telemetry session (duck-typed).  Only the *rare*
+        #: outcomes — fault drops, queue overflows — emit inline; the
+        #: per-packet tx/rx path stays a pointer comparison when off.
+        self.telemetry = telemetry
         self.queue = PriorityByteQueue(capacity_bytes=queue_capacity)
         self._busy = False
         self._paused: set[Priority] = set()
@@ -89,6 +94,17 @@ class Link:
             self.overflow_packets += 1
             if self.tracer is not None:
                 self.tracer.record("overflow", self, packet)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "link.overflow",
+                    time_ns=self.sim.now,
+                    link=self.name,
+                    pid=packet.pid,
+                    size=packet.size,
+                    queue_bytes=self.queue.bytes_used,
+                    queue_packets=len(self.queue),
+                )
+                self.telemetry.counter("link.overflows", link=self.name).inc()
             return False
         self._try_transmit()
         return True
@@ -122,6 +138,19 @@ class Link:
             self.faulted_bytes += packet.size
             if self.tracer is not None:
                 self.tracer.record("drop", self, packet)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "link.drop",
+                    time_ns=self.sim.now,
+                    link=self.name,
+                    pid=packet.pid,
+                    src_host=packet.src_host,
+                    dst_host=packet.dst_host,
+                    size=packet.size,
+                    kind=packet.kind.value,
+                    seq=packet.seq,
+                )
+                self.telemetry.counter("link.fault_drops", link=self.name).inc()
             return
         self.delivered_packets += 1
         self.delivered_bytes += packet.size

@@ -51,6 +51,11 @@ class Network:
     enable_pfc:
         Attach PFC controllers to fabric links (needs finite
         ``queue_capacity`` to ever trigger).
+    telemetry:
+        Optional telemetry session (duck-typed; see
+        :mod:`repro.telemetry.session`).  Wired into the engine, every
+        link, every transport, and every PFC controller; ``None``
+        (the default) keeps all of them on their no-op fast path.
     """
 
     def __init__(
@@ -64,10 +69,13 @@ class Network:
         queue_capacity: int | None = None,
         enable_pfc: bool = False,
         tracer: Tracer | None = None,
+        telemetry=None,
     ) -> None:
         self.spec = spec
         self.sim = Simulator()
         self.tracer = tracer
+        self.telemetry = telemetry
+        self.sim.telemetry = telemetry
         self.injector = FaultInjector()
         self.control = ControlPlane(spec, known_disabled=frozenset(known_disabled))
         self.mtu = mtu
@@ -113,7 +121,9 @@ class Network:
             self._add_link(down_name, host, queue_capacity, rate=spec.host_rate_bps)
             leaf.attach_downlink(host.index, self.links[down_name])
             host.attach_transport(
-                ReliableTransport(self.sim, host, mtu=mtu, rto_ns=rto_ns)
+                ReliableTransport(
+                    self.sim, host, mtu=mtu, rto_ns=rto_ns, telemetry=telemetry
+                )
             )
 
         # Physically disconnect pre-existing faults: routing already
@@ -141,6 +151,7 @@ class Network:
             injector=self.injector,
             queue_capacity=queue_capacity,
             tracer=self.tracer,
+            telemetry=self.telemetry,
         )
 
     def _wire_pfc(self) -> None:
@@ -154,7 +165,9 @@ class Network:
             ]
             for spine_idx, uplink in leaf.uplinks.items():
                 self.pfc_controllers.append(
-                    PfcController(uplink, feeders_into_leaf, config)
+                    PfcController(
+                        uplink, feeders_into_leaf, config, telemetry=self.telemetry
+                    )
                 )
         for spine in self.spines:
             feeders_into_spine = [
@@ -162,7 +175,9 @@ class Network:
             ]
             for leaf_idx, downlink in spine.downlinks.items():
                 self.pfc_controllers.append(
-                    PfcController(downlink, feeders_into_spine, config)
+                    PfcController(
+                        downlink, feeders_into_spine, config, telemetry=self.telemetry
+                    )
                 )
 
     # ------------------------------------------------------------------

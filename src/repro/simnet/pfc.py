@@ -56,6 +56,9 @@ class PfcController:
     config: PfcConfig = field(default_factory=PfcConfig)
     pauses_sent: int = 0
     resumes_sent: int = 0
+    #: Optional telemetry session (duck-typed); pause/resume edges are
+    #: rare, so they are emitted inline with their backlog sample.
+    telemetry: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._paused = False
@@ -65,15 +68,29 @@ class PfcController:
         if not self._paused and backlog_bytes >= self.config.xoff_bytes:
             self._paused = True
             self.pauses_sent += 1
+            if self.telemetry is not None:
+                self._emit("pfc.pause", backlog_bytes)
             for feeder in self.feeders:
                 for priority in PAUSABLE:
                     feeder.pause(priority)
         elif self._paused and backlog_bytes <= self.config.xon_bytes:
             self._paused = False
             self.resumes_sent += 1
+            if self.telemetry is not None:
+                self._emit("pfc.resume", backlog_bytes)
             for feeder in self.feeders:
                 for priority in PAUSABLE:
                     feeder.resume(priority)
+
+    def _emit(self, type_: str, backlog_bytes: int) -> None:
+        self.telemetry.emit(
+            type_,
+            time_ns=self.watched.sim.now,
+            link=self.watched.name,
+            backlog_bytes=backlog_bytes,
+            feeders=len(self.feeders),
+        )
+        self.telemetry.counter(type_ + "s", link=self.watched.name).inc()
 
     @property
     def paused(self) -> bool:

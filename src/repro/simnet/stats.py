@@ -49,8 +49,16 @@ class FctSummary:
 
     @classmethod
     def of(cls, records: list[FlowRecord]) -> "FctSummary":
+        """Summarize completed flows.
+
+        An empty record list yields the explicit empty summary —
+        ``count=0``, NaN percentiles, ``max_ns=0`` — so callers can
+        summarize unconditionally (e.g. a tag filter matching nothing)
+        and branch on ``count`` instead of catching exceptions.
+        """
         if not records:
-            raise ValueError("no completed flows to summarize")
+            nan = float("nan")
+            return cls(count=0, mean_ns=nan, p50_ns=nan, p99_ns=nan, max_ns=0)
         fcts = np.array([r.fct_ns for r in records], dtype=float)
         return cls(
             count=len(records),
@@ -71,7 +79,10 @@ class FctTracker:
 
     def __init__(self, hosts: list[Host]) -> None:
         self.records: list[FlowRecord] = []
-        self._starts: dict[int, tuple[int, int]] = {}  # msg_id -> (start, size)
+        # Keyed by (src_host, msg_id): the receiver reports completion
+        # with the *sender's* id space, and msg_id alone would collide
+        # if independent transports ever issued overlapping ids.
+        self._starts: dict[tuple[int, int], tuple[int, int]] = {}
         for host in hosts:
             self._wrap(host)
 
@@ -83,7 +94,7 @@ class FctTracker:
             if priority is not None:
                 kwargs["priority"] = priority
             msg_id = original_send(dst_host, size_bytes, **kwargs)
-            self._starts[msg_id] = (host.sim.now, size_bytes)
+            self._starts[(host.index, msg_id)] = (host.sim.now, size_bytes)
             return msg_id
 
         host.send = tracked_send
@@ -94,7 +105,7 @@ class FctTracker:
         )
 
     def _complete(self, host: Host, src: int, msg_id: int, tag, size: int) -> None:
-        start = self._starts.pop(msg_id, None)
+        start = self._starts.pop((src, msg_id), None)
         if start is None:
             return  # message sent before tracking started
         start_ns, _size = start

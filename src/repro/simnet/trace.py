@@ -46,6 +46,10 @@ class Tracer:
 
     ``predicate`` filters which packets are recorded; by default all
     are.  ``max_events`` bounds memory (the oldest events are evicted).
+
+    ``counts`` tallies *recorded* events only, so it always agrees with
+    the ``events`` buffer (modulo eviction); ``seen`` tallies every
+    event offered, including those the predicate filtered out.
     """
 
     def __init__(
@@ -56,12 +60,14 @@ class Tracer:
         self.events: deque[TraceEvent] = deque(maxlen=max_events)
         self.predicate = predicate
         self.counts: Counter[str] = Counter()
+        self.seen: Counter[str] = Counter()
 
     def record(self, event: str, link: "Link", packet: Packet) -> None:
         """Record one event (called by links)."""
-        self.counts[event] += 1
+        self.seen[event] += 1
         if self.predicate is not None and not self.predicate(packet):
             return
+        self.counts[event] += 1
         self.events.append(
             TraceEvent(
                 time_ns=link.sim.now,

@@ -98,6 +98,7 @@ class ReliableTransport:
         mtu: int = DEFAULT_MTU,
         rto_ns: int = 5 * MICROSECOND,
         max_retransmissions: int = 64,
+        telemetry=None,
     ) -> None:
         if mtu <= 0:
             raise TransportError("mtu must be positive")
@@ -108,6 +109,10 @@ class ReliableTransport:
         self.mtu = mtu
         self.rto_ns = rto_ns
         self.max_retransmissions = max_retransmissions
+        #: Optional telemetry session (duck-typed).  Only loss recovery
+        #: emits — RTO firings and message failures — so the lossless
+        #: send/ack path carries one pointer comparison per timeout.
+        self.telemetry = telemetry
         self._tx: dict[int, _TxMessage] = {}
         self._rx: dict[tuple[int, int], _RxMessage] = {}
         # Aggregate statistics.
@@ -209,6 +214,15 @@ class ReliableTransport:
         if state.retransmissions >= self.max_retransmissions:
             message.failed = True
             self.failed_messages += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "transport.failed",
+                    time_ns=self.sim.now,
+                    host=self.host.index,
+                    msg_id=msg_id,
+                    seq=seq,
+                    retransmissions=state.retransmissions,
+                )
             raise TransportError(
                 f"host {self.host.index}: msg {msg_id} seq {seq} exceeded "
                 f"{self.max_retransmissions} retransmissions"
@@ -217,6 +231,19 @@ class ReliableTransport:
         state.timer = None
         message.retransmissions += 1
         self.retransmitted_packets += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "transport.rto",
+                time_ns=self.sim.now,
+                host=self.host.index,
+                dst_host=message.dst_host,
+                msg_id=msg_id,
+                seq=seq,
+                retransmission=state.retransmissions,
+            )
+            self.telemetry.counter(
+                "transport.retransmissions", host=str(self.host.index)
+            ).inc()
         self._emit(message, seq)
 
     def on_ack(self, packet: Packet) -> None:

@@ -1,0 +1,78 @@
+"""Unified telemetry layer: metrics, structured events, traces.
+
+FlowPulse is itself an observability system; this package makes the
+*reproduction* observable:
+
+- :mod:`repro.telemetry.registry` — labeled counters / gauges /
+  histograms with a no-op fast path (disabled telemetry costs one
+  pointer comparison on instrumented hot paths).
+- :mod:`repro.telemetry.events` — structured JSONL event logging.
+- :mod:`repro.telemetry.session` — :class:`TelemetrySession`, the
+  handle instrumented components (simnet, the monitor, the sweep
+  runner) emit through.
+- :mod:`repro.telemetry.audit` — the detection audit trail schema
+  (observed vs. predicted volumes, boundary crossings, localization
+  verdicts) and its reading helpers.
+- :mod:`repro.telemetry.chrome_trace` — Chrome trace-event /
+  Perfetto export of discrete-event packet runs.
+- :mod:`repro.telemetry.capture` — companion packet-level trace
+  capture for the statistical-simulator CLI commands.
+- :mod:`repro.telemetry.instrument` — end-of-run network snapshots.
+
+Nothing outside this package imports it at module scope except the CLI:
+producers hold a duck-typed optional ``telemetry`` attribute, so the
+simulators and detectors carry zero telemetry dependencies when it is
+off.
+"""
+
+from .audit import (
+    AUDIT_EVENT_TYPES,
+    alarms,
+    audit_events,
+    audit_summary,
+    iterations,
+    suspected_links,
+)
+from .capture import DEFAULT_CAPTURE_BYTES, CaptureResult, capture_fabric_trace
+from .chrome_trace import chrome_trace, chrome_trace_events, write_chrome_trace
+from .events import EventLog, event_to_json, json_default, read_jsonl, write_jsonl
+from .instrument import snapshot_network
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+)
+from .session import TelemetrySession
+
+__all__ = [
+    "AUDIT_EVENT_TYPES",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_CAPTURE_BYTES",
+    "NULL_INSTRUMENT",
+    "CaptureResult",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryError",
+    "TelemetrySession",
+    "alarms",
+    "audit_events",
+    "audit_summary",
+    "capture_fabric_trace",
+    "chrome_trace",
+    "chrome_trace_events",
+    "event_to_json",
+    "iterations",
+    "json_default",
+    "read_jsonl",
+    "snapshot_network",
+    "suspected_links",
+    "write_chrome_trace",
+    "write_jsonl",
+]

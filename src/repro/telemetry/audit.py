@@ -1,0 +1,90 @@
+"""Detection audit trail: schema and reading helpers.
+
+The audit trail answers "*why* did (or didn't) the detector fire?" for
+every monitored iteration.  It is emitted by
+:class:`repro.core.monitor.FlowPulseMonitor` when a telemetry session
+is attached, one event per fact:
+
+``audit.iteration``
+    One per processed iteration: ``iteration``, ``learning_event``,
+    ``skipped`` (warm-up / rebaseline iterations are not judged),
+    ``triggered``, and ``max_score`` (the worst \\|deviation| anywhere).
+``audit.leaf``
+    One per leaf per judged iteration: ``leaf``, ``triggered``,
+    ``max_abs_deviation``, and ``ports`` — the full observed-vs-
+    predicted table, one entry per spine ingress port with
+    ``predicted``, ``observed``, signed ``deviation``, and ``alarm``
+    (whether that port crossed the detection boundary).
+``audit.alarm``
+    One per boundary crossing: ``leaf``, ``spine``, ``predicted``,
+    ``observed``, ``deviation`` — the flat stream of threshold
+    violations.
+``audit.localization``
+    One per localizer invocation: ``leaf`` plus ``suspicions`` —
+    ``link``, ``kind`` (``local``/``remote``), ``spine``,
+    ``affected_senders``, and the triggering ``deviation``.
+
+The emitters live next to the detector (they read
+:meth:`repro.core.detection.DetectionResult.audit_ports`); this module
+only documents the schema and gives consumers typed accessors, so
+:mod:`repro.core` never imports :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Event types making up the detection audit trail, in emission order
+#: within one iteration.
+AUDIT_EVENT_TYPES = (
+    "audit.iteration",
+    "audit.leaf",
+    "audit.alarm",
+    "audit.localization",
+)
+
+
+def audit_events(events: Iterable[dict]) -> list[dict]:
+    """Only the detection-audit events of an event stream."""
+    return [e for e in events if e.get("type") in AUDIT_EVENT_TYPES]
+
+
+def iterations(events: Iterable[dict]) -> list[dict]:
+    """The per-iteration audit records, in iteration order."""
+    return sorted(
+        (e for e in events if e.get("type") == "audit.iteration"),
+        key=lambda e: e["iteration"],
+    )
+
+
+def alarms(events: Iterable[dict]) -> list[dict]:
+    """Every boundary crossing in the stream, in emission order."""
+    return [e for e in events if e.get("type") == "audit.alarm"]
+
+
+def suspected_links(events: Iterable[dict]) -> frozenset[str]:
+    """Union of all localized suspect links in the stream."""
+    links: set[str] = set()
+    for event in events:
+        if event.get("type") == "audit.localization":
+            links.update(s["link"] for s in event["suspicions"])
+    return frozenset(links)
+
+
+def audit_summary(events: Iterable[dict]) -> dict:
+    """One-dict rollup of an audit stream (for reports and tests)."""
+    events = list(events)
+    iteration_events = iterations(events)
+    alarm_events = alarms(events)
+    return {
+        "iterations": len(iteration_events),
+        "skipped": sum(1 for e in iteration_events if e["skipped"]),
+        "triggered_iterations": sum(
+            1 for e in iteration_events if e["triggered"]
+        ),
+        "alarms": len(alarm_events),
+        "max_score": max(
+            (e["max_score"] for e in iteration_events), default=0.0
+        ),
+        "suspected_links": sorted(suspected_links(events)),
+    }

@@ -1,0 +1,95 @@
+"""Packet-level trace capture for the CLI's ``--trace-out``.
+
+The evaluation commands (``detect`` / ``roc`` / ``sweep``) run on the
+statistical simulator, which has no packet timeline to export.  This
+module runs a *companion* discrete-event capture: the same fabric
+shape, spraying policy, and fault as the trial being reported, driven
+by a size-capped ring collective on the packet simulator with a
+:class:`~repro.simnet.trace.Tracer` (and, optionally, a telemetry
+session) attached.  The result is a faithful per-packet timeline of
+the configured failure mode, small enough to open interactively in
+Perfetto.
+
+``collective_bytes`` is capped at :data:`DEFAULT_CAPTURE_BYTES` by
+default — a trace of an 8 GiB collective would be gigabytes of JSON;
+the capture's purpose is to *see* the fabric behaviour (spraying
+spread, drops, retransmissions), which a few MB of traffic already
+shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.ring import locality_optimized_ring, ring_reduce_scatter_stages
+from ..collectives.schedule import StagedCollectiveRunner
+from ..simnet.faults import DropFault
+from ..simnet.network import Network
+from ..simnet.trace import Tracer
+from ..topology.graph import ClosSpec
+
+#: Default per-capture traffic cap (bytes of collective payload).
+DEFAULT_CAPTURE_BYTES = 2_000_000
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """A finished capture: the network, its tracer, and run counters."""
+
+    network: Network
+    tracer: Tracer
+    iterations: int
+    fault_link: str | None
+    drop_rate: float
+
+    @property
+    def fault_drops(self) -> int:
+        """Packets silently dropped by the injected fault."""
+        return self.network.total_fault_drops()
+
+
+def capture_fabric_trace(
+    n_leaves: int,
+    n_spines: int,
+    collective_bytes: int = DEFAULT_CAPTURE_BYTES,
+    mtu: int = 1024,
+    fault_link: str | None = None,
+    drop_rate: float = 0.0,
+    seed: int = 0,
+    iterations: int = 1,
+    spray: str = "random",
+    job_id: int = 1,
+    max_trace_events: int = 500_000,
+    telemetry=None,
+) -> CaptureResult:
+    """Run one traced packet-level collective and return the capture.
+
+    ``fault_link``/``drop_rate`` inject the silent fault being studied
+    (omit both for a healthy capture).  ``collective_bytes`` is capped
+    at :data:`DEFAULT_CAPTURE_BYTES`; pass a smaller value for an even
+    lighter trace.  ``telemetry`` (a
+    :class:`~repro.telemetry.session.TelemetrySession` or compatible)
+    additionally collects the structured simnet events — link drops,
+    PFC pauses, transport RTOs, engine throughput — of the captured run.
+    """
+    spec = ClosSpec(n_leaves=n_leaves, n_spines=n_spines, hosts_per_leaf=1)
+    tracer = Tracer(max_events=max_trace_events)
+    net = Network(
+        spec, seed=seed, spray=spray, mtu=mtu, tracer=tracer, telemetry=telemetry
+    )
+    if fault_link is not None and drop_rate > 0.0:
+        net.inject_fault(fault_link, DropFault(drop_rate))
+    net.install_collectors(job_id=job_id)
+    ring = locality_optimized_ring(spec.n_hosts)
+    stages = ring_reduce_scatter_stages(
+        ring, total_bytes=min(collective_bytes, DEFAULT_CAPTURE_BYTES)
+    )
+    StagedCollectiveRunner(net, job_id=job_id, stages=stages, iterations=iterations).run()
+    net.finalize_collectors()
+    return CaptureResult(
+        network=net,
+        tracer=tracer,
+        iterations=iterations,
+        fault_link=fault_link,
+        drop_rate=drop_rate,
+    )

@@ -1,0 +1,185 @@
+"""Chrome trace-event export for discrete-event runs.
+
+Converts a :class:`repro.simnet.trace.Tracer`'s link events into the
+Chrome trace-event JSON format, loadable in ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_ (*Open trace file*).
+
+Mapping
+-------
+- Each link becomes one named track (a "thread" of the single
+  ``fabric`` process), ordered by link name.
+- A packet's wire traversal — the tracer's ``tx`` (serialization done)
+  followed by ``rx`` (delivered) or ``drop`` (eaten by a fault) on the
+  same link — becomes one complete event (``"ph": "X"``) spanning the
+  propagation delay.  Drops are categorized ``drop`` so they can be
+  highlighted; delivered packets carry their packet kind (``data`` /
+  ``ack``) as category.
+- Unpaired events (a queue ``overflow``, or a ``tx`` whose delivery
+  falls outside the traced window) become thread-scoped instant events
+  (``"ph": "i"``).
+- A cumulative ``fault drops`` counter track (``"ph": "C"``) tracks
+  silent loss over time.
+
+Timestamps: the simulator's integer nanoseconds, exported in the trace
+format's microseconds with fractional precision preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.trace import TraceEvent, Tracer
+
+#: The single trace "process" all link tracks belong to.
+TRACE_PID = 0
+
+
+def _us(time_ns: int) -> float:
+    return time_ns / 1_000.0
+
+
+def _packet_name(event: "TraceEvent") -> str:
+    return f"{event.kind} {event.src_host}->{event.dst_host} seq={event.seq}"
+
+
+def _metadata_events(link_names: list[str]) -> tuple[list[dict], dict[str, int]]:
+    tids = {name: tid for tid, name in enumerate(sorted(link_names), start=1)}
+    meta: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "fabric"},
+        }
+    ]
+    for name, tid in sorted(tids.items(), key=lambda item: item[1]):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return meta, tids
+
+
+def chrome_trace_events(events: Iterable["TraceEvent"]) -> list[dict]:
+    """Convert tracer events to Chrome trace-event dicts.
+
+    Accepts any iterable of :class:`~repro.simnet.trace.TraceEvent` in
+    time order (a tracer's ``events`` deque qualifies).
+    """
+    events = list(events)
+    meta, tids = _metadata_events(sorted({e.link for e in events}))
+    out = list(meta)
+    #: (link, pid) -> pending tx event awaiting its rx/drop.
+    pending: dict[tuple[str, int], TraceEvent] = {}
+    drops = 0
+    for event in events:
+        tid = tids[event.link]
+        key = (event.link, event.pid)
+        if event.event == "tx":
+            pending[key] = event
+            continue
+        if event.event in ("rx", "drop"):
+            tx = pending.pop(key, None)
+            dropped = event.event == "drop"
+            if dropped:
+                drops += 1
+            start = tx.time_ns if tx is not None else event.time_ns
+            out.append(
+                {
+                    "name": ("DROP " if dropped else "") + _packet_name(event),
+                    "cat": "drop" if dropped else event.kind,
+                    "ph": "X",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "ts": _us(start),
+                    "dur": _us(event.time_ns - start),
+                    "args": {
+                        "pid": event.pid,
+                        "size": event.size,
+                        "seq": event.seq,
+                        "outcome": event.event,
+                    },
+                }
+            )
+            if dropped:
+                out.append(
+                    {
+                        "name": "fault drops",
+                        "ph": "C",
+                        "pid": TRACE_PID,
+                        "ts": _us(event.time_ns),
+                        "args": {"drops": drops},
+                    }
+                )
+            continue
+        # overflow (and any future unpaired event kinds): instants.
+        out.append(
+            {
+                "name": f"{event.event} {_packet_name(event)}",
+                "cat": event.event,
+                "ph": "i",
+                "s": "t",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": _us(event.time_ns),
+                "args": {"pid": event.pid, "size": event.size},
+            }
+        )
+    # A tx with no delivery inside the traced window still marks the wire.
+    for (link, _pid), tx in pending.items():
+        out.append(
+            {
+                "name": f"tx {_packet_name(tx)}",
+                "cat": "inflight",
+                "ph": "i",
+                "s": "t",
+                "pid": TRACE_PID,
+                "tid": tids[link],
+                "ts": _us(tx.time_ns),
+                "args": {"pid": tx.pid, "size": tx.size},
+            }
+        )
+    return out
+
+
+def chrome_trace(tracer: "Tracer", metadata: dict | None = None) -> dict:
+    """The full Chrome trace JSON object for one tracer."""
+    return {
+        "traceEvents": chrome_trace_events(tracer.events),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro.telemetry.chrome_trace",
+            "recorded": dict(tracer.counts),
+            "seen": dict(tracer.seen),
+            **(metadata or {}),
+        },
+    }
+
+
+def write_chrome_trace(
+    target: str | pathlib.Path | IO[str],
+    tracer: "Tracer",
+    metadata: dict | None = None,
+) -> int:
+    """Write a tracer's events as a Chrome trace file.
+
+    Returns the number of trace events written.  Open the file in
+    Perfetto (https://ui.perfetto.dev, *Open trace file*) or
+    ``chrome://tracing`` (*Load*).
+    """
+    trace = chrome_trace(tracer, metadata=metadata)
+    if isinstance(target, (str, pathlib.Path)):
+        with open(target, "w") as handle:
+            json.dump(trace, handle)
+    else:
+        json.dump(trace, target)
+    return len(trace["traceEvents"])

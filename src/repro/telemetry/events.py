@@ -1,0 +1,149 @@
+"""Structured event logging with JSONL output.
+
+Every telemetry event is a flat dict with a mandatory ``type`` field
+(dotted, e.g. ``"link.drop"`` or ``"audit.iteration"``) plus arbitrary
+JSON-serializable payload fields.  Events are kept in emission order;
+:meth:`EventLog.dump_jsonl` writes one JSON object per line — the
+format every downstream consumer (tests, ``jq``, pandas) reads
+directly.
+
+An :class:`EventLog` may optionally stream: given a ``stream`` file
+object, each event is serialized and written immediately on
+:meth:`~EventLog.emit` (long sweeps then need no end-of-run flush and
+bounded memory via ``max_events``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from collections import deque
+from typing import IO, Iterable, Iterator
+
+
+def json_default(obj):
+    """JSON fallback for the non-JSON types telemetry payloads carry."""
+    if isinstance(obj, (frozenset, set)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    if hasattr(obj, "item"):  # numpy scalars
+        return obj.item()
+    if hasattr(obj, "name"):  # enums
+        return obj.name
+    return str(obj)
+
+
+def _sanitize(obj):
+    """Replace non-finite floats with their string names, recursively.
+
+    Strict JSON has no ``Infinity``/``NaN`` literals; an audit entry for
+    traffic on a port predicted idle carries an infinite deviation, and
+    it must still produce a line every parser accepts.
+    """
+    if isinstance(obj, float):
+        if obj != obj:
+            return "NaN"
+        if obj == float("inf"):
+            return "Infinity"
+        if obj == float("-inf"):
+            return "-Infinity"
+        return obj
+    if isinstance(obj, dict):
+        return {key: _sanitize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitize(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        return [_sanitize(value) for value in sorted(obj)]
+    return obj
+
+
+def event_to_json(event: dict) -> str:
+    """Serialize one event dict to its canonical one-line JSON form.
+
+    Output is strict JSON: non-finite floats become the strings
+    ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"``.
+    """
+    try:
+        return json.dumps(
+            event, sort_keys=True, default=json_default, allow_nan=False
+        )
+    except ValueError:
+        return json.dumps(
+            _sanitize(event), sort_keys=True, default=json_default, allow_nan=False
+        )
+
+
+class EventLog:
+    """Ordered, bounded log of structured telemetry events.
+
+    ``max_events`` bounds memory (oldest events are evicted; streamed
+    output is unaffected by eviction).  ``stream`` enables write-through
+    JSONL output.
+    """
+
+    def __init__(
+        self,
+        max_events: int = 1_000_000,
+        stream: IO[str] | None = None,
+    ) -> None:
+        self.events: deque[dict] = deque(maxlen=max_events)
+        self.stream = stream
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, type_: str, **fields) -> dict:
+        """Record one event; returns the event dict."""
+        event = {"type": type_, **fields}
+        self.events.append(event)
+        self.emitted += 1
+        if self.stream is not None:
+            self.stream.write(event_to_json(event) + "\n")
+        return event
+
+    def of_type(self, type_: str) -> list[dict]:
+        """All retained events of one type, in emission order."""
+        return [e for e in self.events if e["type"] == type_]
+
+    def types(self) -> dict[str, int]:
+        """Retained event counts by type."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, target: str | pathlib.Path | IO[str]) -> int:
+        """Write retained events as JSONL; returns the line count."""
+        return write_jsonl(self.events, target)
+
+
+def write_jsonl(
+    events: Iterable[dict], target: str | pathlib.Path | IO[str]
+) -> int:
+    """Write ``events`` to ``target`` as JSONL; returns the line count."""
+    if isinstance(target, (str, pathlib.Path)):
+        with open(target, "w") as handle:
+            return write_jsonl(events, handle)
+    count = 0
+    for event in events:
+        target.write(event_to_json(event) + "\n")
+        count += 1
+    return count
+
+
+def read_jsonl(source: str | pathlib.Path | IO[str]) -> list[dict]:
+    """Parse a JSONL file back into event dicts (blank lines skipped)."""
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source) as handle:
+            return read_jsonl(handle)
+    if isinstance(source, str):  # pragma: no cover - defensive
+        source = io.StringIO(source)
+    return [json.loads(line) for line in source if line.strip()]

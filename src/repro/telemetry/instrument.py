@@ -1,0 +1,86 @@
+"""End-of-run network snapshots.
+
+The simnet components emit *rare* events inline (drops, PFC pauses,
+RTOs — see the module docs of :mod:`repro.telemetry.session` for the
+wiring contract); the steady-state aggregates a dashboard wants —
+per-link byte/packet totals, queue depths, transport counters — live in
+plain attributes that cost nothing to maintain.  This module turns one
+finished (or paused) :class:`~repro.simnet.network.Network` into
+snapshot events and registry metrics, so a run's JSONL ends with a
+complete picture without any hot-path accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.network import Network
+
+    from .session import TelemetrySession
+
+
+def snapshot_network(session: "TelemetrySession", net: "Network") -> int:
+    """Emit one ``net.link`` event per link plus fabric-wide rollups.
+
+    Returns the number of events emitted.  Healthy idle links (no
+    traffic, empty queue) are rolled up rather than emitted
+    individually, keeping snapshots of big fabrics proportional to the
+    *interesting* state.
+    """
+    emitted = 0
+    quiet_links = 0
+    for name in sorted(net.links):
+        link = net.links[name]
+        if (
+            link.tx_packets == 0
+            and link.overflow_packets == 0
+            and len(link.queue) == 0
+        ):
+            quiet_links += 1
+            continue
+        session.emit(
+            "net.link",
+            time_ns=net.now,
+            link=name,
+            tx_packets=link.tx_packets,
+            tx_bytes=link.tx_bytes,
+            delivered_packets=link.delivered_packets,
+            delivered_bytes=link.delivered_bytes,
+            faulted_packets=link.faulted_packets,
+            faulted_bytes=link.faulted_bytes,
+            overflow_packets=link.overflow_packets,
+            queue_packets=len(link.queue),
+            queue_bytes=link.queue.bytes_used,
+            paused=sorted(p.name for p in link.paused_priorities),
+        )
+        emitted += 1
+
+    transports = [h.transport for h in net.hosts if h.transport is not None]
+    session.emit(
+        "net.transport",
+        time_ns=net.now,
+        hosts=len(transports),
+        sent_messages=sum(t.sent_messages for t in transports),
+        completed_messages=sum(t.completed_messages for t in transports),
+        failed_messages=sum(t.failed_messages for t in transports),
+        retransmitted_packets=sum(t.retransmitted_packets for t in transports),
+        duplicate_packets=sum(t.duplicate_packets for t in transports),
+        inflight_messages=sum(t.inflight_messages for t in transports),
+    )
+    session.emit(
+        "net.summary",
+        time_ns=net.now,
+        events_executed=net.sim.events_executed,
+        fault_drops=net.total_fault_drops(),
+        quiet_links=quiet_links,
+        pfc_pauses=sum(c.pauses_sent for c in net.pfc_controllers),
+        pfc_resumes=sum(c.resumes_sent for c in net.pfc_controllers),
+    )
+    emitted += 2
+
+    registry = session.registry
+    registry.gauge("net.fault_drops").set(net.total_fault_drops())
+    registry.gauge("net.events_executed").set(net.sim.events_executed)
+    registry.gauge("net.sim_now_ns").set(net.now)
+    return emitted

@@ -1,0 +1,225 @@
+"""Labeled metrics registry: counters, gauges, histograms.
+
+The registry is the aggregate half of the telemetry layer (the event
+log in :mod:`repro.telemetry.events` is the stream half).  Instruments
+are identified by ``(name, labels)``; asking twice returns the same
+instrument, so call sites can re-resolve cheaply or hold a reference on
+their hot path.
+
+Disabled overhead is the design constraint: FlowPulse's sweep hot paths
+were vectorized in PR 1 and must not pay for observability they did not
+ask for.  A registry built with ``enabled=False`` hands out one shared
+:data:`NULL_INSTRUMENT` whose mutators are empty methods — no
+allocation, no branching at the call site — and instrumented components
+additionally gate on ``telemetry is not None`` so the fully-disabled
+path is a single pointer comparison.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class TelemetryError(RuntimeError):
+    """Raised for malformed telemetry requests."""
+
+
+def _label_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict describing the current value."""
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Point-in-time value (queue depth, utilization, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict describing the current value."""
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+#: Default histogram bucket upper bounds: wide geometric coverage that
+#: fits everything from sub-millisecond trial times to multi-second
+#: sweep phases without per-metric tuning.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 60.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values.
+
+    ``bounds`` are the finite bucket upper edges; values beyond the last
+    bound land in the implicit +inf bucket.  ``bucket_counts`` has
+    ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: dict, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise TelemetryError(f"histogram {name} bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict with bounds, per-bucket counts, count, sum."""
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by disabled registries.
+
+    Implements the union of the mutator interfaces so any call site
+    works unchanged; every method is an empty body.
+    """
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, amount: float = 1) -> None:  # noqa: ARG002 - interface
+        """No-op."""
+
+    def set(self, value: float) -> None:  # noqa: ARG002 - interface
+        """No-op."""
+
+    def observe(self, value: float) -> None:  # noqa: ARG002 - interface
+        """No-op."""
+
+    def snapshot(self) -> dict:
+        """Null instruments never appear in snapshots."""
+        return {}
+
+
+#: The process-wide no-op instrument (see :class:`_NullInstrument`).
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Registry of labeled instruments with a no-op disabled mode.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("sweep.trials", outcome="ok").inc()
+    >>> registry.counter("sweep.trials", outcome="ok").value
+    1
+
+    A disabled registry (``enabled=False``) returns
+    :data:`NULL_INSTRUMENT` from every accessor and snapshots to an
+    empty list; nothing is ever allocated per call.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        if not name:
+            raise TelemetryError("metric name cannot be empty")
+        key = (cls.kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels, **kwargs)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter called ``name`` with ``labels`` (created on first use)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge called ``name`` with ``labels`` (created on first use)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str
+    ) -> Histogram:
+        """The histogram called ``name`` with ``labels`` (created on first use)."""
+        return self._get(Histogram, name, labels, bounds=buckets)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """JSON-ready dicts for every instrument, in stable sorted order."""
+        return [
+            self._instruments[key].snapshot() for key in sorted(self._instruments)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._instruments)

@@ -1,0 +1,79 @@
+"""The telemetry session: one run's registry + event log, as one handle.
+
+Instrumented components (:mod:`repro.simnet`, :mod:`repro.core`,
+:mod:`repro.analysis.sweeps`) hold an optional ``telemetry`` attribute
+and guard every emission with ``if self.telemetry is not None`` — the
+disabled fast path is a single pointer comparison and nothing in those
+packages imports this one.  A :class:`TelemetrySession` is the object
+that attribute points at when telemetry is on.
+
+The session is deliberately duck-typed: anything with ``emit``,
+``counter``, ``gauge``, and ``histogram`` works, so tests can substitute
+recorders without touching production wiring.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import IO
+
+from .events import EventLog, write_jsonl
+from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TelemetrySession:
+    """Bundle of a :class:`MetricsRegistry` and an :class:`EventLog`.
+
+    >>> session = TelemetrySession()
+    >>> _ = session.emit("sweep.trial", trial=0, wall_s=0.12)
+    >>> session.counter("sweep.trials").inc()
+    >>> session.events.of_type("sweep.trial")[0]["trial"]
+    0
+    """
+
+    def __init__(
+        self,
+        max_events: int = 1_000_000,
+        stream: IO[str] | None = None,
+    ) -> None:
+        self.registry = MetricsRegistry(enabled=True)
+        self.events = EventLog(max_events=max_events, stream=stream)
+
+    # ------------------------------------------------------------------
+    # Event facade
+    # ------------------------------------------------------------------
+    def emit(self, type_: str, **fields) -> dict:
+        """Record one structured event (see :meth:`EventLog.emit`)."""
+        return self.events.emit(type_, **fields)
+
+    # ------------------------------------------------------------------
+    # Metrics facade
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The session counter called ``name`` (see :class:`MetricsRegistry`)."""
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The session gauge called ``name``."""
+        return self.registry.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str
+    ) -> Histogram:
+        """The session histogram called ``name``."""
+        return self.registry.histogram(name, buckets=buckets, **labels)
+
+    # ------------------------------------------------------------------
+    def write_jsonl(self, target: str | pathlib.Path | IO[str]) -> int:
+        """Write the full session — events, then metric snapshot lines.
+
+        Every line is one JSON object; metric lines carry
+        ``"type": "metric"`` so consumers can split streams with a
+        single filter.  Returns the total line count.
+        """
+        if isinstance(target, (str, pathlib.Path)):
+            with open(target, "w") as handle:
+                return self.write_jsonl(handle)
+        count = write_jsonl(self.events, target)
+        count += write_jsonl(self.registry.snapshot(), target)
+        return count

@@ -140,3 +140,75 @@ def test_sweep_rejects_empty_values():
 def test_run_batch_rejects_zero_trials():
     with pytest.raises(ExperimentError):
         SweepRunner().run_batch(CONFIG, n_trials=0)
+
+
+# ----------------------------------------------------------------------
+# Instrumentation (telemetry + progress) stays observation-only
+# ----------------------------------------------------------------------
+def test_instrumented_serial_run_matches_plain():
+    from repro.telemetry import TelemetrySession
+
+    tasks = small_tasks(n=2, base_seed=21)
+    plain = SweepRunner(jobs=1).run_tasks(tasks)
+    session = TelemetrySession()
+    instrumented = SweepRunner(jobs=1, telemetry=session).run_tasks(tasks)
+    assert instrumented == plain
+
+
+def test_instrumented_pool_run_matches_plain():
+    from repro.telemetry import TelemetrySession
+
+    tasks = small_tasks(n=2, base_seed=22)
+    plain = SweepRunner(jobs=1).run_tasks(tasks)
+    session = TelemetrySession()
+    instrumented = SweepRunner(jobs=2, telemetry=session).run_tasks(tasks)
+    assert instrumented == plain
+
+
+def test_telemetry_emits_per_trial_and_run_events():
+    from repro.telemetry import TelemetrySession
+
+    tasks = small_tasks(n=2, base_seed=23)
+    session = TelemetrySession()
+    runner = SweepRunner(jobs=2, telemetry=session)
+    outcomes = runner.run_tasks(tasks)
+    trial_events = session.events.of_type("sweep.trial")
+    assert len(trial_events) == len(tasks)
+    assert [e["index"] for e in trial_events] == list(range(len(tasks)))
+    for event, task, outcome in zip(trial_events, tasks, outcomes):
+        assert event["injected"] == task.injected
+        assert event["score"] == outcome.score
+        assert event["wall_s"] > 0
+    (run_event,) = session.events.of_type("sweep.run")
+    assert run_event["n_trials"] == len(tasks)
+    assert run_event["jobs"] == 2
+    assert 0 < run_event["worker_utilization"] <= 1.0
+    assert session.counter("sweep.trials").value == len(tasks)
+    assert session.histogram("sweep.trial_wall_s").count == len(tasks)
+
+
+def test_progress_callback_sees_every_trial():
+    calls = []
+    tasks = small_tasks(n=2, base_seed=24)
+    runner = SweepRunner(jobs=1, progress=lambda d, t, e: calls.append((d, t, e)))
+    plain = SweepRunner(jobs=1).run_tasks(tasks)
+    assert runner.run_tasks(tasks) == plain
+    assert [d for d, _t, _e in calls] == list(range(1, len(tasks) + 1))
+    assert all(t == len(tasks) for _d, t, _e in calls)
+    elapsed = [e for _d, _t, e in calls]
+    assert elapsed == sorted(elapsed)
+
+
+def test_stats_record_utilization_when_instrumented():
+    from repro.telemetry import TelemetrySession
+
+    runner = SweepRunner(jobs=1, telemetry=TelemetrySession())
+    runner.run_tasks(small_tasks(n=1))
+    stats = runner.last_stats
+    assert stats.busy_s > 0
+    assert 0 < stats.utilization <= 1.0
+    # Uninstrumented runs don't pay for timing: busy_s stays zero.
+    plain = SweepRunner(jobs=1)
+    plain.run_tasks(small_tasks(n=1))
+    assert plain.last_stats.busy_s == 0.0
+    assert plain.last_stats.utilization == 0.0

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.collectives import (
     StagedCollectiveRunner,
     locality_optimized_ring,
@@ -44,9 +42,37 @@ def test_summary_percentiles():
     assert summary.mean_ns > 0
 
 
-def test_summary_empty_raises():
-    with pytest.raises(ValueError):
-        FctSummary.of([])
+def test_summary_empty_is_explicit():
+    import math
+
+    summary = FctSummary.of([])
+    assert summary.count == 0
+    assert math.isnan(summary.mean_ns)
+    assert math.isnan(summary.p50_ns)
+    assert math.isnan(summary.p99_ns)
+    assert summary.max_ns == 0
+
+
+def test_empty_tag_filter_summary_does_not_crash():
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    net.host(0).send(2, 10_000, tag=FlowTag(1, 0))
+    net.run()
+    assert tracker.summary(tag_filter=FlowTag(99, 0)).count == 0
+
+
+def test_starts_keyed_by_sender_and_msg_id():
+    """Two hosts sending concurrently never collide in the start table,
+    even if their transports issued overlapping message ids."""
+    net = make_net()
+    tracker = FctTracker(net.hosts)
+    net.host(0).send(2, 10_000)
+    net.host(1).send(3, 20_000)
+    net.run()
+    assert len(tracker.records) == 2
+    by_src = {r.src_host: r for r in tracker.records}
+    assert by_src[0].size_bytes == 10_000
+    assert by_src[1].size_bytes == 20_000
 
 
 def test_tag_filter():

@@ -44,8 +44,15 @@ def test_predicate_filters_recorded_events():
     tracer = run_traced(predicate=lambda p: p.kind is PacketKind.DATA)
     kinds = {e.kind for e in tracer.events}
     assert kinds == {"data"}
-    # Counts still include everything (cheap aggregate view).
-    assert tracer.counts["rx"] > len([e for e in tracer.events if e.event == "rx"]) / 2
+    # Counts agree with the recorded buffer; `seen` keeps the totals
+    # including the ACKs the predicate filtered out.
+    assert tracer.counts["rx"] == len([e for e in tracer.events if e.event == "rx"])
+    assert tracer.seen["rx"] > tracer.counts["rx"]
+
+
+def test_seen_equals_counts_without_predicate():
+    tracer = run_traced()
+    assert tracer.seen == tracer.counts
 
 
 def test_bounded_buffer_evicts_oldest():

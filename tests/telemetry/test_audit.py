@@ -1,0 +1,111 @@
+"""Tests for the detection audit trail and its golden-parity contract."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.experiments import ExperimentConfig, run_trial_with_verdict
+from repro.telemetry import (
+    AUDIT_EVENT_TYPES,
+    TelemetrySession,
+    alarms,
+    audit_events,
+    audit_summary,
+    event_to_json,
+    iterations,
+    suspected_links,
+)
+
+CONFIG = ExperimentConfig(
+    n_leaves=4,
+    n_spines=2,
+    collective_bytes=2_000_000,
+    drop_rate=0.05,
+    n_iterations=3,
+)
+
+
+def run_with_audit(config=CONFIG, injected=True):
+    session = TelemetrySession()
+    outcome, verdict = run_trial_with_verdict(
+        config, injected=injected, telemetry=session
+    )
+    return outcome, verdict, session
+
+
+def test_audit_trail_matches_verdict():
+    outcome, verdict, session = run_with_audit()
+    events = list(session.events)
+    iteration_events = iterations(events)
+    assert len(iteration_events) == CONFIG.n_iterations
+    for event, iteration_verdict in zip(iteration_events, verdict.verdicts):
+        assert event["iteration"] == iteration_verdict.iteration
+        assert event["triggered"] == iteration_verdict.triggered
+        assert event["max_score"] == iteration_verdict.max_score
+    # Every alarm in the verdicts appears in the flat alarm stream.
+    expected_alarms = sum(
+        len(r.alarms) for v in verdict.verdicts for r in v.results
+    )
+    assert len(alarms(events)) == expected_alarms
+    assert suspected_links(events) == outcome.suspected_links
+
+
+def test_audit_leaf_carries_port_table():
+    _outcome, verdict, session = run_with_audit()
+    leaf_events = session.events.of_type("audit.leaf")
+    judged = [v for v in verdict.verdicts if not v.skipped]
+    assert len(leaf_events) == sum(len(v.results) for v in judged)
+    event = leaf_events[0]
+    assert event["ports"], "port table must not be empty"
+    for port in event["ports"]:
+        assert set(port) == {"spine", "predicted", "observed", "deviation", "alarm"}
+    # Alarm flags agree with the leaf's triggered bit.
+    assert event["triggered"] == any(p["alarm"] for p in event["ports"])
+
+
+def test_audit_events_are_strict_json():
+    _outcome, _verdict, session = run_with_audit()
+    for event in session.events:
+        json.loads(event_to_json(event))
+
+
+def test_skipped_iterations_audited():
+    config = ExperimentConfig(
+        n_leaves=4,
+        n_spines=2,
+        collective_bytes=2_000_000,
+        drop_rate=0.05,
+        predictor="learned",
+        warmup_iterations=2,
+        n_iterations=5,
+    )
+    _outcome, verdict, session = run_with_audit(config)
+    summary = audit_summary(session.events)
+    assert summary["iterations"] == config.n_iterations
+    assert summary["skipped"] == sum(1 for v in verdict.verdicts if v.skipped)
+    assert summary["skipped"] >= config.warmup_iterations
+
+
+def test_audit_summary_rollup():
+    outcome, _verdict, session = run_with_audit()
+    summary = audit_summary(session.events)
+    assert summary["triggered_iterations"] > 0
+    assert summary["max_score"] > CONFIG.threshold
+    assert summary["suspected_links"] == sorted(outcome.suspected_links)
+    assert set(e["type"] for e in audit_events(session.events)) <= set(
+        AUDIT_EVENT_TYPES
+    )
+
+
+def test_golden_parity_telemetry_changes_nothing():
+    """The acceptance contract: a telemetry-enabled run produces
+    bit-identical verdicts to a telemetry-off run."""
+    for injected in (True, False):
+        plain_outcome, plain_verdict = run_trial_with_verdict(
+            CONFIG, injected=injected
+        )
+        audited_outcome, audited_verdict, _session = run_with_audit(
+            injected=injected
+        )
+        assert audited_outcome == plain_outcome
+        assert audited_verdict.verdicts == plain_verdict.verdicts

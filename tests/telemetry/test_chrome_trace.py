@@ -1,0 +1,125 @@
+"""Tests for packet capture and Chrome trace-event export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.simnet.trace import Tracer
+from repro.telemetry import (
+    TelemetrySession,
+    capture_fabric_trace,
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.topology.graph import down_link
+
+
+@pytest.fixture(scope="module")
+def faulty_capture():
+    return capture_fabric_trace(
+        n_leaves=4,
+        n_spines=2,
+        collective_bytes=200_000,
+        fault_link=down_link(0, 1),
+        drop_rate=0.2,
+        seed=3,
+    )
+
+
+def test_capture_runs_and_drops(faulty_capture):
+    assert faulty_capture.fault_drops > 0
+    assert faulty_capture.tracer.counts["tx"] > 0
+    assert faulty_capture.tracer.counts["drop"] == faulty_capture.fault_drops
+
+
+def test_collective_bytes_are_capped():
+    from repro.telemetry import DEFAULT_CAPTURE_BYTES
+
+    capture = capture_fabric_trace(
+        n_leaves=2, n_spines=2, collective_bytes=10**12
+    )
+    injected = sum(
+        e.size
+        for e in capture.tracer.events
+        if e.event == "tx" and e.kind == "data" and e.link.startswith("hostup:")
+    )
+    # Payload entering the fabric stays at the cap (healthy run: no
+    # retransmissions), regardless of the requested collective size.
+    assert 0 < injected <= DEFAULT_CAPTURE_BYTES + 2 * 1024
+
+
+def test_trace_structure(faulty_capture):
+    trace = chrome_trace(faulty_capture.tracer)
+    events = trace["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "C"} <= phases
+    # Process + one named thread per traced link.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "fabric"
+    thread_names = {e["args"]["name"] for e in meta[1:]}
+    assert thread_names == {e.link for e in faulty_capture.tracer.events}
+    # Drop spans are categorized for highlighting, and the counter
+    # track ends at the total drop count.
+    drops = [e for e in events if e.get("cat") == "drop"]
+    assert len(drops) == faulty_capture.fault_drops
+    assert all(e["name"].startswith("DROP ") for e in drops)
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters[-1]["args"]["drops"] == faulty_capture.fault_drops
+
+
+def test_complete_events_span_propagation(faulty_capture):
+    spans = [
+        e
+        for e in chrome_trace_events(faulty_capture.tracer.events)
+        if e["ph"] == "X" and e["args"]["outcome"] == "rx"
+    ]
+    assert spans
+    assert all(e["dur"] >= 0 for e in spans)
+    assert any(e["dur"] > 0 for e in spans)
+
+
+def test_written_file_is_loadable_json(tmp_path, faulty_capture):
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(path, faulty_capture.tracer, metadata={"run": "test"})
+    trace = json.loads(path.read_text())
+    assert len(trace["traceEvents"]) == n
+    assert trace["displayTimeUnit"] == "ns"
+    assert trace["otherData"]["run"] == "test"
+    assert trace["otherData"]["recorded"]["tx"] > 0
+
+
+def test_filtered_tracer_reports_seen_totals():
+    from repro.simnet import Network
+    from repro.topology import ClosSpec
+
+    tracer = Tracer(predicate=lambda p: p.kind.value == "data")
+    net = Network(ClosSpec(n_leaves=2, n_spines=2), seed=0, mtu=1000, tracer=tracer)
+    net.host(1).on_message(lambda *a: None)
+    net.host(0).send(1, 5_000)
+    net.run()
+    trace = chrome_trace(tracer)
+    # ACKs were filtered from the buffer but still counted in `seen`.
+    assert trace["otherData"]["seen"]["rx"] > trace["otherData"]["recorded"]["rx"]
+    assert {e["cat"] for e in trace["traceEvents"] if e["ph"] == "X"} == {"data"}
+
+
+def test_capture_collects_telemetry_events():
+    session = TelemetrySession()
+    capture = capture_fabric_trace(
+        n_leaves=4,
+        n_spines=2,
+        collective_bytes=200_000,
+        fault_link=down_link(0, 1),
+        drop_rate=0.2,
+        seed=3,
+        telemetry=session,
+    )
+    types = session.events.types()
+    assert types.get("engine.run") == 1
+    assert types.get("link.drop") == capture.fault_drops
+    drop_event = session.events.of_type("link.drop")[0]
+    assert drop_event["link"] == down_link(0, 1)
+    assert {"time_ns", "pid", "src_host", "dst_host", "size"} <= set(drop_event)

@@ -1,0 +1,94 @@
+"""Tests for structured event logging and JSONL I/O."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+from repro.telemetry import EventLog, TelemetrySession, event_to_json, read_jsonl
+
+
+def test_emit_records_in_order_with_type():
+    log = EventLog()
+    log.emit("a.first", n=1)
+    log.emit("b.second", n=2)
+    assert [e["type"] for e in log] == ["a.first", "b.second"]
+    assert log.of_type("a.first") == [{"type": "a.first", "n": 1}]
+    assert log.types() == {"a.first": 1, "b.second": 1}
+    assert len(log) == 2 and log.emitted == 2
+
+
+def test_bounded_log_evicts_oldest_but_counts_all():
+    log = EventLog(max_events=3)
+    for n in range(10):
+        log.emit("tick", n=n)
+    assert len(log) == 3
+    assert [e["n"] for e in log] == [7, 8, 9]
+    assert log.emitted == 10
+
+
+def test_stream_write_through_survives_eviction():
+    stream = io.StringIO()
+    log = EventLog(max_events=2, stream=stream)
+    for n in range(5):
+        log.emit("tick", n=n)
+    lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+    assert [e["n"] for e in lines] == [0, 1, 2, 3, 4]
+
+
+def test_event_to_json_is_strict_and_sorted():
+    line = event_to_json({"b": 2, "a": 1, "type": "t"})
+    assert line == '{"a": 1, "b": 2, "type": "t"}'
+
+
+def test_non_finite_floats_become_strings():
+    line = event_to_json(
+        {"type": "t", "dev": math.inf, "nested": {"x": [math.nan, -math.inf]}}
+    )
+    parsed = json.loads(line)  # must be strict-parseable
+    assert parsed["dev"] == "Infinity"
+    assert parsed["nested"]["x"] == ["NaN", "-Infinity"]
+
+
+def test_json_default_handles_sets_tuples_enums():
+    from repro.core.prediction.learning import LearningEvent
+
+    line = event_to_json(
+        {
+            "type": "t",
+            "links": frozenset({"b", "a"}),
+            "pair": (1, 2),
+            "event": LearningEvent.NONE,
+        }
+    )
+    parsed = json.loads(line)
+    assert parsed["links"] == ["a", "b"]
+    assert parsed["pair"] == [1, 2]
+    assert parsed["event"] == "NONE"
+
+
+def test_dump_and_read_jsonl_roundtrip(tmp_path):
+    log = EventLog()
+    log.emit("x", value=1.5)
+    log.emit("y", items=[1, 2])
+    path = tmp_path / "events.jsonl"
+    assert log.dump_jsonl(path) == 2
+    assert read_jsonl(path) == [
+        {"type": "x", "value": 1.5},
+        {"type": "y", "items": [1, 2]},
+    ]
+
+
+def test_session_write_jsonl_appends_metric_lines(tmp_path):
+    session = TelemetrySession()
+    session.emit("sweep.trial", trial=0)
+    session.counter("sweep.trials").inc(3)
+    session.histogram("wall_s").observe(0.2)
+    path = tmp_path / "telemetry.jsonl"
+    n = session.write_jsonl(path)
+    lines = read_jsonl(path)
+    assert len(lines) == n == 3
+    metrics = [l for l in lines if l["type"] == "metric"]
+    assert {m["kind"] for m in metrics} == {"counter", "histogram"}
+    assert [l for l in lines if l["type"] == "sweep.trial"]

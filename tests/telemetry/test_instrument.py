@@ -1,0 +1,113 @@
+"""Tests for simnet telemetry wiring and network snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.simnet import (
+    DropFault,
+    Link,
+    Network,
+    Node,
+    Packet,
+    PfcConfig,
+    PfcController,
+    Priority,
+    Simulator,
+)
+from repro.telemetry import TelemetrySession, snapshot_network
+from repro.topology import ClosSpec, down_link
+
+
+def run_faulty_network(telemetry=None, drop_rate=0.3):
+    net = Network(
+        ClosSpec(n_leaves=2, n_spines=2),
+        seed=1,
+        mtu=512,
+        telemetry=telemetry,
+    )
+    net.inject_fault(down_link(0, 1), DropFault(drop_rate))
+    net.inject_fault(down_link(1, 1), DropFault(drop_rate))
+    net.host(1).on_message(lambda *a: None)
+    net.host(0).send(1, 20_000)
+    net.run()
+    return net
+
+
+def test_engine_emits_run_summary():
+    session = TelemetrySession()
+    net = run_faulty_network(session)
+    (run_event,) = session.events.of_type("engine.run")
+    assert run_event["executed"] > 0
+    assert run_event["events_per_sec"] > 0
+    assert run_event["end_ns"] == net.now
+    assert session.counter("engine.events").value == run_event["executed"]
+
+
+def test_link_drops_and_transport_rtos_emitted():
+    session = TelemetrySession()
+    net = run_faulty_network(session)
+    drops = session.events.of_type("link.drop")
+    assert len(drops) == net.total_fault_drops() > 0
+    assert all(d["link"].startswith("down:") for d in drops)
+    rtos = session.events.of_type("transport.rto")
+    assert len(rtos) == net.host(0).transport.retransmitted_packets > 0
+    assert all(r["host"] == 0 for r in rtos)
+
+
+def test_untelemetered_network_behaves_identically():
+    plain = run_faulty_network(None)
+    audited = run_faulty_network(TelemetrySession())
+    assert plain.now == audited.now
+    assert plain.total_fault_drops() == audited.total_fault_drops()
+    assert (
+        plain.host(0).transport.retransmitted_packets
+        == audited.host(0).transport.retransmitted_packets
+    )
+
+
+def test_pfc_pause_resume_events():
+    class _Null(Node):
+        def receive(self, packet, link):
+            pass
+
+    session = TelemetrySession()
+    sim = Simulator()
+    rng = np.random.Generator(np.random.PCG64(0))
+    watched = Link(sim, "watched", _Null(), 8, 0, rng)  # 8 bps: glacial
+    feeder = Link(sim, "feeder", _Null(), units.GBPS, 0, rng)
+    controller = PfcController(
+        watched,
+        [feeder],
+        PfcConfig(xoff_bytes=1000, xon_bytes=500),
+        telemetry=session,
+    )
+    def pkt(size):
+        return Packet(src_host=0, dst_host=1, size=size, priority=Priority.NORMAL)
+
+    watched.enqueue(pkt(10))
+    watched.enqueue(pkt(600))
+    watched.enqueue(pkt(600))  # backlog >= xoff: pause
+    assert controller.paused
+    (pause,) = session.events.of_type("pfc.pause")
+    assert pause["link"] == "watched"
+    assert pause["backlog_bytes"] >= 1000
+    sim.run()  # drain: resume fires on the way down
+    assert session.events.of_type("pfc.resume")
+    assert session.counter("pfc.pauses", link="watched").value == 1
+
+
+def test_snapshot_network_summarizes_state():
+    session = TelemetrySession()
+    net = run_faulty_network(session)
+    snapshot_network(session, net)
+    (summary,) = session.events.of_type("net.summary")
+    assert summary["fault_drops"] == net.total_fault_drops()
+    link_events = session.events.of_type("net.link")
+    assert link_events, "busy links must be reported"
+    names = {e["link"] for e in link_events}
+    assert all(net.links[name].tx_packets > 0 for name in names)
+    (transport,) = session.events.of_type("net.transport")
+    assert transport["retransmitted_packets"] > 0
+    assert session.gauge("net.fault_drops").value == net.total_fault_drops()

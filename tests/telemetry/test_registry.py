@@ -1,0 +1,103 @@
+"""Tests for the labeled metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    TelemetryError,
+)
+
+
+def test_counter_identity_and_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("sweep.trials")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("sweep.trials") is counter
+    assert counter.value == 5
+
+
+def test_counter_rejects_decrease():
+    registry = MetricsRegistry()
+    with pytest.raises(TelemetryError):
+        registry.counter("x").inc(-1)
+
+
+def test_labels_distinguish_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("link.fault_drops", link="up:L0->S0")
+    b = registry.counter("link.fault_drops", link="up:L1->S0")
+    a.inc()
+    assert b.value == 0
+    # Label order does not matter.
+    c = registry.gauge("g", x="1", y="2")
+    assert registry.gauge("g", y="2", x="1") is c
+
+
+def test_same_name_different_kind_are_distinct():
+    registry = MetricsRegistry()
+    registry.counter("n").inc()
+    registry.gauge("n").set(7.0)
+    assert registry.counter("n").value == 1
+    assert registry.gauge("n").value == 7.0
+    assert len(registry) == 2
+
+
+def test_gauge_set_and_inc():
+    gauge = MetricsRegistry().gauge("queue.depth")
+    gauge.set(10.0)
+    gauge.inc(-3.0)
+    assert gauge.value == 7.0
+
+
+def test_histogram_buckets_and_mean():
+    registry = MetricsRegistry()
+    hist = registry.histogram("wall_s", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.bucket_counts == [1, 2, 1, 1]
+    assert hist.mean == pytest.approx((0.05 + 0.5 + 0.5 + 5.0 + 50.0) / 5)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(TelemetryError):
+        MetricsRegistry().histogram("h", buckets=(1.0, 0.5))
+
+
+def test_empty_name_rejected():
+    with pytest.raises(TelemetryError):
+        MetricsRegistry().counter("")
+
+
+def test_disabled_registry_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("anything", label="x")
+    assert counter is NULL_INSTRUMENT
+    assert registry.gauge("g") is NULL_INSTRUMENT
+    assert registry.histogram("h") is NULL_INSTRUMENT
+    # All mutators work and do nothing.
+    counter.inc()
+    counter.set(3.0)
+    counter.observe(1.0)
+    assert registry.snapshot() == []
+    assert len(registry) == 0
+
+
+def test_snapshot_is_sorted_and_json_ready():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a", k="v").inc()
+    registry.gauge("a").set(1.5)
+    registry.histogram("h").observe(0.2)
+    snapshot = registry.snapshot()
+    assert [s["type"] for s in snapshot] == ["metric"] * 4
+    assert snapshot == sorted(
+        snapshot, key=lambda s: (s["kind"], s["name"], sorted(s["labels"].items()))
+    )
+    json.dumps(snapshot)  # must be serializable as-is

@@ -156,6 +156,99 @@ def test_sweep_unknown_parameter_errors(capsys):
     assert "unknown sweep parameter" in err
 
 
+def test_detect_metrics_out_writes_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.jsonl"
+    code = main(
+        ["detect", *SMALL, "--drop-rate", "0.05", "--metrics-out", str(path)]
+    )
+    assert code == 0
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    types = {line["type"] for line in lines}
+    assert "audit.iteration" in types
+    assert "audit.leaf" in types
+    assert "metric" in types
+
+
+def test_detect_trace_out_is_chrome_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    code = main(
+        [
+            "detect",
+            "--leaves", "4",
+            "--spines", "2",
+            "--collective-gib", "0.005",
+            "--drop-rate", "0.05",
+            "--trace-out", str(path),
+        ]
+    )
+    assert code == 0
+    import json
+
+    trace = json.loads(path.read_text())
+    assert trace["traceEvents"], "trace must contain events"
+    assert {e["ph"] for e in trace["traceEvents"]} >= {"M", "X"}
+    assert trace["otherData"]["fault_drops"] > 0
+
+
+def test_sweep_metrics_out_and_progress(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "sweep.jsonl"
+    code = main(
+        [
+            "sweep",
+            *SMALL,
+            "--values", "0.02",
+            "--trials", "2",
+            "--jobs", "2",
+            "--metrics-out", str(path),
+            "--progress",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "worker utilization" in captured.out
+    assert "[4/4]" in captured.err
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    types = {line["type"] for line in lines}
+    assert {"sweep.trial", "sweep.run", "metric"} <= types
+    assert len([l for l in lines if l["type"] == "sweep.trial"]) == 4
+
+
+def test_roc_metrics_out(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "roc.jsonl"
+    code = main(
+        [
+            "roc",
+            *SMALL,
+            "--trials", "2",
+            "--drop-rates", "0.02",
+            "--thresholds", "0.01",
+            "--metrics-out", str(path),
+        ]
+    )
+    assert code == 0
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    trials = [l for l in lines if l["type"] == "roc.trial"]
+    points = [l for l in lines if l["type"] == "roc.point"]
+    assert len(trials) == 4  # 2 negatives + 2 positives
+    assert len(points) == 1
+    assert {"drop_rate", "threshold", "fpr", "tpr"} <= set(points[0])
+
+
+def test_telemetry_flags_do_not_change_results(capsys, tmp_path):
+    args = ["detect", *SMALL, "--drop-rate", "0.05"]
+    assert main(args) == 0
+    plain = capsys.readouterr().out
+    assert main([*args, "--metrics-out", str(tmp_path / "m.jsonl")]) == 0
+    instrumented = capsys.readouterr().out
+    assert instrumented == plain
+
+
 def test_learned_predictor_flag(capsys):
     code = main(
         [

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core.prediction",
     "repro.fastsim",
     "repro.simnet",
+    "repro.telemetry",
     "repro.threelevel",
     "repro.topology",
     "repro.workloads",
