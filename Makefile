@@ -1,10 +1,11 @@
 PYTHON ?= python
 PYTHONPATH := src
+PYTEST_ARGS ?=
 
 .PHONY: test lint bench sweep-bench
 
 test:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

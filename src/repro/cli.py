@@ -28,6 +28,14 @@ from .analysis import (
 )
 from .analysis.experiments import build_trial
 from .core import ConfirmationPolicy, roc_curve
+from .scenarios import (
+    ChaosConfig,
+    FaultEvent,
+    SimnetClosedLoopConfig,
+    run_chaos_batch,
+    run_simnet_closed_loop,
+)
+from .simnet.faults import DropFault
 from .units import GIB
 
 
@@ -350,7 +358,102 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Fastsim-scale fabric defaults that get swapped for packet-scale ones
+#: when ``--engine simnet`` is selected and the flag was left untouched.
+_SIMNET_DEFAULTS = {
+    "leaves": (32, 8),
+    "spines": (16, 4),
+    "collective_gib": (8.0, 2_000_000 / GIB),
+    "mtu": (1024, 512),
+    "iterations": (5, 8),
+}
+
+
+def _simnet_value(args: argparse.Namespace, name: str):
+    fastsim_default, simnet_default = _SIMNET_DEFAULTS[name]
+    value = getattr(args, name)
+    return simnet_default if value == fastsim_default else value
+
+
+def cmd_closed_loop_simnet(args: argparse.Namespace) -> int:
+    config = SimnetClosedLoopConfig(
+        n_leaves=int(_simnet_value(args, "leaves")),
+        n_spines=int(_simnet_value(args, "spines")),
+        collective_bytes=int(_simnet_value(args, "collective_gib") * GIB),
+        n_iterations=int(_simnet_value(args, "iterations")),
+        mtu=int(_simnet_value(args, "mtu")),
+        threshold=args.threshold,
+        confirm_after=args.confirm_after,
+        seed=args.seed,
+    )
+    fault_link = args.fault_link or f"up:L{config.n_leaves // 2}->S1"
+    result = run_simnet_closed_loop(
+        config,
+        iteration_faults={
+            args.fault_start: [
+                FaultEvent(0, "inject", fault_link, DropFault(args.drop_rate))
+            ]
+        },
+    )
+    rows = []
+    for step in result.steps:
+        remediation = ""
+        if step.action:
+            remediation = "DISABLED " + ", ".join(sorted(step.action.disabled_links))
+        elif step.vetoed:
+            remediation = "VETOED (would partition)"
+        rows.append(
+            [
+                step.iteration,
+                f"{step.max_score:.4f}",
+                "ALARM" if step.triggered else "",
+                ", ".join(sorted(step.suspected_links)) or "-",
+                remediation,
+            ]
+        )
+    print(
+        format_table(
+            ["iter", "score", "detection", "suspects", "remediation"],
+            rows,
+            title=f"simnet closed loop: {fault_link} drops "
+            f"{format_percent(args.drop_rate)} from iteration {args.fault_start}",
+        )
+    )
+    print(f"\niterations completed: {result.iterations_completed}/{config.n_iterations}")
+    print(f"failed messages: {result.failed_messages}")
+    if result.stalled:
+        print(f"STALLED: {result.stall.summary()}")
+    print(f"recovered (quiet after remediation): {result.recovered}")
+    return 0 if result.recovered and not result.stalled else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    chaos = ChaosConfig(
+        n_scenarios=args.scenarios,
+        base_seed=args.seed,
+        n_iterations=args.iterations,
+        threshold=args.threshold,
+        detection_slack=args.detection_slack,
+        verify_determinism=args.verify_determinism,
+    )
+    report = run_chaos_batch(chaos)
+    for outcome in report.outcomes:
+        status = "ok  " if outcome.ok else "FAIL"
+        detected = outcome.result.detection_iteration
+        print(
+            f"{status} {outcome.scenario.describe():55s} "
+            f"detect={'-' if detected is None else detected} "
+            f"actions={len(outcome.result.actions)} "
+            f"digest={outcome.digest[:12]}"
+        )
+    print()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_closed_loop(args: argparse.Namespace) -> int:
+    if args.engine == "simnet":
+        return cmd_closed_loop_simnet(args)
     config = _config(args, args.drop_rate)
     setup = build_trial(config, base_seed=args.seed, trial=0)
     result = run_closed_loop(
@@ -457,13 +560,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=cmd_sweep)
 
     loop = sub.add_parser(
-        "closed-loop", help="detect -> localize -> disable -> recover"
+        "closed-loop",
+        help="detect -> localize -> disable -> recover",
+        description="Run the detect/localize/disable/recover loop. With "
+        "--engine simnet the loop runs on the packet-level simulator "
+        "(faults hit real packets, remediation reroutes a live fabric); "
+        "fabric flags left at their fastsim-scale defaults are swapped "
+        "for packet-scale ones (8 leaves, 4 spines, ~2 MB, 8 iterations).",
     )
     _add_fabric_args(loop)
     loop.add_argument("--drop-rate", type=float, default=0.05)
     loop.add_argument("--fault-start", type=int, default=1)
     loop.add_argument("--confirm-after", type=int, default=2)
+    loop.add_argument(
+        "--engine",
+        choices=("fastsim", "simnet"),
+        default="fastsim",
+        help="fastsim = statistical model; simnet = packet-level simulator",
+    )
+    loop.add_argument(
+        "--fault-link",
+        default=None,
+        help="link to fault with --engine simnet (e.g. up:L2->S1)",
+    )
     loop.set_defaults(func=cmd_closed_loop)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos scenarios on the packet-level closed loop",
+        description="Generate seeded randomized fault scenarios, run each "
+        "through the packet-level closed loop, and check invariants "
+        "(liveness, packet conservation, transport accounting, detection "
+        "latency, recovery). Exits 1 if any scenario violates one.",
+    )
+    chaos.add_argument("--scenarios", type=int, default=20)
+    chaos.add_argument("--seed", type=int, default=0, help="base seed")
+    chaos.add_argument("--iterations", type=int, default=8)
+    chaos.add_argument("--threshold", type=float, default=0.05)
+    chaos.add_argument(
+        "--detection-slack",
+        type=int,
+        default=3,
+        help="iterations a detectable fault may go unnoticed",
+    )
+    chaos.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="run every scenario twice and compare outcome digests",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

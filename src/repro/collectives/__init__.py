@@ -24,16 +24,24 @@ from .ring import (
     ring_reduce_scatter_stages,
     stage_count,
 )
-from .schedule import JitterModel, ScheduleError, StagedCollectiveRunner
+from .schedule import (
+    CollectiveStallError,
+    JitterModel,
+    ScheduleError,
+    StagedCollectiveRunner,
+    StallReport,
+)
 
 __all__ = [
     "CollectiveError",
+    "CollectiveStallError",
     "DemandError",
     "DemandMatrix",
     "JitterModel",
     "ScheduleError",
     "Stage",
     "StagedCollectiveRunner",
+    "StallReport",
     "Transfer",
     "alltoall_demand",
     "alltoall_stages",

@@ -32,6 +32,51 @@ class ScheduleError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class StallReport:
+    """Why a collective run stopped short of its iteration target.
+
+    Produced when the stall watchdog fires or when the event queue
+    drains with the collective incomplete (every transport gave up on a
+    black-holed destination).  This is the *detectable, reportable*
+    alternative to a hang: the run ends, and the report says which
+    hosts were stuck where.
+    """
+
+    time_ns: int
+    iteration: int
+    completed_iterations: int
+    target_iterations: int
+    hosts_done: int
+    n_participants: int
+    #: host -> (stage, outstanding acks, received msgs, expected msgs)
+    stuck_hosts: dict[int, tuple[int, int, int, int]]
+    #: (iteration, stage, src host, dst host, bytes) of abandoned sends
+    failed_transfers: tuple[tuple[int, int, int, int, int], ...]
+    watchdog_fired: bool
+
+    def summary(self) -> str:
+        stuck = ", ".join(
+            f"host {h} stage {s[0]} (acks={s[1]}, recv {s[2]}/{s[3]})"
+            for h, s in sorted(self.stuck_hosts.items())
+        )
+        return (
+            f"collective stalled at t={self.time_ns} ns in iteration "
+            f"{self.iteration} ({self.completed_iterations}/"
+            f"{self.target_iterations} done, {self.hosts_done}/"
+            f"{self.n_participants} hosts through): "
+            f"{len(self.failed_transfers)} failed transfer(s); {stuck or 'none stuck'}"
+        )
+
+
+class CollectiveStallError(ScheduleError):
+    """Raised by :meth:`StagedCollectiveRunner.run` on a stalled run."""
+
+    def __init__(self, report: StallReport) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+@dataclass(frozen=True)
 class JitterModel:
     """Per-host start-time perturbation for each iteration.
 
@@ -101,11 +146,15 @@ class StagedCollectiveRunner:
         jitter: JitterModel = JitterModel(),
         seed: int = 0,
         on_iteration_done=None,
+        stall_timeout_ns: int | None = None,
+        on_stall=None,
     ) -> None:
         if not stages:
             raise ScheduleError("collective has no stages")
         if iterations < 1:
             raise ScheduleError("need at least one iteration")
+        if stall_timeout_ns is not None and stall_timeout_ns <= 0:
+            raise ScheduleError("stall timeout must be positive")
         self.network = network
         self.job_id = job_id
         self.stages = stages
@@ -114,6 +163,11 @@ class StagedCollectiveRunner:
         self.priority = priority
         self.jitter = jitter
         self.on_iteration_done = on_iteration_done
+        #: Watchdog period: if no host makes progress (an ack, a receive,
+        #: a stage entry, or a transport giveup) for one full period,
+        #: the run is declared stalled and the simulator stopped.
+        self.stall_timeout_ns = stall_timeout_ns
+        self.on_stall = on_stall
         self._rng = np.random.Generator(np.random.PCG64(seed))
 
         # Pre-compute per-host send lists and cumulative expected
@@ -143,6 +197,12 @@ class StagedCollectiveRunner:
         self._hosts_done = 0
         self.iteration_times: list[tuple[int, int]] = []  # (start_ns, end_ns)
         self._started = False
+        self._finished = False
+        self._progress_ticks = 0  # bumped on every ack/receive/failure
+        self._watchdog_handle = None
+        self.stalled = False
+        self.stall_report: StallReport | None = None
+        self.failed_transfers: list[tuple[int, int, int, int, int]] = []
 
         for host in self.participants:
             self.network.host(host).on_message(
@@ -158,17 +218,31 @@ class StagedCollectiveRunner:
             raise ScheduleError("runner already started")
         self._started = True
         self.network.sim.schedule(0, self._begin_iteration, 0)
+        if self.stall_timeout_ns is not None:
+            self._watchdog_handle = self.network.sim.schedule(
+                self.stall_timeout_ns, self._watchdog_check, self._progress_ticks
+            )
 
-    def run(self) -> list[tuple[int, int]]:
+    def run(self, raise_on_stall: bool = True) -> list[tuple[int, int]]:
         """Start, run the simulator to completion, and return the
-        (start, end) times of every iteration."""
+        (start, end) times of every iteration.
+
+        A run that cannot finish — hosts black-holed, transports giving
+        up, the watchdog firing — surfaces as a
+        :class:`CollectiveStallError` carrying a :class:`StallReport`
+        (or, with ``raise_on_stall=False``, as ``self.stalled`` plus
+        ``self.stall_report`` on a normal return).
+        """
         self.start()
         self.network.run()
-        if len(self.iteration_times) != self.iterations:
-            raise ScheduleError(
-                f"collective stalled: finished {len(self.iteration_times)} of "
-                f"{self.iterations} iterations"
-            )
+        if not self._finished and not self.stalled:
+            # The event queue drained with the collective incomplete:
+            # every pending message was abandoned, nothing left to wait
+            # for.  Report it as a stall rather than dying on a bare
+            # iteration-count mismatch.
+            self._declare_stall(watchdog_fired=False)
+        if self.stalled and raise_on_stall:
+            raise CollectiveStallError(self.stall_report)
         return self.iteration_times
 
     @property
@@ -207,18 +281,36 @@ class StagedCollectiveRunner:
                 tag=tag,
                 priority=self.priority,
                 on_acked=lambda _msg, h=host: self._on_acked(h),
+                on_failed=lambda msg, h=host, s=stage: self._on_send_failed(
+                    h, s, msg
+                ),
             )
 
     def _on_acked(self, host: int) -> None:
+        self._progress_ticks += 1
         progress = self._progress.get(host)
         if progress is None or progress.done:
             return
         progress.outstanding_acks -= 1
         self._try_advance(host)
 
+    def _on_send_failed(self, host: int, stage: int, msg) -> None:
+        """The transport abandoned one of this host's stage sends.
+
+        The stage can no longer complete; the failure is recorded (and
+        counts as watchdog progress, so a cascade of giveups does not
+        fire the watchdog prematurely) and the run is left to surface
+        the stall through :meth:`run`.
+        """
+        self._progress_ticks += 1
+        self.failed_transfers.append(
+            (self.current_iteration, stage, host, msg.dst_host, msg.total_bytes)
+        )
+
     def _on_receive(self, host: int, tag) -> None:
         if tag is None or tag.job_id != self.job_id:
             return
+        self._progress_ticks += 1
         if tag.iteration != self.current_iteration:
             return  # stale delivery from a closed iteration
         progress = self._progress.get(host)
@@ -257,3 +349,66 @@ class StagedCollectiveRunner:
             self.network.sim.schedule(
                 max(1, self.compute_time_ns), self._begin_iteration, next_iteration
             )
+        else:
+            self._finished = True
+            if self._watchdog_handle is not None:
+                self._watchdog_handle.cancel()
+                self._watchdog_handle = None
+
+    # ------------------------------------------------------------------
+    # Stall watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_check(self, ticks_at_schedule: int) -> None:
+        if self._finished or self.stalled:
+            return
+        if self._progress_ticks == ticks_at_schedule:
+            self._declare_stall(watchdog_fired=True)
+            return
+        self._watchdog_handle = self.network.sim.schedule(
+            self.stall_timeout_ns, self._watchdog_check, self._progress_ticks
+        )
+
+    def _declare_stall(self, watchdog_fired: bool) -> None:
+        self.stalled = True
+        self.stall_report = self._build_stall_report(watchdog_fired)
+        if self._watchdog_handle is not None:
+            self._watchdog_handle.cancel()
+            self._watchdog_handle = None
+        telemetry = self.network.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "collective.stall",
+                time_ns=self.network.now,
+                iteration=self.current_iteration,
+                completed_iterations=len(self.iteration_times),
+                failed_transfers=len(self.failed_transfers),
+                watchdog=watchdog_fired,
+            )
+            telemetry.counter("collective.stalls").inc()
+        if self.on_stall is not None:
+            self.on_stall(self.stall_report)
+        self.network.sim.stop()
+
+    def _build_stall_report(self, watchdog_fired: bool) -> StallReport:
+        stuck = {}
+        for host, progress in self._progress.items():
+            if progress.done:
+                continue
+            stage = max(progress.stage, 0)
+            stuck[host] = (
+                progress.stage,
+                progress.outstanding_acks,
+                progress.received_messages,
+                self._cum_recv[host][stage],
+            )
+        return StallReport(
+            time_ns=self.network.now,
+            iteration=self.current_iteration,
+            completed_iterations=len(self.iteration_times),
+            target_iterations=self.iterations,
+            hosts_done=self._hosts_done,
+            n_participants=len(self.participants),
+            stuck_hosts=stuck,
+            failed_transfers=tuple(self.failed_transfers),
+            watchdog_fired=watchdog_fired,
+        )

@@ -1,0 +1,357 @@
+"""Closed-loop remediation on the packet-level simulator.
+
+Runs the paper's operator story end to end on :mod:`repro.simnet`: a
+staged ring collective executes iteration by iteration; each finished
+iteration's per-leaf :class:`~repro.simnet.counters.IterationRecord`
+batch flows through :class:`~repro.core.monitor.FlowPulseMonitor` and
+:class:`~repro.core.remediation.RemediationEngine` *inside the run*;
+confirmed faults are disabled in the live control plane between
+iterations; the analytical baseline is rebuilt for the surviving
+topology; and the tail of the run verifies temporal symmetry is back
+under the detection threshold.
+
+Faults arrive either on a wall-clock timeline (a
+:class:`~repro.scenarios.script.FaultScript` scheduled on the engine)
+or keyed by iteration number (applied at the iteration boundary just
+before the target iteration starts), or both.
+
+The driver is crash-free by construction: transports degrade
+gracefully (giveup policy ``fail_message``), a stalled collective is
+surfaced as a :class:`~repro.collectives.schedule.StallReport`, and a
+remediation that would partition the fabric is vetoed rather than
+applied.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..collectives.demand import DemandMatrix
+from ..collectives.ring import locality_optimized_ring, ring_reduce_scatter_stages
+from ..collectives.schedule import StagedCollectiveRunner, StallReport
+from ..core.detection import DetectionConfig
+from ..core.monitor import FlowPulseMonitor, IterationVerdict
+from ..core.prediction import AnalyticalPredictor
+from ..core.remediation import (
+    ConfirmationPolicy,
+    RemediationAction,
+    RemediationEngine,
+)
+from ..simnet.counters import IterationRecord
+from ..simnet.network import Network
+from ..simnet.packet import FlowTag
+from ..topology.graph import ClosSpec, ControlPlane
+from .script import FaultEvent, FaultScript, apply_fault_event
+
+
+@dataclass(frozen=True)
+class SimnetClosedLoopConfig:
+    """Shape of one packet-level closed-loop run."""
+
+    n_leaves: int = 8
+    n_spines: int = 4
+    hosts_per_leaf: int = 1
+    collective_bytes: int = 2_000_000
+    n_iterations: int = 8
+    mtu: int = 512
+    spray: str = "round_robin"
+    threshold: float = 0.01
+    confirm_after: int = 2
+    window: int = 4
+    compute_time_ns: int = 50_000
+    rto_ns: int = 100_000
+    max_retransmissions: int = 16
+    #: Watchdog period for the collective runner; generous relative to
+    #: an iteration so slow-but-alive runs never false-stall.
+    stall_timeout_ns: int = 50_000_000
+    seed: int = 0
+    job_id: int = 1
+
+    def spec(self) -> ClosSpec:
+        return ClosSpec(
+            n_leaves=self.n_leaves,
+            n_spines=self.n_spines,
+            hosts_per_leaf=self.hosts_per_leaf,
+        )
+
+
+@dataclass(frozen=True)
+class SimnetIterationStep:
+    """One monitored iteration of the packet-level closed loop."""
+
+    iteration: int
+    start_ns: int
+    end_ns: int
+    triggered: bool
+    max_score: float
+    suspected_links: frozenset[str]
+    action: RemediationAction | None
+    vetoed: bool  # action confirmed but withheld (would partition)
+    disabled_so_far: frozenset[str]
+
+
+@dataclass
+class SimnetClosedLoopResult:
+    """Outcome of a packet-level closed-loop run."""
+
+    config: SimnetClosedLoopConfig
+    steps: list[SimnetIterationStep] = field(default_factory=list)
+    actions: list[RemediationAction] = field(default_factory=list)
+    vetoed_actions: list[RemediationAction] = field(default_factory=list)
+    applied_fault_events: list[tuple[int, FaultEvent]] = field(default_factory=list)
+    stall: StallReport | None = None
+    failed_messages: int = 0
+    iterations_completed: int = 0
+
+    @property
+    def detection_iteration(self) -> int | None:
+        for step in self.steps:
+            if step.triggered:
+                return step.iteration
+        return None
+
+    @property
+    def remediation_iteration(self) -> int | None:
+        for step in self.steps:
+            if step.action is not None:
+                return step.iteration
+        return None
+
+    @property
+    def stalled(self) -> bool:
+        return self.stall is not None
+
+    def post_remediation_steps(self) -> list[SimnetIterationStep]:
+        last = self.remediation_iteration
+        if last is None:
+            return []
+        return [s for s in self.steps if s.iteration > last]
+
+    @property
+    def post_remediation_max_score(self) -> float:
+        return max(
+            (s.max_score for s in self.post_remediation_steps()), default=0.0
+        )
+
+    @property
+    def recovered(self) -> bool:
+        """Symmetry restored: monitored iterations after the last
+        remediation exist, are quiet, and sit under the threshold."""
+        tail = self.post_remediation_steps()
+        return (
+            bool(tail)
+            and not any(s.triggered for s in tail)
+            and self.post_remediation_max_score < self.config.threshold
+        )
+
+
+class SimnetClosedLoopDriver:
+    """Wires collective, collectors, monitor, and remediation together.
+
+    The driver owns the per-iteration boundary logic: finalize every
+    leaf's measurement window, run detection + localization, feed the
+    remediation engine, apply (or veto) confirmed disables, rebuild the
+    baseline, and apply any iteration-keyed fault events for the next
+    iteration.  All of it runs inside the engine via the runner's
+    ``on_iteration_done`` hook, exactly like a switch-local agent would.
+    """
+
+    def __init__(
+        self,
+        config: SimnetClosedLoopConfig,
+        script: FaultScript | None = None,
+        iteration_faults: dict[int, list[FaultEvent]] | None = None,
+        telemetry=None,
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry
+        spec = config.spec()
+        self.network = Network(
+            spec,
+            seed=config.seed,
+            spray=config.spray,
+            mtu=config.mtu,
+            rto_ns=config.rto_ns,
+            max_retransmissions=config.max_retransmissions,
+            telemetry=telemetry,
+        )
+        ring = locality_optimized_ring(spec.n_hosts, spec.hosts_per_leaf)
+        self.stages = ring_reduce_scatter_stages(ring, config.collective_bytes)
+        self.demand = DemandMatrix.from_stages(self.stages)
+        self.collectors = self.network.install_collectors(job_id=config.job_id)
+        self.runner = StagedCollectiveRunner(
+            self.network,
+            config.job_id,
+            self.stages,
+            iterations=config.n_iterations,
+            compute_time_ns=config.compute_time_ns,
+            seed=config.seed,
+            on_iteration_done=self._on_iteration_done,
+            stall_timeout_ns=config.stall_timeout_ns,
+        )
+        self.engine = RemediationEngine(
+            policy=ConfirmationPolicy(
+                confirm_after=config.confirm_after, window=config.window
+            )
+        )
+        self.monitor = self._fresh_monitor()
+        self.result = SimnetClosedLoopResult(config=config)
+        self.scheduled_script = script.schedule(self.network) if script else None
+        self.iteration_faults = defaultdict(list)
+        for iteration, events in (iteration_faults or {}).items():
+            self.iteration_faults[iteration].extend(events)
+        self._iteration_starts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _fresh_monitor(self) -> FlowPulseMonitor:
+        predictor = AnalyticalPredictor(
+            self.config.spec(),
+            self.demand,
+            known_disabled=self.network.control.known_disabled,
+        )
+        return FlowPulseMonitor(
+            predictor,
+            DetectionConfig(threshold=self.config.threshold),
+            telemetry=self.telemetry,
+        )
+
+    def _apply_iteration_faults(self, iteration: int) -> None:
+        for event in self.iteration_faults.get(iteration, ()):
+            apply_fault_event(self.network, event)
+            self.result.applied_fault_events.append((self.network.now, event))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimnetClosedLoopResult:
+        self._apply_iteration_faults(0)
+        self._iteration_starts[0] = 0
+        self.runner.run(raise_on_stall=False)
+        result = self.result
+        result.stall = self.runner.stall_report
+        result.iterations_completed = len(self.runner.iteration_times)
+        result.failed_messages = sum(
+            host.transport.failed_messages for host in self.network.hosts
+        )
+        if self.scheduled_script is not None:
+            result.applied_fault_events.extend(self.scheduled_script.applied)
+            # Past the collective's end the timeline is moot: cancel the
+            # tail so the engine queue drains.
+            self.scheduled_script.cancel()
+        return result
+
+    # ------------------------------------------------------------------
+    # Iteration boundary (engine callback)
+    # ------------------------------------------------------------------
+    def _on_iteration_done(self, iteration: int, now: int) -> None:
+        records = self._finalize_records(iteration, now)
+        verdict = self.monitor.process_iteration(records)
+        action = self.engine.observe(verdict)
+        vetoed = False
+        if action is not None:
+            vetoed = not self._apply_action(action)
+            if vetoed:
+                self.result.vetoed_actions.append(action)
+            else:
+                self.result.actions.append(action)
+                # The baseline is rebuilt for the surviving topology;
+                # old evidence refers to the dead model.
+                self.monitor = self._fresh_monitor()
+                self.engine.reset_history()
+        self._record_step(iteration, now, verdict, action, vetoed)
+        self._apply_iteration_faults(iteration + 1)
+        self._iteration_starts[iteration + 1] = now
+
+    def _finalize_records(
+        self, iteration: int, now: int
+    ) -> list[IterationRecord]:
+        """Close every leaf's measurement window for this iteration.
+
+        Leaves that saw no tagged traffic (all their senders gave up)
+        yield an explicit empty record so the detector can flag the
+        missing volume instead of never being consulted.
+        """
+        records = []
+        for leaf, collector in enumerate(self.collectors):
+            record = collector.finalize(now)
+            if record is None or record.tag.iteration != iteration:
+                record = IterationRecord(
+                    leaf=leaf,
+                    tag=FlowTag(self.config.job_id, iteration),
+                    port_bytes={},
+                    sender_bytes={},
+                    start_ns=self._iteration_starts.get(iteration, now),
+                    end_ns=now,
+                )
+            records.append(record)
+        return records
+
+    def _apply_action(self, action: RemediationAction) -> bool:
+        """Disable the confirmed cables in the live control plane.
+
+        Returns False (vetoing the action) if the disable would
+        partition any leaf pair the collective depends on — the switch
+        OS refuses to take the last path out of service.
+        """
+        candidate = ControlPlane(
+            self.config.spec(),
+            known_disabled=self.network.control.known_disabled
+            | action.disabled_links,
+        )
+        for src_leaf, dst_leaf in self.demand.leaf_pairs(self.config.spec()):
+            if not candidate.reachable(src_leaf, dst_leaf):
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "closedloop.veto",
+                        time_ns=self.network.now,
+                        links=sorted(action.disabled_links),
+                    )
+                return False
+        self.network.control.disable(*action.disabled_links)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "closedloop.remediation",
+                time_ns=self.network.now,
+                iteration=action.iteration,
+                links=sorted(action.disabled_links),
+            )
+            self.telemetry.counter("closedloop.remediations").inc()
+        return True
+
+    def _record_step(
+        self,
+        iteration: int,
+        now: int,
+        verdict: IterationVerdict,
+        action: RemediationAction | None,
+        vetoed: bool,
+    ) -> None:
+        self.result.steps.append(
+            SimnetIterationStep(
+                iteration=iteration,
+                start_ns=self._iteration_starts.get(iteration, 0),
+                end_ns=now,
+                triggered=verdict.triggered,
+                max_score=verdict.max_score,
+                suspected_links=verdict.suspected_links(),
+                action=None if vetoed else action,
+                vetoed=vetoed,
+                disabled_so_far=self.network.control.known_disabled,
+            )
+        )
+
+
+def run_simnet_closed_loop(
+    config: SimnetClosedLoopConfig | None = None,
+    script: FaultScript | None = None,
+    iteration_faults: dict[int, list[FaultEvent]] | None = None,
+    telemetry=None,
+) -> SimnetClosedLoopResult:
+    """Run the full packet-level closed loop; never raises for fabric
+    faults — crashes are reserved for driver misconfiguration."""
+    driver = SimnetClosedLoopDriver(
+        config or SimnetClosedLoopConfig(),
+        script=script,
+        iteration_faults=iteration_faults,
+        telemetry=telemetry,
+    )
+    return driver.run()

@@ -1,0 +1,200 @@
+"""Time-scripted fault lifecycles for the packet simulator.
+
+A :class:`FaultScript` is a timeline of :class:`FaultEvent` entries —
+``inject``, ``degrade``, ``heal``, ``disconnect`` — applied to a live
+:class:`~repro.simnet.network.Network` through engine-scheduled
+callbacks.  Scripts express the evolving gray failures SprayCheck
+documents in adaptive-routing fabrics: a link that starts dropping a
+small fraction of packets at one time, worsens later, and finally dies
+(or heals), all within a single simulated training run.
+
+``inject`` attaches a fault to a clean link (scripting two injections
+on one link without an intervening heal is an authoring error and
+raises at apply time).  ``degrade`` and ``disconnect`` *replace* the
+link's current fault — the escalation path — and also work on clean
+links.  ``heal`` removes the fault and raises if the link was healthy,
+surfacing script/fabric drift instead of silently no-opping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..simnet.faults import DisconnectFault, DropFault, LinkFault
+from ..simnet.network import Network
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario scripts."""
+
+
+#: Actions a script event may perform on a link.
+ACTIONS = ("inject", "degrade", "heal", "disconnect")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled change to one link's fault state."""
+
+    at_ns: int
+    action: str
+    link: str
+    fault: LinkFault | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ScenarioError(f"event time cannot be negative: {self.at_ns}")
+        if self.action not in ACTIONS:
+            raise ScenarioError(
+                f"unknown action {self.action!r}; known: {ACTIONS}"
+            )
+        if self.action in ("inject", "degrade", "disconnect"):
+            if self.fault is None:
+                raise ScenarioError(f"{self.action} event needs a fault")
+        elif self.fault is not None:
+            raise ScenarioError("heal events carry no fault")
+
+
+@dataclass
+class FaultScript:
+    """An ordered timeline of fault events for one simulated run.
+
+    Builder methods append events and return ``self`` so lifecycles
+    chain naturally::
+
+        script = (
+            FaultScript()
+            .inject(t0, link, DropFault(0.02))   # goes gray
+            .degrade(t1, link, 0.3)              # worsens
+            .disconnect(t2, link)                # dies silently
+        )
+        script.schedule(network)
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+    def inject(self, at_ns: int, link: str, fault: LinkFault) -> "FaultScript":
+        """Attach ``fault`` to a clean link at ``at_ns``."""
+        self.events.append(FaultEvent(at_ns, "inject", link, fault))
+        return self
+
+    def degrade(self, at_ns: int, link: str, rate: float) -> "FaultScript":
+        """Escalate the link to a :class:`DropFault` at ``rate``."""
+        self.events.append(FaultEvent(at_ns, "degrade", link, DropFault(rate)))
+        return self
+
+    def disconnect(
+        self, at_ns: int, link: str, known: bool = False
+    ) -> "FaultScript":
+        """Escalate the link to a total failure (silent by default)."""
+        self.events.append(
+            FaultEvent(at_ns, "disconnect", link, DisconnectFault(known=known))
+        )
+        return self
+
+    def heal(self, at_ns: int, link: str) -> "FaultScript":
+        """Remove the link's fault at ``at_ns``."""
+        self.events.append(FaultEvent(at_ns, "heal", link))
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def span_ns(self) -> int:
+        """Time of the last scheduled event."""
+        return max((e.at_ns for e in self.events), default=0)
+
+    def links(self) -> frozenset[str]:
+        """Every link the script touches."""
+        return frozenset(e.link for e in self.events)
+
+    def shifted(self, offset_ns: int) -> "FaultScript":
+        """A copy of the script with every event moved by ``offset_ns``."""
+        return FaultScript(
+            [replace(e, at_ns=e.at_ns + offset_ns) for e in self.events]
+        )
+
+    def validate(self, network: Network) -> None:
+        """Check every scripted link exists in ``network``."""
+        unknown = self.links() - network.links.keys()
+        if unknown:
+            raise ScenarioError(
+                f"script references unknown links: {sorted(unknown)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def schedule(self, network: Network) -> "ScheduledScript":
+        """Schedule every event on ``network``'s engine.
+
+        Events fire inside the event loop at their scripted times, in
+        timeline order (ties broken by insertion order).  Returns a
+        :class:`ScheduledScript` that records what was applied.
+        """
+        self.validate(network)
+        scheduled = ScheduledScript(script=self, network=network)
+        for event in sorted(self.events, key=lambda e: e.at_ns):
+            scheduled.handles.append(
+                network.sim.schedule_at(event.at_ns, scheduled.apply, event)
+            )
+        return scheduled
+
+
+def apply_fault_event(network: Network, event: FaultEvent) -> None:
+    """Apply one :class:`FaultEvent` to ``network`` immediately.
+
+    ``inject`` requires a clean link; ``degrade``/``disconnect`` replace
+    whatever the link carries; ``heal`` requires an existing fault.
+    Emits a ``scenario.fault_event`` telemetry event when the network
+    has a telemetry session attached.
+    """
+    if event.action == "inject":
+        network.inject_fault(event.link, event.fault)
+    elif event.action in ("degrade", "disconnect"):
+        network.inject_fault(event.link, event.fault, replace=True)
+    else:  # heal
+        network.heal_fault(event.link)
+    if network.telemetry is not None:
+        network.telemetry.emit(
+            "scenario.fault_event",
+            time_ns=network.now,
+            action=event.action,
+            link=event.link,
+            fault=type(event.fault).__name__ if event.fault else None,
+            rate=getattr(event.fault, "rate", None),
+            known=event.fault.known if event.fault else None,
+        )
+        network.telemetry.counter(
+            "scenario.fault_events", action=event.action
+        ).inc()
+
+
+@dataclass
+class ScheduledScript:
+    """A :class:`FaultScript` bound to a live network's event queue."""
+
+    script: FaultScript
+    network: Network
+    handles: list = field(default_factory=list)
+    #: (fire time, event) of every event applied so far.
+    applied: list[tuple[int, FaultEvent]] = field(default_factory=list)
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one event to the network now (engine callback)."""
+        apply_fault_event(self.network, event)
+        self.applied.append((self.network.now, event))
+
+    def cancel(self) -> None:
+        """Cancel every event that has not fired yet."""
+        for handle in self.handles:
+            handle.cancel()
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet fired."""
+        return sum(1 for h in self.handles if not h.cancelled) - len(self.applied)

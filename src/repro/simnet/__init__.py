@@ -15,6 +15,7 @@ from .faults import (
     DisconnectFault,
     DropFault,
     FaultInjector,
+    FaultInjectorError,
     IntermittentDropFault,
     LinkFault,
     TransientDropFault,
@@ -38,7 +39,7 @@ from .spraying import (
 from .stats import FctSummary, FctTracker, FlowRecord
 from .switch import LeafSwitch, RoutingError, SpineSwitch
 from .trace import TraceEvent, Tracer
-from .transport import ReliableTransport, TransportError
+from .transport import GiveupPolicy, ReliableTransport, TransportError
 from . import units
 
 __all__ = [
@@ -51,11 +52,13 @@ __all__ = [
     "EcmpHash",
     "EventHandle",
     "FaultInjector",
+    "FaultInjectorError",
     "FctSummary",
     "FctTracker",
     "FlowRecord",
     "FlowTag",
     "FlowletSpray",
+    "GiveupPolicy",
     "Host",
     "IntermittentDropFault",
     "IterationRecord",

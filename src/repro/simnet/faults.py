@@ -142,25 +142,56 @@ class IntermittentDropFault(LinkFault):
         return self.active_at(now) and bool(rng.random() < self.rate)
 
 
+class FaultInjectorError(KeyError):
+    """Raised on inconsistent injector operations (double injection
+    without ``replace``, or clearing a link that has no fault)."""
+
+
 @dataclass
 class FaultInjector:
     """Registry of faults applied to a network, keyed by link name.
 
     The network consults the injector for every delivery; the control
     plane consults :meth:`known_disabled` when building routing tables.
+
+    A link carries at most one fault.  Fault *lifecycles* (a gray link
+    that worsens and finally dies, SprayCheck-style) are modelled by
+    replacing the current fault via ``inject(..., replace=True)`` — the
+    new fault takes over atomically at the moment of the call.
     """
 
     faults: dict[str, LinkFault] = field(default_factory=dict)
 
-    def inject(self, link_name: str, fault: LinkFault) -> None:
-        """Attach ``fault`` to the link called ``link_name``."""
-        if link_name in self.faults:
+    def inject(
+        self, link_name: str, fault: LinkFault, replace: bool = False
+    ) -> LinkFault | None:
+        """Attach ``fault`` to the link called ``link_name``.
+
+        With ``replace=False`` (the default) a second injection on the
+        same link is an error.  With ``replace=True`` the new fault
+        supersedes the old one — the escalation path of a fault
+        lifecycle — and the displaced fault is returned.
+        """
+        previous = self.faults.get(link_name)
+        if previous is not None and not replace:
             raise ValueError(f"link {link_name} already has a fault")
         self.faults[link_name] = fault
+        return previous
 
-    def clear(self, link_name: str) -> None:
-        """Remove the fault on ``link_name`` (fault healed)."""
-        self.faults.pop(link_name, None)
+    def clear(self, link_name: str) -> LinkFault:
+        """Remove and return the fault on ``link_name`` (fault healed).
+
+        Clearing a link that has no fault raises
+        :class:`FaultInjectorError`: a heal event for a healthy link
+        means the caller's view of the fabric has drifted, which should
+        surface loudly rather than no-op.
+        """
+        try:
+            return self.faults.pop(link_name)
+        except KeyError:
+            raise FaultInjectorError(
+                f"link {link_name!r} has no fault to clear"
+            ) from None
 
     def fault_on(self, link_name: str) -> LinkFault | None:
         return self.faults.get(link_name)

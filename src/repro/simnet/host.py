@@ -17,6 +17,10 @@ from .transport import ReliableTransport
 #: Application-level receive callback: (src_host, msg_id, tag, size).
 MessageCallback = Callable[[int, int, FlowTag | None, int], None]
 
+#: Application-level failure callback: (dst_host, msg_id, tag, size).
+#: Fired on the *sender* when the transport abandons a message.
+FailureCallback = Callable[[int, int, FlowTag | None, int], None]
+
 
 class Host(Node):
     """A single end host (one NIC, one GPU, paper §2)."""
@@ -28,8 +32,10 @@ class Host(Node):
         self.uplink: Link = None  # wired by the network builder
         self.transport: ReliableTransport = None  # wired by the builder
         self._message_callbacks: list[MessageCallback] = []
+        self._failure_callbacks: list[FailureCallback] = []
         self.received_messages = 0
         self.received_bytes = 0
+        self.failed_sends = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -54,15 +60,26 @@ class Host(Node):
         tag: FlowTag | None = None,
         priority: Priority = Priority.NORMAL,
         on_acked=None,
+        on_failed=None,
     ) -> int:
         """Send a reliable message; returns its message id."""
         return self.transport.send_message(
-            dst_host, size_bytes, tag=tag, priority=priority, on_acked=on_acked
+            dst_host,
+            size_bytes,
+            tag=tag,
+            priority=priority,
+            on_acked=on_acked,
+            on_failed=on_failed,
         )
 
     def on_message(self, callback: MessageCallback) -> None:
         """Register a callback fired when a full message is received."""
         self._message_callbacks.append(callback)
+
+    def on_send_failed(self, callback: FailureCallback) -> None:
+        """Register a callback fired when an outgoing message is
+        abandoned by the transport (giveup policy ``fail_message``)."""
+        self._failure_callbacks.append(callback)
 
     def deliver_message(
         self, src_host: int, msg_id: int, tag: FlowTag | None, size_bytes: int
@@ -72,6 +89,14 @@ class Host(Node):
         self.received_bytes += size_bytes
         for callback in self._message_callbacks:
             callback(src_host, msg_id, tag, size_bytes)
+
+    def deliver_failure(
+        self, dst_host: int, msg_id: int, tag: FlowTag | None, size_bytes: int
+    ) -> None:
+        """Called by the transport when an outgoing message is abandoned."""
+        self.failed_sends += 1
+        for callback in self._failure_callbacks:
+            callback(dst_host, msg_id, tag, size_bytes)
 
     # ------------------------------------------------------------------
     # Data path

@@ -28,7 +28,7 @@ from .pfc import PfcConfig, PfcController
 from .spraying import SprayPolicy, make_policy
 from .switch import LeafSwitch, SpineSwitch
 from .trace import Tracer
-from .transport import ReliableTransport
+from .transport import GiveupPolicy, ReliableTransport
 from ..units import DEFAULT_MTU, MICROSECOND
 
 
@@ -66,6 +66,8 @@ class Network:
         known_disabled: frozenset[str] = frozenset(),
         mtu: int = DEFAULT_MTU,
         rto_ns: int = 5 * MICROSECOND,
+        max_retransmissions: int = 64,
+        giveup: GiveupPolicy | None = None,
         queue_capacity: int | None = None,
         enable_pfc: bool = False,
         tracer: Tracer | None = None,
@@ -122,7 +124,13 @@ class Network:
             leaf.attach_downlink(host.index, self.links[down_name])
             host.attach_transport(
                 ReliableTransport(
-                    self.sim, host, mtu=mtu, rto_ns=rto_ns, telemetry=telemetry
+                    self.sim,
+                    host,
+                    mtu=mtu,
+                    rto_ns=rto_ns,
+                    max_retransmissions=max_retransmissions,
+                    giveup=giveup,
+                    telemetry=telemetry,
                 )
             )
 
@@ -198,24 +206,37 @@ class Network:
     # ------------------------------------------------------------------
     # Faults and monitoring
     # ------------------------------------------------------------------
-    def inject_fault(self, link_name: str, fault: LinkFault) -> None:
+    def inject_fault(
+        self, link_name: str, fault: LinkFault, replace: bool = False
+    ) -> None:
         """Inject a fault on a link.
 
         Silent faults (``fault.known == False``) do *not* touch the
         control plane — routing keeps using the link, which is exactly
         the condition FlowPulse must detect.
+
+        With ``replace=True`` an existing fault on the link is
+        superseded (a fault lifecycle escalating in place); the control
+        plane tracks the transition, so replacing a known fault with a
+        silent one silently re-enables routing over the still-broken
+        link — the nastiest gray-failure shape.
         """
         if link_name not in self.links:
             raise KeyError(f"unknown link {link_name!r}")
-        self.injector.inject(link_name, fault)
+        displaced = self.injector.inject(link_name, fault, replace=replace)
+        if displaced is not None and displaced.known and not fault.known:
+            self.control.enable(link_name)
         if fault.known:
             self.control.disable(link_name)
 
     def heal_fault(self, link_name: str) -> None:
-        """Remove a fault (and re-enable routing if it was known)."""
-        fault = self.injector.fault_on(link_name)
-        self.injector.clear(link_name)
-        if fault is not None and fault.known:
+        """Remove a fault (and re-enable routing if it was known).
+
+        Healing a link that carries no fault raises
+        :class:`~repro.simnet.faults.FaultInjectorError`.
+        """
+        fault = self.injector.clear(link_name)
+        if fault.known:
             self.control.enable(link_name)
 
     def install_collectors(self, job_id: int, on_record=None) -> list[CollectiveCollector]:

@@ -89,8 +89,10 @@ class FctTracker:
     def _wrap(self, host: Host) -> None:
         original_send = host.send
 
-        def tracked_send(dst_host, size_bytes, tag=None, priority=None, on_acked=None):
-            kwargs = {"tag": tag, "on_acked": on_acked}
+        def tracked_send(
+            dst_host, size_bytes, tag=None, priority=None, on_acked=None, on_failed=None
+        ):
+            kwargs = {"tag": tag, "on_acked": on_acked, "on_failed": on_failed}
             if priority is not None:
                 kwargs["priority"] = priority
             msg_id = original_send(dst_host, size_bytes, **kwargs)

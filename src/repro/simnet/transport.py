@@ -31,6 +31,36 @@ class TransportError(RuntimeError):
     """Raised on transport misconfiguration or unrecoverable loss."""
 
 
+@dataclass(frozen=True)
+class GiveupPolicy:
+    """What happens when a packet exhausts ``max_retransmissions``.
+
+    ``fail_message`` (the default) marks the whole message failed,
+    cancels its remaining timers, notifies the host's failure callbacks,
+    and keeps the simulation consistent — a black-holed destination
+    degrades into reportable failed messages instead of an exception
+    unwinding through the event loop (the R2CCL stance: collectives
+    must survive link loss via graceful degradation, not crash).
+
+    ``raise_error`` restores the legacy behaviour of raising
+    :class:`TransportError` out of the event loop; useful in tests that
+    want unrecoverable loss to be impossible to miss.
+    """
+
+    mode: str = "fail_message"
+
+    FAIL_MESSAGE = "fail_message"
+    RAISE = "raise_error"
+
+    def __post_init__(self) -> None:
+        if self.mode not in (self.FAIL_MESSAGE, self.RAISE):
+            raise TransportError(f"unknown giveup mode {self.mode!r}")
+
+    @property
+    def raises(self) -> bool:
+        return self.mode == self.RAISE
+
+
 _msg_ids = itertools.count(1)
 
 
@@ -54,6 +84,7 @@ class _TxMessage:
     tag: FlowTag | None
     priority: Priority
     on_acked: Callable[["_TxMessage"], None] | None = None
+    on_failed: Callable[["_TxMessage"], None] | None = None
     pending: dict[int, _TxPacketState] = field(default_factory=dict)
     failed: bool = False
     retransmissions: int = 0
@@ -98,6 +129,7 @@ class ReliableTransport:
         mtu: int = DEFAULT_MTU,
         rto_ns: int = 5 * MICROSECOND,
         max_retransmissions: int = 64,
+        giveup: GiveupPolicy | None = None,
         telemetry=None,
     ) -> None:
         if mtu <= 0:
@@ -109,6 +141,7 @@ class ReliableTransport:
         self.mtu = mtu
         self.rto_ns = rto_ns
         self.max_retransmissions = max_retransmissions
+        self.giveup = giveup or GiveupPolicy()
         #: Optional telemetry session (duck-typed).  Only loss recovery
         #: emits — RTO firings and message failures — so the lossless
         #: send/ack path carries one pointer comparison per timeout.
@@ -132,12 +165,15 @@ class ReliableTransport:
         tag: FlowTag | None = None,
         priority: Priority = Priority.NORMAL,
         on_acked: Callable[[_TxMessage], None] | None = None,
+        on_failed: Callable[[_TxMessage], None] | None = None,
     ) -> int:
         """Send ``size_bytes`` to ``dst_host``; returns the message id.
 
         ``on_acked`` fires once every packet has been acknowledged
-        (sender-side completion).  Receiver-side delivery is reported
-        through the destination host's message callbacks.
+        (sender-side completion).  ``on_failed`` fires if the message is
+        abandoned under the ``fail_message`` giveup policy.
+        Receiver-side delivery is reported through the destination
+        host's message callbacks.
         """
         if size_bytes <= 0:
             raise TransportError("message size must be positive")
@@ -153,6 +189,7 @@ class ReliableTransport:
             tag=tag,
             priority=priority,
             on_acked=on_acked,
+            on_failed=on_failed,
         )
         self._tx[msg_id] = message
         self.sent_messages += 1
@@ -212,21 +249,8 @@ class ReliableTransport:
         if state is None:
             return  # acked in the meantime
         if state.retransmissions >= self.max_retransmissions:
-            message.failed = True
-            self.failed_messages += 1
-            if self.telemetry is not None:
-                self.telemetry.emit(
-                    "transport.failed",
-                    time_ns=self.sim.now,
-                    host=self.host.index,
-                    msg_id=msg_id,
-                    seq=seq,
-                    retransmissions=state.retransmissions,
-                )
-            raise TransportError(
-                f"host {self.host.index}: msg {msg_id} seq {seq} exceeded "
-                f"{self.max_retransmissions} retransmissions"
-            )
+            self._give_up(message, seq, state)
+            return
         state.retransmissions += 1
         state.timer = None
         message.retransmissions += 1
@@ -245,6 +269,49 @@ class ReliableTransport:
                 "transport.retransmissions", host=str(self.host.index)
             ).inc()
         self._emit(message, seq)
+
+    def _give_up(
+        self, message: _TxMessage, seq: int, state: _TxPacketState
+    ) -> None:
+        """A packet exhausted its retransmission budget: abandon the
+        whole message per the configured giveup policy."""
+        message.failed = True
+        self.failed_messages += 1
+        # Cancel every outstanding timer: the message will never
+        # complete, and stray timeouts must not keep the event loop (or
+        # the fault's link) busy with retransmissions of a dead message.
+        for pending_state in message.pending.values():
+            if pending_state.timer is not None:
+                pending_state.timer.cancel()
+                pending_state.timer = None
+        del self._tx[message.msg_id]
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "transport.failed",
+                time_ns=self.sim.now,
+                host=self.host.index,
+                dst_host=message.dst_host,
+                msg_id=message.msg_id,
+                seq=seq,
+                retransmissions=state.retransmissions,
+                pending_packets=len(message.pending),
+            )
+            self.telemetry.counter(
+                "transport.failures", host=str(self.host.index)
+            ).inc()
+        if self.giveup.raises:
+            raise TransportError(
+                f"host {self.host.index}: msg {message.msg_id} seq {seq} "
+                f"exceeded {self.max_retransmissions} retransmissions"
+            )
+        if message.on_failed is not None:
+            message.on_failed(message)
+        self.host.deliver_failure(
+            dst_host=message.dst_host,
+            msg_id=message.msg_id,
+            tag=message.tag,
+            size_bytes=message.total_bytes,
+        )
 
     def on_ack(self, packet: Packet) -> None:
         """Handle an acknowledgement arriving from the fabric."""

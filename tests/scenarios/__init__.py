@@ -1,0 +1,1 @@
+"""Tests for scenario scripting, the simnet closed loop, and chaos."""

@@ -1,0 +1,192 @@
+"""Tests for time-scripted fault lifecycles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    FaultEvent,
+    FaultScript,
+    ScenarioError,
+    apply_fault_event,
+)
+from repro.simnet import (
+    DisconnectFault,
+    DropFault,
+    FaultInjectorError,
+    Network,
+)
+from repro.topology import ClosSpec, up_link
+
+
+def small_net(**kwargs) -> Network:
+    return Network(ClosSpec(n_leaves=2, n_spines=2), seed=0, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Event validation
+# ----------------------------------------------------------------------
+def test_event_rejects_negative_time():
+    with pytest.raises(ScenarioError):
+        FaultEvent(-1, "inject", "up:L0->S0", DropFault(0.1))
+
+
+def test_event_rejects_unknown_action():
+    with pytest.raises(ScenarioError):
+        FaultEvent(0, "explode", "up:L0->S0", DropFault(0.1))
+
+
+def test_inject_event_requires_fault():
+    with pytest.raises(ScenarioError):
+        FaultEvent(0, "inject", "up:L0->S0")
+
+
+def test_heal_event_rejects_fault():
+    with pytest.raises(ScenarioError):
+        FaultEvent(0, "heal", "up:L0->S0", DropFault(0.1))
+
+
+# ----------------------------------------------------------------------
+# Builder / introspection
+# ----------------------------------------------------------------------
+def test_builder_chains_and_orders():
+    link = up_link(0, 1)
+    script = (
+        FaultScript()
+        .inject(1_000, link, DropFault(0.02))
+        .degrade(2_000, link, 0.5)
+        .disconnect(3_000, link)
+        .heal(4_000, link)
+    )
+    assert [e.action for e in script.events] == [
+        "inject",
+        "degrade",
+        "disconnect",
+        "heal",
+    ]
+    assert script.span_ns == 4_000
+    assert script.links() == {link}
+    # The default disconnect is the silent (gray) failure.
+    assert script.events[2].fault.known is False
+
+
+def test_shifted_moves_every_event():
+    script = FaultScript().inject(100, "up:L0->S0", DropFault(0.1)).heal(200, "up:L0->S0")
+    moved = script.shifted(1_000)
+    assert [e.at_ns for e in moved.events] == [1_100, 1_200]
+    # Original untouched.
+    assert [e.at_ns for e in script.events] == [100, 200]
+
+
+def test_validate_rejects_unknown_link():
+    script = FaultScript().inject(0, "up:L9->S9", DropFault(0.1))
+    with pytest.raises(ScenarioError, match="unknown links"):
+        script.validate(small_net())
+
+
+# ----------------------------------------------------------------------
+# Engine-scheduled application
+# ----------------------------------------------------------------------
+def test_schedule_applies_lifecycle_at_scripted_times():
+    net = small_net()
+    link = up_link(0, 1)
+    script = (
+        FaultScript()
+        .inject(1_000, link, DropFault(0.1))
+        .degrade(2_000, link, 0.5)
+        .heal(3_000, link)
+    )
+    snapshots = {}
+
+    def probe(label):
+        fault = net.injector.fault_on(link)
+        snapshots[label] = (type(fault).__name__, getattr(fault, "rate", None))
+
+    scheduled = script.schedule(net)
+    net.sim.schedule_at(1_500, probe, "after_inject")
+    net.sim.schedule_at(2_500, probe, "after_degrade")
+    net.sim.schedule_at(3_500, probe, "after_heal")
+    net.run()
+
+    assert snapshots["after_inject"] == ("DropFault", 0.1)
+    assert snapshots["after_degrade"] == ("DropFault", 0.5)
+    assert snapshots["after_heal"] == ("NoneType", None)
+    assert [t for t, _ in scheduled.applied] == [1_000, 2_000, 3_000]
+    assert scheduled.pending == 0
+
+
+def test_cancel_stops_unfired_events():
+    net = small_net()
+    link = up_link(0, 1)
+    scheduled = FaultScript().inject(1_000, link, DropFault(0.1)).schedule(net)
+    scheduled.cancel()
+    net.sim.schedule_at(2_000, lambda: None)
+    net.run()
+    assert scheduled.applied == []
+    assert net.injector.fault_on(link) is None
+
+
+def test_scripted_known_disconnect_updates_control_plane():
+    net = small_net()
+    link = up_link(0, 1)
+    FaultScript().disconnect(500, link, known=True).schedule(net)
+    net.run()
+    assert link in net.control.known_disabled
+
+
+# ----------------------------------------------------------------------
+# Immediate application
+# ----------------------------------------------------------------------
+def test_apply_heal_on_healthy_link_is_an_error():
+    net = small_net()
+    with pytest.raises(FaultInjectorError):
+        apply_fault_event(net, FaultEvent(0, "heal", up_link(0, 1)))
+
+
+def test_apply_double_inject_is_an_authoring_error():
+    net = small_net()
+    link = up_link(0, 1)
+    apply_fault_event(net, FaultEvent(0, "inject", link, DropFault(0.1)))
+    with pytest.raises(ValueError):
+        apply_fault_event(net, FaultEvent(0, "inject", link, DropFault(0.2)))
+
+
+def test_apply_degrade_replaces_existing_fault():
+    net = small_net()
+    link = up_link(0, 1)
+    apply_fault_event(net, FaultEvent(0, "inject", link, DropFault(0.1)))
+    apply_fault_event(net, FaultEvent(0, "degrade", link, DropFault(0.8)))
+    assert net.injector.fault_on(link).rate == 0.8
+
+
+class _Recorder:
+    """Minimal duck-typed telemetry session."""
+
+    def __init__(self):
+        self.events = []
+        self.counts = []
+
+    def emit(self, event_type, **fields):
+        self.events.append((event_type, fields))
+
+    def counter(self, name, **labels):
+        recorder = self
+
+        class _Counter:
+            def inc(self, n=1):
+                recorder.counts.append((name, labels, n))
+
+        return _Counter()
+
+
+def test_apply_emits_scenario_telemetry():
+    recorder = _Recorder()
+    net = small_net(telemetry=recorder)
+    link = up_link(0, 1)
+    apply_fault_event(net, FaultEvent(0, "inject", link, DropFault(0.25)))
+    kinds = [t for t, _ in recorder.events]
+    assert "scenario.fault_event" in kinds
+    fields = dict(recorder.events[kinds.index("scenario.fault_event")][1])
+    assert fields["link"] == link
+    assert fields["rate"] == 0.25
+    assert ("scenario.fault_events", {"action": "inject"}, 1) in recorder.counts

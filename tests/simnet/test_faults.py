@@ -10,6 +10,7 @@ from repro.simnet import (
     DisconnectFault,
     DropFault,
     FaultInjector,
+    FaultInjectorError,
     IntermittentDropFault,
     Packet,
     TransientDropFault,
@@ -122,12 +123,44 @@ def test_injector_rejects_double_injection():
         injector.inject("up:L0->S1", DropFault(0.2))
 
 
-def test_injector_clear_heals():
+def test_injector_clear_heals_and_returns_fault():
     injector = FaultInjector()
+    fault = DropFault(0.1)
+    injector.inject("up:L0->S1", fault)
+    assert injector.clear("up:L0->S1") is fault
+    assert injector.fault_on("up:L0->S1") is None
+
+
+def test_injector_clear_unknown_link_is_an_error():
+    injector = FaultInjector()
+    with pytest.raises(FaultInjectorError):
+        injector.clear("up:L0->S1")
+    # Clearing twice is equally loud: the second clear sees no fault.
     injector.inject("up:L0->S1", DropFault(0.1))
     injector.clear("up:L0->S1")
-    assert injector.fault_on("up:L0->S1") is None
-    injector.clear("up:L0->S1")  # idempotent
+    with pytest.raises(FaultInjectorError):
+        injector.clear("up:L0->S1")
+
+
+def test_injector_replace_escalates_in_place():
+    injector = FaultInjector()
+    gray = DropFault(0.05)
+    injector.inject("up:L0->S1", gray)
+    worse = DropFault(0.5)
+    displaced = injector.inject("up:L0->S1", worse, replace=True)
+    assert displaced is gray
+    assert injector.fault_on("up:L0->S1") is worse
+    # Escalate to a full disconnect: the lifecycle's terminal state.
+    dead = DisconnectFault(known=False)
+    assert injector.inject("up:L0->S1", dead, replace=True) is worse
+    assert injector.fault_on("up:L0->S1") is dead
+
+
+def test_injector_replace_on_clean_link_behaves_like_inject():
+    injector = FaultInjector()
+    fault = DropFault(0.1)
+    assert injector.inject("up:L0->S1", fault, replace=True) is None
+    assert injector.fault_on("up:L0->S1") is fault
 
 
 def test_known_disabled_lists_only_known_faults():

@@ -103,3 +103,56 @@ def test_double_injection_rejected():
     net.inject_fault(down_link(0, 1), DropFault(0.1))
     with pytest.raises(ValueError):
         net.inject_fault(down_link(0, 1), DropFault(0.2))
+
+
+def test_replace_known_fault_with_silent_reenables_routing():
+    # The nastiest gray-failure shape: a cleanly failed (known, routed
+    # around) cable comes back half-alive. Routing must re-admit it.
+    net = Network(ClosSpec(n_leaves=2, n_spines=2), seed=0)
+    link = up_link(0, 1)
+    net.inject_fault(link, DisconnectFault(known=True))
+    assert link in net.control.known_disabled
+    net.inject_fault(link, DropFault(0.3), replace=True)
+    assert link not in net.control.known_disabled
+    assert isinstance(net.injector.fault_on(link), DropFault)
+
+
+def test_mid_run_inject_then_heal_round_trip():
+    from repro.simnet import FlowTag
+
+    net = Network(
+        ClosSpec(n_leaves=2, n_spines=2), seed=0, mtu=1000, spray="round_robin"
+    )
+    link = up_link(0, 0)
+    done = []
+    net.host(1).on_message(lambda *a: done.append(a))
+    net.host(0).send(1, 200_000, tag=FlowTag(1, 0))
+    # Fault appears while packets are in flight, heals later.
+    net.sim.schedule_at(1_000, net.inject_fault, link, DropFault(1.0))
+    net.sim.schedule_at(500_000, net.heal_fault, link)
+    net.run()
+    assert done, "message must complete despite the mid-run fault window"
+    assert net.link(link).faulted_packets > 0
+    assert net.injector.fault_on(link) is None
+    assert net.host(0).transport.failed_messages == 0
+
+
+def test_spraying_excludes_known_fault_until_heal():
+    from repro.simnet import FlowTag
+
+    net = Network(
+        ClosSpec(n_leaves=2, n_spines=2), seed=0, mtu=1000, spray="round_robin"
+    )
+    link = up_link(0, 0)
+    net.host(1).on_message(lambda *a: None)
+    net.inject_fault(link, DisconnectFault(known=True))
+    net.host(0).send(1, 50_000, tag=FlowTag(1, 0))
+    net.run()
+    # Known-disabled: the spray policy never offers this uplink.
+    assert net.link(link).tx_packets == 0
+    assert net.link(up_link(0, 1)).tx_packets > 0
+
+    net.heal_fault(link)
+    net.host(0).send(1, 50_000, tag=FlowTag(1, 1))
+    net.run()
+    assert net.link(link).tx_packets > 0

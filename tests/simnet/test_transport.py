@@ -109,17 +109,95 @@ def test_invalid_mtu_rejected():
         make_net(mtu=0)
 
 
-def test_retransmission_cap_raises():
-    net = make_net(mtu=1000)
+def black_holed_net(**kwargs):
+    """Both spines dead toward host 1: messages can never get through."""
     from repro.simnet import DisconnectFault
 
-    # Both spines dead: the message can never get through.
+    net = make_net(mtu=1000, max_retransmissions=5, **kwargs)
     net.inject_fault("down:S0->L1", DisconnectFault(known=False))
     net.inject_fault("down:S1->L1", DisconnectFault(known=False))
-    net.host(0).transport.max_retransmissions = 5
+    return net
+
+
+def test_retransmission_cap_fails_message_gracefully():
+    """Regression for the run-aborting TransportError: a silent total
+    failure (DisconnectFault(known=False) on every path) degrades into
+    a failed message, not an exception through the event loop."""
+    net = black_holed_net()
+    failures = []
+    net.host(0).on_send_failed(
+        lambda dst, mid, tag, size: failures.append((dst, size))
+    )
+    net.host(0).send(1, 1000)
+    net.run()  # completes without raising
+    transport = net.host(0).transport
+    assert failures == [(1, 1000)]
+    assert transport.failed_messages == 1
+    assert net.host(0).failed_sends == 1
+    assert transport.inflight_messages == 0
+
+
+def test_giveup_cancels_sibling_packet_timers():
+    """Abandoning a message cancels the timers of its other pending
+    packets: the event queue drains instead of retrying a dead message."""
+    net = black_holed_net()
+    net.host(0).send(1, 5000)  # five packets, all doomed
+    net.run()
+    assert net.host(0).transport.failed_messages == 1
+    assert net.sim.pending_events == 0
+
+
+def test_per_message_on_failed_callback():
+    net = black_holed_net()
+    failed = []
+    net.host(0).send(1, 1000, on_failed=lambda msg: failed.append(msg.msg_id))
+    net.run()
+    assert len(failed) == 1
+
+
+def test_failed_message_emits_transport_failed_telemetry():
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def emit(self, type_, **fields):
+            self.events.append((type_, fields))
+
+        def counter(self, name, **labels):
+            return self
+
+        def inc(self, n=1):
+            pass
+
+        def histogram(self, name, **kw):
+            return self
+
+        def observe(self, v):
+            pass
+
+    recorder = Recorder()
+    net = black_holed_net(telemetry=recorder)
+    net.host(0).send(1, 1000)
+    net.run()
+    failed = [f for t, f in recorder.events if t == "transport.failed"]
+    assert len(failed) == 1
+    assert failed[0]["dst_host"] == 1
+
+
+def test_retransmission_cap_raise_policy_preserved():
+    from repro.simnet import GiveupPolicy
+
+    net = black_holed_net(giveup=GiveupPolicy(GiveupPolicy.RAISE))
     net.host(0).send(1, 1000)
     with pytest.raises(TransportError, match="exceeded"):
         net.run()
+
+
+def test_giveup_policy_rejects_unknown_mode():
+    from repro.simnet import GiveupPolicy
+
+    with pytest.raises(TransportError):
+        GiveupPolicy("explode")
 
 
 def test_inflight_accounting():

@@ -264,3 +264,38 @@ def test_learned_predictor_flag(capsys):
     out = capsys.readouterr().out
     assert "detected" in out
     assert code in (0, 1)
+
+
+def test_closed_loop_simnet_engine_recovers(capsys):
+    # Tiny packet-level run: 4x3 fabric, ~300 KB collective. Threshold
+    # sits above the round-robin quantization noise for this size.
+    code = main(
+        [
+            "closed-loop",
+            "--engine", "simnet",
+            "--leaves", "4",
+            "--spines", "3",
+            "--collective-gib", str(300_000 / (1 << 30)),
+            "--mtu", "512",
+            "--iterations", "6",
+            "--threshold", "0.03",
+            "--drop-rate", "0.5",
+            "--fault-start", "1",
+            "--fault-link", "up:L1->S1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "simnet closed loop" in out
+    assert "ALARM" in out
+    assert "DISABLED" in out and "up:L1->S1" in out
+    assert "failed messages: 0" in out
+    assert "recovered (quiet after remediation): True" in out
+
+
+def test_chaos_command_reports_pass(capsys):
+    code = main(["chaos", "--scenarios", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2/2 scenarios passed" in out
+    assert "healthy" in out and "persistent_drop" in out
