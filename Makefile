@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 PYTEST_ARGS ?=
 
-.PHONY: test lint bench sweep-bench
+.PHONY: test lint bench sweep-bench fleet-bench fleet-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
@@ -19,3 +19,19 @@ bench:
 
 sweep-bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_sweep_throughput.py -q -s
+
+fleet-bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_fleet_throughput.py -q -s
+
+# End-to-end fleet walkthrough: generate a multi-job workload, stream it
+# through a sharded service (incident log to /tmp), verify golden parity.
+fleet-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet loadgen \
+		--jobs 8 --iterations 20 --fault-fraction 0.25 \
+		--out /tmp/fleet-demo.fprec
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet serve \
+		--input /tmp/fleet-demo.fprec --shards 4 \
+		--incidents-out /tmp/fleet-demo-incidents.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet replay \
+		--input /tmp/fleet-demo.fprec --shards 2
+	@echo "incident log: /tmp/fleet-demo-incidents.jsonl"

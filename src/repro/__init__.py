@@ -25,6 +25,10 @@ Layers
 - :mod:`repro.telemetry` — metrics registry, structured event log,
   detection audit trail, and Chrome-trace export (opt-in; nothing else
   imports it).
+- :mod:`repro.fleet` — sharded streaming monitoring service for many
+  concurrent jobs: wire codec, consistent-hash routing, bounded-queue
+  worker pool with explicit backpressure, incident rollup, load
+  generator, and ``.fprec`` record/replay.
 - :mod:`repro.cli` — ``python -m repro detect | roc | closed-loop``.
 
 Quickstart
@@ -40,6 +44,7 @@ from . import (
     collectives,
     core,
     fastsim,
+    fleet,
     simnet,
     telemetry,
     threelevel,
@@ -55,6 +60,7 @@ __all__ = [
     "collectives",
     "core",
     "fastsim",
+    "fleet",
     "simnet",
     "telemetry",
     "threelevel",

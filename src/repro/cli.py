@@ -7,10 +7,14 @@ without writing code::
     python -m repro detect --healthy
     python -m repro roc --trials 8
     python -m repro closed-loop --drop-rate 0.05
+    python -m repro fleet loadgen --out workload.fprec
+    python -m repro fleet serve --input workload.fprec --shards 4
 
-Every command prints a plain-text report and exits 0; ``detect`` exits
-1 when a fault was injected but missed (or a healthy run false-alarmed),
-making it usable from scripts.
+Exit codes are script-friendly and consistent across commands: 0 on
+success, 1 when the run's own check fails (a missed or false detection,
+an unrecovered loop, a chaos invariant, a fleet validation or parity
+mismatch), 2 on bad input (unknown parameters, malformed files,
+invalid configuration).
 """
 
 from __future__ import annotations
@@ -306,7 +310,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "bool": lambda v: v.lower() in ("1", "true", "yes"),
     }
     caster = casters.get(field_types[args.parameter], float)
-    values = [caster(v) for v in args.values]
+    try:
+        values = [caster(v) for v in args.values]
+    except ValueError:
+        print(
+            f"cannot parse --values as {field_types[args.parameter]} "
+            f"for parameter {args.parameter!r}",
+            file=sys.stderr,
+        )
+        return 2
     session = _telemetry_session(args)
     runner = SweepRunner(
         jobs=args.jobs, telemetry=session, progress=_progress_callback(args)
@@ -490,6 +502,245 @@ def cmd_closed_loop(args: argparse.Namespace) -> int:
     return 0 if result.recovered else 1
 
 
+# ----------------------------------------------------------------------
+# Fleet: sharded streaming monitoring service
+# ----------------------------------------------------------------------
+def _add_fleet_workload_args(parser: argparse.ArgumentParser) -> None:
+    """Workload-shape flags shared by ``fleet loadgen`` and inline
+    generation.  Defaults are fleet-scale (small fabric, many jobs), not
+    the single-trial paper defaults."""
+    parser.add_argument("--jobs", type=int, default=8, help="concurrent jobs")
+    parser.add_argument("--iterations", type=int, default=20, help="iterations per job")
+    parser.add_argument(
+        "--fault-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of jobs with an injected silent fault",
+    )
+    parser.add_argument("--leaves", type=int, default=8, help="leaf switches per job fabric")
+    parser.add_argument("--spines", type=int, default=4, help="spine switches per job fabric")
+    parser.add_argument(
+        "--collective-gib", type=float, default=1.0, help="collective size in GiB"
+    )
+    parser.add_argument("--threshold", type=float, default=0.01, help="detection threshold")
+    parser.add_argument("--drop-rate", type=float, default=0.015, help="fault drop rate")
+    parser.add_argument(
+        "--predictor",
+        choices=("analytical", "simulation", "learned"),
+        default="analytical",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_fleet_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=2, help="shard worker processes")
+    parser.add_argument(
+        "--queue-depth", type=int, default=1024, help="bounded inbox size per shard"
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("block", "shed-oldest"),
+        default="block",
+        help="backpressure when a shard inbox fills: block ingest "
+        "(lossless) or shed the oldest queued batch (lossy, counted)",
+    )
+    parser.add_argument(
+        "--incidents-out",
+        metavar="PATH",
+        default=None,
+        help="write the incident lifecycle log (opened/closed rollups) as JSONL",
+    )
+    parser.add_argument(
+        "--fleet-metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the merged fleet metrics snapshot as JSONL",
+    )
+
+
+def _loadgen_config(args: argparse.Namespace):
+    from .fleet import LoadGenConfig
+
+    experiment = ExperimentConfig(
+        n_leaves=args.leaves,
+        n_spines=args.spines,
+        collective_bytes=int(args.collective_gib * GIB),
+        threshold=args.threshold,
+        drop_rate=args.drop_rate,
+        predictor=args.predictor,
+        warmup_iterations=min(3, max(1, args.iterations - 2)),
+    )
+    return LoadGenConfig(
+        n_jobs=args.jobs,
+        n_iterations=args.iterations,
+        fault_fraction=args.fault_fraction,
+        base_seed=args.seed,
+        experiment=experiment,
+    )
+
+
+def _fleet_config(args: argparse.Namespace, return_verdicts: bool = False):
+    from .fleet import FleetConfig
+
+    return FleetConfig(
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        policy=args.policy,
+        return_verdicts=return_verdicts,
+    )
+
+
+def _write_fleet_outputs(args: argparse.Namespace, result) -> None:
+    from .telemetry.events import write_jsonl
+
+    if args.incidents_out is not None and result.incident_log is not None:
+        n_lines = result.incident_log.dump_jsonl(args.incidents_out)
+        print(f"wrote {n_lines} incident events to {args.incidents_out}", file=sys.stderr)
+    if args.fleet_metrics_out is not None:
+        n_lines = write_jsonl(result.metrics, args.fleet_metrics_out)
+        print(f"wrote {n_lines} metric lines to {args.fleet_metrics_out}", file=sys.stderr)
+
+
+def _print_fleet_report(result, assignment) -> None:
+    metrics = {
+        (entry["name"], entry["labels"].get("shard", "")): entry
+        for entry in result.metrics
+        if "name" in entry
+    }
+    rows = []
+    for shard in range(assignment.n_shards):
+        label = str(shard)
+        batches = metrics.get(("fleet.batches", label), {}).get("value", 0)
+        records = metrics.get(("fleet.records", label), {}).get("value", 0)
+        alarmed = metrics.get(("fleet.alarmed_iterations", label), {}).get("value", 0)
+        latency = metrics.get(("fleet.detection_latency_s", label))
+        mean_ms = (
+            1000.0 * latency["sum"] / latency["count"]
+            if latency and latency.get("count")
+            else 0.0
+        )
+        rows.append(
+            [
+                shard,
+                assignment.jobs_per_shard.get(shard, 0),
+                batches,
+                records,
+                alarmed,
+                f"{mean_ms:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["shard", "jobs", "batches", "records", "alarms", "mean latency ms"],
+            rows,
+            title=f"fleet: {result.submitted_records} records in "
+            f"{result.elapsed_s:.2f}s "
+            f"({result.ingest_records_per_sec:,.0f} records/sec ingest)",
+        )
+    )
+    if result.shed_records:
+        print(f"shed under backpressure: {result.shed_records} records "
+              f"({result.shed_batches} batches)")
+    if result.errors:
+        print(f"worker errors: {len(result.errors)}")
+        for error in result.errors[:5]:
+            print(f"  {error}")
+    print()
+    if result.incidents:
+        incident_rows = [
+            [
+                incident.job_id,
+                incident.link,
+                incident.kind,
+                f"{incident.first_seen}-{incident.last_seen}",
+                incident.n_iterations,
+                format_percent(-incident.worst_deviation),
+            ]
+            for incident in result.incidents
+        ]
+        print(
+            format_table(
+                ["job", "link", "kind", "seen", "iters", "worst deficit"],
+                incident_rows,
+                title=f"incidents ({len(result.incidents)})",
+            )
+        )
+    else:
+        print("incidents: none")
+
+
+def cmd_fleet_loadgen(args: argparse.Namespace) -> int:
+    from .fleet import write_workload
+
+    config = _loadgen_config(args)
+    jobs, n_lines = write_workload(config, args.out)
+    faulted = sorted(job.job_id for job in jobs if job.faulted)
+    print(
+        f"wrote {n_lines} lines ({len(jobs)} jobs x {config.n_iterations} "
+        f"iterations) to {args.out}"
+    )
+    print(f"faulted jobs: {', '.join(map(str, faulted)) or 'none'}")
+    for job in jobs:
+        if job.faulted:
+            print(f"  job {job.job_id}: {job.fault_link} at "
+                  f"{format_percent(job.experiment.drop_rate)} drop")
+    return 0
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    from .fleet import ShardRouter, describe_assignment, read_fprec, serve_workload
+
+    content = read_fprec(args.input)
+    if not content.jobs:
+        print(f"no job configs in {args.input}", file=sys.stderr)
+        return 2
+    result = serve_workload(content.jobs, content.batches, _fleet_config(args))
+    assignment = describe_assignment(
+        ShardRouter(args.shards), [job.job_id for job in content.jobs]
+    )
+    _print_fleet_report(result, assignment)
+    _write_fleet_outputs(args, result)
+    validation = result.validate()
+    if validation.checked:
+        print(
+            f"\nvalidation: {validation.checked} jobs with ground truth, "
+            f"missed={list(validation.missed) or 'none'}, "
+            f"false alarms={list(validation.false_alarms) or 'none'}"
+        )
+        return 0 if validation.ok else 1
+    print("\nvalidation: no ground truth in stream (not generated by loadgen)")
+    return 0
+
+
+def cmd_fleet_replay(args: argparse.Namespace) -> int:
+    from .fleet import read_fprec, reference_verdicts, serve_workload
+
+    content = read_fprec(args.input)
+    if not content.jobs:
+        print(f"no job configs in {args.input}", file=sys.stderr)
+        return 2
+    result = serve_workload(
+        content.jobs, content.batches, _fleet_config(args, return_verdicts=True)
+    )
+    reference = reference_verdicts(content.jobs, content.batches)
+    mismatched = []
+    for job in content.jobs:
+        if result.verdicts_for(job.job_id) != reference[job.job_id]:
+            mismatched.append(job.job_id)
+    n_verdicts = sum(len(v) for v in reference.values())
+    print(
+        f"replayed {result.submitted_records} records through "
+        f"{args.shards} shard(s): {n_verdicts} verdicts compared "
+        "against the direct-feed reference"
+    )
+    if mismatched:
+        print(f"PARITY BROKEN for jobs: {mismatched}")
+        return 1
+    print("golden parity: bit-identical verdicts")
+    _write_fleet_outputs(args, result)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -610,13 +861,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=cmd_chaos)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="sharded streaming monitoring service for many jobs",
+        description="Stream many jobs' iteration records through a "
+        "sharded monitoring service: loadgen writes a .fprec workload, "
+        "serve runs it through shard workers and rolls alarms into "
+        "incidents, replay checks bit-exact parity against a "
+        "direct-feed monitor.",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    loadgen = fleet_sub.add_parser(
+        "loadgen", help="generate a multi-job workload as a .fprec file"
+    )
+    _add_fleet_workload_args(loadgen)
+    loadgen.add_argument(
+        "--out", required=True, metavar="PATH", help="output .fprec path"
+    )
+    loadgen.set_defaults(func=cmd_fleet_loadgen)
+
+    serve = fleet_sub.add_parser(
+        "serve",
+        help="run a recorded workload through the sharded service",
+        description="Exit 0 when every faulted job produced an incident "
+        "and no healthy job did; 1 on a missed fault or false alarm.",
+    )
+    serve.add_argument(
+        "--input", required=True, metavar="PATH", help="input .fprec workload"
+    )
+    _add_fleet_service_args(serve)
+    serve.set_defaults(func=cmd_fleet_serve)
+
+    replay = fleet_sub.add_parser(
+        "replay",
+        help="replay a .fprec stream and verify golden parity",
+        description="Exit 0 when the service's verdicts are bit-identical "
+        "to a direct single-monitor feed; 1 on any divergence.",
+    )
+    replay.add_argument(
+        "--input", required=True, metavar="PATH", help="input .fprec stream"
+    )
+    _add_fleet_service_args(replay)
+    replay.set_defaults(func=cmd_fleet_replay)
+
     return parser
+
+
+def _domain_errors() -> tuple:
+    """Exception types that signal bad input or configuration, not bugs:
+    these exit 2 with a one-line message instead of a traceback."""
+    from .analysis.experiments import ExperimentError
+    from .analysis.sweeps import SweepError
+    from .fastsim.sampling import FastSimError
+    from .fleet import CodecError, FleetError
+    from .scenarios.script import ScenarioError
+    from .telemetry.registry import TelemetryError
+
+    return (
+        CodecError,
+        ExperimentError,
+        FastSimError,
+        FleetError,
+        ScenarioError,
+        SweepError,
+        TelemetryError,
+        OSError,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _domain_errors() as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

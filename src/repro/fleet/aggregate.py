@@ -1,0 +1,139 @@
+"""Fleet-level alarm dedup and incident rollup.
+
+A persistent fault alarms every iteration on every leaf that observes
+the deficit, so a raw verdict stream is far too chatty for an operator
+dashboard.  The aggregator collapses it: all suspicions of the same
+``(job, link)`` across iterations and observing leaves become one
+:class:`Incident` carrying first/last-seen iterations, the union of
+per-sender evidence (with each sender's worst deviation), the set of
+observing leaves, and a localization verdict (``local``/``remote``, or
+``mixed`` when iterations disagree).
+
+Incident lifecycle is logged through an (optional) existing
+:class:`repro.telemetry.EventLog` — ``incident.opened`` when a link
+first alarms, ``incident.closed`` with the full rollup at
+:meth:`FleetAggregator.finalize` — so ``--incidents-out`` produces a
+JSONL stream any downstream consumer reads directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.monitor import IterationVerdict
+
+
+@dataclass
+class Incident:
+    """One deduplicated fleet incident: a suspected link of one job."""
+
+    job_id: int
+    link: str
+    kind: str  # "local" | "remote" | "mixed"
+    first_seen: int  # iteration of the first implicating alarm
+    last_seen: int  # iteration of the latest one
+    worst_deviation: float  # most negative port deviation observed
+    senders: dict[int, float] = field(default_factory=dict)  # sender -> worst dev
+    leaves: set[int] = field(default_factory=set)  # observing leaves
+    iterations: set[int] = field(default_factory=set)  # alarmed iterations
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    def to_event(self) -> dict:
+        """JSON-ready rollup (the ``incident.closed`` payload)."""
+        return {
+            "job_id": self.job_id,
+            "link": self.link,
+            "kind": self.kind,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "n_iterations": self.n_iterations,
+            "worst_deviation": self.worst_deviation,
+            "senders": {str(s): d for s, d in sorted(self.senders.items())},
+            "leaves": sorted(self.leaves),
+        }
+
+
+class FleetAggregator:
+    """Collapses triggered verdicts into per-``(job, link)`` incidents.
+
+    ``event_log`` is any :class:`repro.telemetry.EventLog`-shaped object
+    (duck-typed ``emit``); pass ``None`` to aggregate silently.
+    """
+
+    def __init__(self, event_log=None) -> None:
+        self.event_log = event_log
+        self._incidents: dict[tuple[int, str], Incident] = {}
+        self.verdicts_seen = 0
+        self.alarmed_verdicts = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, job_id: int, verdict: IterationVerdict) -> None:
+        """Fold one job's iteration verdict into the incident table."""
+        self.verdicts_seen += 1
+        if not verdict.triggered:
+            return
+        self.alarmed_verdicts += 1
+        for localization in verdict.localizations:
+            for suspicion in localization.suspicions:
+                self._fold(job_id, verdict.iteration, localization.leaf, suspicion)
+
+    def _fold(self, job_id: int, iteration: int, leaf: int, suspicion) -> None:
+        key = (job_id, suspicion.link)
+        incident = self._incidents.get(key)
+        if incident is None:
+            incident = Incident(
+                job_id=job_id,
+                link=suspicion.link,
+                kind=suspicion.kind,
+                first_seen=iteration,
+                last_seen=iteration,
+                worst_deviation=suspicion.deviation,
+            )
+            self._incidents[key] = incident
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "incident.opened",
+                    job_id=job_id,
+                    link=suspicion.link,
+                    kind=suspicion.kind,
+                    iteration=iteration,
+                    deviation=suspicion.deviation,
+                )
+        else:
+            incident.first_seen = min(incident.first_seen, iteration)
+            incident.last_seen = max(incident.last_seen, iteration)
+            if incident.kind != suspicion.kind:
+                incident.kind = "mixed"
+            incident.worst_deviation = min(
+                incident.worst_deviation, suspicion.deviation
+            )
+        incident.iterations.add(iteration)
+        incident.leaves.add(leaf)
+        for sender in suspicion.affected_senders:
+            previous = incident.senders.get(sender)
+            if previous is None or suspicion.deviation < previous:
+                incident.senders[sender] = suspicion.deviation
+
+    # ------------------------------------------------------------------
+    @property
+    def incidents(self) -> list[Incident]:
+        """Current incidents, sorted by ``(job_id, link)``."""
+        return [self._incidents[key] for key in sorted(self._incidents)]
+
+    def incidents_for(self, job_id: int) -> list[Incident]:
+        return [i for i in self.incidents if i.job_id == job_id]
+
+    def jobs_with_incidents(self) -> frozenset[int]:
+        return frozenset(job_id for job_id, _link in self._incidents)
+
+    def finalize(self) -> list[Incident]:
+        """Close the table: emit one ``incident.closed`` rollup per
+        incident and return them sorted."""
+        incidents = self.incidents
+        if self.event_log is not None:
+            for incident in incidents:
+                self.event_log.emit("incident.closed", **incident.to_event())
+        return incidents

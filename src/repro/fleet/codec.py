@@ -1,0 +1,412 @@
+"""Versioned wire format for :class:`IterationRecord` batches.
+
+The fleet service moves per-leaf iteration measurements between
+processes (and onto disk) as *lines*: each line is a self-describing
+JSON array whose first element is the format version, so a stream can
+be decoded record-by-record without a file header and an old reader
+confronted with a newer payload fails with a typed
+:class:`UnsupportedVersionError` instead of a ``KeyError``.
+
+Two line kinds exist:
+
+``["fprec", 1, "b", job_id, n_records, iteration, collective, [...]]``
+    One :class:`RecordBatch` — every leaf's record for one collective
+    iteration of one job.  ``job_id`` and ``n_records`` sit at fixed
+    early positions so the ingest frontend can route a line with
+    :func:`peek_batch` (a string split) without a full JSON parse.
+
+``["fprec", 1, "j", {...}]``
+    One :class:`JobConfig` — the monitored job's fabric/predictor
+    description, everything a shard needs to rebuild the job's
+    :class:`~repro.core.monitor.FlowPulseMonitor` deterministically.
+
+A ``.fprec`` file is just these lines concatenated (jobs conventionally
+first), which makes the wire format double as a record/replay format:
+any simnet or fastsim run can be captured with :func:`batches_from_run`
++ :func:`write_fprec` and replayed through detection offline.
+
+Round-trips are exact: integers stay integers, finite floats stay
+floats (``repr`` round-trip), dict keys and tuple keys are rebuilt with
+their original types, and record order inside a batch is preserved —
+the golden-parity guarantee of the fleet service rests on this.
+Non-finite floats are rejected on both encode and decode (strict JSON
+has no ``NaN``/``Infinity``, and a measurement can never legitimately
+contain one).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterable, Iterator
+
+from ..analysis.experiments import ExperimentConfig
+from ..simnet.counters import IterationRecord
+from ..simnet.packet import FlowTag
+
+#: Magic tag opening every line (cheap file-type identification).
+FPREC_MAGIC = "fprec"
+#: Current wire-format version.
+FPREC_VERSION = 1
+#: Conventional file extension for captured record streams.
+FPREC_SUFFIX = ".fprec"
+
+
+class CodecError(RuntimeError):
+    """Raised for malformed payloads, lines, or values."""
+
+
+class UnsupportedVersionError(CodecError):
+    """Raised when a payload declares a version this codec cannot read."""
+
+
+# ----------------------------------------------------------------------
+# Payload containers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecordBatch:
+    """All leaves' records for one collective iteration of one job."""
+
+    job_id: int
+    iteration: int
+    collective: str
+    records: tuple[IterationRecord, ...]
+
+    @classmethod
+    def from_records(cls, records: Iterable[IterationRecord]) -> "RecordBatch":
+        """Build a batch from one iteration's records, validating that
+        they all carry the same flow tag."""
+        records = tuple(records)
+        if not records:
+            raise CodecError("a record batch cannot be empty")
+        tag = records[0].tag
+        for record in records[1:]:
+            if record.tag != tag:
+                raise CodecError(
+                    f"mixed tags in batch: {tag} vs {record.tag} "
+                    "(one batch = one iteration of one job)"
+                )
+        return cls(
+            job_id=tag.job_id,
+            iteration=tag.iteration,
+            collective=tag.collective,
+            records=records,
+        )
+
+    @property
+    def n_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def tag(self) -> FlowTag:
+        return FlowTag(self.job_id, self.iteration, self.collective)
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Picklable, serializable description of one monitored job.
+
+    ``experiment`` carries the fabric shape, demand size, predictor
+    choice, and threshold; together with ``(base_seed, trial)`` it lets
+    any shard rebuild the job's monitor deterministically (the same
+    construction :func:`repro.analysis.experiments.run_trial` uses).
+    ``faulted`` records ground truth when the stream came from the load
+    generator (``None`` = unknown, excluded from validation).
+    """
+
+    job_id: int
+    experiment: ExperimentConfig
+    base_seed: int = 0
+    trial: int = 0
+    faulted: bool | None = None
+    fault_link: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.job_id != self.experiment.job_id:
+            raise CodecError(
+                f"job_id {self.job_id} does not match "
+                f"experiment.job_id {self.experiment.job_id}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Value validation
+# ----------------------------------------------------------------------
+def _check_finite(value, where: str):
+    """Reject NaN/Infinity; return the value unchanged."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise CodecError(f"non-finite value {value!r} in {where}")
+    return value
+
+
+def _reject_constant(name: str):
+    """``json.loads`` hook: a payload carrying bare ``NaN``/``Infinity``
+    literals is malformed by definition."""
+    raise CodecError(f"non-finite JSON constant {name!r} in payload")
+
+
+def _int_key(value, where: str) -> int:
+    if type(value) is not int:
+        raise CodecError(f"expected integer in {where}, got {value!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Record encoding
+# ----------------------------------------------------------------------
+def _encode_record(record: IterationRecord) -> list:
+    port_pairs = [
+        [_int_key(spine, "port_bytes key"), _check_finite(size, "port_bytes")]
+        for spine, size in sorted(record.port_bytes.items())
+    ]
+    sender_triples = [
+        [
+            _int_key(spine, "sender_bytes key"),
+            _int_key(src, "sender_bytes key"),
+            _check_finite(size, "sender_bytes"),
+        ]
+        for (spine, src), size in sorted(record.sender_bytes.items())
+    ]
+    return [
+        record.leaf,
+        record.start_ns,
+        record.end_ns,
+        port_pairs,
+        sender_triples,
+    ]
+
+
+def _decode_record(entry, tag: FlowTag) -> IterationRecord:
+    try:
+        leaf, start_ns, end_ns, port_pairs, sender_triples = entry
+        port_bytes = {
+            _int_key(spine, "port_bytes key"): _check_finite(size, "port_bytes")
+            for spine, size in port_pairs
+        }
+        sender_bytes = {
+            (
+                _int_key(spine, "sender_bytes key"),
+                _int_key(src, "sender_bytes key"),
+            ): _check_finite(size, "sender_bytes")
+            for spine, src, size in sender_triples
+        }
+    except CodecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed record entry: {exc}") from exc
+    return IterationRecord(
+        leaf=_int_key(leaf, "leaf"),
+        tag=tag,
+        port_bytes=port_bytes,
+        sender_bytes=sender_bytes,
+        start_ns=start_ns,
+        end_ns=end_ns,
+    )
+
+
+# ----------------------------------------------------------------------
+# Line encoding / decoding
+# ----------------------------------------------------------------------
+def encode_batch(batch: RecordBatch) -> str:
+    """One :class:`RecordBatch` as one wire line (no trailing newline)."""
+    payload = [
+        FPREC_MAGIC,
+        FPREC_VERSION,
+        "b",
+        batch.job_id,
+        batch.n_records,
+        batch.iteration,
+        batch.collective,
+        [_encode_record(record) for record in batch.records],
+    ]
+    return json.dumps(payload, separators=(",", ":"), allow_nan=False)
+
+
+def encode_job(job: JobConfig) -> str:
+    """One :class:`JobConfig` as one wire line."""
+    payload = [
+        FPREC_MAGIC,
+        FPREC_VERSION,
+        "j",
+        {
+            "job_id": job.job_id,
+            "base_seed": job.base_seed,
+            "trial": job.trial,
+            "faulted": job.faulted,
+            "fault_link": job.fault_link,
+            "experiment": asdict(job.experiment),
+        },
+    ]
+    return json.dumps(payload, separators=(",", ":"), allow_nan=False)
+
+
+def _parse_line(line: str) -> tuple[str, list]:
+    """Validate magic + version; return ``(kind, payload_list)``."""
+    try:
+        payload = json.loads(line, parse_constant=_reject_constant)
+    except CodecError:
+        raise
+    except (json.JSONDecodeError, RecursionError) as exc:
+        raise CodecError(f"not a valid wire line: {exc}") from exc
+    if not isinstance(payload, list) or len(payload) < 3:
+        raise CodecError("wire line must be a JSON array [magic, version, kind, ...]")
+    magic, version, kind = payload[0], payload[1], payload[2]
+    if magic != FPREC_MAGIC:
+        raise CodecError(f"bad magic {magic!r} (expected {FPREC_MAGIC!r})")
+    if not isinstance(version, int):
+        raise CodecError(f"version must be an integer, got {version!r}")
+    if version != FPREC_VERSION:
+        raise UnsupportedVersionError(
+            f"payload version {version} not supported "
+            f"(this codec reads version {FPREC_VERSION})"
+        )
+    if kind not in ("b", "j"):
+        raise CodecError(f"unknown line kind {kind!r}")
+    return kind, payload
+
+
+def decode_batch(line: str) -> RecordBatch:
+    """Parse one batch line back into an exact :class:`RecordBatch`."""
+    kind, payload = _parse_line(line)
+    if kind != "b":
+        raise CodecError(f"expected a batch line, got kind {kind!r}")
+    try:
+        _magic, _version, _kind, job_id, n_records, iteration, collective, entries = (
+            payload
+        )
+    except ValueError as exc:
+        raise CodecError(f"malformed batch line: {exc}") from exc
+    tag = FlowTag(
+        _int_key(job_id, "job_id"), _int_key(iteration, "iteration"), collective
+    )
+    if not isinstance(entries, list):
+        raise CodecError("batch records must be a JSON array")
+    if n_records != len(entries):
+        raise CodecError(
+            f"batch declares {n_records} records but carries {len(entries)}"
+        )
+    records = tuple(_decode_record(entry, tag) for entry in entries)
+    return RecordBatch(
+        job_id=tag.job_id,
+        iteration=tag.iteration,
+        collective=collective,
+        records=records,
+    )
+
+
+def decode_job(line: str) -> JobConfig:
+    """Parse one job line back into an exact :class:`JobConfig`."""
+    kind, payload = _parse_line(line)
+    if kind != "j":
+        raise CodecError(f"expected a job line, got kind {kind!r}")
+    if len(payload) != 4 or not isinstance(payload[3], dict):
+        raise CodecError("malformed job line")
+    data = dict(payload[3])
+    try:
+        experiment_data = data.pop("experiment")
+        experiment = ExperimentConfig(**experiment_data)
+        return JobConfig(experiment=experiment, **data)
+    except CodecError:
+        raise
+    except (KeyError, TypeError, ValueError, RuntimeError) as exc:
+        raise CodecError(f"malformed job config: {exc}") from exc
+
+
+def decode_line(line: str):
+    """Decode any wire line; returns ``("b", RecordBatch)`` or
+    ``("j", JobConfig)``."""
+    kind, _payload = _parse_line(line)
+    if kind == "b":
+        return kind, decode_batch(line)
+    return kind, decode_job(line)
+
+
+def peek_batch(line: str) -> tuple[int, int]:
+    """``(job_id, n_records)`` of a batch line without a full parse.
+
+    The routing fields sit at fixed positions, so four comma splits
+    suffice — this is what keeps the ingest frontend's per-line cost
+    independent of batch size.  Falls back to a full decode (and its
+    typed errors) when the prefix looks unlike a batch line.
+    """
+    parts = line.split(",", 5)
+    if len(parts) == 6 and parts[2] == '"b"':
+        try:
+            return int(parts[3]), int(parts[4])
+        except ValueError:
+            pass
+    batch = decode_batch(line)  # raises a typed error or handles edge forms
+    return batch.job_id, batch.n_records
+
+
+# ----------------------------------------------------------------------
+# Files (.fprec): record / replay
+# ----------------------------------------------------------------------
+def batches_from_run(
+    run_records: Iterable[Iterable[IterationRecord]],
+) -> list[RecordBatch]:
+    """Capture a run (per-iteration record lists, as
+    :func:`repro.fastsim.model.run_iterations` or the simnet collectors
+    produce) as a batch sequence."""
+    return [RecordBatch.from_records(records) for records in run_records]
+
+
+def write_fprec(
+    target: str | pathlib.Path | IO[str],
+    jobs: Iterable[JobConfig] = (),
+    batches: Iterable[RecordBatch] = (),
+) -> int:
+    """Write jobs then batches as a ``.fprec`` stream; returns the line
+    count."""
+    if isinstance(target, (str, pathlib.Path)):
+        with open(target, "w") as handle:
+            return write_fprec(handle, jobs, batches)
+    count = 0
+    for job in jobs:
+        target.write(encode_job(job) + "\n")
+        count += 1
+    for batch in batches:
+        target.write(encode_batch(batch) + "\n")
+        count += 1
+    return count
+
+
+def iter_fprec(source: str | pathlib.Path | IO[str]) -> Iterator[tuple[str, object]]:
+    """Stream a ``.fprec`` file as ``("j", JobConfig)`` / ``("b",
+    RecordBatch)`` events (blank lines skipped)."""
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source) as handle:
+            yield from iter_fprec(handle)
+        return
+    for line in source:
+        line = line.strip()
+        if line:
+            yield decode_line(line)
+
+
+@dataclass
+class FprecContent:
+    """A fully-loaded ``.fprec`` file."""
+
+    jobs: list[JobConfig] = field(default_factory=list)
+    batches: list[RecordBatch] = field(default_factory=list)
+
+    @property
+    def n_records(self) -> int:
+        return sum(batch.n_records for batch in self.batches)
+
+    def job_ids(self) -> list[int]:
+        return [job.job_id for job in self.jobs]
+
+
+def read_fprec(source: str | pathlib.Path | IO[str]) -> FprecContent:
+    """Load a ``.fprec`` file eagerly."""
+    content = FprecContent()
+    for kind, payload in iter_fprec(source):
+        if kind == "j":
+            content.jobs.append(payload)
+        else:
+            content.batches.append(payload)
+    return content

@@ -1,0 +1,500 @@
+"""The fleet service: sharded streaming monitoring of many jobs.
+
+:class:`FleetService` is the serving layer over everything below it:
+records arrive as encoded wire lines (:mod:`repro.fleet.codec`), are
+routed by consistent hash (:mod:`repro.fleet.shard`) to a pool of
+worker processes each owning the monitors of its jobs, and triggered
+verdicts flow back to the parent where the aggregator
+(:mod:`repro.fleet.aggregate`) collapses them into incidents.
+
+Backpressure is explicit.  Every shard's inbox is a bounded queue;
+``policy`` selects what happens when a flood outruns the workers:
+
+``"block"``
+    ``submit`` blocks until the shard drains — no record is ever lost,
+    ingest slows to detection speed.
+``"shed-oldest"``
+    the oldest queued batch is evicted to make room for the new one —
+    ingest never stalls, and every shed record is counted in the
+    ``fleet.shed_records`` metric (control messages are never shed).
+
+Golden parity: a job streamed through the service produces bit-identical
+:class:`~repro.core.monitor.IterationVerdict` sequences to feeding the
+same records directly into its monitor (:func:`reference_verdicts`),
+for any shard count, batch order interleaving, or queue depth — per-job
+order is preserved because a job maps to exactly one shard FIFO.  (Shed
+mode trades this away by design: dropped records are dropped.)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+
+from ..core.monitor import IterationVerdict
+from ..telemetry.events import EventLog
+from ..telemetry.registry import MetricsRegistry
+from .aggregate import FleetAggregator, Incident
+from .codec import JobConfig, RecordBatch, encode_batch, peek_batch
+from .shard import FleetError, ShardRouter, build_monitor, shard_worker
+
+#: How long ``close`` waits for a single outbox message before declaring
+#: the drain wedged (a worker died without its "done").
+DRAIN_TIMEOUT_S = 120.0
+
+#: Submit drains the outbox every this many batches (amortizes the
+#: zero-timeout select() behind ``Queue.get_nowait``).
+POLL_EVERY = 16
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Service shape and backpressure policy."""
+
+    n_shards: int = 2
+    queue_depth: int = 1024
+    policy: str = "block"  # "block" | "shed-oldest"
+    return_verdicts: bool = False
+    n_replicas: int = 64  # consistent-hash points per shard
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise FleetError("need at least one shard")
+        if self.queue_depth < 1:
+            raise FleetError("queue depth must be at least 1")
+        if self.policy not in ("block", "shed-oldest"):
+            raise FleetError(
+                f"unknown backpressure policy {self.policy!r} "
+                "(expected 'block' or 'shed-oldest')"
+            )
+
+
+@dataclass(frozen=True)
+class FleetValidation:
+    """Detection outcome vs. ground truth (jobs with ``faulted`` set)."""
+
+    checked: int
+    missed: tuple[int, ...]  # faulted jobs with no incident
+    false_alarms: tuple[int, ...]  # healthy jobs with an incident
+
+    @property
+    def ok(self) -> bool:
+        return not self.missed and not self.false_alarms
+
+
+@dataclass
+class FleetResult:
+    """Everything a finished service run produced."""
+
+    jobs: dict[int, JobConfig]
+    verdicts: dict[int, list[IterationVerdict]]
+    incidents: list[Incident]
+    metrics: list[dict]  # merged fleet-wide MetricsRegistry snapshot
+    errors: list[str]
+    submitted_batches: int = 0
+    submitted_records: int = 0
+    shed_batches: int = 0
+    shed_records: int = 0
+    summaries: int = 0
+    elapsed_s: float = 0.0
+    submit_elapsed_s: float = 0.0
+    incident_log: EventLog | None = None
+
+    @property
+    def processed_records(self) -> int:
+        return sum(
+            entry["value"]
+            for entry in self.metrics
+            if entry.get("name") == "fleet.records"
+        )
+
+    @property
+    def processed_batches(self) -> int:
+        return sum(
+            entry["value"]
+            for entry in self.metrics
+            if entry.get("name") == "fleet.batches"
+        )
+
+    @property
+    def ingest_records_per_sec(self) -> float:
+        if self.submit_elapsed_s <= 0:
+            return 0.0
+        return self.submitted_records / self.submit_elapsed_s
+
+    def verdicts_for(self, job_id: int) -> list[IterationVerdict]:
+        return sorted(self.verdicts.get(job_id, []), key=lambda v: v.iteration)
+
+    def incidents_for(self, job_id: int) -> list[Incident]:
+        return [i for i in self.incidents if i.job_id == job_id]
+
+    def validate(self) -> FleetValidation:
+        """Compare incidents against the jobs' ground truth."""
+        detected = {incident.job_id for incident in self.incidents}
+        return validate_detection(self.jobs.values(), detected)
+
+
+def validate_detection(jobs, detected_job_ids) -> FleetValidation:
+    """Ground-truth check shared by ``serve`` and ``replay``: every
+    faulted job detected, no healthy job alarmed; jobs with unknown
+    truth (``faulted is None``) are excluded."""
+    detected = set(detected_job_ids)
+    missed = []
+    false_alarms = []
+    checked = 0
+    for job in jobs:
+        if job.faulted is None:
+            continue
+        checked += 1
+        if job.faulted and job.job_id not in detected:
+            missed.append(job.job_id)
+        elif not job.faulted and job.job_id in detected:
+            false_alarms.append(job.job_id)
+    return FleetValidation(
+        checked=checked, missed=tuple(sorted(missed)), false_alarms=tuple(sorted(false_alarms))
+    )
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class FleetService:
+    """Long-running sharded monitoring service (context manager).
+
+    >>> service = FleetService(FleetConfig(n_shards=2))   # doctest: +SKIP
+    ... with service:
+    ...     for job in jobs:
+    ...         service.submit_job(job)
+    ...     for batch in batches:
+    ...         service.submit(batch)
+    ... result = service.result
+    """
+
+    def __init__(self, config: FleetConfig | None = None, telemetry=None) -> None:
+        self.config = config or FleetConfig()
+        self.router = ShardRouter(
+            self.config.n_shards, n_replicas=self.config.n_replicas
+        )
+        self.registry = MetricsRegistry()
+        #: Incident log (JSONL-ready) fed by the aggregator.
+        self.incident_log = EventLog()
+        self.aggregator = FleetAggregator(event_log=self.incident_log)
+        #: Optional duck-typed telemetry session for service-level events.
+        self.telemetry = telemetry
+        self.jobs: dict[int, JobConfig] = {}
+        self.verdicts: dict[int, list[IterationVerdict]] = {}
+        self.errors: list[str] = []
+        self.result: FleetResult | None = None
+        self._inboxes: list = []
+        self._workers: list = []
+        self._outbox = None
+        self._worker_snapshots: list = []
+        self._done: set[int] = set()
+        self._summaries = 0
+        self._submitted_batches = 0
+        self._submitted_records = 0
+        self._shed_batches = 0
+        self._shed_records = 0
+        self._started_at: float | None = None
+        self._submit_busy_s = 0.0
+        self._counters_ready = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FleetService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # tear down without draining on error paths
+            self._abort()
+
+    @property
+    def started(self) -> bool:
+        return self._started_at is not None
+
+    def start(self) -> None:
+        """Spawn the shard workers and open their queues."""
+        if self.started:
+            raise FleetError("service already started")
+        context = multiprocessing.get_context()
+        self._outbox = context.Queue()
+        for shard in range(self.config.n_shards):
+            inbox = context.Queue(maxsize=self.config.queue_depth)
+            worker = context.Process(
+                target=shard_worker,
+                args=(shard, inbox, self._outbox, self.config.return_verdicts),
+                daemon=True,
+                name=f"fleet-shard-{shard}",
+            )
+            worker.start()
+            self._inboxes.append(inbox)
+            self._workers.append(worker)
+        self._started_at = time.perf_counter()
+        if not self._counters_ready:
+            self._submitted_records_c = self.registry.counter("fleet.submitted_records")
+            self._submitted_batches_c = self.registry.counter("fleet.submitted_batches")
+            self._shed_records_c = self.registry.counter("fleet.shed_records")
+            self._shed_batches_c = self.registry.counter("fleet.shed_batches")
+            self._counters_ready = True
+
+    # ------------------------------------------------------------------
+    def submit_job(self, job: JobConfig) -> int:
+        """Register a monitored job; returns its shard.
+
+        Control messages always use blocking puts: registration is never
+        shed, whatever the record policy.
+        """
+        self._require_started()
+        shard = self.router.shard_for(job.job_id)
+        self._inboxes[shard].put(("job", job))
+        self.jobs[job.job_id] = job
+        self.registry.counter("fleet.submitted_jobs").inc()
+        return shard
+
+    def submit(self, batch: RecordBatch) -> None:
+        """Encode and ingest one record batch."""
+        self.submit_encoded(encode_batch(batch), batch.job_id, batch.n_records)
+
+    def submit_encoded(self, line: str, job_id: int | None = None, n_records: int | None = None) -> None:
+        """Ingest an already-encoded wire line (the replay fast path).
+
+        ``job_id``/``n_records`` may be omitted; they are then peeked
+        from the line's routing prefix without a full parse.
+        """
+        self._require_started()
+        if job_id is None or n_records is None:
+            job_id, n_records = peek_batch(line)
+        started = time.perf_counter()
+        shard = self.router.shard_for(job_id)
+        inbox = self._inboxes[shard]
+        message = ("batch", line, n_records, time.time())
+        if self.config.policy == "block":
+            inbox.put(message)
+        else:
+            self._put_shedding(inbox, message)
+        self._submitted_batches += 1
+        self._submitted_records += n_records
+        self._submitted_batches_c.inc()
+        self._submitted_records_c.inc(n_records)
+        self._sample_depth(shard, inbox)
+        self._submit_busy_s += time.perf_counter() - started
+        # Draining the outbox costs a zero-timeout select() per call; on
+        # the ingest hot path it is amortized over POLL_EVERY batches
+        # (close() always drains fully regardless).
+        if self._submitted_batches % POLL_EVERY == 0:
+            self.poll()
+
+    def _put_shedding(self, inbox, message) -> None:
+        """Shed-oldest put: evict queued batches until there is room.
+
+        Only batches are shed.  A control message raced out of the queue
+        is re-enqueued at the back; any of its job's batches that arrive
+        before it then land in the worker's ``unknown_job`` counter
+        rather than deadlocking anything (registering jobs before the
+        record flood, as ``serve_workload`` does, avoids the race
+        entirely).
+        """
+        while True:
+            try:
+                inbox.put_nowait(message)
+                return
+            except queue_module.Full:
+                pass
+            try:
+                evicted = inbox.get_nowait()
+            except queue_module.Empty:
+                continue  # worker drained it between our two calls
+            if evicted[0] == "batch":
+                self._shed_batches += 1
+                self._shed_records += evicted[2]
+                self._shed_batches_c.inc()
+                self._shed_records_c.inc(evicted[2])
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "fleet.shed", n_records=evicted[2], policy=self.config.policy
+                    )
+            else:  # never drop control messages
+                inbox.put(evicted)
+
+    def _sample_depth(self, shard: int, inbox) -> None:
+        try:
+            depth = inbox.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            return
+        self.registry.gauge("fleet.queue_depth", shard=str(shard)).set(depth)
+        self.registry.histogram(
+            "fleet.queue_depth_samples",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096),
+        ).observe(depth)
+
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Drain ready worker output without blocking; returns the
+        number of messages handled."""
+        self._require_started()
+        handled = 0
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue_module.Empty:
+                return handled
+            self._handle(message)
+            handled += 1
+
+    def _handle(self, message) -> None:
+        kind = message[0]
+        if kind == "verdict":
+            _kind, _shard, job_id, verdict = message
+            if self.config.return_verdicts:
+                self.verdicts.setdefault(job_id, []).append(verdict)
+            elif verdict.triggered:
+                self.verdicts.setdefault(job_id, []).append(verdict)
+            self.aggregator.observe(job_id, verdict)
+        elif kind == "summary":
+            self._summaries += 1
+            self.aggregator.verdicts_seen += 1
+        elif kind == "error":
+            self.errors.append(f"shard {message[1]}: {message[2]}")
+        elif kind == "metrics":
+            self._worker_snapshots.append(message[2])
+        elif kind == "done":
+            self._done.add(message[1])
+        else:  # pragma: no cover - protocol bug
+            raise FleetError(f"unknown outbox message kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def close(self) -> FleetResult:
+        """Stop ingesting, drain every shard, join workers, and build
+        the final :class:`FleetResult` (also kept in ``self.result``)."""
+        self._require_started()
+        submit_elapsed = self._submit_busy_s
+        for inbox in self._inboxes:
+            inbox.put(("stop",))
+        while len(self._done) < len(self._workers):
+            try:
+                message = self._outbox.get(timeout=DRAIN_TIMEOUT_S)
+            except queue_module.Empty:
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                self._abort()
+                raise FleetError(
+                    "fleet drain timed out waiting for shard workers "
+                    f"(dead: {dead or 'none'})"
+                ) from None
+            self._handle(message)
+        self.poll()
+        for worker in self._workers:
+            worker.join(timeout=DRAIN_TIMEOUT_S)
+        elapsed = time.perf_counter() - self._started_at
+        for snapshot in self._worker_snapshots:
+            self.registry.merge_snapshot(snapshot)
+        incidents = self.aggregator.finalize()
+        self._teardown()
+        self.result = FleetResult(
+            jobs=dict(self.jobs),
+            verdicts={job: list(v) for job, v in self.verdicts.items()},
+            incidents=incidents,
+            metrics=self.registry.snapshot(),
+            errors=list(self.errors),
+            submitted_batches=self._submitted_batches,
+            submitted_records=self._submitted_records,
+            shed_batches=self._shed_batches,
+            shed_records=self._shed_records,
+            summaries=self._summaries,
+            elapsed_s=elapsed,
+            submit_elapsed_s=submit_elapsed,
+            incident_log=self.incident_log,
+        )
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "fleet.closed",
+                submitted_records=self._submitted_records,
+                shed_records=self._shed_records,
+                incidents=len(incidents),
+                elapsed_s=elapsed,
+            )
+        return self.result
+
+    def _abort(self) -> None:
+        """Kill workers without draining (error-path teardown)."""
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for inbox in self._inboxes:
+            inbox.close()
+        if self._outbox is not None:
+            self._outbox.close()
+        self._inboxes = []
+        self._workers = []
+        self._outbox = None
+        self._done = set()
+        self._started_at = None
+
+    def _require_started(self) -> None:
+        if not self.started:
+            raise FleetError("service not started (use start() or a with block)")
+
+
+# ----------------------------------------------------------------------
+# Convenience drivers
+# ----------------------------------------------------------------------
+def serve_workload(
+    jobs,
+    batches,
+    config: FleetConfig | None = None,
+    telemetry=None,
+) -> FleetResult:
+    """Run a whole workload through a fresh service: register every job,
+    stream every batch, drain, and return the result."""
+    service = FleetService(config=config, telemetry=telemetry)
+    with service:
+        for job in jobs:
+            service.submit_job(job)
+        for batch in batches:
+            if isinstance(batch, str):
+                service.submit_encoded(batch)
+            else:
+                service.submit(batch)
+    result = service.result
+    assert result is not None
+    return result
+
+
+def serve_fprec(
+    source,
+    config: FleetConfig | None = None,
+    telemetry=None,
+) -> FleetResult:
+    """Replay a recorded ``.fprec`` stream through a fresh service."""
+    from .codec import read_fprec
+
+    content = read_fprec(source)
+    return serve_workload(
+        content.jobs, content.batches, config=config, telemetry=telemetry
+    )
+
+
+def reference_verdicts(
+    jobs, batches
+) -> dict[int, list[IterationVerdict]]:
+    """The golden reference: feed every batch directly into its job's
+    monitor, single process, in submission order.  The fleet service
+    must match this bit for bit (block policy)."""
+    monitors = {job.job_id: build_monitor(job) for job in jobs}
+    verdicts: dict[int, list[IterationVerdict]] = {
+        job.job_id: [] for job in jobs
+    }
+    for batch in batches:
+        monitor = monitors.get(batch.job_id)
+        if monitor is None:
+            continue
+        verdicts[batch.job_id].append(monitor.process_iteration(list(batch.records)))
+    return verdicts

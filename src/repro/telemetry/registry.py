@@ -221,5 +221,41 @@ class MetricsRegistry:
             self._instruments[key].snapshot() for key in sorted(self._instruments)
         ]
 
+    def merge_snapshot(self, snapshot: list[dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how multi-process components (the fleet service's shard
+        workers) aggregate: each process keeps a private registry and
+        ships its snapshot — plain JSON-ready dicts — over the process
+        boundary; the parent merges them.  Counters add, gauges take the
+        incoming value, histograms add bucket counts (their bounds must
+        match an existing same-named histogram, else
+        :class:`TelemetryError`).  Merging into a disabled registry is a
+        no-op.
+        """
+        if not self.enabled:
+            return
+        for entry in snapshot:
+            kind = entry.get("kind")
+            name = entry.get("name")
+            labels = entry.get("labels", {})
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                bounds = tuple(entry["bounds"])
+                histogram = self.histogram(name, buckets=bounds, **labels)
+                if histogram.bounds != bounds:
+                    raise TelemetryError(
+                        f"histogram {name} bounds mismatch on merge"
+                    )
+                for index, count in enumerate(entry["buckets"]):
+                    histogram.bucket_counts[index] += count
+                histogram.count += entry["count"]
+                histogram.total += entry["sum"]
+            else:
+                raise TelemetryError(f"cannot merge snapshot entry kind {kind!r}")
+
     def __len__(self) -> int:
         return len(self._instruments)

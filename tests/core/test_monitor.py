@@ -120,3 +120,56 @@ def test_iteration_verdict_exposes_results_per_leaf():
     verdict = monitor.process_iteration(simulate(n=1)[0])
     assert len(verdict.results) == SPEC.n_leaves
     assert verdict.iteration == 0
+
+
+def test_skipped_verdict_has_empty_results_and_zero_score():
+    """Warmup verdicts carry no detection results: max_score must fall
+    back to 0.0 (the ``default=`` path), not raise on an empty max()."""
+    predictor = LearnedPredictor(warmup_iterations=2)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.01))
+    records = run_iterations(FabricModel(SPEC, mtu=256), DEMAND, 1, seed=5)
+    verdict = monitor.process_iteration(records[0])
+    assert verdict.skipped
+    assert verdict.learning_event is LearningEvent.WARMUP
+    assert verdict.results == ()
+    assert verdict.localizations == ()
+    assert verdict.max_score == 0.0
+    assert not verdict.triggered
+    assert verdict.suspected_links() == frozenset()
+
+
+def test_run_verdict_score_excludes_skipped_iterations():
+    """Run-level max_score only aggregates monitored iterations; a run
+    that never left warmup scores 0.0 instead of raising."""
+    predictor = LearnedPredictor(warmup_iterations=4)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.01))
+    records = run_iterations(FabricModel(SPEC, mtu=256), DEMAND, 3, seed=6)
+    verdict = monitor.process_run(records)
+    assert all(v.skipped for v in verdict.verdicts)
+    assert verdict.max_score == 0.0
+    assert not verdict.triggered
+    assert verdict.first_detection_iteration is None
+
+
+def test_relearn_skip_path_rebaseline_iteration_is_skipped():
+    """The iteration whose records *built* the replacement baseline is
+    never checked against it (that would be circular): REBASELINED
+    verdicts are skipped with empty results."""
+    predictor = LearnedPredictor(warmup_iterations=2)
+    monitor = FlowPulseMonitor(predictor, DetectionConfig(threshold=0.01))
+
+    def schedule(it):
+        return {down_link(0, 1): 0.15} if it < 3 else {}
+
+    records = run_iterations(
+        FabricModel(SPEC, mtu=256), DEMAND, 8, seed=2, fault_schedule=schedule
+    )
+    verdicts = [monitor.process_iteration(r) for r in records]
+    rebaselined = [
+        v for v in verdicts if v.learning_event is LearningEvent.REBASELINED
+    ]
+    assert rebaselined
+    for verdict in rebaselined:
+        assert verdict.skipped
+        assert verdict.results == ()
+        assert verdict.max_score == 0.0

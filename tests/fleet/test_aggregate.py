@@ -1,0 +1,125 @@
+"""Aggregator tests on synthetic verdicts (no simulation needed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.localization import LinkSuspicion, LocalizationResult
+from repro.core.monitor import IterationVerdict
+from repro.core.prediction.learning import LearningEvent
+from repro.fleet import FleetAggregator
+from repro.telemetry.events import EventLog
+
+
+@dataclass(frozen=True)
+class FakeResult:
+    """Just enough detection-result surface for ``triggered``."""
+
+    triggered: bool = True
+    max_abs_deviation: float = 0.02
+
+
+def suspicion(link="down:S0->L1", kind="local", leaf=1, deviation=-0.02, senders=(3, 4)):
+    return LinkSuspicion(
+        link=link,
+        kind=kind,
+        leaf=leaf,
+        spine=0,
+        affected_senders=tuple(senders),
+        deviation=deviation,
+    )
+
+
+def verdict(iteration, suspicions=(), leaf=1, triggered=True):
+    localizations = (
+        (LocalizationResult(leaf=leaf, iteration=iteration, suspicions=tuple(suspicions)),)
+        if suspicions
+        else ()
+    )
+    return IterationVerdict(
+        iteration=iteration,
+        learning_event=LearningEvent.NONE,
+        skipped=False,
+        results=(FakeResult(triggered=triggered),) if triggered else (),
+        localizations=localizations,
+    )
+
+
+def test_quiet_verdicts_produce_no_incidents():
+    aggregator = FleetAggregator()
+    aggregator.observe(1, verdict(0, triggered=False))
+    aggregator.observe(1, verdict(1, triggered=False))
+    assert aggregator.incidents == []
+    assert aggregator.verdicts_seen == 2
+    assert aggregator.alarmed_verdicts == 0
+
+
+def test_repeated_alarms_collapse_into_one_incident():
+    aggregator = FleetAggregator()
+    for iteration in range(3):
+        aggregator.observe(7, verdict(iteration, [suspicion(deviation=-0.01 * (iteration + 1))]))
+    incidents = aggregator.incidents
+    assert len(incidents) == 1
+    incident = incidents[0]
+    assert incident.job_id == 7
+    assert (incident.first_seen, incident.last_seen) == (0, 2)
+    assert incident.n_iterations == 3
+    assert incident.worst_deviation == -0.03  # the most negative wins
+
+
+def test_distinct_links_and_jobs_stay_separate():
+    aggregator = FleetAggregator()
+    aggregator.observe(1, verdict(0, [suspicion(link="down:S0->L1")]))
+    aggregator.observe(1, verdict(0, [suspicion(link="up:L1->S0", kind="remote")]))
+    aggregator.observe(2, verdict(0, [suspicion(link="down:S0->L1")]))
+    assert len(aggregator.incidents) == 3
+    assert aggregator.jobs_with_incidents() == frozenset({1, 2})
+    assert [incident.job_id for incident in aggregator.incidents] == [1, 1, 2]
+
+
+def test_kind_disagreement_becomes_mixed():
+    aggregator = FleetAggregator()
+    aggregator.observe(1, verdict(0, [suspicion(kind="local")]))
+    aggregator.observe(1, verdict(1, [suspicion(kind="remote")]))
+    assert aggregator.incidents[0].kind == "mixed"
+
+
+def test_sender_evidence_keeps_worst_deviation():
+    aggregator = FleetAggregator()
+    aggregator.observe(1, verdict(0, [suspicion(senders=(3,), deviation=-0.01)]))
+    aggregator.observe(1, verdict(1, [suspicion(senders=(3, 5), deviation=-0.04)]))
+    aggregator.observe(1, verdict(2, [suspicion(senders=(3,), deviation=-0.02)]))
+    incident = aggregator.incidents[0]
+    assert incident.senders == {3: -0.04, 5: -0.04}
+
+
+def test_observing_leaves_accumulate():
+    aggregator = FleetAggregator()
+    aggregator.observe(1, verdict(0, [suspicion(leaf=1)], leaf=1))
+    aggregator.observe(1, verdict(1, [suspicion(leaf=4)], leaf=4))
+    assert aggregator.incidents[0].leaves == {1, 4}
+
+
+def test_event_log_lifecycle():
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log)
+    aggregator.observe(1, verdict(0, [suspicion()]))
+    aggregator.observe(1, verdict(1, [suspicion()]))  # same link: no new open
+    aggregator.observe(1, verdict(1, [suspicion(link="up:L1->S0")]))
+    assert len(log.of_type("incident.opened")) == 2
+    incidents = aggregator.finalize()
+    closed = log.of_type("incident.closed")
+    assert len(closed) == len(incidents) == 2
+    rollup = closed[0]
+    assert rollup["n_iterations"] == 2
+    assert rollup["senders"] == {"3": -0.02, "4": -0.02}
+
+
+def test_to_event_is_json_ready():
+    import json
+
+    aggregator = FleetAggregator()
+    aggregator.observe(9, verdict(0, [suspicion()]))
+    payload = aggregator.incidents[0].to_event()
+    json.dumps(payload)  # must not raise
+    assert payload["leaves"] == [1]

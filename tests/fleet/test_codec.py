@@ -1,0 +1,270 @@
+"""Wire-format tests: exact round-trips, typed failures, routing peek."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.fleet import (
+    CodecError,
+    JobConfig,
+    RecordBatch,
+    UnsupportedVersionError,
+    decode_batch,
+    decode_job,
+    decode_line,
+    encode_batch,
+    encode_job,
+    peek_batch,
+    read_fprec,
+    write_fprec,
+)
+from repro.fleet.codec import FPREC_VERSION
+from repro.simnet.counters import IterationRecord
+from repro.simnet.packet import FlowTag
+
+
+def make_record(leaf=0, job_id=3, iteration=2, port_bytes=None, sender_bytes=None):
+    return IterationRecord(
+        leaf=leaf,
+        tag=FlowTag(job_id=job_id, iteration=iteration),
+        port_bytes=port_bytes if port_bytes is not None else {0: 1000, 1: 2000},
+        sender_bytes=sender_bytes
+        if sender_bytes is not None
+        else {(0, 1): 400, (0, 2): 600, (1, 2): 2000},
+        start_ns=100,
+        end_ns=5_000,
+    )
+
+
+def make_batch(n_leaves=3, **kwargs):
+    return RecordBatch.from_records(
+        [make_record(leaf=leaf, **kwargs) for leaf in range(n_leaves)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch round-trips
+# ----------------------------------------------------------------------
+def test_batch_round_trip_exact():
+    batch = make_batch()
+    decoded = decode_batch(encode_batch(batch))
+    assert decoded == batch
+    # dict keys keep their types (ints and int-pairs, not strings)
+    record = decoded.records[0]
+    assert all(type(k) is int for k in record.port_bytes)
+    assert all(type(k) is tuple for k in record.sender_bytes)
+
+
+def test_batch_preserves_record_order():
+    records = [make_record(leaf=leaf) for leaf in (2, 0, 1)]
+    batch = RecordBatch.from_records(records)
+    decoded = decode_batch(encode_batch(batch))
+    assert [r.leaf for r in decoded.records] == [2, 0, 1]
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(CodecError, match="empty"):
+        RecordBatch.from_records([])
+
+
+def test_mixed_tags_rejected():
+    with pytest.raises(CodecError, match="mixed tags"):
+        RecordBatch.from_records(
+            [make_record(leaf=0, iteration=1), make_record(leaf=1, iteration=2)]
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    job_id=st.integers(min_value=1, max_value=10**6),
+    iteration=st.integers(min_value=0, max_value=10**6),
+    n_leaves=st.integers(min_value=1, max_value=5),
+    sizes=st.lists(st.integers(min_value=0, max_value=2**48), min_size=1, max_size=6),
+    start_ns=st.integers(min_value=0, max_value=2**62),
+)
+def test_batch_round_trip_property(job_id, iteration, n_leaves, sizes, start_ns):
+    tag = FlowTag(job_id=job_id, iteration=iteration)
+    records = [
+        IterationRecord(
+            leaf=leaf,
+            tag=tag,
+            port_bytes={i: size for i, size in enumerate(sizes)},
+            sender_bytes={(i, (i + 1) % 8): size for i, size in enumerate(sizes)},
+            start_ns=start_ns,
+            end_ns=start_ns + 1,
+        )
+        for leaf in range(n_leaves)
+    ]
+    batch = RecordBatch.from_records(records)
+    line = encode_batch(batch)
+    assert decode_batch(line) == batch
+    assert peek_batch(line) == (job_id, n_leaves)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, min_value=0, max_value=1e15),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_float_sizes_round_trip_exact(sizes):
+    """Finite float byte counts (fastsim emits float64) survive bit-exactly."""
+    batch = make_batch(port_bytes={i: s for i, s in enumerate(sizes)}, sender_bytes={})
+    decoded = decode_batch(encode_batch(batch))
+    for original, roundtripped in zip(sizes, decoded.records[0].port_bytes.values()):
+        assert roundtripped == original and math.copysign(1, roundtripped) == math.copysign(1, original)
+
+
+# ----------------------------------------------------------------------
+# Non-finite rejection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_port_bytes_rejected_on_encode(bad):
+    batch = make_batch(port_bytes={0: bad})
+    with pytest.raises(CodecError, match="non-finite"):
+        encode_batch(batch)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_non_finite_sender_bytes_rejected_on_encode(bad):
+    batch = make_batch(sender_bytes={(0, 1): bad})
+    with pytest.raises(CodecError, match="non-finite"):
+        encode_batch(batch)
+
+
+def test_non_finite_json_literal_rejected_on_decode():
+    line = encode_batch(make_batch(port_bytes={0: 125.0}))
+    doctored = line.replace("125.0", "NaN")
+    assert "NaN" in doctored
+    with pytest.raises(CodecError, match="non-finite"):
+        decode_batch(doctored)
+
+
+# ----------------------------------------------------------------------
+# Versioning and malformed lines
+# ----------------------------------------------------------------------
+def test_unknown_version_raises_typed_error():
+    line = encode_batch(make_batch())
+    payload = json.loads(line)
+    payload[1] = FPREC_VERSION + 1
+    with pytest.raises(UnsupportedVersionError, match="version"):
+        decode_batch(json.dumps(payload))
+    # and the typed error is still a CodecError for broad handlers
+    with pytest.raises(CodecError):
+        decode_batch(json.dumps(payload))
+
+
+def test_unknown_version_not_a_keyerror():
+    payload = json.loads(encode_batch(make_batch()))
+    payload[1] = 99
+    try:
+        decode_batch(json.dumps(payload))
+    except KeyError:  # pragma: no cover - the regression this guards
+        pytest.fail("unknown version must not surface as KeyError")
+    except UnsupportedVersionError:
+        pass
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "",
+        "not json",
+        "{}",
+        "[1,2]",
+        '["wrong",1,"b"]',
+        '["fprec","one","b"]',
+        '["fprec",1,"x",1,2]',
+    ],
+)
+def test_malformed_lines_raise_codec_error(line):
+    with pytest.raises(CodecError):
+        decode_line(line)
+
+
+def test_record_count_mismatch_rejected():
+    payload = json.loads(encode_batch(make_batch(n_leaves=3)))
+    payload[4] = 2  # declared n_records
+    with pytest.raises(CodecError, match="declares"):
+        decode_batch(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# Job configs
+# ----------------------------------------------------------------------
+def job_config(job_id=4, **overrides):
+    experiment = ExperimentConfig(n_leaves=6, n_spines=3, job_id=job_id)
+    return JobConfig(job_id=job_id, experiment=experiment, **overrides)
+
+
+def test_job_round_trip():
+    job = job_config(faulted=True, fault_link="down:S1->L2", base_seed=9, trial=3)
+    assert decode_job(encode_job(job)) == job
+
+
+def test_job_round_trip_defaults():
+    job = job_config()
+    decoded = decode_job(encode_job(job))
+    assert decoded == job
+    assert decoded.faulted is None
+
+
+def test_job_id_mismatch_rejected():
+    experiment = ExperimentConfig(job_id=2)
+    with pytest.raises(CodecError, match="does not match"):
+        JobConfig(job_id=3, experiment=experiment)
+
+
+def test_invalid_experiment_in_job_line_is_codec_error():
+    line = encode_job(job_config())
+    doctored = line.replace('"drop_rate":0.015', '"drop_rate":7.5')
+    assert doctored != line
+    with pytest.raises(CodecError, match="malformed job config"):
+        decode_job(doctored)
+
+
+# ----------------------------------------------------------------------
+# peek / routing
+# ----------------------------------------------------------------------
+def test_peek_matches_decode():
+    batch = make_batch(n_leaves=4, job_id=17)
+    line = encode_batch(batch)
+    assert peek_batch(line) == (17, 4)
+
+
+def test_peek_on_job_line_raises():
+    with pytest.raises(CodecError):
+        peek_batch(encode_job(job_config()))
+
+
+# ----------------------------------------------------------------------
+# .fprec files
+# ----------------------------------------------------------------------
+def test_fprec_file_round_trip(tmp_path):
+    jobs = [job_config(job_id=1), job_config(job_id=2, faulted=False)]
+    batches = [make_batch(job_id=1, iteration=i) for i in range(3)]
+    path = tmp_path / "stream.fprec"
+    n_lines = write_fprec(path, jobs, batches)
+    assert n_lines == 5
+    content = read_fprec(path)
+    assert content.jobs == jobs
+    assert content.batches == batches
+    assert content.n_records == 9
+
+
+def test_fprec_stream_io():
+    buffer = io.StringIO()
+    write_fprec(buffer, [job_config()], [make_batch(job_id=4)])
+    buffer.seek(0)
+    content = read_fprec(buffer)
+    assert content.job_ids() == [4]
+    assert len(content.batches) == 1

@@ -1,0 +1,230 @@
+"""Service tests: golden parity, backpressure, metrics, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    FleetError,
+    FleetService,
+    encode_batch,
+    reference_verdicts,
+    serve_workload,
+)
+
+
+def metric(result, name, label=None):
+    total = 0
+    for entry in result.metrics:
+        if entry.get("name") != name:
+            continue
+        if label is not None and entry["labels"].get("shard") != label:
+            continue
+        total += entry["value"]
+    return total
+
+
+# ----------------------------------------------------------------------
+# Golden parity: the non-negotiable
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", [1, 2, 3])
+def test_golden_parity_across_shard_counts(small_workload, n_shards):
+    """Streaming through the service yields bit-identical verdict
+    sequences to a direct single-process monitor feed."""
+    jobs, batches = small_workload
+    reference = reference_verdicts(jobs, batches)
+    result = serve_workload(
+        jobs, batches, FleetConfig(n_shards=n_shards, return_verdicts=True)
+    )
+    assert result.errors == []
+    for job in jobs:
+        got = result.verdicts_for(job.job_id)
+        want = reference[job.job_id]
+        assert len(got) == len(want)
+        assert got == want, f"verdicts diverge for job {job.job_id}"
+
+
+def test_golden_parity_with_tiny_queue(small_workload):
+    """Queue depth must not affect results under the block policy."""
+    jobs, batches = small_workload
+    reference = reference_verdicts(jobs, batches)
+    result = serve_workload(
+        jobs,
+        batches,
+        FleetConfig(n_shards=2, queue_depth=1, policy="block", return_verdicts=True),
+    )
+    for job in jobs:
+        assert result.verdicts_for(job.job_id) == reference[job.job_id]
+
+
+def test_parity_with_pre_encoded_lines(small_workload):
+    """The encode -> peek -> route -> decode path is lossless."""
+    jobs, batches = small_workload
+    reference = reference_verdicts(jobs, batches)
+    lines = [encode_batch(batch) for batch in batches]
+    result = serve_workload(
+        jobs, lines, FleetConfig(n_shards=2, return_verdicts=True)
+    )
+    for job in jobs:
+        assert result.verdicts_for(job.job_id) == reference[job.job_id]
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+def test_block_policy_never_loses_records(small_workload):
+    jobs, batches = small_workload
+    result = serve_workload(
+        jobs, batches, FleetConfig(n_shards=2, queue_depth=2, policy="block")
+    )
+    assert result.shed_records == 0
+    assert result.processed_records == result.submitted_records
+    assert result.processed_batches == len(batches)
+
+
+def test_shed_oldest_counts_drops_and_completes(small_workload):
+    """A one-deep queue forces shedding; the run still completes, every
+    drop is counted, and accounting balances exactly."""
+    jobs, batches = small_workload
+    result = serve_workload(
+        jobs,
+        batches,
+        FleetConfig(n_shards=1, queue_depth=1, policy="shed-oldest"),
+    )
+    assert result.shed_records > 0
+    assert result.processed_records + result.shed_records == result.submitted_records
+    assert metric(result, "fleet.shed_records") == result.shed_records
+
+
+def test_shed_never_drops_job_registrations(small_workload):
+    """Control messages survive shedding: every job's monitor exists, so
+    no batch lands in the unknown-job counter."""
+    jobs, batches = small_workload
+    result = serve_workload(
+        jobs,
+        batches,
+        FleetConfig(n_shards=1, queue_depth=1, policy="shed-oldest"),
+    )
+    assert metric(result, "fleet.unknown_job_batches") == 0
+
+
+def test_config_validation():
+    with pytest.raises(FleetError):
+        FleetConfig(n_shards=0)
+    with pytest.raises(FleetError):
+        FleetConfig(queue_depth=0)
+    with pytest.raises(FleetError):
+        FleetConfig(policy="drop-newest")
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_fleet_metrics_snapshot(small_workload):
+    jobs, batches = small_workload
+    result = serve_workload(jobs, batches, FleetConfig(n_shards=2))
+    total_records = sum(batch.n_records for batch in batches)
+    assert metric(result, "fleet.records") == total_records
+    assert metric(result, "fleet.batches") == len(batches)
+    assert metric(result, "fleet.submitted_records") == total_records
+    # per-shard detection latency histograms made it across the process
+    # boundary and cover every batch
+    latency = [
+        entry
+        for entry in result.metrics
+        if entry.get("name") == "fleet.detection_latency_s"
+    ]
+    assert len(latency) == 2
+    assert sum(entry["count"] for entry in latency) == len(batches)
+    assert all(entry["sum"] >= 0.0 for entry in latency)
+    # queue depth was sampled at the frontend
+    depth_samples = [
+        entry
+        for entry in result.metrics
+        if entry.get("name") == "fleet.queue_depth_samples"
+    ]
+    assert depth_samples and depth_samples[0]["count"] == len(batches)
+
+
+# ----------------------------------------------------------------------
+# Validation and incidents
+# ----------------------------------------------------------------------
+def test_validation_against_ground_truth(small_workload):
+    jobs, batches = small_workload
+    result = serve_workload(jobs, batches, FleetConfig(n_shards=2))
+    validation = result.validate()
+    assert validation.checked == len(jobs)
+    assert validation.ok, (validation.missed, validation.false_alarms)
+    faulted = {job.job_id for job in jobs if job.faulted}
+    assert {incident.job_id for incident in result.incidents} == faulted
+
+
+def test_incidents_deduplicate_iterations(small_workload):
+    """A persistent fault alarms many iterations but yields one incident
+    per (job, link), with the span rolled up."""
+    jobs, batches = small_workload
+    result = serve_workload(jobs, batches, FleetConfig(n_shards=2))
+    keys = [(incident.job_id, incident.link) for incident in result.incidents]
+    assert len(keys) == len(set(keys))
+    assert any(incident.n_iterations > 1 for incident in result.incidents)
+    for incident in result.incidents:
+        assert incident.first_seen <= incident.last_seen
+        assert incident.worst_deviation < 0  # deficits are negative
+
+
+def test_faulted_job_incident_names_the_injected_link(small_workload):
+    jobs, batches = small_workload
+    result = serve_workload(jobs, batches, FleetConfig(n_shards=2))
+    for job in jobs:
+        if job.faulted:
+            links = {incident.link for incident in result.incidents_for(job.job_id)}
+            assert job.fault_link in links
+
+
+def test_incident_log_lifecycle(small_workload):
+    jobs, batches = small_workload
+    result = serve_workload(jobs, batches, FleetConfig(n_shards=2))
+    log = result.incident_log
+    assert log is not None
+    opened = log.of_type("incident.opened")
+    closed = log.of_type("incident.closed")
+    assert len(opened) == len(result.incidents)
+    assert len(closed) == len(result.incidents)
+
+
+# ----------------------------------------------------------------------
+# Protocol robustness
+# ----------------------------------------------------------------------
+def test_unknown_job_batches_counted_not_fatal(small_workload):
+    jobs, batches = small_workload
+    stranger = [batch for batch in batches if batch.job_id == jobs[0].job_id]
+    result = serve_workload(jobs[1:], stranger + batches[:0], FleetConfig(n_shards=1))
+    assert metric(result, "fleet.unknown_job_batches") == len(stranger)
+    assert result.errors == []
+
+
+def test_malformed_line_reported_not_fatal(small_workload):
+    jobs, batches = small_workload
+    service = FleetService(FleetConfig(n_shards=1))
+    with service:
+        for job in jobs:
+            service.submit_job(job)
+        # declares two records but carries none: decodes must fail in the
+        # worker, be reported, and not take the shard down
+        service.submit_encoded('["fprec",1,"b",%d,2,0,"allreduce",[]]' % jobs[0].job_id)
+        for batch in batches[:3]:
+            service.submit(batch)
+    result = service.result
+    assert result.processed_batches == 3  # the good ones still flowed
+    assert len(result.errors) == 1
+    assert metric(result, "fleet.worker_errors") == 1
+
+
+def test_submit_before_start_raises(small_workload):
+    jobs, batches = small_workload
+    service = FleetService(FleetConfig(n_shards=1))
+    with pytest.raises(FleetError, match="not started"):
+        service.submit(batches[0])
+    with pytest.raises(FleetError, match="not started"):
+        service.submit_job(jobs[0])

@@ -101,3 +101,79 @@ def test_snapshot_is_sorted_and_json_ready():
         snapshot, key=lambda s: (s["kind"], s["name"], sorted(s["labels"].items()))
     )
     json.dumps(snapshot)  # must be serializable as-is
+
+
+# ----------------------------------------------------------------------
+# Cross-process merging (the fleet service's aggregation path)
+# ----------------------------------------------------------------------
+def test_merge_snapshot_adds_counters_per_label():
+    worker_a = MetricsRegistry()
+    worker_a.counter("fleet.records", shard="0").inc(10)
+    worker_b = MetricsRegistry()
+    worker_b.counter("fleet.records", shard="1").inc(7)
+
+    fleet = MetricsRegistry()
+    fleet.counter("fleet.records", shard="0").inc(1)
+    fleet.merge_snapshot(worker_a.snapshot())
+    fleet.merge_snapshot(worker_b.snapshot())
+    assert fleet.counter("fleet.records", shard="0").value == 11
+    assert fleet.counter("fleet.records", shard="1").value == 7
+
+
+def test_merge_snapshot_gauge_takes_incoming_value():
+    worker = MetricsRegistry()
+    worker.gauge("depth").set(42.0)
+    fleet = MetricsRegistry()
+    fleet.gauge("depth").set(3.0)
+    fleet.merge_snapshot(worker.snapshot())
+    assert fleet.gauge("depth").value == 42.0
+
+
+def test_merge_snapshot_adds_histogram_buckets():
+    bounds = (0.1, 1.0, 10.0)
+    worker = MetricsRegistry()
+    for value in (0.05, 0.5, 5.0, 50.0):
+        worker.histogram("lat", buckets=bounds).observe(value)
+    fleet = MetricsRegistry()
+    fleet.histogram("lat", buckets=bounds).observe(0.5)
+    fleet.merge_snapshot(worker.snapshot())
+    merged = fleet.histogram("lat", buckets=bounds)
+    assert merged.count == 5
+    assert merged.bucket_counts == [1, 2, 1, 1]
+    assert merged.total == pytest.approx(56.05)
+
+
+def test_merge_snapshot_histogram_bounds_mismatch_raises():
+    worker = MetricsRegistry()
+    worker.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+    fleet = MetricsRegistry()
+    fleet.histogram("lat", buckets=(0.5, 5.0)).observe(0.7)
+    with pytest.raises(TelemetryError, match="bounds mismatch"):
+        fleet.merge_snapshot(worker.snapshot())
+
+
+def test_merge_snapshot_round_trips_through_json():
+    import json
+
+    worker = MetricsRegistry()
+    worker.counter("c").inc(3)
+    worker.histogram("h").observe(0.02)
+    wire = json.loads(json.dumps(worker.snapshot()))  # the IPC boundary
+    fleet = MetricsRegistry()
+    fleet.merge_snapshot(wire)
+    assert fleet.counter("c").value == 3
+    assert fleet.histogram("h").count == 1
+
+
+def test_merge_into_disabled_registry_is_noop():
+    worker = MetricsRegistry()
+    worker.counter("c").inc()
+    disabled = MetricsRegistry(enabled=False)
+    disabled.merge_snapshot(worker.snapshot())
+    assert disabled.snapshot() == []
+
+
+def test_merge_unknown_kind_raises():
+    fleet = MetricsRegistry()
+    with pytest.raises(TelemetryError, match="cannot merge"):
+        fleet.merge_snapshot([{"kind": "summary", "name": "x", "labels": {}}])

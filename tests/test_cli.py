@@ -299,3 +299,117 @@ def test_chaos_command_reports_pass(capsys):
     assert code == 0
     assert "2/2 scenarios passed" in out
     assert "healthy" in out and "persistent_drop" in out
+
+
+# ----------------------------------------------------------------------
+# fleet verbs
+# ----------------------------------------------------------------------
+FLEET_SMALL = [
+    "--jobs", "4",
+    "--iterations", "5",
+    "--fault-fraction", "0.5",
+    "--leaves", "6",
+    "--spines", "3",
+    "--collective-gib", "1",
+]
+
+
+@pytest.fixture
+def workload_path(tmp_path, capsys):
+    path = tmp_path / "workload.fprec"
+    code = main(["fleet", "loadgen", *FLEET_SMALL, "--out", str(path)])
+    capsys.readouterr()
+    assert code == 0
+    return path
+
+
+def test_fleet_loadgen_writes_fprec(tmp_path, capsys):
+    path = tmp_path / "w.fprec"
+    code = main(["fleet", "loadgen", *FLEET_SMALL, "--out", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "faulted jobs:" in out
+    lines = path.read_text().splitlines()
+    assert len(lines) == 4 + 4 * 5  # job configs then batches
+    assert all(line.startswith('["fprec",1,') for line in lines)
+
+
+def test_fleet_serve_detects_and_validates(workload_path, capsys):
+    code = main(["fleet", "serve", "--input", str(workload_path), "--shards", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "incidents (" in out
+    assert "missed=none" in out
+    assert "false alarms=none" in out
+
+
+def test_fleet_serve_writes_incident_log(workload_path, tmp_path, capsys):
+    import json
+
+    incidents = tmp_path / "incidents.jsonl"
+    metrics = tmp_path / "metrics.jsonl"
+    code = main(
+        [
+            "fleet", "serve",
+            "--input", str(workload_path),
+            "--incidents-out", str(incidents),
+            "--fleet-metrics-out", str(metrics),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    events = [json.loads(line) for line in incidents.read_text().splitlines()]
+    assert any(e["type"] == "incident.opened" for e in events)
+    assert any(e["type"] == "incident.closed" for e in events)
+    entries = [json.loads(line) for line in metrics.read_text().splitlines()]
+    assert any(e["name"] == "fleet.detection_latency_s" for e in entries)
+
+
+def test_fleet_replay_verifies_parity(workload_path, capsys):
+    code = main(["fleet", "replay", "--input", str(workload_path), "--shards", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "golden parity" in out
+
+
+def test_fleet_serve_missing_input_exits_two(tmp_path, capsys):
+    code = main(["fleet", "serve", "--input", str(tmp_path / "nope.fprec")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
+def test_fleet_serve_rejects_stream_without_jobs(tmp_path, capsys):
+    path = tmp_path / "empty.fprec"
+    path.write_text("")
+    code = main(["fleet", "serve", "--input", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no job configs" in err
+
+
+def test_fleet_serve_malformed_input_exits_two(tmp_path, capsys):
+    path = tmp_path / "garbage.fprec"
+    path.write_text("this is not a wire line\n")
+    code = main(["fleet", "serve", "--input", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
+def test_sweep_uncastable_values_exit_two(capsys):
+    code = main(
+        ["sweep", *SMALL, "--parameter", "n_iterations", "--values", "abc"]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot parse" in err
+
+
+def test_invalid_config_is_error_not_traceback(capsys):
+    # drop_rate > 1 violates ExperimentConfig validation: a clean exit-2
+    # domain error, not an uncaught exception.
+    code = main(["detect", *SMALL, "--drop-rate", "1.5"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err

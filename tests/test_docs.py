@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.core.prediction",
     "repro.fastsim",
+    "repro.fleet",
     "repro.simnet",
     "repro.telemetry",
     "repro.threelevel",
