@@ -532,8 +532,20 @@ def _add_fleet_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_wire_version_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--wire-version",
+        type=int,
+        choices=(1, 2),
+        default=1,
+        help="fprec wire format: 1 = readable JSON lines (replay/debug), "
+        "2 = binary columnar frames (ingest hot path)",
+    )
+
+
 def _add_fleet_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shards", type=int, default=2, help="shard worker processes")
+    _add_wire_version_arg(parser)
     parser.add_argument(
         "--queue-depth", type=int, default=1024, help="bounded inbox size per shard"
     )
@@ -587,6 +599,7 @@ def _fleet_config(args: argparse.Namespace, return_verdicts: bool = False):
         queue_depth=args.queue_depth,
         policy=args.policy,
         return_verdicts=return_verdicts,
+        wire_version=args.wire_version,
     )
 
 
@@ -673,11 +686,11 @@ def cmd_fleet_loadgen(args: argparse.Namespace) -> int:
     from .fleet import write_workload
 
     config = _loadgen_config(args)
-    jobs, n_lines = write_workload(config, args.out)
+    jobs, n_lines = write_workload(config, args.out, version=args.wire_version)
     faulted = sorted(job.job_id for job in jobs if job.faulted)
     print(
-        f"wrote {n_lines} lines ({len(jobs)} jobs x {config.n_iterations} "
-        f"iterations) to {args.out}"
+        f"wrote {n_lines} units ({len(jobs)} jobs x {config.n_iterations} "
+        f"iterations, wire v{args.wire_version}) to {args.out}"
     )
     print(f"faulted jobs: {', '.join(map(str, faulted)) or 'none'}")
     for job in jobs:
@@ -876,6 +889,7 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen", help="generate a multi-job workload as a .fprec file"
     )
     _add_fleet_workload_args(loadgen)
+    _add_wire_version_arg(loadgen)
     loadgen.add_argument(
         "--out", required=True, metavar="PATH", help="output .fprec path"
     )

@@ -14,8 +14,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..simnet.counters import IterationRecord
-from .detection import DetectionConfig, DetectionResult, ThresholdDetector
+from .blocks import IterationSegment
+from .detection import DetectionConfig, DetectionResult, ThresholdDetector, _prediction_state
 from .localization import LocalizationResult, Localizer
 from .prediction.base import LoadPredictor
 from .prediction.learning import LearningEvent
@@ -110,22 +113,37 @@ class FlowPulseMonitor:
         self, records: list[IterationRecord]
     ) -> IterationVerdict:
         """Monitor one iteration; records must be ordered by leaf."""
-        iteration = records[0].tag.iteration if records else -1
         event = self.predictor.update(records)
-        if (
-            not self.predictor.ready
-            or event is LearningEvent.HEALING_DETECTED
-            or event in (LearningEvent.BASELINE_READY, LearningEvent.REBASELINED)
-        ):
-            # Not ready, or the baseline was built *from* these records
-            # (checking them against it would be circular): skip.
+        if self._skips(event):
+            iteration = records[0].tag.iteration if records else -1
             verdict = IterationVerdict(
                 iteration=iteration, learning_event=event, skipped=True
             )
             if self.telemetry is not None:
                 self._audit(verdict)
             return verdict
-        prediction = self.predictor.predict()
+        verdict = self._score_iteration(records, event, self.predictor.predict())
+        if self.telemetry is not None:
+            self._audit(verdict)
+        return verdict
+
+    def _skips(self, event: LearningEvent) -> bool:
+        """Whether this iteration's records must not be detected on:
+        predictor not ready, or the baseline was built *from* these
+        records (checking them against it would be circular)."""
+        return (
+            not self.predictor.ready
+            or event is LearningEvent.HEALING_DETECTED
+            or event in (LearningEvent.BASELINE_READY, LearningEvent.REBASELINED)
+        )
+
+    def _score_iteration(
+        self, records: list[IterationRecord], event: LearningEvent, prediction
+    ) -> IterationVerdict:
+        """The scalar scoring oracle: detect + localize one iteration
+        against a ready prediction.  Every other scoring path (including
+        the vectorized block pass) must match this bit for bit."""
+        iteration = records[0].tag.iteration if records else -1
         results = []
         localizations = []
         for record in records:
@@ -136,16 +154,173 @@ class FlowPulseMonitor:
                 localizations.append(
                     self.localizer.localize(record, leaf_prediction, result)
                 )
-        verdict = IterationVerdict(
+        return IterationVerdict(
             iteration=iteration,
             learning_event=event,
             skipped=False,
             results=tuple(results),
             localizations=tuple(localizations),
         )
+
+    # ------------------------------------------------------------------
+    def process_block(self, block) -> list[IterationVerdict]:
+        """Score a batch of iterations in one pass; bit-identical to
+        sequential :meth:`process_iteration` calls.
+
+        ``block`` is a sequence of iteration entries, each either a
+        plain record list or a columnar
+        :class:`~repro.core.blocks.IterationSegment`.  Predictor updates
+        run in iteration order (learning predictors stay correct);
+        scoring is then grouped by prediction and, where segments are
+        dense (uniform port pattern, every predicted port above
+        ``min_port_bytes``), evaluated as one vectorized numpy pass over
+        the whole ``(iterations, leaves, ports)`` value block.  The
+        arithmetic is the same float64 arithmetic as the scalar
+        detector's, so quiet iterations produce identical results;
+        triggered or irregular leaves are re-evaluated through the
+        scalar oracle, which makes parity exact everywhere.
+        """
+        predictor = self.predictor
+        stateless = type(predictor).update is LoadPredictor.update
+        verdicts: list[IterationVerdict | None] = [None] * len(block)
+        groups: dict[int, list] = {}
+        predictions: dict[int, object] = {}
+        for index, entry in enumerate(block):
+            segment = entry if isinstance(entry, IterationSegment) else None
+            if stateless:
+                # The base update ignores its records and returns NONE;
+                # skipping it avoids materializing columnar records.
+                event = LearningEvent.NONE
+            else:
+                records = entry if segment is None else segment.records()
+                event = predictor.update(records)
+            if self._skips(event):
+                if segment is not None:
+                    iteration = segment.iteration
+                else:
+                    iteration = entry[0].tag.iteration if entry else -1
+                verdicts[index] = IterationVerdict(
+                    iteration=iteration, learning_event=event, skipped=True
+                )
+                continue
+            prediction = predictor.predict()
+            key = id(prediction)
+            predictions[key] = prediction
+            groups.setdefault(key, []).append((index, entry, segment, event))
+        for key, members in groups.items():
+            self._score_group(predictions[key], members, verdicts)
         if self.telemetry is not None:
-            self._audit(verdict)
-        return verdict
+            # Audit in iteration order, matching the sequential path.
+            for verdict in verdicts:
+                self._audit(verdict)
+        return verdicts
+
+    def _score_group(self, prediction, members, verdicts) -> None:
+        """Score iterations that share one prediction object.
+
+        Falls back to the scalar oracle per iteration whenever the dense
+        preconditions fail; otherwise runs the vectorized pass.
+        """
+        plan = self._dense_plan(prediction, members)
+        if plan is None:
+            for index, entry, segment, event in members:
+                records = entry if segment is None else segment.records()
+                verdicts[index] = self._score_iteration(records, event, prediction)
+            return
+        leaves, states, pattern_width = plan
+        threshold = self.config.threshold
+        segments = [segment for _i, _e, segment, _ev in members]
+        observed = np.empty((len(segments), len(leaves), pattern_width))
+        for position, segment in enumerate(segments):
+            observed[position] = segment.port_value_matrix()
+        expected = np.array([state[2] for state in states])  # (m, p)
+        deviations = (observed - expected) / expected
+        magnitudes = np.abs(deviations)
+        worst = magnitudes.max(axis=2).tolist()
+        # Inclusive boundary, as in the scalar detector.
+        triggered = (magnitudes >= threshold).any(axis=2)
+        for position, (index, _entry, segment, event) in enumerate(members):
+            iteration = segment.iteration
+            observed_rows = observed[position].tolist()
+            deviation_rows = deviations[position].tolist()
+            triggered_row = triggered[position]
+            results = []
+            localizations = []
+            for j, leaf in enumerate(leaves):
+                leaf_prediction, ports, expected_floats = states[j]
+                if triggered_row[j]:
+                    # Alarm-bearing leaves go through the scalar oracle:
+                    # identical detection plus the localization pass.
+                    record = segment.record(j)
+                    result = self.detector.evaluate(record, leaf_prediction)
+                    results.append(result)
+                    if result.triggered:
+                        localizations.append(
+                            self.localizer.localize(record, leaf_prediction, result)
+                        )
+                else:
+                    results.append(
+                        DetectionResult(
+                            leaf,
+                            iteration,
+                            alarms=(),
+                            max_abs=worst[position][j],
+                            _lazy=(
+                                leaf,
+                                ports,
+                                expected_floats,
+                                observed_rows[j],
+                                deviation_rows[j],
+                            ),
+                        )
+                    )
+            verdicts[index] = IterationVerdict(
+                iteration=iteration,
+                learning_event=event,
+                skipped=False,
+                results=tuple(results),
+                localizations=tuple(localizations),
+            )
+
+    def _dense_plan(self, prediction, members):
+        """``(leaves, per-leaf states, pattern width)`` when every member
+        segment satisfies the vectorized fast path, else ``None``.
+
+        Dense means: every member is a columnar segment, all share one
+        leaf order and one sorted port pattern, and every leaf's
+        prediction covers exactly that pattern with all expected volumes
+        at or above ``min_port_bytes`` (and positive, so the division is
+        the same operation the scalar fast path performs).
+        """
+        first = members[0][2]
+        if first is None:
+            return None
+        pattern = first.port_pattern()
+        if pattern is None:
+            return None
+        leaves_array = first.leaves
+        for _index, _entry, segment, _event in members[1:]:
+            if segment is None:
+                return None
+            if segment.port_pattern() is None:
+                return None
+            if not np.array_equal(segment.leaves, leaves_array):
+                return None
+            if not np.array_equal(segment.port_pattern(), pattern):
+                return None
+        pattern_list = pattern.tolist()
+        min_port_bytes = self.config.min_port_bytes
+        leaves = [int(leaf) for leaf in leaves_array]
+        states = []
+        for leaf in leaves:
+            leaf_prediction = prediction.for_leaf(leaf)
+            ports, expected_floats, any_small = _prediction_state(
+                leaf_prediction, min_port_bytes
+            )
+            if any_small or ports != pattern_list or min(expected_floats) <= 0.0:
+                return None
+            states.append((leaf_prediction, ports, expected_floats))
+        return leaves, states, len(pattern_list)
 
     # ------------------------------------------------------------------
     def _audit(self, verdict: IterationVerdict) -> None:

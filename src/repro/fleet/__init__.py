@@ -27,6 +27,10 @@ for any shard count or interleaving.
 
 from .aggregate import FleetAggregator, Incident
 from .codec import (
+    BINARY_MAGIC,
+    FPREC_VERSION,
+    FPREC_VERSION_BINARY,
+    FPREC_VERSIONS,
     CodecError,
     FprecContent,
     JobConfig,
@@ -34,10 +38,12 @@ from .codec import (
     UnsupportedVersionError,
     batches_from_run,
     decode_batch,
+    decode_batch_segment,
     decode_job,
     decode_line,
     encode_batch,
     encode_job,
+    encode_segment,
     iter_fprec,
     peek_batch,
     read_fprec,
@@ -57,7 +63,11 @@ from .service import (
 from .shard import FleetError, ShardRouter, build_monitor, describe_assignment
 
 __all__ = [
+    "BINARY_MAGIC",
     "CodecError",
+    "FPREC_VERSION",
+    "FPREC_VERSION_BINARY",
+    "FPREC_VERSIONS",
     "FleetAggregator",
     "FleetConfig",
     "FleetError",
@@ -74,11 +84,13 @@ __all__ = [
     "batches_from_run",
     "build_monitor",
     "decode_batch",
+    "decode_batch_segment",
     "decode_job",
     "decode_line",
     "describe_assignment",
     "encode_batch",
     "encode_job",
+    "encode_segment",
     "generate_jobs",
     "generate_workload",
     "iter_fprec",

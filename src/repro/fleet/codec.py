@@ -1,13 +1,16 @@
 """Versioned wire format for :class:`IterationRecord` batches.
 
 The fleet service moves per-leaf iteration measurements between
-processes (and onto disk) as *lines*: each line is a self-describing
-JSON array whose first element is the format version, so a stream can
-be decoded record-by-record without a file header and an old reader
-confronted with a newer payload fails with a typed
-:class:`UnsupportedVersionError` instead of a ``KeyError``.
+processes (and onto disk) as self-describing *units*, each declaring
+its format version so a stream can be decoded unit-by-unit without a
+file header and an old reader confronted with a newer payload fails
+with a typed :class:`UnsupportedVersionError` instead of a ``KeyError``.
 
-Two line kinds exist:
+Two wire versions exist, negotiated per unit:
+
+**Version 1 — JSON lines** (readable; the replay/debug format).  Each
+line is a JSON array whose first elements are the magic, the version,
+and the kind:
 
 ``["fprec", 1, "b", job_id, n_records, iteration, collective, [...]]``
     One :class:`RecordBatch` — every leaf's record for one collective
@@ -20,42 +23,92 @@ Two line kinds exist:
     description, everything a shard needs to rebuild the job's
     :class:`~repro.core.monitor.FlowPulseMonitor` deterministically.
 
-A ``.fprec`` file is just these lines concatenated (jobs conventionally
+**Version 2 — binary columnar frames** (the ingest hot path).  Each
+frame is a 12-byte struct header (magic ``0xF7 'f' 'p' 'r'``, version,
+kind, reserved flags, u32 payload length) followed by a struct-packed
+payload.  Batch payloads are the columns of a
+:class:`~repro.core.blocks.IterationSegment` — leaf ids, timestamps,
+CSR-style port/sender key and value columns — so a shard worker decodes
+a frame with a handful of ``np.frombuffer`` calls and scores whole
+blocks of iterations in one vectorized pass without ever building a
+per-record dict.  Job frames carry the same JSON document as v1 inside
+a binary frame: they are control-plane, one per job, and gain nothing
+from struct packing.  The header's first byte (``0xF7``) is not valid
+UTF-8 and can never open a JSON line, so v1 lines and v2 frames mix
+freely in one ``.fprec`` stream.
+
+A ``.fprec`` file is just these units concatenated (jobs conventionally
 first), which makes the wire format double as a record/replay format:
 any simnet or fastsim run can be captured with :func:`batches_from_run`
-+ :func:`write_fprec` and replayed through detection offline.
++ :func:`write_fprec` and replayed through detection offline —
+:func:`iter_fprec` auto-detects the version of every unit it reads.
 
-Round-trips are exact: integers stay integers, finite floats stay
-floats (``repr`` round-trip), dict keys and tuple keys are rebuilt with
-their original types, and record order inside a batch is preserved —
-the golden-parity guarantee of the fleet service rests on this.
-Non-finite floats are rejected on both encode and decode (strict JSON
-has no ``NaN``/``Infinity``, and a measurement can never legitimately
-contain one).
+Round-trips are exact in both versions: integers stay integers, finite
+floats stay floats (v1 via ``repr`` round-trip, v2 via raw IEEE-754
+bits), dict keys and tuple keys are rebuilt with their original types,
+and record order inside a batch is preserved — the golden-parity
+guarantee of the fleet service rests on this.  Non-finite floats are
+rejected on both encode and decode, and malformed input of any shape —
+truncated frames, wrong length prefixes, trailing garbage, bad magic —
+surfaces as :class:`CodecError`, never ``struct.error``/``IndexError``.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import math
 import pathlib
+import struct
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import IO, Iterable, Iterator
 
+import numpy as np
+
 from ..analysis.experiments import ExperimentConfig
+from ..core.blocks import (
+    COUNT_DTYPE,
+    FLAG_DTYPE,
+    FLOAT_DTYPE,
+    KEY_DTYPE,
+    RAW_DTYPE,
+    VALUE_FLOAT,
+    BlockError,
+    IterationSegment,
+)
 from ..simnet.counters import IterationRecord
 from ..simnet.packet import FlowTag
 
-#: Magic tag opening every line (cheap file-type identification).
+#: Magic tag opening every v1 line (cheap file-type identification).
 FPREC_MAGIC = "fprec"
-#: Current wire-format version.
+#: JSON-line wire version (readable; the replay/debug default).
 FPREC_VERSION = 1
+#: Binary columnar wire version (the ingest hot path).
+FPREC_VERSION_BINARY = 2
+#: Every version this codec reads and writes.
+FPREC_VERSIONS = (FPREC_VERSION, FPREC_VERSION_BINARY)
 #: Conventional file extension for captured record streams.
 FPREC_SUFFIX = ".fprec"
 
+#: Magic opening every v2 binary frame.  The first byte is not valid
+#: UTF-8, so a frame can never be confused with a JSON line.
+BINARY_MAGIC = b"\xf7fpr"
+#: Frame header: magic, version (u8), kind (u8), reserved flags (u16),
+#: payload length (u32).
+_HEADER = struct.Struct("<4sBBHI")
+#: Batch payload prefix: job_id (u64), iteration (u64), n_records
+#: (u32), collective length (u16).  ``job_id``/``n_records`` sit at
+#: frame offsets 12 and 28 so :func:`peek_batch` reads them without
+#: touching the columns.
+_BATCH_FIXED = struct.Struct("<QQIH")
+_KIND_BATCH = ord("b")
+_KIND_JOB = ord("j")
+_U64_MAX = 2**64 - 1
+
 
 class CodecError(RuntimeError):
-    """Raised for malformed payloads, lines, or values."""
+    """Raised for malformed payloads, lines, frames, or values."""
 
 
 class UnsupportedVersionError(CodecError):
@@ -131,6 +184,13 @@ class JobConfig:
             )
 
 
+#: Field names a job payload may carry, computed from the dataclasses so
+#: unknown keys from a newer writer map to a clear CodecError instead of
+#: a bare ``TypeError`` about Python internals.
+_JOB_FIELDS = frozenset(f.name for f in dataclass_fields(JobConfig)) - {"experiment"}
+_EXPERIMENT_FIELDS = frozenset(f.name for f in dataclass_fields(ExperimentConfig))
+
+
 # ----------------------------------------------------------------------
 # Value validation
 # ----------------------------------------------------------------------
@@ -153,8 +213,17 @@ def _int_key(value, where: str) -> int:
     return value
 
 
+def _require_version(version: int) -> None:
+    """Writer-side negotiation: only encode versions we can decode."""
+    if version not in FPREC_VERSIONS:
+        raise UnsupportedVersionError(
+            f"cannot encode wire version {version} "
+            f"(supported versions: {FPREC_VERSIONS})"
+        )
+
+
 # ----------------------------------------------------------------------
-# Record encoding
+# v1 record encoding (JSON lines)
 # ----------------------------------------------------------------------
 def _encode_record(record: IterationRecord) -> list:
     port_pairs = [
@@ -170,9 +239,9 @@ def _encode_record(record: IterationRecord) -> list:
         for (spine, src), size in sorted(record.sender_bytes.items())
     ]
     return [
-        record.leaf,
-        record.start_ns,
-        record.end_ns,
+        _int_key(record.leaf, "leaf"),
+        _int_key(record.start_ns, "start_ns"),
+        _int_key(record.end_ns, "end_ns"),
         port_pairs,
         sender_triples,
     ]
@@ -201,16 +270,30 @@ def _decode_record(entry, tag: FlowTag) -> IterationRecord:
         tag=tag,
         port_bytes=port_bytes,
         sender_bytes=sender_bytes,
-        start_ns=start_ns,
-        end_ns=end_ns,
+        # Timestamps are validated like every other field: a stringly
+        # "0" or a float must not survive decode and poison the
+        # detect-latency bookkeeping downstream.
+        start_ns=_int_key(start_ns, "start_ns"),
+        end_ns=_int_key(end_ns, "end_ns"),
     )
 
 
 # ----------------------------------------------------------------------
-# Line encoding / decoding
+# Line/frame encoding
 # ----------------------------------------------------------------------
-def encode_batch(batch: RecordBatch) -> str:
-    """One :class:`RecordBatch` as one wire line (no trailing newline)."""
+def encode_batch(batch: RecordBatch, version: int = FPREC_VERSION) -> str | bytes:
+    """One :class:`RecordBatch` as one wire unit.
+
+    Version 1 returns a JSON line (``str``, no trailing newline);
+    version 2 returns a complete binary frame (``bytes``).
+    """
+    _require_version(version)
+    if version == FPREC_VERSION_BINARY:
+        try:
+            segment = IterationSegment.from_records(list(batch.records))
+        except BlockError as exc:
+            raise CodecError(f"batch not representable as a v2 frame: {exc}") from exc
+        return encode_segment(segment)
     payload = [
         FPREC_MAGIC,
         FPREC_VERSION,
@@ -224,24 +307,202 @@ def encode_batch(batch: RecordBatch) -> str:
     return json.dumps(payload, separators=(",", ":"), allow_nan=False)
 
 
-def encode_job(job: JobConfig) -> str:
-    """One :class:`JobConfig` as one wire line."""
-    payload = [
-        FPREC_MAGIC,
-        FPREC_VERSION,
-        "j",
-        {
-            "job_id": job.job_id,
-            "base_seed": job.base_seed,
-            "trial": job.trial,
-            "faulted": job.faulted,
-            "fault_link": job.fault_link,
-            "experiment": asdict(job.experiment),
-        },
-    ]
-    return json.dumps(payload, separators=(",", ":"), allow_nan=False)
+def _job_payload(job: JobConfig) -> dict:
+    return {
+        "job_id": job.job_id,
+        "base_seed": job.base_seed,
+        "trial": job.trial,
+        "faulted": job.faulted,
+        "fault_link": job.fault_link,
+        "experiment": asdict(job.experiment),
+    }
 
 
+def encode_job(job: JobConfig, version: int = FPREC_VERSION) -> str | bytes:
+    """One :class:`JobConfig` as one wire unit (see :func:`encode_batch`)."""
+    _require_version(version)
+    body = json.dumps(_job_payload(job), separators=(",", ":"), allow_nan=False)
+    if version == FPREC_VERSION_BINARY:
+        encoded = body.encode()
+        return _HEADER.pack(
+            BINARY_MAGIC, FPREC_VERSION_BINARY, _KIND_JOB, 0, len(encoded)
+        ) + encoded
+    return json.dumps(
+        [FPREC_MAGIC, FPREC_VERSION, "j", _job_payload(job)],
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def encode_segment(segment: IterationSegment) -> bytes:
+    """One columnar :class:`~repro.core.blocks.IterationSegment` as one
+    v2 binary frame (the zero-materialization encode path)."""
+    if not 0 <= segment.job_id <= _U64_MAX:
+        raise CodecError(f"job_id {segment.job_id} out of u64 range for v2")
+    if not 0 <= segment.iteration <= _U64_MAX:
+        raise CodecError(f"iteration {segment.iteration} out of u64 range for v2")
+    collective = segment.collective.encode()
+    if len(collective) > 0xFFFF:
+        raise CodecError("collective name too long for a v2 frame")
+    for raw, flags, where in (
+        (segment.port_raw, segment.port_flags, "port_bytes"),
+        (segment.sender_raw, segment.sender_flags, "sender_bytes"),
+    ):
+        mask = flags == VALUE_FLOAT
+        if mask.any() and not np.isfinite(raw.view(FLOAT_DTYPE)[mask]).all():
+            raise CodecError(f"non-finite value in {where}")
+    port_counts = np.asarray(np.diff(segment.port_offsets), dtype=COUNT_DTYPE)
+    sender_counts = np.asarray(np.diff(segment.sender_offsets), dtype=COUNT_DTYPE)
+    payload = b"".join(
+        (
+            _BATCH_FIXED.pack(
+                segment.job_id, segment.iteration, segment.n_records, len(collective)
+            ),
+            collective,
+            port_counts.tobytes(),
+            sender_counts.tobytes(),
+            np.asarray(segment.leaves, dtype=KEY_DTYPE).tobytes(),
+            np.asarray(segment.start_ns, dtype=KEY_DTYPE).tobytes(),
+            np.asarray(segment.end_ns, dtype=KEY_DTYPE).tobytes(),
+            np.asarray(segment.port_keys, dtype=KEY_DTYPE).tobytes(),
+            np.asarray(segment.port_raw, dtype=RAW_DTYPE).tobytes(),
+            np.asarray(segment.port_flags, dtype=FLAG_DTYPE).tobytes(),
+            np.asarray(segment.sender_spines, dtype=KEY_DTYPE).tobytes(),
+            np.asarray(segment.sender_srcs, dtype=KEY_DTYPE).tobytes(),
+            np.asarray(segment.sender_raw, dtype=RAW_DTYPE).tobytes(),
+            np.asarray(segment.sender_flags, dtype=FLAG_DTYPE).tobytes(),
+        )
+    )
+    return _HEADER.pack(
+        BINARY_MAGIC, FPREC_VERSION_BINARY, _KIND_BATCH, 0, len(payload)
+    ) + payload
+
+
+# ----------------------------------------------------------------------
+# v2 frame decoding
+# ----------------------------------------------------------------------
+def _split_frame(data: bytes) -> tuple[int, bytes]:
+    """Validate a complete binary frame; return ``(kind, payload)``."""
+    if len(data) < _HEADER.size:
+        raise CodecError("truncated binary frame (short header)")
+    magic, version, kind, flags, length = _HEADER.unpack_from(data, 0)
+    if magic != BINARY_MAGIC:
+        raise CodecError(f"bad binary magic {magic!r} (expected {BINARY_MAGIC!r})")
+    if version != FPREC_VERSION_BINARY:
+        raise UnsupportedVersionError(
+            f"binary frame version {version} not supported (this codec reads "
+            f"JSON lines at version {FPREC_VERSION} and binary frames at "
+            f"version {FPREC_VERSION_BINARY})"
+        )
+    if flags != 0:
+        raise CodecError(f"reserved frame flags set ({flags:#06x})")
+    if kind not in (_KIND_BATCH, _KIND_JOB):
+        raise CodecError(f"unknown binary frame kind {kind:#04x}")
+    got = len(data) - _HEADER.size
+    if got != length:
+        raise CodecError(
+            f"frame length prefix declares {length} payload bytes, got {got}"
+        )
+    return kind, data[_HEADER.size :]
+
+
+def _decode_segment_payload(payload: bytes) -> IterationSegment:
+    """A v2 batch payload back into its columnar segment."""
+    if len(payload) < _BATCH_FIXED.size:
+        raise CodecError("truncated v2 batch frame (short fixed section)")
+    job_id, iteration, n_records, collective_len = _BATCH_FIXED.unpack_from(payload, 0)
+    if n_records == 0:
+        raise CodecError("a record batch cannot be empty")
+    offset = _BATCH_FIXED.size
+    if len(payload) < offset + collective_len:
+        raise CodecError("truncated v2 batch frame (collective name)")
+    try:
+        collective = payload[offset : offset + collective_len].decode()
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"undecodable collective name: {exc}") from exc
+    offset += collective_len
+
+    def take(dtype: np.dtype, count: int, what: str) -> np.ndarray:
+        nonlocal offset
+        nbytes = dtype.itemsize * count
+        if len(payload) < offset + nbytes:
+            raise CodecError(f"truncated v2 batch frame ({what})")
+        # Slicing copies into a fresh, aligned buffer; columns are small.
+        array = np.frombuffer(payload[offset : offset + nbytes], dtype=dtype)
+        offset += nbytes
+        return array
+
+    port_counts = take(COUNT_DTYPE, n_records, "port counts")
+    sender_counts = take(COUNT_DTYPE, n_records, "sender counts")
+    leaves = take(KEY_DTYPE, n_records, "leaves")
+    start_ns = take(KEY_DTYPE, n_records, "start_ns")
+    end_ns = take(KEY_DTYPE, n_records, "end_ns")
+    n_ports = int(port_counts.sum())
+    n_senders = int(sender_counts.sum())
+    port_keys = take(KEY_DTYPE, n_ports, "port keys")
+    port_raw = take(RAW_DTYPE, n_ports, "port values")
+    port_flags = take(FLAG_DTYPE, n_ports, "port flags")
+    sender_spines = take(KEY_DTYPE, n_senders, "sender spines")
+    sender_srcs = take(KEY_DTYPE, n_senders, "sender sources")
+    sender_raw = take(RAW_DTYPE, n_senders, "sender values")
+    sender_flags = take(FLAG_DTYPE, n_senders, "sender flags")
+    if offset != len(payload):
+        raise CodecError(
+            f"trailing garbage: {len(payload) - offset} bytes after v2 batch payload"
+        )
+    for flags, raw, where in (
+        (port_flags, port_raw, "port_bytes"),
+        (sender_flags, sender_raw, "sender_bytes"),
+    ):
+        if flags.size and int(flags.max(initial=0)) > VALUE_FLOAT:
+            raise CodecError(f"unknown value flag in {where}")
+        mask = flags == VALUE_FLOAT
+        if mask.any() and not np.isfinite(raw.view(FLOAT_DTYPE)[mask]).all():
+            raise CodecError(f"non-finite value in {where}")
+    zero = np.zeros(1, dtype=KEY_DTYPE)
+    return IterationSegment(
+        job_id=job_id,
+        iteration=iteration,
+        collective=collective,
+        leaves=leaves,
+        start_ns=start_ns,
+        end_ns=end_ns,
+        port_offsets=np.concatenate((zero, np.cumsum(port_counts))).astype(KEY_DTYPE),
+        port_keys=port_keys,
+        port_raw=port_raw,
+        port_flags=port_flags,
+        sender_offsets=np.concatenate((zero, np.cumsum(sender_counts))).astype(
+            KEY_DTYPE
+        ),
+        sender_spines=sender_spines,
+        sender_srcs=sender_srcs,
+        sender_raw=sender_raw,
+        sender_flags=sender_flags,
+    )
+
+
+def _segment_to_batch(segment: IterationSegment) -> RecordBatch:
+    return RecordBatch(
+        job_id=segment.job_id,
+        iteration=segment.iteration,
+        collective=segment.collective,
+        records=tuple(segment.records()),
+    )
+
+
+def _decode_job_payload(payload: bytes) -> JobConfig:
+    try:
+        data = json.loads(payload.decode(), parse_constant=_reject_constant)
+    except CodecError:
+        raise
+    except (UnicodeDecodeError, json.JSONDecodeError, RecursionError) as exc:
+        raise CodecError(f"malformed v2 job frame: {exc}") from exc
+    return _job_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# v1 line decoding
+# ----------------------------------------------------------------------
 def _parse_line(line: str) -> tuple[str, list]:
     """Validate magic + version; return ``(kind, payload_list)``."""
     try:
@@ -259,17 +520,56 @@ def _parse_line(line: str) -> tuple[str, list]:
         raise CodecError(f"version must be an integer, got {version!r}")
     if version != FPREC_VERSION:
         raise UnsupportedVersionError(
-            f"payload version {version} not supported "
-            f"(this codec reads version {FPREC_VERSION})"
+            f"JSON line version {version} not supported (JSON lines carry "
+            f"version {FPREC_VERSION}; version {FPREC_VERSION_BINARY} payloads "
+            "are binary frames)"
         )
     if kind not in ("b", "j"):
         raise CodecError(f"unknown line kind {kind!r}")
     return kind, payload
 
 
-def decode_batch(line: str) -> RecordBatch:
-    """Parse one batch line back into an exact :class:`RecordBatch`."""
-    kind, payload = _parse_line(line)
+def _job_from_dict(data) -> JobConfig:
+    """A job payload dict back into a :class:`JobConfig`, with unknown
+    or missing fields mapped to clear typed errors naming the key."""
+    if not isinstance(data, dict):
+        raise CodecError("job payload must be a JSON object")
+    data = dict(data)
+    experiment_data = data.pop("experiment", None)
+    if not isinstance(experiment_data, dict):
+        raise CodecError("job config missing its 'experiment' object")
+    unknown = sorted(set(experiment_data) - _EXPERIMENT_FIELDS)
+    if unknown:
+        raise CodecError(
+            f"unknown experiment field(s) {', '.join(map(repr, unknown))} "
+            "(payload from a newer writer?)"
+        )
+    unknown = sorted(set(data) - _JOB_FIELDS)
+    if unknown:
+        raise CodecError(
+            f"unknown job field(s) {', '.join(map(repr, unknown))} "
+            "(payload from a newer writer?)"
+        )
+    if "job_id" not in data:
+        raise CodecError("job config missing required field 'job_id'")
+    try:
+        experiment = ExperimentConfig(**experiment_data)
+        return JobConfig(experiment=experiment, **data)
+    except CodecError:
+        raise
+    except (TypeError, ValueError, RuntimeError) as exc:
+        raise CodecError(f"malformed job config: {exc}") from exc
+
+
+def decode_batch(data: str | bytes) -> RecordBatch:
+    """Parse one batch unit (either version) back into an exact
+    :class:`RecordBatch`."""
+    if isinstance(data, (bytes, bytearray)):
+        kind, payload = _split_frame(bytes(data))
+        if kind != _KIND_BATCH:
+            raise CodecError("expected a batch frame, got a job frame")
+        return _segment_to_batch(_decode_segment_payload(payload))
+    kind, payload = _parse_line(data)
     if kind != "b":
         raise CodecError(f"expected a batch line, got kind {kind!r}")
     try:
@@ -296,48 +596,102 @@ def decode_batch(line: str) -> RecordBatch:
     )
 
 
-def decode_job(line: str) -> JobConfig:
-    """Parse one job line back into an exact :class:`JobConfig`."""
-    kind, payload = _parse_line(line)
+def decode_batch_segment(data: str | bytes) -> IterationSegment:
+    """Decode a batch unit straight into its columnar
+    :class:`~repro.core.blocks.IterationSegment`.
+
+    For v2 frames this is the shard-worker hot path: the columns come
+    off the wire with a handful of buffer views and no per-record dict
+    is ever built.  v1 lines are decoded normally and columnarized.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        kind, payload = _split_frame(bytes(data))
+        if kind != _KIND_BATCH:
+            raise CodecError("expected a batch frame, got a job frame")
+        return _decode_segment_payload(payload)
+    batch = decode_batch(data)
+    try:
+        return IterationSegment.from_records(list(batch.records))
+    except BlockError as exc:  # pragma: no cover - decode already validated
+        raise CodecError(str(exc)) from exc
+
+
+def decode_job(data: str | bytes) -> JobConfig:
+    """Parse one job unit (either version) back into an exact
+    :class:`JobConfig`."""
+    if isinstance(data, (bytes, bytearray)):
+        kind, payload = _split_frame(bytes(data))
+        if kind != _KIND_JOB:
+            raise CodecError("expected a job frame, got a batch frame")
+        return _decode_job_payload(payload)
+    kind, payload = _parse_line(data)
     if kind != "j":
         raise CodecError(f"expected a job line, got kind {kind!r}")
-    if len(payload) != 4 or not isinstance(payload[3], dict):
+    if len(payload) != 4:
         raise CodecError("malformed job line")
-    data = dict(payload[3])
-    try:
-        experiment_data = data.pop("experiment")
-        experiment = ExperimentConfig(**experiment_data)
-        return JobConfig(experiment=experiment, **data)
-    except CodecError:
-        raise
-    except (KeyError, TypeError, ValueError, RuntimeError) as exc:
-        raise CodecError(f"malformed job config: {exc}") from exc
+    return _job_from_dict(payload[3])
 
 
-def decode_line(line: str):
-    """Decode any wire line; returns ``("b", RecordBatch)`` or
-    ``("j", JobConfig)``."""
-    kind, _payload = _parse_line(line)
+def decode_line(data: str | bytes):
+    """Decode any wire unit; returns ``("b", RecordBatch)`` or
+    ``("j", JobConfig)``.  Accepts v1 JSON lines (``str`` or UTF-8
+    ``bytes``) and v2 binary frames (``bytes``)."""
+    if isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
+        if data[:1] == BINARY_MAGIC[:1]:
+            kind, payload = _split_frame(data)
+            if kind == _KIND_BATCH:
+                return "b", _segment_to_batch(_decode_segment_payload(payload))
+            return "j", _decode_job_payload(payload)
+        try:
+            data = data.decode()
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"undecodable wire line: {exc}") from exc
+    kind, _payload = _parse_line(data)
     if kind == "b":
-        return kind, decode_batch(line)
-    return kind, decode_job(line)
+        return kind, decode_batch(data)
+    return kind, decode_job(data)
 
 
-def peek_batch(line: str) -> tuple[int, int]:
-    """``(job_id, n_records)`` of a batch line without a full parse.
+def peek_batch(data: str | bytes) -> tuple[int, int]:
+    """``(job_id, n_records)`` of a batch unit without a full parse.
 
-    The routing fields sit at fixed positions, so four comma splits
-    suffice — this is what keeps the ingest frontend's per-line cost
-    independent of batch size.  Falls back to a full decode (and its
-    typed errors) when the prefix looks unlike a batch line.
+    The routing fields sit at fixed positions in both versions: a v1
+    line yields them after four comma splits, a v2 frame after two
+    fixed-offset reads — this is what keeps the ingest frontend's
+    per-unit cost independent of batch size.  The fast paths validate
+    the magic and version at their fixed positions too, so a
+    wrong-magic or future-version unit whose prefix happens to look
+    batch-shaped raises the typed error here instead of deep inside a
+    shard worker.  Anything the fast path cannot vouch for falls back
+    to a full decode (and its typed errors).
     """
-    parts = line.split(",", 5)
-    if len(parts) == 6 and parts[2] == '"b"':
+    if isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
+        if (
+            len(data) >= _HEADER.size + _BATCH_FIXED.size
+            and data[:4] == BINARY_MAGIC
+            and data[4] == FPREC_VERSION_BINARY
+            and data[5] == _KIND_BATCH
+            and len(data) == _HEADER.size + int.from_bytes(data[8:12], "little")
+        ):
+            job_id = int.from_bytes(data[12:20], "little")
+            n_records = int.from_bytes(data[28:32], "little")
+            return job_id, n_records
+        batch = decode_batch(data)  # raises a typed error or handles edge forms
+        return batch.job_id, batch.n_records
+    parts = data.split(",", 5)
+    if (
+        len(parts) == 6
+        and parts[0] == f'["{FPREC_MAGIC}"'
+        and parts[1] == str(FPREC_VERSION)
+        and parts[2] == '"b"'
+    ):
         try:
             return int(parts[3]), int(parts[4])
         except ValueError:
             pass
-    batch = decode_batch(line)  # raises a typed error or handles edge forms
+    batch = decode_batch(data)  # raises a typed error or handles edge forms
     return batch.job_id, batch.n_records
 
 
@@ -353,37 +707,93 @@ def batches_from_run(
     return [RecordBatch.from_records(records) for records in run_records]
 
 
+def _stream_unit(encoded: str | bytes, text: bool) -> str | bytes:
+    """One encoded unit as written to a stream: JSON lines get their
+    newline delimiter, binary frames are self-delimiting."""
+    if isinstance(encoded, str):
+        line = encoded + "\n"
+        return line if text else line.encode()
+    return encoded
+
+
 def write_fprec(
-    target: str | pathlib.Path | IO[str],
+    target: str | pathlib.Path | IO,
     jobs: Iterable[JobConfig] = (),
     batches: Iterable[RecordBatch] = (),
+    version: int = FPREC_VERSION,
 ) -> int:
-    """Write jobs then batches as a ``.fprec`` stream; returns the line
-    count."""
+    """Write jobs then batches as a ``.fprec`` stream; returns the unit
+    count.  ``version`` selects the wire format: 1 writes readable JSON
+    lines (text file), 2 writes binary columnar frames (binary file).
+    """
+    _require_version(version)
     if isinstance(target, (str, pathlib.Path)):
-        with open(target, "w") as handle:
-            return write_fprec(handle, jobs, batches)
+        mode = "w" if version == FPREC_VERSION else "wb"
+        with open(target, mode) as handle:
+            return write_fprec(handle, jobs, batches, version=version)
+    text = isinstance(target, io.TextIOBase)
+    if text and version != FPREC_VERSION:
+        raise CodecError(
+            "binary v2 frames need a binary stream or a path, not a text stream"
+        )
     count = 0
     for job in jobs:
-        target.write(encode_job(job) + "\n")
+        target.write(_stream_unit(encode_job(job, version=version), text))
         count += 1
     for batch in batches:
-        target.write(encode_batch(batch) + "\n")
+        target.write(_stream_unit(encode_batch(batch, version=version), text))
         count += 1
     return count
 
 
-def iter_fprec(source: str | pathlib.Path | IO[str]) -> Iterator[tuple[str, object]]:
+def _iter_fprec_binary(stream) -> Iterator[tuple[str, object]]:
+    """Stream mixed v1 lines / v2 frames from a binary stream."""
+    magic_byte = BINARY_MAGIC[:1]
+    while True:
+        first = stream.read(1)
+        if not first:
+            return
+        if first == magic_byte:
+            header = first + stream.read(_HEADER.size - 1)
+            if len(header) < _HEADER.size:
+                raise CodecError("truncated binary frame header at end of stream")
+            _magic, _version, _kind, _flags, length = _HEADER.unpack(header)
+            payload = stream.read(length)
+            if len(payload) < length:
+                raise CodecError("truncated binary frame payload at end of stream")
+            yield decode_line(header + payload)
+        elif first in (b"\n", b"\r", b" ", b"\t"):
+            continue
+        else:
+            raw = first + stream.readline()
+            try:
+                line = raw.decode()
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"undecodable wire line: {exc}") from exc
+            line = line.strip()
+            if line:
+                yield decode_line(line)
+
+
+def iter_fprec(source: str | pathlib.Path | IO) -> Iterator[tuple[str, object]]:
     """Stream a ``.fprec`` file as ``("j", JobConfig)`` / ``("b",
-    RecordBatch)`` events (blank lines skipped)."""
+    RecordBatch)`` events (blank lines skipped).
+
+    Files are read in binary mode and every unit's version is
+    auto-detected, so v1 JSON lines and v2 binary frames mix freely in
+    one stream.  A text stream can only ever carry v1 lines.
+    """
     if isinstance(source, (str, pathlib.Path)):
-        with open(source) as handle:
-            yield from iter_fprec(handle)
+        with open(source, "rb") as handle:
+            yield from _iter_fprec_binary(handle)
         return
-    for line in source:
-        line = line.strip()
-        if line:
-            yield decode_line(line)
+    if isinstance(source, io.TextIOBase):
+        for line in source:
+            line = line.strip()
+            if line:
+                yield decode_line(line)
+        return
+    yield from _iter_fprec_binary(source)
 
 
 @dataclass
@@ -401,7 +811,7 @@ class FprecContent:
         return [job.job_id for job in self.jobs]
 
 
-def read_fprec(source: str | pathlib.Path | IO[str]) -> FprecContent:
+def read_fprec(source: str | pathlib.Path | IO) -> FprecContent:
     """Load a ``.fprec`` file eagerly."""
     content = FprecContent()
     for kind, payload in iter_fprec(source):

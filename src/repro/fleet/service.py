@@ -37,7 +37,7 @@ from ..core.monitor import IterationVerdict
 from ..telemetry.events import EventLog
 from ..telemetry.registry import MetricsRegistry
 from .aggregate import FleetAggregator, Incident
-from .codec import JobConfig, RecordBatch, encode_batch, peek_batch
+from .codec import FPREC_VERSIONS, JobConfig, RecordBatch, encode_batch, peek_batch
 from .shard import FleetError, ShardRouter, build_monitor, shard_worker
 
 #: How long ``close`` waits for a single outbox message before declaring
@@ -58,6 +58,12 @@ class FleetConfig:
     policy: str = "block"  # "block" | "shed-oldest"
     return_verdicts: bool = False
     n_replicas: int = 64  # consistent-hash points per shard
+    wire_version: int = 1  # fprec version submit() encodes at (1 | 2)
+    #: Max messages a worker drains per wake-up for block scoring.
+    #: Capped at ``queue_depth`` so a worker never buffers more than
+    #: the bounded queue itself may hold — otherwise coalescing would
+    #: silently widen the backpressure window.
+    coalesce: int = 32
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -69,6 +75,13 @@ class FleetConfig:
                 f"unknown backpressure policy {self.policy!r} "
                 "(expected 'block' or 'shed-oldest')"
             )
+        if self.wire_version not in FPREC_VERSIONS:
+            raise FleetError(
+                f"unknown wire version {self.wire_version!r} "
+                f"(supported: {FPREC_VERSIONS})"
+            )
+        if self.coalesce < 1:
+            raise FleetError("coalesce must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -226,7 +239,13 @@ class FleetService:
             inbox = context.Queue(maxsize=self.config.queue_depth)
             worker = context.Process(
                 target=shard_worker,
-                args=(shard, inbox, self._outbox, self.config.return_verdicts),
+                args=(
+                    shard,
+                    inbox,
+                    self._outbox,
+                    self.config.return_verdicts,
+                    min(self.config.coalesce, self.config.queue_depth),
+                ),
                 daemon=True,
                 name=f"fleet-shard-{shard}",
             )
@@ -256,14 +275,19 @@ class FleetService:
         return shard
 
     def submit(self, batch: RecordBatch) -> None:
-        """Encode and ingest one record batch."""
-        self.submit_encoded(encode_batch(batch), batch.job_id, batch.n_records)
+        """Encode (at the configured wire version) and ingest one batch."""
+        self.submit_encoded(
+            encode_batch(batch, version=self.config.wire_version),
+            batch.job_id,
+            batch.n_records,
+        )
 
-    def submit_encoded(self, line: str, job_id: int | None = None, n_records: int | None = None) -> None:
-        """Ingest an already-encoded wire line (the replay fast path).
+    def submit_encoded(self, line: str | bytes, job_id: int | None = None, n_records: int | None = None) -> None:
+        """Ingest an already-encoded wire unit (the replay fast path):
+        a v1 JSON line (``str``) or a v2 binary frame (``bytes``).
 
         ``job_id``/``n_records`` may be omitted; they are then peeked
-        from the line's routing prefix without a full parse.
+        from the unit's routing prefix without a full parse.
         """
         self._require_started()
         if job_id is None or n_records is None:
@@ -459,7 +483,7 @@ def serve_workload(
         for job in jobs:
             service.submit_job(job)
         for batch in batches:
-            if isinstance(batch, str):
+            if isinstance(batch, (str, bytes)):
                 service.submit_encoded(batch)
             else:
                 service.submit(batch)

@@ -9,8 +9,9 @@ hashing (:class:`ShardRouter`), and each shard's bounded FIFO inbox
 preserves per-job order end to end.
 
 The worker (:func:`shard_worker`) owns the monitors of the jobs routed
-to it: it decodes incoming wire lines, feeds
-:meth:`~repro.core.monitor.FlowPulseMonitor.process_iteration`, and
+to it: it decodes incoming wire units (v1 JSON lines or v2 binary
+frames), coalesces queued batches, scores them per job through
+:meth:`~repro.core.monitor.FlowPulseMonitor.process_block`, and
 ships verdicts back on the shared outbox.  Everything it touches is
 deterministic given the job configs and record stream, which is what
 makes the service's golden-parity guarantee (bit-identical verdicts to
@@ -28,11 +29,13 @@ import hashlib
 import time
 from dataclasses import dataclass
 
+import queue as queue_module
+
 from ..analysis.experiments import build_trial, make_predictor
 from ..core.detection import DetectionConfig
 from ..core.monitor import FlowPulseMonitor
 from ..telemetry.registry import MetricsRegistry
-from .codec import CodecError, JobConfig, decode_batch
+from .codec import CodecError, JobConfig, decode_batch, decode_batch_segment
 
 
 class FleetError(RuntimeError):
@@ -112,15 +115,26 @@ def build_monitor(job: JobConfig) -> FlowPulseMonitor:
     )
 
 
-def shard_worker(shard_id: int, inbox, outbox, return_verdicts: bool) -> None:
+def shard_worker(
+    shard_id: int, inbox, outbox, return_verdicts: bool, coalesce: int = 32
+) -> None:
     """Worker-process entry point: drain ``inbox`` until a stop message.
 
     Inbox messages (tuples, cheap to pickle):
 
     - ``("job", JobConfig)`` — register a job; builds its monitor.
-    - ``("batch", line, n_records, submitted_at)`` — one encoded
-      :class:`~repro.fleet.codec.RecordBatch` plus its submit wall time.
+    - ``("batch", unit, n_records, submitted_at)`` — one encoded
+      :class:`~repro.fleet.codec.RecordBatch` (v1 JSON line ``str`` or
+      v2 binary frame ``bytes``) plus its submit wall time.
     - ``("stop",)`` — drain finished; ship metrics and exit.
+
+    Each wake-up drains up to ``coalesce`` queued messages and scores
+    the drained batches job by job through
+    :meth:`~repro.core.monitor.FlowPulseMonitor.process_block` — v2
+    frames arrive as columnar segments and whole runs of quiet
+    iterations are scored in one vectorized pass.  Per-job batch order
+    is preserved (the golden-parity invariant); control messages act as
+    barriers, flushing buffered batches before taking effect.
 
     Outbox messages:
 
@@ -133,6 +147,8 @@ def shard_worker(shard_id: int, inbox, outbox, return_verdicts: bool) -> None:
       (the worker keeps going; errors are counted, never fatal).
     - ``("metrics", shard, snapshot)`` then ``("done", shard)`` on stop.
     """
+    if coalesce < 1:
+        raise FleetError("coalesce must be at least 1")
     registry = MetricsRegistry()
     label = str(shard_id)
     batches_c = registry.counter("fleet.batches", shard=label)
@@ -150,51 +166,103 @@ def shard_worker(shard_id: int, inbox, outbox, return_verdicts: bool) -> None:
     )
     monitors: dict[int, FlowPulseMonitor] = {}
 
-    while True:
-        message = inbox.get()
-        kind = message[0]
-        if kind == "stop":
-            break
-        try:
-            if kind == "job":
-                job = message[1]
-                monitors[job.job_id] = build_monitor(job)
-                jobs_c.inc()
-            elif kind == "batch":
-                _kind, line, _n_records, submitted_at = message
-                batch = decode_batch(line)
-                monitor = monitors.get(batch.job_id)
-                if monitor is None:
-                    unknown_c.inc()
-                    continue
-                started = time.perf_counter()
-                verdict = monitor.process_iteration(list(batch.records))
-                detect_h.observe(time.perf_counter() - started)
-                latency_h.observe(max(0.0, time.time() - submitted_at))
+    def report_error(exc: Exception) -> None:
+        errors_c.inc()
+        outbox.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+
+    def flush(pending: list) -> None:
+        """Decode and score buffered batch messages, grouped by job.
+
+        Grouping only reorders *across* jobs; within a job the entries
+        keep arrival order, so each monitor still sees its iterations
+        in sequence.  One malformed unit costs one error, not the
+        whole flush.
+        """
+        if not pending:
+            return
+        groups: dict[int, list] = {}
+        metas: dict[int, list[tuple[int, float]]] = {}
+        for _kind, unit, _n_records, submitted_at in pending:
+            try:
+                if isinstance(unit, (bytes, bytearray)):
+                    # v2 hot path: straight to the columnar segment,
+                    # no per-record materialization.
+                    entry = decode_batch_segment(unit)
+                    job_id, n_records = entry.job_id, entry.n_records
+                else:
+                    batch = decode_batch(unit)
+                    entry = list(batch.records)
+                    job_id, n_records = batch.job_id, batch.n_records
+            except (CodecError, RuntimeError, ValueError) as exc:
+                report_error(exc)
+                continue
+            groups.setdefault(job_id, []).append(entry)
+            metas.setdefault(job_id, []).append((n_records, submitted_at))
+        for job_id, entries in groups.items():
+            monitor = monitors.get(job_id)
+            if monitor is None:
+                unknown_c.inc(len(entries))
+                continue
+            started = time.perf_counter()
+            try:
+                verdicts = monitor.process_block(entries)
+            except (FleetError, RuntimeError, ValueError) as exc:
+                report_error(exc)
+                continue
+            per_batch_s = (time.perf_counter() - started) / len(entries)
+            now = time.time()
+            for verdict, (n_records, submitted_at) in zip(verdicts, metas[job_id]):
+                detect_h.observe(per_batch_s)
+                latency_h.observe(max(0.0, now - submitted_at))
                 batches_c.inc()
-                records_c.inc(batch.n_records)
+                records_c.inc(n_records)
                 if verdict.skipped:
                     skipped_c.inc()
                 if verdict.triggered:
                     alarmed_c.inc()
                 if return_verdicts or verdict.triggered:
-                    outbox.put(("verdict", shard_id, batch.job_id, verdict))
+                    outbox.put(("verdict", shard_id, job_id, verdict))
                 else:
                     outbox.put(
                         (
                             "summary",
                             shard_id,
-                            batch.job_id,
+                            job_id,
                             verdict.iteration,
                             verdict.skipped,
                             verdict.max_score,
                         )
                     )
-            else:
-                raise FleetError(f"unknown shard message kind {kind!r}")
-        except (CodecError, FleetError, RuntimeError, ValueError) as exc:
-            errors_c.inc()
-            outbox.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+
+    stopping = False
+    while not stopping:
+        messages = [inbox.get()]
+        while len(messages) < coalesce:
+            try:
+                messages.append(inbox.get_nowait())
+            except queue_module.Empty:
+                break
+        pending: list = []
+        for message in messages:
+            kind = message[0]
+            if kind == "batch":
+                pending.append(message)
+                continue
+            flush(pending)  # control messages are barriers
+            pending = []
+            if kind == "stop":
+                stopping = True
+                break
+            try:
+                if kind == "job":
+                    job = message[1]
+                    monitors[job.job_id] = build_monitor(job)
+                    jobs_c.inc()
+                else:
+                    raise FleetError(f"unknown shard message kind {kind!r}")
+            except (CodecError, FleetError, RuntimeError, ValueError) as exc:
+                report_error(exc)
+        flush(pending)
     outbox.put(("metrics", shard_id, registry.snapshot()))
     outbox.put(("done", shard_id))
 

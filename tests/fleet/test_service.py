@@ -28,14 +28,20 @@ def metric(result, name, label=None):
 # ----------------------------------------------------------------------
 # Golden parity: the non-negotiable
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("wire_version", [1, 2])
 @pytest.mark.parametrize("n_shards", [1, 2, 3])
-def test_golden_parity_across_shard_counts(small_workload, n_shards):
+def test_golden_parity_across_shard_counts(small_workload, n_shards, wire_version):
     """Streaming through the service yields bit-identical verdict
-    sequences to a direct single-process monitor feed."""
+    sequences to a direct single-process monitor feed — at every shard
+    count and both wire versions."""
     jobs, batches = small_workload
     reference = reference_verdicts(jobs, batches)
     result = serve_workload(
-        jobs, batches, FleetConfig(n_shards=n_shards, return_verdicts=True)
+        jobs,
+        batches,
+        FleetConfig(
+            n_shards=n_shards, return_verdicts=True, wire_version=wire_version
+        ),
     )
     assert result.errors == []
     for job in jobs:
@@ -58,16 +64,39 @@ def test_golden_parity_with_tiny_queue(small_workload):
         assert result.verdicts_for(job.job_id) == reference[job.job_id]
 
 
-def test_parity_with_pre_encoded_lines(small_workload):
-    """The encode -> peek -> route -> decode path is lossless."""
+@pytest.mark.parametrize("wire_version", [1, 2])
+def test_parity_with_pre_encoded_units(small_workload, wire_version):
+    """The encode -> peek -> route -> decode path is lossless for JSON
+    lines and binary frames alike."""
     jobs, batches = small_workload
     reference = reference_verdicts(jobs, batches)
-    lines = [encode_batch(batch) for batch in batches]
+    units = [encode_batch(batch, version=wire_version) for batch in batches]
     result = serve_workload(
-        jobs, lines, FleetConfig(n_shards=2, return_verdicts=True)
+        jobs, units, FleetConfig(n_shards=2, return_verdicts=True)
     )
     for job in jobs:
         assert result.verdicts_for(job.job_id) == reference[job.job_id]
+
+
+def test_parity_with_coalescing_disabled(small_workload):
+    """coalesce=1 degenerates to one-batch-at-a-time scoring; verdicts
+    must not depend on how the worker groups its wake-ups."""
+    jobs, batches = small_workload
+    reference = reference_verdicts(jobs, batches)
+    result = serve_workload(
+        jobs,
+        batches,
+        FleetConfig(n_shards=2, return_verdicts=True, wire_version=2, coalesce=1),
+    )
+    for job in jobs:
+        assert result.verdicts_for(job.job_id) == reference[job.job_id]
+
+
+def test_config_rejects_bad_wire_version_and_coalesce():
+    with pytest.raises(FleetError, match="wire version"):
+        FleetConfig(wire_version=3)
+    with pytest.raises(FleetError, match="coalesce"):
+        FleetConfig(coalesce=0)
 
 
 # ----------------------------------------------------------------------
