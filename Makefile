@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 PYTEST_ARGS ?=
 
-.PHONY: test lint bench sweep-bench fleet-bench fleet-demo
+.PHONY: test lint bench sweep-bench fleet-bench fleet-demo report-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
@@ -35,3 +35,20 @@ fleet-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet replay \
 		--input /tmp/fleet-demo.fprec --shards 2
 	@echo "incident log: /tmp/fleet-demo-incidents.jsonl"
+
+# Post-incident forensics walkthrough: capture a chaos batch's event
+# stream and a fleet incident log, then build the CSV fact tables and
+# the self-contained HTML incident report from both.
+report-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos \
+		--scenarios 20 --events-out /tmp/report-demo-events.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet loadgen \
+		--jobs 4 --iterations 20 --fault-fraction 0.5 \
+		--out /tmp/report-demo.fprec
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet serve \
+		--input /tmp/report-demo.fprec --shards 2 \
+		--incidents-out /tmp/report-demo-incidents.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report \
+		/tmp/report-demo-events.jsonl /tmp/report-demo-incidents.jsonl \
+		/tmp/report-demo.fprec --out /tmp/report-demo
+	@echo "open /tmp/report-demo/report.html"

@@ -9,6 +9,8 @@ without writing code::
     python -m repro closed-loop --drop-rate 0.05
     python -m repro fleet loadgen --out workload.fprec
     python -m repro fleet serve --input workload.fprec --shards 4
+    python -m repro chaos --events-out events.jsonl
+    python -m repro report events.jsonl --out forensics/
 
 Exit codes are script-friendly and consistent across commands: 0 on
 success, 1 when the run's own check fails (a missed or false detection,
@@ -388,6 +390,7 @@ def _simnet_value(args: argparse.Namespace, name: str):
 
 
 def cmd_closed_loop_simnet(args: argparse.Namespace) -> int:
+    session = _events_session(args)
     config = SimnetClosedLoopConfig(
         n_leaves=int(_simnet_value(args, "leaves")),
         n_spines=int(_simnet_value(args, "spines")),
@@ -406,6 +409,7 @@ def cmd_closed_loop_simnet(args: argparse.Namespace) -> int:
                 FaultEvent(0, "inject", fault_link, DropFault(args.drop_rate))
             ]
         },
+        telemetry=session,
     )
     rows = []
     for step in result.steps:
@@ -436,7 +440,27 @@ def cmd_closed_loop_simnet(args: argparse.Namespace) -> int:
     if result.stalled:
         print(f"STALLED: {result.stall.summary()}")
     print(f"recovered (quiet after remediation): {result.recovered}")
+    _write_events(args, session)
     return 0 if result.recovered and not result.stalled else 1
+
+
+def _events_session(args: argparse.Namespace):
+    """A TelemetrySession when ``--events-out`` was requested."""
+    if args.events_out is None:
+        return None
+    from .telemetry import TelemetrySession
+
+    return TelemetrySession()
+
+
+def _write_events(args: argparse.Namespace, session) -> None:
+    if session is None:
+        return
+    n_lines = session.write_jsonl(args.events_out)
+    print(
+        f"wrote {n_lines} forensics events to {args.events_out}",
+        file=sys.stderr,
+    )
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -448,7 +472,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         detection_slack=args.detection_slack,
         verify_determinism=args.verify_determinism,
     )
-    report = run_chaos_batch(chaos)
+    session = _events_session(args)
+    report = run_chaos_batch(chaos, telemetry=session)
     for outcome in report.outcomes:
         status = "ok  " if outcome.ok else "FAIL"
         detected = outcome.result.detection_iteration
@@ -460,12 +485,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     print()
     print(report.summary())
+    _write_events(args, session)
     return 0 if report.ok else 1
 
 
 def cmd_closed_loop(args: argparse.Namespace) -> int:
     if args.engine == "simnet":
         return cmd_closed_loop_simnet(args)
+    if args.events_out is not None:
+        # The fastsim loop has no telemetry plumbing; only the
+        # packet-level engine produces a forensics event stream.
+        print(
+            "error: --events-out requires --engine simnet",
+            file=sys.stderr,
+        )
+        return 2
     config = _config(args, args.drop_rate)
     setup = build_trial(config, base_seed=args.seed, trial=0)
     result = run_closed_loop(
@@ -754,6 +788,52 @@ def cmd_fleet_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Forensics: audit trails -> fact tables -> incident report
+# ----------------------------------------------------------------------
+def cmd_report(args: argparse.Namespace) -> int:
+    from .report import build_report
+
+    bundle = build_report(
+        args.inputs,
+        args.out,
+        title=args.title,
+        default_job_id=args.job_id,
+        strict=args.strict,
+        quiet_gap=args.quiet_gap,
+        write_html=not args.no_html,
+    )
+    analysis = bundle.analysis
+    stats = analysis.stats
+    print(
+        f"extracted {bundle.facts.n_rows} fact rows from "
+        f"{len(analysis.sources)} source(s) into {bundle.out_dir}"
+    )
+    for table, path in sorted(bundle.csv_paths.items()):
+        print(f"  {path.name}: {len(bundle.facts.rows(table))} rows")
+    if bundle.html_path is not None:
+        print(f"  {bundle.html_path.name}: self-contained incident report")
+    print(
+        f"runs={stats.n_runs} detected={stats.n_detected} "
+        f"missed={stats.n_missed} false_alarms={stats.n_false_alarms} "
+        f"incidents={stats.n_incidents} reopens={stats.n_reopens}"
+    )
+    if stats.latencies:
+        print(
+            f"detection latency (iterations): p50={stats.latency_p50:g} "
+            f"p90={stats.latency_p90:g} max={stats.latency_max:g}"
+        )
+    for note in analysis.issues:
+        print(f"caveat: {note}", file=sys.stderr)
+    if analysis.malformed_lines:
+        print(
+            f"caveat: dropped {analysis.malformed_lines} malformed "
+            "JSONL line(s)",
+            file=sys.stderr,
+        )
+    return bundle.exit_status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -847,6 +927,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="link to fault with --engine simnet (e.g. up:L2->S1)",
     )
+    loop.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="write the loop's forensics event stream (audit trail, "
+        "remediations, packet drops) as JSONL; requires --engine simnet",
+    )
     loop.set_defaults(func=cmd_closed_loop)
 
     chaos = sub.add_parser(
@@ -871,6 +958,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-determinism",
         action="store_true",
         help="run every scenario twice and compare outcome digests",
+    )
+    chaos.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="write the whole batch's forensics event stream as JSONL, "
+        "with scenario.start/scenario.end markers bracketing each run",
     )
     chaos.set_defaults(func=cmd_chaos)
 
@@ -919,6 +1013,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet_service_args(replay)
     replay.set_defaults(func=cmd_fleet_replay)
 
+    report = sub.add_parser(
+        "report",
+        help="post-incident forensics report from logs and captures",
+        description="Extract typed CSV fact tables from any mix of "
+        "telemetry JSONL logs (detect/chaos/closed-loop --events-out or "
+        "--metrics-out), fleet --incidents-out streams, and .fprec "
+        "captures (verdicts are re-derived offline), then render a "
+        "single self-contained HTML incident report beside them. "
+        "Exit 0 when the evidence is clean, 1 when forensics found "
+        "problems (missed detections, false alarms, dropped log lines), "
+        "2 on unusable input.",
+    )
+    report.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="EVIDENCE",
+        help=".jsonl/.json/.log event streams and/or .fprec captures",
+    )
+    report.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory for the CSV fact tables and report.html",
+    )
+    report.add_argument(
+        "--title", default="FlowPulse incident report", help="report title"
+    )
+    report.add_argument(
+        "--job-id",
+        type=int,
+        default=0,
+        help="job id assumed for events that carry none (default 0)",
+    )
+    report.add_argument(
+        "--quiet-gap",
+        type=int,
+        default=None,
+        help="flap threshold (iterations) when re-deriving incidents "
+        "from .fprec captures",
+    )
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on malformed JSONL lines instead of skipping them",
+    )
+    report.add_argument(
+        "--no-html",
+        action="store_true",
+        help="write only the CSV fact tables",
+    )
+    report.set_defaults(func=cmd_report)
+
     return parser
 
 
@@ -929,6 +1075,7 @@ def _domain_errors() -> tuple:
     from .analysis.sweeps import SweepError
     from .fastsim.sampling import FastSimError
     from .fleet import CodecError, FleetError
+    from .report import ReportError
     from .scenarios.script import ScenarioError
     from .telemetry.registry import TelemetryError
 
@@ -937,6 +1084,7 @@ def _domain_errors() -> tuple:
         ExperimentError,
         FastSimError,
         FleetError,
+        ReportError,
         ScenarioError,
         SweepError,
         TelemetryError,

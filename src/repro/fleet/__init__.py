@@ -25,7 +25,7 @@ records directly into a single monitor (:func:`~repro.fleet.service.reference_ve
 for any shard count or interleaving.
 """
 
-from .aggregate import FleetAggregator, Incident
+from .aggregate import FleetAggregator, Incident, incident_from_event
 from .codec import (
     BINARY_MAGIC,
     FPREC_VERSION,
@@ -76,6 +76,7 @@ __all__ = [
     "FleetValidation",
     "FprecContent",
     "Incident",
+    "incident_from_event",
     "JobConfig",
     "LoadGenConfig",
     "RecordBatch",

@@ -11,7 +11,10 @@ observing leaves, and a localization verdict (``local``/``remote``, or
 
 Incident lifecycle is logged through an (optional) existing
 :class:`repro.telemetry.EventLog` — ``incident.opened`` when a link
-first alarms, ``incident.closed`` with the full rollup at
+first alarms, ``incident.reopened`` when a link alarms again after
+sitting quiet for more than ``quiet_gap`` iterations (the stream-native
+flap signal forensics counts instead of inferring), and
+``incident.closed`` with the full rollup at
 :meth:`FleetAggregator.finalize` — so ``--incidents-out`` produces a
 JSONL stream any downstream consumer reads directly.
 """
@@ -21,6 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.monitor import IterationVerdict
+from ..telemetry.events import desanitize_float
+
+#: Iterations a link may sit quiet before a fresh alarm counts as a
+#: reopen rather than a continuation of the same alarm burst.
+DEFAULT_QUIET_GAP = 3
 
 
 @dataclass
@@ -36,24 +44,69 @@ class Incident:
     senders: dict[int, float] = field(default_factory=dict)  # sender -> worst dev
     leaves: set[int] = field(default_factory=set)  # observing leaves
     iterations: set[int] = field(default_factory=set)  # alarmed iterations
+    reopened: int = 0  # alarm bursts after a quiet gap (flaps)
 
     @property
     def n_iterations(self) -> int:
         return len(self.iterations)
 
+    @property
+    def duration(self) -> int:
+        """Iterations spanned from first to last implicating alarm."""
+        return self.last_seen - self.first_seen + 1
+
     def to_event(self) -> dict:
-        """JSON-ready rollup (the ``incident.closed`` payload)."""
+        """JSON-ready rollup (the ``incident.closed`` payload).
+
+        JSON object keys are strings by definition, so sender keys are
+        stringified here; :func:`incident_from_event` restores them to
+        ints exactly.
+        """
         return {
             "job_id": self.job_id,
             "link": self.link,
             "kind": self.kind,
             "first_seen": self.first_seen,
             "last_seen": self.last_seen,
+            "duration": self.duration,
             "n_iterations": self.n_iterations,
+            "reopened": self.reopened,
             "worst_deviation": self.worst_deviation,
             "senders": {str(s): d for s, d in sorted(self.senders.items())},
             "leaves": sorted(self.leaves),
+            "iterations": sorted(self.iterations),
         }
+
+
+def incident_from_event(event: dict) -> Incident:
+    """Rebuild an :class:`Incident` from an ``incident.closed`` payload.
+
+    The exact inverse of :meth:`Incident.to_event` after a JSON
+    round-trip: sender keys come back as ints, leaves and iterations as
+    int sets, and non-finite deviations (serialized as the strings
+    ``"Infinity"``/``"-Infinity"``/``"NaN"`` by strict-JSON
+    sanitization) as floats.  Events from writers predating the
+    ``iterations`` field fall back to the ``{first_seen, last_seen}``
+    endpoints they did record.
+    """
+    iterations = event.get("iterations")
+    if iterations is None:
+        iterations = {event["first_seen"], event["last_seen"]}
+    return Incident(
+        job_id=int(event["job_id"]),
+        link=event["link"],
+        kind=event["kind"],
+        first_seen=int(event["first_seen"]),
+        last_seen=int(event["last_seen"]),
+        worst_deviation=float(desanitize_float(event["worst_deviation"])),
+        senders={
+            int(sender): float(desanitize_float(deviation))
+            for sender, deviation in event.get("senders", {}).items()
+        },
+        leaves={int(leaf) for leaf in event.get("leaves", ())},
+        iterations={int(i) for i in iterations},
+        reopened=int(event.get("reopened", 0)),
+    )
 
 
 class FleetAggregator:
@@ -61,10 +114,18 @@ class FleetAggregator:
 
     ``event_log`` is any :class:`repro.telemetry.EventLog`-shaped object
     (duck-typed ``emit``); pass ``None`` to aggregate silently.
+
+    ``quiet_gap`` configures flap detection: a link whose incident has
+    been quiet for more than this many iterations and then alarms again
+    gets an ``incident.reopened`` event and a bumped ``reopened``
+    counter, so downstream flap rollups come from the stream itself.
     """
 
-    def __init__(self, event_log=None) -> None:
+    def __init__(self, event_log=None, quiet_gap: int = DEFAULT_QUIET_GAP) -> None:
+        if quiet_gap < 1:
+            raise ValueError("quiet_gap must be at least 1 iteration")
         self.event_log = event_log
+        self.quiet_gap = quiet_gap
         self._incidents: dict[tuple[int, str], Incident] = {}
         self.verdicts_seen = 0
         self.alarmed_verdicts = 0
@@ -103,6 +164,20 @@ class FleetAggregator:
                     deviation=suspicion.deviation,
                 )
         else:
+            gap = iteration - incident.last_seen
+            if gap > self.quiet_gap:
+                incident.reopened += 1
+                if self.event_log is not None:
+                    self.event_log.emit(
+                        "incident.reopened",
+                        job_id=job_id,
+                        link=suspicion.link,
+                        kind=suspicion.kind,
+                        iteration=iteration,
+                        last_seen=incident.last_seen,
+                        quiet_iterations=gap - 1,
+                        deviation=suspicion.deviation,
+                    )
             incident.first_seen = min(incident.first_seen, iteration)
             incident.last_seen = max(incident.last_seen, iteration)
             if incident.kind != suspicion.kind:

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from ..core.monitor import IterationVerdict
 from ..telemetry.events import EventLog
 from ..telemetry.registry import MetricsRegistry
-from .aggregate import FleetAggregator, Incident
+from .aggregate import DEFAULT_QUIET_GAP, FleetAggregator, Incident
 from .codec import FPREC_VERSIONS, JobConfig, RecordBatch, encode_batch, peek_batch
 from .shard import FleetError, ShardRouter, build_monitor, shard_worker
 
@@ -64,6 +64,9 @@ class FleetConfig:
     #: the bounded queue itself may hold — otherwise coalescing would
     #: silently widen the backpressure window.
     coalesce: int = 32
+    #: Iterations a link may sit quiet before a fresh alarm reopens its
+    #: incident (``incident.reopened`` in the lifecycle log).
+    quiet_gap: int = DEFAULT_QUIET_GAP
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -82,6 +85,8 @@ class FleetConfig:
             )
         if self.coalesce < 1:
             raise FleetError("coalesce must be at least 1")
+        if self.quiet_gap < 1:
+            raise FleetError("quiet_gap must be at least 1 iteration")
 
 
 @dataclass(frozen=True)
@@ -193,7 +198,9 @@ class FleetService:
         self.registry = MetricsRegistry()
         #: Incident log (JSONL-ready) fed by the aggregator.
         self.incident_log = EventLog()
-        self.aggregator = FleetAggregator(event_log=self.incident_log)
+        self.aggregator = FleetAggregator(
+            event_log=self.incident_log, quiet_gap=self.config.quiet_gap
+        )
         #: Optional duck-typed telemetry session for service-level events.
         self.telemetry = telemetry
         self.jobs: dict[int, JobConfig] = {}

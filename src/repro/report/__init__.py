@@ -1,0 +1,64 @@
+"""Post-incident forensics: audit trails → fact tables → HTML reports.
+
+A three-stage pipeline over the evidence a FlowPulse deployment leaves
+behind — telemetry JSONL logs, ``--incidents-out`` streams, and
+``.fprec`` captures:
+
+1. :mod:`~repro.report.extract` folds any mix of those into typed CSV
+   fact tables (:mod:`~repro.report.tables`), tolerant of truncated
+   logs and exact about non-finite floats;
+2. :mod:`~repro.report.analyze` turns the tables into detection-latency
+   rollups, per-incident narratives with the firing counter evidence,
+   and per-leaf timelines;
+3. :mod:`~repro.report.html` renders one self-contained HTML document
+   (inline CSS + SVG, zero external references) beside the CSVs.
+
+:func:`build_report` assembles the stages; the ``repro report`` CLI
+verb is a thin wrapper around it.
+"""
+
+from .analyze import (
+    DetectionStats,
+    IncidentNarrative,
+    LeafTimeline,
+    ReportAnalysis,
+    RunAnalysis,
+    analyze,
+    percentile,
+)
+from .extract import extract_events, extract_fprec
+from .html import render_html
+from .pipeline import ReportBundle, build_report, classify_input, extract_all
+from .tables import (
+    SCHEMAS,
+    FactTables,
+    ReportError,
+    format_value,
+    parse_value,
+    read_csv,
+    rows_matching,
+)
+
+__all__ = [
+    "SCHEMAS",
+    "DetectionStats",
+    "FactTables",
+    "IncidentNarrative",
+    "LeafTimeline",
+    "ReportAnalysis",
+    "ReportBundle",
+    "ReportError",
+    "RunAnalysis",
+    "analyze",
+    "build_report",
+    "classify_input",
+    "extract_all",
+    "extract_events",
+    "extract_fprec",
+    "format_value",
+    "parse_value",
+    "percentile",
+    "read_csv",
+    "render_html",
+    "rows_matching",
+]

@@ -1,0 +1,291 @@
+"""Stage 2 of the forensics pipeline: fact tables → incident analysis.
+
+Everything the rendered report states is computed here, from the CSV
+fact rows alone — the analyzer never looks at the original logs, so a
+report rebuilt from shipped CSVs says exactly what the original did.
+
+Three products:
+
+- a fleet-wide :class:`DetectionStats` rollup — detection-latency
+  distribution over detectable runs, misses, false alarms, and flap
+  (reopen) counts straight from the incident stream;
+- one :class:`IncidentNarrative` per incident, joining the lifecycle
+  rollup with the exact port-counter deviations that fired at first
+  detection, the localization verdicts, packet-level drop corroboration,
+  and any remediation that answered it;
+- one :class:`LeafTimeline` per ``(run, leaf)`` — the "from my seat"
+  iteration series of worst observed deviation with alarm markers,
+  which the renderer draws as sparklines.
+
+All ordering is canonical (sorted keys, first-seen run order), so a
+fixed input produces an identical analysis every time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .tables import FactTables, rows_matching
+
+
+def percentile(values: list[float], fraction: float) -> float | None:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class DetectionStats:
+    """Fleet-wide detection rollup over every extracted run."""
+
+    n_runs: int = 0
+    n_detectable: int = 0
+    n_detected: int = 0
+    n_missed: int = 0
+    n_false_alarms: int = 0
+    n_incidents: int = 0
+    n_reopens: int = 0  # flap count, summed from incident streams
+    n_remediations_applied: int = 0
+    n_remediations_vetoed: int = 0
+    latencies: list[int] = field(default_factory=list)
+
+    @property
+    def latency_p50(self) -> float | None:
+        return percentile([float(v) for v in self.latencies], 0.50)
+
+    @property
+    def latency_p90(self) -> float | None:
+        return percentile([float(v) for v in self.latencies], 0.90)
+
+    @property
+    def latency_max(self) -> float | None:
+        return max((float(v) for v in self.latencies), default=None)
+
+    @property
+    def latency_mean(self) -> float | None:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+
+@dataclass
+class IncidentNarrative:
+    """One incident joined with everything the facts say about it."""
+
+    run: str
+    incident: dict  # the incidents-table row
+    opened_evidence: list[dict] = field(default_factory=list)  # alarm rows
+    localizations: list[dict] = field(default_factory=list)
+    remediations: list[dict] = field(default_factory=list)
+    drops: dict | None = None  # link_drops row for the same link
+    matches_fault: bool | None = None  # against run ground truth, if any
+
+    @property
+    def link(self) -> str:
+        return self.incident["link"]
+
+    @property
+    def headline(self) -> str:
+        kind = self.incident.get("kind") or "suspected"
+        window = f"iterations {self.incident['first_seen']}–{self.incident['last_seen']}"
+        return f"{kind} fault on {self.link} ({window})"
+
+
+@dataclass
+class LeafTimeline:
+    """One leaf's per-iteration worst |deviation| with alarm markers."""
+
+    run: str
+    leaf: int
+    iterations: list[int] = field(default_factory=list)
+    deviations: list[float] = field(default_factory=list)
+    alarmed: set[int] = field(default_factory=set)  # iterations that alarmed
+
+    @property
+    def max_deviation(self) -> float:
+        finite = [d for d in self.deviations if math.isfinite(d)]
+        return max(finite, default=0.0)
+
+
+@dataclass
+class RunAnalysis:
+    """Everything the report says about one run."""
+
+    run: dict  # the runs-table row
+    narratives: list[IncidentNarrative] = field(default_factory=list)
+    timelines: list[LeafTimeline] = field(default_factory=list)
+    n_alarms: int = 0
+    n_triggered_iterations: int = 0
+    detection_iteration: int | None = None
+    detection_latency: int | None = None
+    verdict: str = "clean"  # clean | detected | missed | false-alarm
+
+    @property
+    def name(self) -> str:
+        return self.run["run"]
+
+
+@dataclass
+class ReportAnalysis:
+    """The full analysis handed to the renderer."""
+
+    stats: DetectionStats
+    runs: list[RunAnalysis]
+    sources: list[str]
+    malformed_lines: int
+    issues: list[str]
+
+    @property
+    def exit_status(self) -> int:
+        """0 when the evidence is clean, 1 when forensics found
+        problems (missed detections, false alarms, dropped log lines,
+        extraction inconsistencies)."""
+        problems = (
+            self.stats.n_missed
+            or self.stats.n_false_alarms
+            or self.malformed_lines
+            or self.issues
+        )
+        return 1 if problems else 0
+
+
+def _first_triggered(iteration_rows: list[dict]) -> int | None:
+    for row in iteration_rows:
+        if row.get("triggered"):
+            return row["iteration"]
+    return None
+
+
+def _run_names(facts: FactTables) -> list[str]:
+    """Every run name, in first-appearance order across all tables."""
+    names: list[str] = []
+    seen: set[str] = set()
+    for rows in facts.tables.values():
+        for row in rows:
+            run = row.get("run")
+            if run is not None and run not in seen:
+                seen.add(run)
+                names.append(run)
+    return names
+
+
+def _narrative(facts: FactTables, run_row: dict, incident: dict) -> IncidentNarrative:
+    run = incident["run"]
+    job_id = incident["job_id"]
+    link = incident["link"]
+    first_seen = incident["first_seen"]
+    narrative = IncidentNarrative(run=run, incident=incident)
+    # The exact counter deviations on file for the iteration the
+    # incident opened: the alarms that fired, scoped to observing leaves.
+    leaves = set(incident.get("leaves") or [])
+    for alarm in rows_matching(
+        facts.rows("alarms"), run=run, job_id=job_id, iteration=first_seen
+    ):
+        if not leaves or alarm["leaf"] in leaves:
+            narrative.opened_evidence.append(alarm)
+    narrative.localizations = rows_matching(
+        facts.rows("localizations"), run=run, job_id=job_id, link=link
+    )
+    # A remediation answers this incident when it disabled the link (the
+    # closed loop disables whole cables, so match on membership).
+    for remediation in rows_matching(facts.rows("remediations"), run=run):
+        links = remediation.get("links")
+        if isinstance(links, str):  # rows re-read from CSV
+            members = links.split(";")
+        else:  # rows straight from the extractor
+            members = list(links or ())
+        if link in members:
+            narrative.remediations.append(remediation)
+    drops = rows_matching(facts.rows("link_drops"), run=run, link=link)
+    narrative.drops = drops[0] if drops else None
+    fault_link = run_row.get("fault_link")
+    if fault_link is not None:
+        narrative.matches_fault = link == fault_link
+    return narrative
+
+
+def _timelines(facts: FactTables, run: str, job_id) -> list[LeafTimeline]:
+    criteria = {"run": run}
+    if job_id is not None:
+        criteria["job_id"] = job_id
+    by_leaf: dict[int, LeafTimeline] = {}
+    for row in rows_matching(facts.rows("leaf_observations"), **criteria):
+        leaf = row["leaf"]
+        timeline = by_leaf.get(leaf)
+        if timeline is None:
+            timeline = by_leaf[leaf] = LeafTimeline(run=run, leaf=leaf)
+        iteration = row["iteration"]
+        deviation = row.get("deviation")
+        magnitude = abs(deviation) if deviation is not None else 0.0
+        if timeline.iterations and timeline.iterations[-1] == iteration:
+            timeline.deviations[-1] = max(timeline.deviations[-1], magnitude)
+        else:
+            timeline.iterations.append(iteration)
+            timeline.deviations.append(magnitude)
+        if row.get("alarm"):
+            timeline.alarmed.add(iteration)
+    return [by_leaf[leaf] for leaf in sorted(by_leaf)]
+
+
+def analyze(facts: FactTables) -> ReportAnalysis:
+    """Fold extracted fact tables into the full report analysis."""
+    stats = DetectionStats()
+    run_rows = {row["run"]: row for row in facts.rows("runs")}
+    analyses: list[RunAnalysis] = []
+    for name in _run_names(facts):
+        run_row = run_rows.get(name, {"run": name, "source": name})
+        analysis = RunAnalysis(run=run_row)
+        stats.n_runs += 1
+        iteration_rows = rows_matching(facts.rows("iterations"), run=name)
+        analysis.n_triggered_iterations = sum(
+            1 for row in iteration_rows if row.get("triggered")
+        )
+        analysis.n_alarms = len(rows_matching(facts.rows("alarms"), run=name))
+        detection = run_row.get("detection_iteration")
+        if detection is None:
+            detection = _first_triggered(iteration_rows)
+        analysis.detection_iteration = detection
+
+        detectable = run_row.get("detectable")
+        fault_iteration = run_row.get("fault_iteration")
+        if detectable:
+            stats.n_detectable += 1
+            if detection is not None:
+                stats.n_detected += 1
+                analysis.verdict = "detected"
+                if fault_iteration is not None:
+                    latency = detection - fault_iteration
+                    analysis.detection_latency = latency
+                    stats.latencies.append(latency)
+            else:
+                stats.n_missed += 1
+                analysis.verdict = "missed"
+        elif detection is not None and detectable is not None:
+            # Ground truth says no detectable fault, yet something fired.
+            stats.n_false_alarms += 1
+            analysis.verdict = "false-alarm"
+        elif detection is not None:
+            analysis.verdict = "detected"  # no ground truth to judge by
+
+        for incident in rows_matching(facts.rows("incidents"), run=name):
+            stats.n_incidents += 1
+            stats.n_reopens += incident.get("reopened") or 0
+            analysis.narratives.append(_narrative(facts, run_row, incident))
+        for remediation in rows_matching(facts.rows("remediations"), run=name):
+            if remediation.get("outcome") == "vetoed":
+                stats.n_remediations_vetoed += 1
+            else:
+                stats.n_remediations_applied += 1
+        analysis.timelines = _timelines(facts, name, run_row.get("job_id"))
+        analyses.append(analysis)
+    return ReportAnalysis(
+        stats=stats,
+        runs=analyses,
+        sources=list(facts.sources),
+        malformed_lines=facts.malformed_lines,
+        issues=list(facts.issues),
+    )

@@ -1,0 +1,403 @@
+"""Stage 3 of the forensics pipeline: analysis → self-contained HTML.
+
+One file, zero external dependencies: inline CSS (custom properties,
+light and dark via ``prefers-color-scheme`` with a ``data-theme``
+override), inline SVG sparklines, system font stack, no scripts, no
+fetches — the report opens identically from a laptop, a ticket
+attachment, or an air-gapped archive.
+
+Rendering notes:
+
+- link names contain ``>`` (``"leaf3>spine1"``), so every dynamic
+  value passes through :func:`html.escape`;
+- the per-leaf timelines are single-series small multiples (worst
+  |deviation| per iteration), sharing one y-scale per run so leaves
+  compare, with alarm iterations marked in the status-critical color
+  and native ``<title>`` tooltips — a single series needs no legend;
+- status colors never carry meaning alone: every badge pairs the color
+  with a text label.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from .analyze import LeafTimeline, ReportAnalysis, RunAnalysis
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --page: #f9f9f7;
+  --surface: #fcfcfb;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --good: #0ca30c;
+  --warning: #fab219;
+  --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --page: #0d0d0d;
+    --surface: #1a1a19;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --page: #0d0d0d;
+  --surface: #1a1a19;
+  --ink: #ffffff;
+  --ink-2: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --series-1: #3987e5;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; }
+h3 { font-size: 14px; margin: 16px 0 6px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 16px;
+  min-width: 120px;
+}
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+.badge {
+  display: inline-block;
+  padding: 1px 8px;
+  border-radius: 999px;
+  font-size: 12px;
+  font-weight: 600;
+  color: var(--surface);
+}
+.badge.detected { background: var(--good); }
+.badge.missed, .badge.bad { background: var(--critical); }
+.badge.false-alarm { background: var(--warning); color: #0b0b0b; }
+.badge.clean { background: var(--muted); }
+.card {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 14px 16px;
+  margin: 10px 0;
+}
+table { border-collapse: collapse; margin: 8px 0; width: 100%; }
+th, td {
+  text-align: left;
+  padding: 3px 10px 3px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; font-size: 12px; }
+td.num, th.num { text-align: right; }
+code { font-family: ui-monospace, SFMono-Regular, Menlo, monospace; font-size: 13px; }
+.grid { display: flex; flex-wrap: wrap; gap: 10px; }
+.spark {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 6px;
+  padding: 6px 8px 2px;
+}
+.spark .label { font-size: 11px; color: var(--ink-2); }
+.issues { border-left: 3px solid var(--warning); padding-left: 12px; }
+footer { color: var(--muted); font-size: 12px; margin-top: 32px; }
+"""
+
+_SPARK_W = 220
+_SPARK_H = 44
+_SPARK_PAD = 5.0
+
+
+def _fmt(value) -> str:
+    """Human-facing cell text for one analysis value."""
+    if value is None:
+        return "–"
+    if value is True:
+        return "yes"
+    if value is False:
+        return "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _tile(label: str, value, *, flavor: str | None = None) -> str:
+    klass = f"tile {flavor}" if flavor else "tile"
+    return (
+        f'<div class="{escape(klass)}"><div class="v">{escape(_fmt(value))}</div>'
+        f'<div class="k">{escape(label)}</div></div>'
+    )
+
+
+def _badge(verdict: str) -> str:
+    symbol = {
+        "detected": "&#10003;",  # check mark
+        "missed": "&#10007;",  # ballot X
+        "false-alarm": "!",
+        "clean": "&#183;",  # middle dot
+    }.get(verdict, "")
+    return f'<span class="badge {escape(verdict)}">{symbol} {escape(verdict)}</span>'
+
+
+def _sparkline(timeline: LeafTimeline, y_max: float, alarm_note: str) -> str:
+    """One leaf's deviation series as an inline SVG small multiple."""
+    width, height, pad = _SPARK_W, _SPARK_H, _SPARK_PAD
+    n = len(timeline.iterations)
+    lo = timeline.iterations[0] if n else 0
+    hi = timeline.iterations[-1] if n else 1
+    span = max(hi - lo, 1)
+    scale = max(y_max, 1e-9)
+
+    def x(iteration: int) -> float:
+        return pad + (iteration - lo) / span * (width - 2 * pad)
+
+    def y(deviation: float) -> float:
+        clamped = min(deviation, scale)
+        return height - pad - clamped / scale * (height - 2 * pad)
+
+    points = " ".join(
+        f"{x(i):.2f},{y(d):.2f}"
+        for i, d in zip(timeline.iterations, timeline.deviations)
+    )
+    marks = []
+    for iteration, deviation in zip(timeline.iterations, timeline.deviations):
+        if iteration in timeline.alarmed:
+            marks.append(
+                f'<circle cx="{x(iteration):.2f}" cy="{y(deviation):.2f}" r="3" '
+                f'fill="var(--critical)"><title>iteration {iteration}: '
+                f"|deviation| {deviation:.4g} — alarmed</title></circle>"
+            )
+    baseline = (
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="var(--axis)" stroke-width="1"/>'
+    )
+    polyline = (
+        f'<polyline points="{points}" fill="none" stroke="var(--series-1)" '
+        'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        if n
+        else ""
+    )
+    label = f"leaf {timeline.leaf}"
+    if timeline.alarmed:
+        label += f" · {len(timeline.alarmed)} alarmed"
+    return (
+        '<div class="spark">'
+        f'<div class="label">{escape(label)}</div>'
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{escape(alarm_note)}">'
+        f"{baseline}{polyline}{''.join(marks)}</svg></div>"
+    )
+
+
+def _evidence_table(rows: list[dict]) -> str:
+    if not rows:
+        return '<p class="sub">No per-port alarm rows on file for the opening iteration.</p>'
+    body = "".join(
+        "<tr>"
+        f'<td class="num">{escape(_fmt(row.get("leaf")))}</td>'
+        f'<td class="num">{escape(_fmt(row.get("spine")))}</td>'
+        f'<td class="num">{escape(_fmt(row.get("predicted")))}</td>'
+        f'<td class="num">{escape(_fmt(row.get("observed")))}</td>'
+        f'<td class="num">{escape(_fmt(row.get("deviation")))}</td>'
+        f'<td>{escape("deficit" if row.get("deficit") else "surplus")}</td>'
+        "</tr>"
+        for row in rows
+    )
+    return (
+        "<table><thead><tr>"
+        '<th class="num">leaf</th><th class="num">spine</th>'
+        '<th class="num">predicted bytes</th><th class="num">observed bytes</th>'
+        '<th class="num">deviation</th><th>direction</th>'
+        "</tr></thead><tbody>" + body + "</tbody></table>"
+    )
+
+
+def _narrative_card(narrative) -> str:
+    incident = narrative.incident
+    parts = [f"<h3>{escape(narrative.headline)}</h3>"]
+    facts = [
+        ("link", f"<code>{escape(_fmt(incident.get('link')))}</code>"),
+        ("job", escape(_fmt(incident.get("job_id")))),
+        ("window", escape(
+            f"{_fmt(incident.get('first_seen'))}–{_fmt(incident.get('last_seen'))}"
+            f" ({_fmt(incident.get('duration'))} iterations,"
+            f" {_fmt(incident.get('n_iterations'))} alarmed)"
+        )),
+        ("worst deviation", escape(_fmt(incident.get("worst_deviation")))),
+        ("reopens", escape(_fmt(incident.get("reopened")))),
+        ("observing leaves", escape(_fmt(incident.get("leaves")))),
+    ]
+    if narrative.matches_fault is not None:
+        verdict = (
+            '<span class="badge detected">&#10003; matches injected fault</span>'
+            if narrative.matches_fault
+            else '<span class="badge bad">&#10007; not the injected fault</span>'
+        )
+        facts.append(("ground truth", verdict))
+    if narrative.drops is not None:
+        facts.append(
+            (
+                "packet corroboration",
+                escape(
+                    f"{_fmt(narrative.drops.get('n_drops'))} drops / "
+                    f"{_fmt(narrative.drops.get('dropped_bytes'))} bytes on this link"
+                ),
+            )
+        )
+    for remediation in narrative.remediations:
+        outcome = remediation.get("outcome") or "applied"
+        facts.append(
+            (
+                "remediation",
+                escape(
+                    f"{outcome} at iteration "
+                    f"{_fmt(remediation.get('iteration'))}"
+                ),
+            )
+        )
+    if not narrative.remediations:
+        facts.append(("remediation", "none recorded"))
+    parts.append(
+        "<table><tbody>"
+        + "".join(f"<tr><th>{escape(k)}</th><td>{v}</td></tr>" for k, v in facts)
+        + "</tbody></table>"
+    )
+    parts.append(
+        "<h3>Counters that fired at iteration "
+        f"{escape(_fmt(incident.get('first_seen')))}</h3>"
+    )
+    parts.append(_evidence_table(narrative.opened_evidence))
+    if narrative.localizations:
+        kinds = sorted({_fmt(row.get("kind")) for row in narrative.localizations})
+        parts.append(
+            f'<p class="sub">Localized as {escape(" / ".join(kinds))} across '
+            f"{len(narrative.localizations)} leaf observation(s).</p>"
+        )
+    return f'<div class="card">{"".join(parts)}</div>'
+
+
+def _run_section(analysis: RunAnalysis) -> str:
+    run = analysis.run
+    parts = [
+        f"<h2>{_badge(analysis.verdict)} <code>{escape(_fmt(run.get('run')))}</code></h2>"
+    ]
+    meta = []
+    for key in ("kind", "job_id", "n_leaves", "n_spines", "threshold"):
+        if run.get(key) is not None:
+            meta.append(f"{key} {_fmt(run[key])}")
+    if run.get("fault_link") is not None:
+        meta.append(f"injected fault on {_fmt(run['fault_link'])}")
+    if run.get("fault_iteration") is not None:
+        meta.append(f"from iteration {_fmt(run['fault_iteration'])}")
+    if analysis.detection_iteration is not None:
+        meta.append(f"detected at iteration {_fmt(analysis.detection_iteration)}")
+    if analysis.detection_latency is not None:
+        meta.append(f"latency {_fmt(analysis.detection_latency)} iterations")
+    meta.append(f"{analysis.n_alarms} alarms")
+    parts.append(f'<p class="sub">{escape(" · ".join(meta))}</p>')
+    for narrative in analysis.narratives:
+        parts.append(_narrative_card(narrative))
+    if not analysis.narratives and analysis.verdict == "missed":
+        parts.append(
+            '<div class="card"><p class="sub">Detectable fault on file, but no '
+            "incident was raised — inspect the per-leaf timelines below.</p></div>"
+        )
+    if analysis.timelines:
+        y_max = max((t.max_deviation for t in analysis.timelines), default=0.0)
+        parts.append("<h3>From each leaf's seat (worst |deviation| per iteration)</h3>")
+        sparks = "".join(
+            _sparkline(
+                timeline,
+                y_max,
+                f"leaf {timeline.leaf} deviation series, "
+                f"{len(timeline.alarmed)} alarmed iterations",
+            )
+            for timeline in analysis.timelines
+        )
+        parts.append(f'<div class="grid">{sparks}</div>')
+    return "".join(parts)
+
+
+def render_html(analysis: ReportAnalysis, *, title: str = "FlowPulse incident report") -> str:
+    """Render the whole analysis as one self-contained HTML document."""
+    stats = analysis.stats
+    tiles = [
+        _tile("runs", stats.n_runs),
+        _tile("detectable faults", stats.n_detectable),
+        _tile("detected", stats.n_detected),
+        _tile("missed", stats.n_missed),
+        _tile("false alarms", stats.n_false_alarms),
+        _tile("incidents", stats.n_incidents),
+        _tile("reopens (flaps)", stats.n_reopens),
+        _tile("remediations applied", stats.n_remediations_applied),
+        _tile("remediations vetoed", stats.n_remediations_vetoed),
+    ]
+    latency_tiles = []
+    if stats.latencies:
+        latency_tiles = [
+            _tile("latency p50 (iters)", stats.latency_p50),
+            _tile("latency p90 (iters)", stats.latency_p90),
+            _tile("latency max (iters)", stats.latency_max),
+            _tile("latency mean (iters)", stats.latency_mean),
+        ]
+    issue_block = ""
+    notes = list(analysis.issues)
+    if analysis.malformed_lines:
+        notes.insert(
+            0,
+            f"{analysis.malformed_lines} malformed JSONL line(s) were dropped "
+            "by the tolerant reader — the evidence below is incomplete.",
+        )
+    if notes:
+        items = "".join(f"<li>{escape(note)}</li>" for note in notes)
+        issue_block = (
+            '<div class="card issues"><h3>Evidence caveats</h3>'
+            f"<ul>{items}</ul></div>"
+        )
+    sources = ", ".join(analysis.sources) or "no sources"
+    sections = "".join(_run_section(run) for run in analysis.runs)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n"
+        "</head><body><main>\n"
+        f"<h1>{escape(title)}</h1>\n"
+        f'<p class="sub">Post-incident forensics over {escape(sources)}. '
+        "The CSV fact tables beside this file are the machine-readable "
+        "source of truth; everything below is derived from them.</p>\n"
+        f'<div class="tiles">{"".join(tiles)}</div>\n'
+        + (f'<div class="tiles">{"".join(latency_tiles)}</div>\n' if latency_tiles else "")
+        + issue_block
+        + sections
+        + "\n<footer>Generated offline by repro.report — no external "
+        "resources, scripts, or fetches. Safe to archive with the ticket."
+        "</footer>\n</main></body></html>\n"
+    )

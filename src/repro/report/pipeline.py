@@ -1,0 +1,105 @@
+"""The assembled forensics pipeline: evidence files → report bundle.
+
+:func:`build_report` is what the ``repro report`` CLI verb calls: it
+classifies each input path (JSONL event log vs ``.fprec`` capture),
+extracts fact tables, analyzes them, and writes the bundle — one CSV
+per fact table plus ``report.html`` — into the output directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from .analyze import ReportAnalysis, analyze
+from .extract import extract_events, extract_fprec
+from .html import render_html
+from .tables import FactTables, ReportError
+
+#: Suffixes treated as JSONL event logs; anything else must be .fprec.
+_JSONL_SUFFIXES = {".jsonl", ".json", ".log"}
+
+
+@dataclass
+class ReportBundle:
+    """Everything one :func:`build_report` call produced."""
+
+    facts: FactTables
+    analysis: ReportAnalysis
+    out_dir: pathlib.Path
+    csv_paths: dict[str, pathlib.Path] = field(default_factory=dict)
+    html_path: pathlib.Path | None = None
+
+    @property
+    def exit_status(self) -> int:
+        return self.analysis.exit_status
+
+
+def classify_input(path: str | pathlib.Path) -> str:
+    """``"events"`` for JSONL logs, ``"fprec"`` for captures."""
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix in _JSONL_SUFFIXES:
+        return "events"
+    if suffix == ".fprec":
+        return "fprec"
+    raise ReportError(
+        f"cannot classify {path}: expected a .jsonl/.json/.log event "
+        "stream or a .fprec capture"
+    )
+
+
+def extract_all(
+    inputs,
+    *,
+    default_job_id: int = 0,
+    strict: bool = False,
+    quiet_gap: int | None = None,
+) -> FactTables:
+    """Extract fact tables from a mixed list of evidence files."""
+    if not inputs:
+        raise ReportError("no evidence files given")
+    facts = FactTables()
+    for path in inputs:
+        if classify_input(path) == "events":
+            extract_events(
+                path,
+                facts,
+                default_job_id=default_job_id,
+                strict=strict,
+                quiet_gap=quiet_gap,
+            )
+        else:
+            extract_fprec(path, facts, quiet_gap=quiet_gap)
+    return facts
+
+
+def build_report(
+    inputs,
+    out_dir: str | pathlib.Path,
+    *,
+    title: str = "FlowPulse incident report",
+    default_job_id: int = 0,
+    strict: bool = False,
+    quiet_gap: int | None = None,
+    write_html: bool = True,
+) -> ReportBundle:
+    """Run the full pipeline and write the report bundle."""
+    facts = extract_all(
+        inputs,
+        default_job_id=default_job_id,
+        strict=strict,
+        quiet_gap=quiet_gap,
+    )
+    if facts.n_rows == 0:
+        facts.issues.append(
+            "no recognizable forensics events in the given inputs"
+        )
+    analysis = analyze(facts)
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    bundle = ReportBundle(facts=facts, analysis=analysis, out_dir=out_dir)
+    bundle.csv_paths = facts.write_all(out_dir)
+    if write_html:
+        bundle.html_path = out_dir / "report.html"
+        bundle.html_path.write_text(render_html(analysis, title=title))
+    return bundle

@@ -1,0 +1,272 @@
+"""Fact-table schemas and deterministic CSV I/O for forensics.
+
+The CSVs are the report's machine-readable source of truth: one file
+per fact table, fixed column order, one row per fact, written with
+``\\n`` line endings and canonical value formatting so a fixed seed
+produces byte-identical files on every run.
+
+Value formatting is invertible: ints and floats round-trip through
+:func:`parse_value` (including non-finite floats, which render as
+``inf``/``-inf``/``nan``), booleans are ``1``/``0``, ``None`` is the
+empty cell, and list-ish cells join with ``;``.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import IO, Iterable
+
+
+class ReportError(RuntimeError):
+    """Raised for unusable forensics input or configuration."""
+
+
+#: Every fact table the extractor produces, with its column order.
+#: ``run`` identifies the originating run within a source (one source
+#: file may hold a whole chaos batch); ``job_id`` scopes multi-job
+#: streams.
+SCHEMAS: dict[str, tuple[str, ...]] = {
+    "runs": (
+        "run",
+        "source",
+        "job_id",
+        "kind",
+        "n_leaves",
+        "n_spines",
+        "threshold",
+        "fault_link",
+        "fault_iteration",
+        "detectable",
+        "detection_iteration",
+        "remediation_iteration",
+        "iterations_completed",
+        "failed_messages",
+        "stalled",
+        "recovered",
+        "ok",
+        "digest",
+    ),
+    "iterations": (
+        "run",
+        "job_id",
+        "iteration",
+        "learning_event",
+        "skipped",
+        "triggered",
+        "max_score",
+        "leaves",
+    ),
+    "leaf_observations": (
+        "run",
+        "job_id",
+        "iteration",
+        "leaf",
+        "spine",
+        "predicted",
+        "observed",
+        "deviation",
+        "alarm",
+        "leaf_triggered",
+        "leaf_max_abs_deviation",
+    ),
+    "alarms": (
+        "run",
+        "job_id",
+        "iteration",
+        "leaf",
+        "spine",
+        "predicted",
+        "observed",
+        "deviation",
+        "deficit",
+    ),
+    "localizations": (
+        "run",
+        "job_id",
+        "iteration",
+        "leaf",
+        "link",
+        "kind",
+        "spine",
+        "affected_senders",
+        "deviation",
+    ),
+    "incidents": (
+        "run",
+        "job_id",
+        "link",
+        "kind",
+        "first_seen",
+        "last_seen",
+        "duration",
+        "n_iterations",
+        "reopened",
+        "worst_deviation",
+        "leaves",
+        "senders",
+        "iterations",
+    ),
+    "remediations": (
+        "run",
+        "job_id",
+        "iteration",
+        "time_ns",
+        "outcome",
+        "links",
+    ),
+    "transport_failures": (
+        "run",
+        "job_id",
+        "time_ns",
+        "host",
+        "dst_host",
+        "msg_id",
+        "seq",
+        "retransmissions",
+    ),
+    "link_drops": (
+        "run",
+        "job_id",
+        "link",
+        "n_drops",
+        "dropped_bytes",
+        "first_ns",
+        "last_ns",
+    ),
+}
+
+
+def format_value(value) -> str:
+    """Canonical CSV cell for one python value (deterministic)."""
+    if value is None:
+        return ""
+    if value is True:
+        return "1"
+    if value is False:
+        return "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple, frozenset, set)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return ";".join(format_value(item) for item in items)
+    if isinstance(value, dict):
+        return ";".join(
+            f"{key}:{format_value(val)}" for key, val in sorted(value.items())
+        )
+    return str(value)
+
+
+def parse_value(cell: str):
+    """Best-effort inverse of :func:`format_value` for scalar cells.
+
+    ``""`` -> ``None``; integer-looking cells -> ``int``; float-looking
+    cells (including ``inf``/``nan``) -> ``float``; everything else
+    stays a string.  List cells stay joined — callers that need them
+    split on ``;`` themselves.
+    """
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    return cell
+
+
+class FactTables:
+    """All extracted fact rows, grouped by table name.
+
+    Rows are plain dicts keyed by the table's schema columns; values
+    stay typed until CSV write time.  ``malformed_lines`` counts JSONL
+    lines the tolerant reader had to drop; ``issues`` collects
+    consistency problems found during extraction.
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[str, list[dict]] = {name: [] for name in SCHEMAS}
+        self.sources: list[str] = []
+        self.malformed_lines = 0
+        self.issues: list[str] = []
+
+    def add(self, table: str, **row) -> dict:
+        schema = SCHEMAS[table]
+        unknown = row.keys() - set(schema)
+        if unknown:
+            raise ReportError(
+                f"row for table {table!r} carries unknown columns {sorted(unknown)}"
+            )
+        full = {column: row.get(column) for column in schema}
+        self.tables[table].append(full)
+        return full
+
+    def rows(self, table: str) -> list[dict]:
+        return self.tables[table]
+
+    def merge(self, other: "FactTables") -> None:
+        for name, rows in other.tables.items():
+            self.tables[name].extend(rows)
+        self.sources.extend(other.sources)
+        self.malformed_lines += other.malformed_lines
+        self.issues.extend(other.issues)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(len(rows) for rows in self.tables.values())
+
+    # ------------------------------------------------------------------
+    def write_csv(self, table: str, target: str | pathlib.Path | IO[str]) -> int:
+        """Write one fact table as CSV; returns the data-row count."""
+        if isinstance(target, (str, pathlib.Path)):
+            # newline="" delegates line endings to the writer, which is
+            # pinned to "\n" for byte-determinism across platforms.
+            with open(target, "w", newline="") as handle:
+                return self.write_csv(table, handle)
+        writer = csv.writer(target, lineterminator="\n")
+        schema = SCHEMAS[table]
+        writer.writerow(schema)
+        for row in self.tables[table]:
+            writer.writerow([format_value(row[column]) for column in schema])
+        return len(self.tables[table])
+
+    def write_all(self, out_dir: str | pathlib.Path) -> dict[str, pathlib.Path]:
+        """Write every fact table under ``out_dir``; returns the paths."""
+        out_dir = pathlib.Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, pathlib.Path] = {}
+        for table in SCHEMAS:
+            path = out_dir / f"{table}.csv"
+            self.write_csv(table, path)
+            paths[table] = path
+        return paths
+
+
+def read_csv(source: str | pathlib.Path | IO[str]) -> list[dict]:
+    """Read a fact-table CSV back into typed row dicts."""
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, newline="") as handle:
+            return read_csv(handle)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ReportError("empty CSV: no header row") from None
+    return [
+        {column: parse_value(cell) for column, cell in zip(header, line)}
+        for line in reader
+    ]
+
+
+def rows_matching(rows: Iterable[dict], **criteria) -> list[dict]:
+    """Rows whose columns equal every criterion (tiny join helper)."""
+    return [
+        row
+        for row in rows
+        if all(row.get(column) == value for column, value in criteria.items())
+    ]

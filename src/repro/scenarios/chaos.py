@@ -358,19 +358,56 @@ def outcome_digest(result: SimnetClosedLoopResult) -> str:
 def run_scenario(
     scenario: Scenario, chaos: ChaosConfig | None = None, telemetry=None
 ) -> ChaosOutcome:
-    """Run one scenario and check every invariant against it."""
+    """Run one scenario and check every invariant against it.
+
+    With telemetry attached, the scenario's whole event stream is
+    bracketed by ``scenario.start`` / ``scenario.end`` markers carrying
+    the ground truth (fault link, onset, detectability) and the outcome
+    digest, so a batch's single JSONL log can be split back into
+    per-scenario runs by any reader.
+    """
+    if telemetry is not None:
+        telemetry.emit(
+            "scenario.start",
+            seed=scenario.seed,
+            kind=scenario.kind,
+            job_id=scenario.config.job_id,
+            n_leaves=scenario.config.n_leaves,
+            n_spines=scenario.config.n_spines,
+            threshold=scenario.config.threshold,
+            fault_link=scenario.fault_link,
+            fault_iteration=scenario.fault_iteration,
+            detectable=scenario.detectable,
+        )
     driver = SimnetClosedLoopDriver(
         scenario.config,
         iteration_faults=scenario.iteration_faults,
         telemetry=telemetry,
     )
     result = driver.run()
-    return ChaosOutcome(
+    outcome = ChaosOutcome(
         scenario=scenario,
         result=result,
         violations=check_invariants(scenario, result, driver, chaos),
         digest=outcome_digest(result),
     )
+    if telemetry is not None:
+        telemetry.emit(
+            "scenario.end",
+            seed=scenario.seed,
+            kind=scenario.kind,
+            job_id=scenario.config.job_id,
+            ok=outcome.ok,
+            violations=list(outcome.violations),
+            digest=outcome.digest,
+            detection_iteration=result.detection_iteration,
+            remediation_iteration=result.remediation_iteration,
+            iterations_completed=result.iterations_completed,
+            failed_messages=result.failed_messages,
+            stalled=result.stalled,
+            recovered=result.recovered,
+        )
+    return outcome
 
 
 def run_chaos_batch(

@@ -300,9 +300,15 @@ class SimnetClosedLoopDriver:
         for src_leaf, dst_leaf in self.demand.leaf_pairs(self.config.spec()):
             if not candidate.reachable(src_leaf, dst_leaf):
                 if self.telemetry is not None:
+                    # Same payload shape as the applied event so the
+                    # forensics pipeline reads one remediation stream
+                    # and splits it on ``outcome``.
                     self.telemetry.emit(
                         "closedloop.veto",
                         time_ns=self.network.now,
+                        job_id=self.config.job_id,
+                        iteration=action.iteration,
+                        outcome="vetoed",
                         links=sorted(action.disabled_links),
                     )
                 return False
@@ -311,7 +317,9 @@ class SimnetClosedLoopDriver:
             self.telemetry.emit(
                 "closedloop.remediation",
                 time_ns=self.network.now,
+                job_id=self.config.job_id,
                 iteration=action.iteration,
+                outcome="applied",
                 links=sorted(action.disabled_links),
             )
             self.telemetry.counter("closedloop.remediations").inc()

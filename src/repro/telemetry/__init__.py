@@ -35,7 +35,15 @@ from .audit import (
 )
 from .capture import DEFAULT_CAPTURE_BYTES, CaptureResult, capture_fabric_trace
 from .chrome_trace import chrome_trace, chrome_trace_events, write_chrome_trace
-from .events import EventLog, event_to_json, json_default, read_jsonl, write_jsonl
+from .events import (
+    EventLog,
+    desanitize_float,
+    event_to_json,
+    json_default,
+    read_jsonl,
+    read_jsonl_tolerant,
+    write_jsonl,
+)
 from .instrument import snapshot_network
 from .registry import (
     DEFAULT_BUCKETS,
@@ -70,7 +78,9 @@ __all__ = [
     "event_to_json",
     "iterations",
     "json_default",
+    "desanitize_float",
     "read_jsonl",
+    "read_jsonl_tolerant",
     "snapshot_network",
     "suspected_links",
     "write_chrome_trace",

@@ -59,6 +59,28 @@ def _sanitize(obj):
     return obj
 
 
+#: Inverse images of :func:`_sanitize`'s non-finite encodings.
+_NON_FINITE_NAMES = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+
+def desanitize_float(value):
+    """Undo :func:`_sanitize` for one scalar.
+
+    The strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` written by
+    :func:`event_to_json` come back as the floats they stood for; every
+    other value is returned unchanged.  Readers apply this to fields
+    they know are numeric (a field legitimately holding one of these
+    strings as text would be ambiguous otherwise).
+    """
+    if isinstance(value, str):
+        return _NON_FINITE_NAMES.get(value, value)
+    return value
+
+
 def event_to_json(event: dict) -> str:
     """Serialize one event dict to its canonical one-line JSON form.
 
@@ -139,11 +161,56 @@ def write_jsonl(
     return count
 
 
-def read_jsonl(source: str | pathlib.Path | IO[str]) -> list[dict]:
-    """Parse a JSONL file back into event dicts (blank lines skipped)."""
+def read_jsonl(
+    source: str | pathlib.Path | IO[str], *, tolerant: bool = False
+) -> list[dict]:
+    """Parse a JSONL file back into event dicts (blank lines skipped).
+
+    Strict by default: a malformed line raises ``json.JSONDecodeError``.
+    With ``tolerant=True`` malformed lines are skipped instead — the
+    mode forensic readers use, because a streaming :class:`EventLog`
+    from a killed run legitimately leaves one truncated final line.
+    Use :func:`read_jsonl_tolerant` to also learn how many lines were
+    dropped.
+    """
+    if tolerant:
+        return read_jsonl_tolerant(source)[0]
     if isinstance(source, (str, pathlib.Path)):
         with open(source) as handle:
             return read_jsonl(handle)
     if isinstance(source, str):  # pragma: no cover - defensive
         source = io.StringIO(source)
     return [json.loads(line) for line in source if line.strip()]
+
+
+def read_jsonl_tolerant(
+    source: str | pathlib.Path | IO[str],
+) -> tuple[list[dict], int]:
+    """Parse JSONL, skipping malformed lines; returns
+    ``(events, n_malformed)``.
+
+    Lines that are not valid JSON or do not decode to an object are
+    counted and dropped rather than raised on, so a log truncated
+    mid-line (a killed ``--metrics-out`` run) still yields every intact
+    event before the cut.
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source) as handle:
+            return read_jsonl_tolerant(handle)
+    if isinstance(source, str):  # pragma: no cover - defensive
+        source = io.StringIO(source)
+    events: list[dict] = []
+    malformed = 0
+    for line in source:
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            malformed += 1
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            malformed += 1
+    return events, malformed

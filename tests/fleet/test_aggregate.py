@@ -4,11 +4,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import json
+import math
+
+import pytest
+
 from repro.core.localization import LinkSuspicion, LocalizationResult
 from repro.core.monitor import IterationVerdict
 from repro.core.prediction.learning import LearningEvent
-from repro.fleet import FleetAggregator
-from repro.telemetry.events import EventLog
+from repro.fleet import FleetAggregator, incident_from_event
+from repro.fleet.aggregate import Incident
+from repro.telemetry.events import EventLog, event_to_json
 
 
 @dataclass(frozen=True)
@@ -116,10 +122,116 @@ def test_event_log_lifecycle():
 
 
 def test_to_event_is_json_ready():
-    import json
-
     aggregator = FleetAggregator()
     aggregator.observe(9, verdict(0, [suspicion()]))
     payload = aggregator.incidents[0].to_event()
     json.dumps(payload)  # must not raise
     assert payload["leaves"] == [1]
+    assert payload["duration"] == 1
+    assert payload["reopened"] == 0
+    assert payload["iterations"] == [0]
+
+
+# ----------------------------------------------------------------------
+# Evidence round-trip: to_event -> JSON wire -> incident_from_event
+# ----------------------------------------------------------------------
+def round_trip(incident: Incident) -> Incident:
+    """The full wire path: strict-JSON serialize, parse, rebuild."""
+    event = json.loads(event_to_json({"type": "incident.closed", **incident.to_event()}))
+    return incident_from_event(event)
+
+
+@pytest.mark.parametrize(
+    "incident",
+    [
+        Incident(job_id=1, link="down:S0->L1", kind="local",
+                 first_seen=0, last_seen=0, worst_deviation=-0.02,
+                 senders={3: -0.02}, leaves={1}, iterations={0}),
+        Incident(job_id=7, link="up:L5->S0", kind="mixed",
+                 first_seen=2, last_seen=19, worst_deviation=-0.4,
+                 senders={0: -0.4, 11: -0.1}, leaves={1, 4, 5},
+                 iterations={2, 3, 19}, reopened=2),
+    ],
+)
+def test_incident_round_trips_exactly(incident):
+    rebuilt = round_trip(incident)
+    assert rebuilt == incident
+    assert all(isinstance(s, int) for s in rebuilt.senders)
+    assert all(isinstance(leaf, int) for leaf in rebuilt.leaves)
+
+
+def test_incident_round_trip_restores_non_finite_deviation():
+    incident = Incident(job_id=1, link="down:S0->L1", kind="local",
+                        first_seen=0, last_seen=1,
+                        worst_deviation=-math.inf,
+                        senders={3: -math.inf}, leaves={1},
+                        iterations={0, 1})
+    rebuilt = round_trip(incident)  # wire carries the string "-Infinity"
+    assert rebuilt.worst_deviation == -math.inf
+    assert rebuilt.senders == {3: -math.inf}
+
+
+def test_incident_from_event_without_iterations_falls_back_to_span():
+    event = {"job_id": 1, "link": "a->b", "kind": "local",
+             "first_seen": 3, "last_seen": 8, "worst_deviation": -0.1}
+    rebuilt = incident_from_event(event)  # an older writer's payload
+    assert rebuilt.iterations == {3, 8}
+    assert rebuilt.reopened == 0
+    assert rebuilt.duration == 6
+
+
+def test_aggregator_round_trip_through_event_log():
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log)
+    aggregator.observe(1, verdict(0, [suspicion()]))
+    aggregator.observe(1, verdict(2, [suspicion(deviation=-0.05)]))
+    incidents = aggregator.finalize()
+    rebuilt = [
+        incident_from_event(json.loads(event_to_json(e)))
+        for e in log.of_type("incident.closed")
+    ]
+    assert rebuilt == incidents
+
+
+# ----------------------------------------------------------------------
+# Flap detection: incident.reopened after a quiet gap
+# ----------------------------------------------------------------------
+def test_alarm_within_quiet_gap_does_not_reopen():
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log, quiet_gap=3)
+    aggregator.observe(1, verdict(0, [suspicion()]))
+    aggregator.observe(1, verdict(3, [suspicion()]))  # gap == quiet_gap
+    assert log.of_type("incident.reopened") == []
+    assert aggregator.incidents[0].reopened == 0
+
+
+def test_alarm_after_quiet_gap_emits_reopened():
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log, quiet_gap=3)
+    aggregator.observe(1, verdict(0, [suspicion()]))
+    aggregator.observe(1, verdict(5, [suspicion(deviation=-0.07)]))
+    reopened = log.of_type("incident.reopened")
+    assert len(reopened) == 1
+    event = reopened[0]
+    assert event["link"] == "down:S0->L1"
+    assert event["iteration"] == 5
+    assert event["last_seen"] == 0
+    assert event["quiet_iterations"] == 4
+    incident = aggregator.incidents[0]
+    assert incident.reopened == 1
+    assert incident.first_seen == 0 and incident.last_seen == 5
+
+
+def test_repeated_flaps_accumulate_in_closed_rollup():
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log, quiet_gap=1)
+    for iteration in (0, 4, 9):
+        aggregator.observe(1, verdict(iteration, [suspicion()]))
+    aggregator.finalize()
+    assert len(log.of_type("incident.reopened")) == 2
+    assert log.of_type("incident.closed")[0]["reopened"] == 2
+
+
+def test_quiet_gap_must_be_positive():
+    with pytest.raises(ValueError):
+        FleetAggregator(quiet_gap=0)

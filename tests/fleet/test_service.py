@@ -99,6 +99,11 @@ def test_config_rejects_bad_wire_version_and_coalesce():
         FleetConfig(coalesce=0)
 
 
+def test_config_rejects_non_positive_quiet_gap():
+    with pytest.raises(FleetError, match="quiet_gap"):
+        FleetConfig(quiet_gap=0)
+
+
 # ----------------------------------------------------------------------
 # Backpressure
 # ----------------------------------------------------------------------

@@ -1,0 +1,233 @@
+"""Extractor tests on synthetic evidence streams."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.fleet.aggregate import Incident
+from repro.report import ReportError, analyze, extract_events
+from repro.report.tables import rows_matching
+from repro.telemetry.events import EventLog
+
+
+def write_events(path, events):
+    log = EventLog()
+    for type_, fields in events:
+        log.emit(type_, **fields)
+    log.dump_jsonl(path)
+    return path
+
+
+def scenario_stream():
+    """One chaos-style scenario: fault at iteration 1, detected at 2."""
+    return [
+        ("scenario.start", dict(seed=5, kind="persistent_drop", job_id=1,
+                                n_leaves=4, n_spines=2, threshold=0.05,
+                                fault_link="up:L2>S0", fault_iteration=1,
+                                detectable=True)),
+        ("audit.iteration", dict(iteration=0, learning_event="NONE",
+                                 skipped=False, triggered=False,
+                                 max_score=0.001, leaves=4)),
+        ("audit.iteration", dict(iteration=2, learning_event="NONE",
+                                 skipped=False, triggered=True,
+                                 max_score=0.3, leaves=4)),
+        ("audit.leaf", dict(iteration=2, leaf=0, triggered=True,
+                            max_abs_deviation=0.3,
+                            ports=[dict(spine=0, predicted=100.0, observed=70.0,
+                                        deviation=-0.3, alarm=True),
+                                   dict(spine=1, predicted=100.0, observed=99.0,
+                                        deviation=-0.01, alarm=False)])),
+        ("audit.alarm", dict(iteration=2, leaf=0, spine=0, predicted=100.0,
+                             observed=70.0, deviation=-0.3, deficit=True)),
+        ("audit.localization", dict(iteration=2, leaf=0,
+                                    suspicions=[dict(link="up:L2>S0",
+                                                     kind="remote", spine=0,
+                                                     affected_senders=[2],
+                                                     deviation=-0.3)])),
+        ("closedloop.remediation", dict(time_ns=900, job_id=1, iteration=3,
+                                        outcome="applied",
+                                        links=["up:L2>S0", "down:S0>L2"])),
+        ("link.drop", dict(time_ns=100, link="up:L2>S0", size=1024)),
+        ("link.drop", dict(time_ns=300, link="up:L2>S0", size=512)),
+        ("transport.failed", dict(time_ns=400, host=2, dst_host=3,
+                                  msg_id=17, seq=4, retransmissions=6)),
+        ("scenario.end", dict(seed=5, job_id=1, ok=True, digest="abc",
+                              detection_iteration=2, remediation_iteration=3,
+                              iterations_completed=4, failed_messages=1,
+                              stalled=False, recovered=True)),
+    ]
+
+
+def test_scenario_stream_fills_every_table(tmp_path):
+    path = write_events(tmp_path / "ev.jsonl", scenario_stream())
+    facts = extract_events(path)
+    run = "ev.jsonl#seed5"
+    runs = facts.rows("runs")
+    assert len(runs) == 1 and runs[0]["run"] == run
+    assert runs[0]["detection_iteration"] == 2
+    assert runs[0]["recovered"] is True
+    assert len(facts.rows("iterations")) == 2
+    # audit.leaf explodes per spine
+    observations = facts.rows("leaf_observations")
+    assert [o["spine"] for o in observations] == [0, 1]
+    assert observations[0]["deviation"] == -0.3
+    assert len(facts.rows("alarms")) == 1
+    assert facts.rows("localizations")[0]["link"] == "up:L2>S0"
+    remediation = facts.rows("remediations")[0]
+    assert remediation["outcome"] == "applied"
+    # link drops aggregate per (run, link)
+    drops = facts.rows("link_drops")
+    assert len(drops) == 1
+    assert drops[0]["n_drops"] == 2
+    assert drops[0]["dropped_bytes"] == 1536
+    assert (drops[0]["first_ns"], drops[0]["last_ns"]) == (100, 300)
+    assert facts.rows("transport_failures")[0]["msg_id"] == 17
+
+
+def test_audit_only_stream_synthesizes_incidents(tmp_path):
+    path = write_events(tmp_path / "ev.jsonl", scenario_stream())
+    facts = extract_events(path)
+    incidents = facts.rows("incidents")
+    assert len(incidents) == 1
+    incident = incidents[0]
+    assert incident["link"] == "up:L2>S0"
+    assert incident["kind"] == "remote"
+    assert incident["first_seen"] == incident["last_seen"] == 2
+    assert incident["senders"] == {2: -0.3}
+
+
+def test_analysis_joins_narrative_evidence(tmp_path):
+    path = write_events(tmp_path / "ev.jsonl", scenario_stream())
+    analysis = analyze(extract_events(path))
+    assert analysis.stats.n_detected == 1
+    assert analysis.stats.latencies == [1]  # detected at 2, injected at 1
+    run = analysis.runs[0]
+    assert run.verdict == "detected"
+    narrative = run.narratives[0]
+    assert narrative.matches_fault is True
+    assert [a["spine"] for a in narrative.opened_evidence] == [0]
+    assert len(narrative.remediations) == 1  # matched via link membership
+    assert narrative.drops["n_drops"] == 2
+    leaf0 = run.timelines[0]
+    assert leaf0.leaf == 0
+    assert leaf0.alarmed == {2}
+    assert analysis.exit_status == 0
+
+
+def test_multiple_scenarios_split_into_runs(tmp_path):
+    events = scenario_stream()
+    second = [
+        ("scenario.start", dict(seed=6, kind="healthy", job_id=1,
+                                n_leaves=4, n_spines=2, threshold=0.05,
+                                detectable=False)),
+        ("audit.iteration", dict(iteration=0, skipped=False,
+                                 triggered=False, max_score=0.0, leaves=4)),
+        ("scenario.end", dict(seed=6, job_id=1, ok=True, digest="def",
+                              detection_iteration=None)),
+    ]
+    path = write_events(tmp_path / "batch.jsonl", events + second)
+    facts = extract_events(path)
+    assert [row["run"] for row in facts.rows("runs")] == [
+        "batch.jsonl#seed5",
+        "batch.jsonl#seed6",
+    ]
+    analysis = analyze(facts)
+    assert analysis.stats.n_runs == 2
+    assert analysis.stats.n_false_alarms == 0
+    healthy = analysis.runs[1]
+    assert healthy.verdict == "clean"
+
+
+def test_incident_stream_round_trips_through_fact_tables(tmp_path):
+    incident = Incident(
+        job_id=4,
+        link="down:S0>L6",
+        kind="local",
+        first_seen=2,
+        last_seen=9,
+        worst_deviation=-0.25,
+        senders={5: -0.25, 7: -0.1},
+        leaves={6},
+        iterations={2, 3, 9},
+        reopened=1,
+    )
+    log = EventLog()
+    log.emit("incident.opened", job_id=4, link="down:S0>L6", kind="local",
+             iteration=2, deviation=-0.1)
+    log.emit("incident.closed", **incident.to_event())
+    path = tmp_path / "incidents.jsonl"
+    log.dump_jsonl(path)
+    facts = extract_events(path)
+    row = facts.rows("incidents")[0]
+    assert row["senders"] == {5: -0.25, 7: -0.1}  # int keys restored
+    assert row["leaves"] == [6]
+    assert row["iterations"] == [2, 3, 9]
+    assert row["reopened"] == 1
+    assert row["duration"] == 8
+    assert facts.issues == []
+
+
+def test_closed_without_opened_is_flagged(tmp_path):
+    incident = Incident(job_id=1, link="a>b", kind="local",
+                        first_seen=0, last_seen=0, worst_deviation=-0.1)
+    log = EventLog()
+    log.emit("incident.opened", job_id=1, link="other>link", kind="local",
+             iteration=0, deviation=-0.1)
+    log.emit("incident.closed", **incident.to_event())
+    path = tmp_path / "incidents.jsonl"
+    log.dump_jsonl(path)
+    facts = extract_events(path)
+    assert any("without a matching incident.opened" in i for i in facts.issues)
+
+
+def test_truncated_final_line_is_tolerated_and_counted(tmp_path):
+    path = write_events(tmp_path / "ev.jsonl", scenario_stream())
+    with open(path, "a") as handle:
+        handle.write('{"type": "audit.iter')  # killed mid-write
+    facts = extract_events(path)
+    assert facts.malformed_lines == 1
+    assert any("malformed" in issue for issue in facts.issues)
+    assert len(facts.rows("runs")) == 1  # intact events all survived
+    assert analyze(facts).exit_status == 1  # data loss is disclosed
+
+
+def test_strict_mode_raises_on_truncated_line(tmp_path):
+    path = write_events(tmp_path / "ev.jsonl", scenario_stream())
+    with open(path, "a") as handle:
+        handle.write("{not json")
+    with pytest.raises(ReportError):
+        extract_events(path, strict=True)
+
+
+def test_missing_file_is_report_error(tmp_path):
+    with pytest.raises(ReportError):
+        extract_events(tmp_path / "nope.jsonl")
+
+
+def test_non_finite_deviations_round_trip_to_floats(tmp_path):
+    """Satellite check: "Infinity"/"NaN" strings from event_to_json
+    must come back as floats and not poison latency percentiles."""
+    events = scenario_stream()
+    events.insert(
+        4,
+        ("audit.leaf", dict(iteration=2, leaf=1, triggered=False,
+                            max_abs_deviation=math.inf,
+                            ports=[dict(spine=0, predicted=0.0,
+                                        observed=5.0, deviation=math.inf,
+                                        alarm=False),
+                                   dict(spine=1, predicted=1.0, observed=1.0,
+                                        deviation=math.nan, alarm=False)])),
+    )
+    path = write_events(tmp_path / "ev.jsonl", events)
+    facts = extract_events(path)
+    rows = rows_matching(facts.rows("leaf_observations"), leaf=1)
+    assert rows[0]["deviation"] == math.inf
+    assert isinstance(rows[0]["deviation"], float)
+    assert math.isnan(rows[1]["deviation"])
+    analysis = analyze(facts)
+    assert analysis.stats.latencies == [1]
+    assert analysis.stats.latency_p50 == 1.0  # finite despite inf/nan rows
+    timeline = [t for t in analysis.runs[0].timelines if t.leaf == 1][0]
+    assert timeline.max_deviation == 0.0  # non-finite excluded from y-scale

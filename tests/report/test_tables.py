@@ -1,0 +1,128 @@
+"""Fact-table value formatting, CSV determinism, and round-trips."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+
+from repro.report import (
+    SCHEMAS,
+    FactTables,
+    ReportError,
+    format_value,
+    parse_value,
+    read_csv,
+    rows_matching,
+)
+
+
+def test_format_value_canonical_forms():
+    assert format_value(None) == ""
+    assert format_value(True) == "1"
+    assert format_value(False) == "0"
+    assert format_value(3) == "3"
+    assert format_value(0.1) == "0.1"
+    assert format_value([1, 2]) == "1;2"
+    assert format_value({"b", "a"}) == "a;b"
+    assert format_value({2: -0.5, 1: -0.25}) == "1:-0.25;2:-0.5"
+
+
+@pytest.mark.parametrize(
+    "value",
+    [None, 0, 7, -3, 0.5, -0.125, math.inf, -math.inf, 1e-9, True, False],
+)
+def test_scalar_cells_round_trip(value):
+    recovered = parse_value(format_value(value))
+    if value is True or value is False:
+        assert recovered == int(value)  # booleans ride as 1/0
+    else:
+        assert recovered == value
+
+
+def test_nan_cell_round_trips_as_nan():
+    recovered = parse_value(format_value(math.nan))
+    assert isinstance(recovered, float) and math.isnan(recovered)
+
+
+def test_add_fills_missing_columns_and_rejects_unknown():
+    facts = FactTables()
+    row = facts.add("alarms", run="r", iteration=3)
+    assert set(row) == set(SCHEMAS["alarms"])
+    assert row["leaf"] is None
+    with pytest.raises(ReportError):
+        facts.add("alarms", run="r", not_a_column=1)
+
+
+def test_write_csv_is_byte_deterministic():
+    def build() -> str:
+        facts = FactTables()
+        facts.add("remediations", run="r", iteration=2, outcome="applied",
+                  links=("up:L1>S0", "down:S0>L1"))
+        facts.add("remediations", run="r", iteration=5, outcome="vetoed",
+                  links=("up:L2>S1",))
+        buffer = io.StringIO()
+        facts.write_csv("remediations", buffer)
+        return buffer.getvalue()
+
+    first, second = build(), build()
+    assert first == second
+    assert first.splitlines()[0] == ",".join(SCHEMAS["remediations"])
+    assert "\r" not in first  # lineterminator pinned to \n
+
+
+def test_write_all_and_read_csv_round_trip(tmp_path):
+    facts = FactTables()
+    facts.add(
+        "incidents",
+        run="r",
+        job_id=4,
+        link="down:S0>L6",
+        kind="local",
+        first_seen=2,
+        last_seen=9,
+        duration=8,
+        n_iterations=6,
+        reopened=1,
+        worst_deviation=-0.25,
+        leaves=[6],
+        senders={5: -0.25},
+        iterations=[2, 3, 9],
+    )
+    paths = facts.write_all(tmp_path)
+    assert set(paths) == set(SCHEMAS)
+    rows = read_csv(paths["incidents"])
+    assert rows[0]["worst_deviation"] == -0.25
+    assert rows[0]["job_id"] == 4
+    assert rows[0]["link"] == "down:S0>L6"
+    assert rows[0]["iterations"] == "2;3;9"  # list cells stay joined
+
+
+def test_read_csv_rejects_empty_file(tmp_path):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(ReportError):
+        read_csv(empty)
+
+
+def test_rows_matching_filters_on_all_criteria():
+    rows = [
+        {"run": "a", "leaf": 1},
+        {"run": "a", "leaf": 2},
+        {"run": "b", "leaf": 1},
+    ]
+    assert rows_matching(rows, run="a", leaf=2) == [{"run": "a", "leaf": 2}]
+    assert rows_matching(rows, run="c") == []
+
+
+def test_merge_concatenates_tables_and_caveats():
+    left, right = FactTables(), FactTables()
+    left.add("runs", run="x")
+    right.add("runs", run="y")
+    right.malformed_lines = 2
+    right.issues.append("boom")
+    left.merge(right)
+    assert [row["run"] for row in left.rows("runs")] == ["x", "y"]
+    assert left.malformed_lines == 2
+    assert left.issues == ["boom"]

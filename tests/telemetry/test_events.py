@@ -6,7 +6,16 @@ import io
 import json
 import math
 
-from repro.telemetry import EventLog, TelemetrySession, event_to_json, read_jsonl
+import pytest
+
+from repro.telemetry import (
+    EventLog,
+    TelemetrySession,
+    desanitize_float,
+    event_to_json,
+    read_jsonl,
+    read_jsonl_tolerant,
+)
 
 
 def test_emit_records_in_order_with_type():
@@ -78,6 +87,47 @@ def test_dump_and_read_jsonl_roundtrip(tmp_path):
         {"type": "x", "value": 1.5},
         {"type": "y", "items": [1, 2]},
     ]
+
+
+def test_read_jsonl_raises_on_truncated_final_line(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text('{"type": "x", "n": 1}\n{"type": "y", "n"')
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(path)  # strict default is unchanged
+
+
+def test_read_jsonl_tolerant_skips_and_counts_truncated_line(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text('{"type": "x", "n": 1}\n{"type": "y", "n"')
+    events, malformed = read_jsonl_tolerant(path)
+    assert events == [{"type": "x", "n": 1}]
+    assert malformed == 1
+    # the tolerant kwarg on read_jsonl is the same reader
+    assert read_jsonl(path, tolerant=True) == events
+
+
+def test_read_jsonl_tolerant_skips_non_dict_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text('[1, 2]\n{"type": "x"}\n"just a string"\n\n')
+    events, malformed = read_jsonl_tolerant(path)
+    assert events == [{"type": "x"}]
+    assert malformed == 2  # blank lines are not malformed, non-dicts are
+
+
+def test_desanitize_float_restores_non_finite_values():
+    assert desanitize_float("Infinity") == math.inf
+    assert desanitize_float("-Infinity") == -math.inf
+    assert math.isnan(desanitize_float("NaN"))
+    assert desanitize_float(0.5) == 0.5
+    assert desanitize_float("not a float") == "not a float"
+    assert desanitize_float(None) is None
+
+
+def test_non_finite_sanitization_round_trip():
+    event = {"type": "t", "dev": -math.inf, "score": math.nan}
+    parsed = json.loads(event_to_json(event))
+    assert desanitize_float(parsed["dev"]) == -math.inf
+    assert math.isnan(desanitize_float(parsed["score"]))
 
 
 def test_session_write_jsonl_appends_metric_lines(tmp_path):

@@ -413,3 +413,117 @@ def test_invalid_config_is_error_not_traceback(capsys):
     err = capsys.readouterr().err
     assert code == 2
     assert "error:" in err
+
+
+# ----------------------------------------------------------------------
+# forensics: --events-out and the report verb
+# ----------------------------------------------------------------------
+@pytest.fixture
+def chaos_events_path(tmp_path, capsys):
+    path = tmp_path / "events.jsonl"
+    code = main(["chaos", "--scenarios", "2", "--events-out", str(path)])
+    capsys.readouterr()
+    assert code == 0
+    return path
+
+
+def test_chaos_events_out_brackets_scenarios(chaos_events_path):
+    from repro.telemetry import read_jsonl
+
+    events = read_jsonl(chaos_events_path)
+    starts = [e for e in events if e["type"] == "scenario.start"]
+    ends = [e for e in events if e["type"] == "scenario.end"]
+    assert len(starts) == len(ends) == 2
+    assert {e["seed"] for e in starts} == {0, 1}
+    assert starts[0]["threshold"] > 0
+    assert all("ok" in e and "digest" in e for e in ends)
+
+
+def test_closed_loop_events_out_requires_simnet(tmp_path, capsys):
+    code = main(
+        ["closed-loop", *SMALL, "--events-out", str(tmp_path / "e.jsonl")]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--engine simnet" in err
+
+
+def test_closed_loop_simnet_events_out_records_remediation(tmp_path, capsys):
+    from repro.telemetry import read_jsonl
+
+    path = tmp_path / "loop.jsonl"
+    code = main(
+        [
+            "closed-loop",
+            "--engine", "simnet",
+            "--leaves", "4",
+            "--spines", "3",
+            "--collective-gib", str(300_000 / (1 << 30)),
+            "--mtu", "512",
+            "--iterations", "6",
+            "--threshold", "0.03",
+            "--drop-rate", "0.5",
+            "--fault-start", "1",
+            "--fault-link", "up:L1->S1",
+            "--events-out", str(path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    events = read_jsonl(path)
+    remediations = [e for e in events if e["type"] == "closedloop.remediation"]
+    assert remediations and remediations[0]["outcome"] == "applied"
+    assert remediations[0]["job_id"] == 1
+    assert "up:L1->S1" in remediations[0]["links"]
+
+
+def test_report_verb_builds_bundle_from_chaos_events(
+    chaos_events_path, tmp_path, capsys
+):
+    out = tmp_path / "forensics"
+    code = main(["report", str(chaos_events_path), "--out", str(out)])
+    stdout = capsys.readouterr().out
+    assert code == 0
+    assert "report.html" in stdout
+    assert (out / "runs.csv").exists()
+    assert (out / "report.html").exists()
+    html = (out / "report.html").read_text()
+    assert "http://" not in html and "https://" not in html
+
+
+def test_report_verb_missing_input_exits_two(tmp_path, capsys):
+    code = main(
+        ["report", str(tmp_path / "no.jsonl"), "--out", str(tmp_path / "o")]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
+def test_report_verb_unclassifiable_input_exits_two(tmp_path, capsys):
+    weird = tmp_path / "evidence.txt"
+    weird.write_text("{}\n")
+    code = main(["report", str(weird), "--out", str(tmp_path / "o")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot classify" in err
+
+
+def test_report_verb_flags_dropped_lines(chaos_events_path, tmp_path, capsys):
+    with open(chaos_events_path, "a") as handle:
+        handle.write('{"type": "audit.le')  # truncated by a kill
+    code = main(
+        ["report", str(chaos_events_path), "--out", str(tmp_path / "o")]
+    )
+    captured = capsys.readouterr()
+    assert code == 1  # data loss is a forensics finding, not a crash
+    assert "malformed" in captured.err
+    code = main(
+        [
+            "report", str(chaos_events_path),
+            "--out", str(tmp_path / "o2"),
+            "--strict",
+        ]
+    )
+    assert code == 2  # strict mode treats it as unusable input
+    capsys.readouterr()
