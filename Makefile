@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 PYTEST_ARGS ?=
 
-.PHONY: test lint bench sweep-bench fleet-bench fleet-demo report-demo
+.PHONY: test lint bench sweep-bench fleet-bench fleet-demo ha-demo report-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
@@ -35,6 +35,31 @@ fleet-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet replay \
 		--input /tmp/fleet-demo.fprec --shards 2
 	@echo "incident log: /tmp/fleet-demo-incidents.jsonl"
+
+# Highly-available fleet walkthrough: start the TCP ingest server with
+# a chaos hook that SIGKILLs shard 1 mid-stream, push a recorded
+# workload into it over 4 connections, and let journal-replay failover
+# prove itself — the server exits 0 only if validation passes with
+# zero lost records.
+ha-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet loadgen \
+		--jobs 8 --iterations 20 --fault-fraction 0.25 \
+		--out /tmp/ha-demo.fprec
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet serve \
+		--listen 127.0.0.1:19917 --shards 3 \
+		--kill-shard 1 --kill-after 200 --idle-exit 2 \
+		--incidents-out /tmp/ha-demo-incidents.jsonl & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		$(PYTHON) -c "import socket; socket.create_connection(('127.0.0.1', 19917), 1).close()" \
+			2>/dev/null && break; \
+		sleep 0.2; \
+	done; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fleet stream \
+		--connect 127.0.0.1:19917 --input /tmp/ha-demo.fprec \
+		--connections 4 --wire-version 2; \
+	wait $$SERVE_PID
+	@echo "incident log: /tmp/ha-demo-incidents.jsonl"
 
 # Post-incident forensics walkthrough: capture a chaos batch's event
 # stream and a fleet incident log, then build the CSV fact tables and

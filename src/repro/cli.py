@@ -22,6 +22,7 @@ invalid configuration).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 
@@ -736,7 +737,12 @@ def cmd_fleet_loadgen(args: argparse.Namespace) -> int:
 
 def cmd_fleet_serve(args: argparse.Namespace) -> int:
     from .fleet import ShardRouter, describe_assignment, read_fprec, serve_workload
+    from .fleet.shard import FleetError
 
+    if args.listen is not None:
+        return _fleet_serve_listen(args)
+    if args.input is None:
+        raise FleetError("fleet serve needs --input PATH or --listen HOST:PORT")
     content = read_fprec(args.input)
     if not content.jobs:
         print(f"no job configs in {args.input}", file=sys.stderr)
@@ -785,6 +791,166 @@ def cmd_fleet_replay(args: argparse.Namespace) -> int:
         return 1
     print("golden parity: bit-identical verdicts")
     _write_fleet_outputs(args, result)
+    return 0
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    from .fleet.shard import FleetError
+
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise FleetError(f"expected HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise FleetError(f"bad port in {value!r}") from None
+
+
+def _fleet_serve_listen(args: argparse.Namespace) -> int:
+    """``fleet serve --listen``: the HA service behind a TCP front-end.
+
+    Runs until SIGINT/SIGTERM (graceful: stop accepting, drain open
+    connections and shard queues, flush outputs, exit by validation)
+    or until ``--idle-exit`` seconds pass with no open connections
+    after at least one client came and went.  ``--kill-shard`` /
+    ``--kill-after`` are the chaos hooks the HA smoke test drives:
+    SIGKILL one shard worker mid-stream and let failover recover it.
+    """
+    import asyncio
+    import signal as signal_module
+
+    from .fleet.ha import (
+        FleetNetServer,
+        HAConfig,
+        HAFleetService,
+        NetServerConfig,
+    )
+    from .fleet.shard import FleetError, ShardAssignment
+
+    host, port = _parse_hostport(args.listen)
+    if args.kill_shard is not None and not 0 <= args.kill_shard < args.shards:
+        raise FleetError(f"--kill-shard {args.kill_shard} out of range")
+    service = HAFleetService(
+        _fleet_config(args), ha=HAConfig(journal_dir=args.journal_dir)
+    )
+    service.start()
+
+    async def _run() -> None:
+        server = FleetNetServer(
+            service, NetServerConfig(host=host, port=port)
+        )
+        await server.start()
+        print(
+            f"fleet: listening on {host}:{server.port} "
+            f"({args.shards} shard(s), epoch {service.epoch}); "
+            "SIGINT/SIGTERM drains and exits",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal_module.SIGINT, signal_module.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        killed = False
+        try:
+            while not stop.is_set():
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    pass
+                stats = server.stats
+                if (
+                    args.kill_shard is not None
+                    and not killed
+                    and stats.records >= args.kill_after
+                ):
+                    worker = service._workers[args.kill_shard]
+                    if worker.pid is not None and worker.is_alive():
+                        os.kill(worker.pid, signal_module.SIGKILL)
+                    killed = True
+                    print(
+                        f"fleet: chaos SIGKILL shard {args.kill_shard} "
+                        f"after {stats.records} records",
+                        file=sys.stderr,
+                    )
+                if (
+                    args.idle_exit is not None
+                    and stats.connections_total > 0
+                    and stats.connections_open == 0
+                    and loop.time() - server.last_activity >= args.idle_exit
+                ):
+                    print("fleet: idle, draining", file=sys.stderr)
+                    break
+        finally:
+            for sig in (signal_module.SIGINT, signal_module.SIGTERM):
+                loop.remove_signal_handler(sig)
+            await server.close()
+        print(
+            f"fleet: ingested {server.stats.records} records over "
+            f"{server.stats.connections_total} connection(s)",
+            file=sys.stderr,
+        )
+
+    asyncio.run(_run())
+    routes = {job_id: service._route(job_id) for job_id in service.jobs}
+    n_shards = len(service._inboxes)
+    result = service.close()
+    jobs_per_shard = dict.fromkeys(range(n_shards), 0)
+    for shard in routes.values():
+        jobs_per_shard[shard] += 1
+    _print_fleet_report(
+        result, ShardAssignment(n_shards=n_shards, jobs_per_shard=jobs_per_shard)
+    )
+    print(
+        f"\nha: epoch {result.epoch}, failovers {result.failovers}, "
+        f"replayed {result.replayed_records} records, "
+        f"{result.duplicate_verdicts} replay duplicates dropped, "
+        f"{result.fenced_messages} fenced, lost {result.lost_records}"
+    )
+    _write_fleet_outputs(args, result)
+    if not result.accounting_ok:
+        print(
+            "record accounting broken: "
+            f"processed {result.processed_unique_records} + shed "
+            f"{result.shed_unique_records} != submitted "
+            f"{result.submitted_records} (lost {result.lost_records})",
+            file=sys.stderr,
+        )
+        return 1
+    validation = result.validate()
+    if validation.checked:
+        print(
+            f"validation: {validation.checked} jobs with ground truth, "
+            f"missed={list(validation.missed) or 'none'}, "
+            f"false alarms={list(validation.false_alarms) or 'none'}"
+        )
+        return 0 if validation.ok else 1
+    return 0
+
+
+def cmd_fleet_stream(args: argparse.Namespace) -> int:
+    from .fleet import generate_workload, read_fprec
+    from .fleet.ha import stream_workload
+
+    host, port = _parse_hostport(args.connect)
+    if args.input is not None:
+        content = read_fprec(args.input)
+        jobs, batches = content.jobs, content.batches
+    else:
+        jobs, batches = generate_workload(_loadgen_config(args))
+    stats = stream_workload(
+        host,
+        port,
+        jobs,
+        batches,
+        version=args.wire_version,
+        connections=args.connections,
+    )
+    print(
+        f"streamed {stats.units} units ({len(jobs)} jobs, {stats.records} "
+        f"records, {stats.bytes_sent:,} bytes) over {stats.connections} "
+        f"connection(s) in {stats.elapsed_s:.2f}s "
+        f"({stats.records_per_sec:,.0f} records/sec)"
+    )
     return 0
 
 
@@ -991,15 +1157,85 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = fleet_sub.add_parser(
         "serve",
-        help="run a recorded workload through the sharded service",
-        description="Exit 0 when every faulted job produced an incident "
-        "and no healthy job did; 1 on a missed fault or false alarm.",
+        help="run a recorded workload through the sharded service, or "
+        "listen for TCP streams on the highly-available service",
+        description="With --input, replay a recorded workload. With "
+        "--listen HOST:PORT, run the HA fleet (replicated coordinator, "
+        "shard failover with journal replay) behind an asyncio TCP "
+        "ingest front-end until SIGINT/SIGTERM or --idle-exit; shutdown "
+        "drains queues, flushes --incidents-out, and exits cleanly. "
+        "Exit 0 when every faulted job produced an incident and no "
+        "healthy job did (and, in listen mode, no record was lost); 1 "
+        "otherwise.",
     )
     serve.add_argument(
-        "--input", required=True, metavar="PATH", help="input .fprec workload"
+        "--input", metavar="PATH", default=None, help="input .fprec workload"
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the HA fleet over TCP instead of replaying a file "
+        "(port 0 picks an ephemeral port, printed on stderr)",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="listen mode: where shard write-ahead journals live "
+        "(default: self-cleaning temp dir)",
+    )
+    serve.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="listen mode: drain and exit after this much idle time "
+        "once at least one client connected and disconnected",
+    )
+    serve.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="chaos hook: SIGKILL this shard worker mid-stream",
+    )
+    serve.add_argument(
+        "--kill-after",
+        type=int,
+        default=1,
+        metavar="RECORDS",
+        help="chaos hook: kill once this many records were ingested",
     )
     _add_fleet_service_args(serve)
     serve.set_defaults(func=cmd_fleet_serve)
+
+    stream = fleet_sub.add_parser(
+        "stream",
+        help="stream a workload to a listening fleet over TCP",
+        description="Loadgen-over-TCP client: generate a workload (or "
+        "read a recorded .fprec) and stream it to a `fleet serve "
+        "--listen` server over N concurrent connections with per-job "
+        "affinity.",
+    )
+    stream.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the listening fleet",
+    )
+    stream.add_argument(
+        "--connections", type=int, default=4, help="concurrent TCP connections"
+    )
+    stream.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="stream this recorded .fprec instead of generating a workload",
+    )
+    _add_fleet_workload_args(stream)
+    _add_wire_version_arg(stream)
+    stream.set_defaults(func=cmd_fleet_stream)
 
     replay = fleet_sub.add_parser(
         "replay",

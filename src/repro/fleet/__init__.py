@@ -25,6 +25,7 @@ records directly into a single monitor (:func:`~repro.fleet.service.reference_ve
 for any shard count or interleaving.
 """
 
+from . import ha
 from .aggregate import FleetAggregator, Incident, incident_from_event
 from .codec import (
     BINARY_MAGIC,
@@ -35,6 +36,7 @@ from .codec import (
     FprecContent,
     JobConfig,
     RecordBatch,
+    StreamDecoder,
     UnsupportedVersionError,
     batches_from_run,
     decode_batch,
@@ -46,6 +48,7 @@ from .codec import (
     encode_segment,
     iter_fprec,
     peek_batch,
+    peek_batch_tag,
     read_fprec,
     write_fprec,
 )
@@ -81,6 +84,7 @@ __all__ = [
     "LoadGenConfig",
     "RecordBatch",
     "ShardRouter",
+    "StreamDecoder",
     "UnsupportedVersionError",
     "batches_from_run",
     "build_monitor",
@@ -94,8 +98,10 @@ __all__ = [
     "encode_segment",
     "generate_jobs",
     "generate_workload",
+    "ha",
     "iter_fprec",
     "peek_batch",
+    "peek_batch_tag",
     "read_fprec",
     "reference_verdicts",
     "serve_fprec",

@@ -653,6 +653,45 @@ def decode_line(data: str | bytes):
     return kind, decode_job(data)
 
 
+def peek_batch_tag(data: str | bytes) -> tuple[int, int, int]:
+    """``(job_id, n_records, iteration)`` of a batch unit without a
+    full parse.
+
+    Same fast paths as :func:`peek_batch`, one field wider: the HA
+    service keys its in-flight record accounting by ``(job_id,
+    iteration)``, so the iteration must also be readable at routing
+    cost, not decode cost.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
+        if (
+            len(data) >= _HEADER.size + _BATCH_FIXED.size
+            and data[:4] == BINARY_MAGIC
+            and data[4] == FPREC_VERSION_BINARY
+            and data[5] == _KIND_BATCH
+            and len(data) == _HEADER.size + int.from_bytes(data[8:12], "little")
+        ):
+            job_id = int.from_bytes(data[12:20], "little")
+            iteration = int.from_bytes(data[20:28], "little")
+            n_records = int.from_bytes(data[28:32], "little")
+            return job_id, n_records, iteration
+        batch = decode_batch(data)
+        return batch.job_id, batch.n_records, batch.iteration
+    parts = data.split(",", 6)
+    if (
+        len(parts) == 7
+        and parts[0] == f'["{FPREC_MAGIC}"'
+        and parts[1] == str(FPREC_VERSION)
+        and parts[2] == '"b"'
+    ):
+        try:
+            return int(parts[3]), int(parts[4]), int(parts[5])
+        except ValueError:
+            pass
+    batch = decode_batch(data)
+    return batch.job_id, batch.n_records, batch.iteration
+
+
 def peek_batch(data: str | bytes) -> tuple[int, int]:
     """``(job_id, n_records)`` of a batch unit without a full parse.
 
@@ -693,6 +732,158 @@ def peek_batch(data: str | bytes) -> tuple[int, int]:
             pass
     batch = decode_batch(data)  # raises a typed error or handles edge forms
     return batch.job_id, batch.n_records
+
+
+# ----------------------------------------------------------------------
+# Incremental stream decoding
+# ----------------------------------------------------------------------
+#: Whitespace bytes allowed between units on a stream.
+_STREAM_WHITESPACE = b"\n\r \t"
+#: Default cap on bytes buffered while waiting for a unit to complete.
+DEFAULT_MAX_BUFFER = 64 * 1024 * 1024
+
+
+class StreamDecoder:
+    """Incremental ``.fprec`` stream decoder: feed bytes, get units.
+
+    The wire stream is self-delimiting — v1 JSON lines end at ``\\n``,
+    v2 binary frames carry a length prefix — so a reader never needs to
+    see a whole file (or a whole TCP segment) at once.  ``feed`` accepts
+    arbitrary byte chunks, split anywhere (mid-header, mid-line, even
+    mid-UTF-8-character), buffers the incomplete tail, and returns every
+    unit that completed.  v1 and v2 units may interleave freely on one
+    stream, exactly as in a ``.fprec`` file.
+
+    Two output modes:
+
+    - decoded (default): units are ``("b", RecordBatch)`` /
+      ``("j", JobConfig)`` pairs, as :func:`iter_fprec` yields.
+    - ``raw=True``: units are ``("b" | "j", encoded_unit)`` where the
+      encoded unit is the exact wire form (``str`` line without its
+      newline, or complete frame ``bytes``) — the zero-copy path the TCP
+      frontend routes straight into ``submit_encoded`` without ever
+      materializing records.
+
+    ``max_buffer`` bounds memory per stream: a unit that fails to
+    complete within that many buffered bytes (or a frame whose length
+    prefix alone exceeds it) raises :class:`CodecError` instead of
+    growing without bound — one misbehaving connection cannot take the
+    ingest frontend down with it.
+
+    Call :meth:`finish` at end of stream: it decodes a final unterminated
+    JSON line if one is buffered and raises :class:`CodecError` on a
+    truncated frame.
+    """
+
+    def __init__(
+        self, raw: bool = False, max_buffer: int = DEFAULT_MAX_BUFFER
+    ) -> None:
+        if max_buffer < _HEADER.size + _BATCH_FIXED.size:
+            raise CodecError(f"max_buffer {max_buffer} too small to hold a frame")
+        self.raw = raw
+        self.max_buffer = max_buffer
+        self._buffer = bytearray()
+        #: Units and bytes consumed over the decoder's lifetime.
+        self.units = 0
+        self.consumed = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the current unit to complete."""
+        return len(self._buffer)
+
+    def _emit_line(self, line_bytes: bytes):
+        try:
+            line = line_bytes.decode()
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"undecodable wire line: {exc}") from exc
+        line = line.strip()
+        if not line:
+            return None
+        if self.raw:
+            # Routing-cost kind peek, falling back to full validation.
+            parts = line.split(",", 3)
+            if (
+                len(parts) >= 3
+                and parts[0] == f'["{FPREC_MAGIC}"'
+                and parts[1] == str(FPREC_VERSION)
+                and parts[2] in ('"b"', '"j"')
+            ):
+                return parts[2][1:-1], line
+            kind, _payload = _parse_line(line)
+            return kind, line
+        return decode_line(line)
+
+    def _emit_frame(self, frame: bytes):
+        kind, _payload = _split_frame(frame)
+        label = "b" if kind == _KIND_BATCH else "j"
+        if self.raw:
+            return label, frame
+        return decode_line(frame)
+
+    def feed(self, data: bytes) -> list:
+        """Consume one chunk; return the units it completed (often
+        empty, sometimes several)."""
+        self._buffer += data
+        self.consumed += len(data)
+        units = []
+        buffer = self._buffer
+        start = 0
+        size = len(buffer)
+        while start < size:
+            first = buffer[start]
+            if first in _STREAM_WHITESPACE:
+                start += 1
+                continue
+            if first == BINARY_MAGIC[0]:
+                if size - start < _HEADER.size:
+                    break  # wait for the rest of the header
+                length = int.from_bytes(
+                    buffer[start + 8 : start + 12], "little"
+                )
+                if _HEADER.size + length > self.max_buffer:
+                    raise CodecError(
+                        f"binary frame declares {length} payload bytes, "
+                        f"over the {self.max_buffer}-byte stream buffer cap"
+                    )
+                end = start + _HEADER.size + length
+                if size < end:
+                    break  # wait for the rest of the payload
+                unit = self._emit_frame(bytes(buffer[start:end]))
+                units.append(unit)
+                self.units += 1
+                start = end
+                continue
+            newline = buffer.find(b"\n", start)
+            if newline < 0:
+                break  # wait for the line terminator
+            unit = self._emit_line(bytes(buffer[start:newline]))
+            if unit is not None:
+                units.append(unit)
+                self.units += 1
+            start = newline + 1
+        del buffer[:start]
+        if len(buffer) > self.max_buffer:
+            raise CodecError(
+                f"unit did not complete within the {self.max_buffer}-byte "
+                "stream buffer cap"
+            )
+        return units
+
+    def finish(self) -> list:
+        """End of stream: flush a final unterminated line, or raise on a
+        truncated frame."""
+        remainder = bytes(self._buffer).strip(_STREAM_WHITESPACE)
+        self._buffer.clear()
+        if not remainder:
+            return []
+        if remainder[0] == BINARY_MAGIC[0]:
+            raise CodecError("truncated binary frame at end of stream")
+        unit = self._emit_line(remainder)
+        if unit is None:
+            return []
+        self.units += 1
+        return [unit]
 
 
 # ----------------------------------------------------------------------
@@ -746,33 +937,24 @@ def write_fprec(
     return count
 
 
+#: Read size for chunked .fprec file replay.
+_REPLAY_CHUNK = 1 << 20
+
+
 def _iter_fprec_binary(stream) -> Iterator[tuple[str, object]]:
-    """Stream mixed v1 lines / v2 frames from a binary stream."""
-    magic_byte = BINARY_MAGIC[:1]
+    """Stream mixed v1 lines / v2 frames from a binary stream.
+
+    Built on the same :class:`StreamDecoder` the TCP ingest frontend
+    uses, so file replay and socket ingest share one framing
+    implementation (and one set of truncation errors).
+    """
+    decoder = StreamDecoder()
     while True:
-        first = stream.read(1)
-        if not first:
-            return
-        if first == magic_byte:
-            header = first + stream.read(_HEADER.size - 1)
-            if len(header) < _HEADER.size:
-                raise CodecError("truncated binary frame header at end of stream")
-            _magic, _version, _kind, _flags, length = _HEADER.unpack(header)
-            payload = stream.read(length)
-            if len(payload) < length:
-                raise CodecError("truncated binary frame payload at end of stream")
-            yield decode_line(header + payload)
-        elif first in (b"\n", b"\r", b" ", b"\t"):
-            continue
-        else:
-            raw = first + stream.readline()
-            try:
-                line = raw.decode()
-            except UnicodeDecodeError as exc:
-                raise CodecError(f"undecodable wire line: {exc}") from exc
-            line = line.strip()
-            if line:
-                yield decode_line(line)
+        chunk = stream.read(_REPLAY_CHUNK)
+        if not chunk:
+            break
+        yield from decoder.feed(chunk)
+    yield from decoder.finish()
 
 
 def iter_fprec(source: str | pathlib.Path | IO) -> Iterator[tuple[str, object]]:

@@ -1,0 +1,70 @@
+"""repro.fleet.ha: the highly-available fleet.
+
+The base fleet service goes blind on a shard's jobs the moment that
+shard dies — exactly when FlowPulse's always-on check matters most.
+This package keeps the monitoring plane alive through shard loss, pool
+resizing, and network ingest:
+
+- :mod:`~repro.fleet.ha.coordinator` — a 3-replica single-decree-Paxos
+  coordinator (leases, view changes) owning the epoch-numbered
+  job→shard assignment map; routing is an (epoch, assignment) read and
+  stale workers are fenced by epoch.
+- :mod:`~repro.fleet.ha.failover` — per-shard write-ahead ``.fprec``
+  journals, heartbeat miss tracking, and failover that replays a dead
+  shard's journal through the survivors for bit-identical verdicts and
+  an idempotent incident rollup (no duplicates, no gaps).
+- :mod:`~repro.fleet.ha.reshard` — grow/shrink the worker pool mid-run
+  with journal-checkpointed handoff per moved job; the
+  ``processed + shed == submitted`` invariant holds across epochs.
+- :mod:`~repro.fleet.ha.netserver` — an asyncio TCP front-end speaking
+  the ``.fprec`` wire stream with per-connection incremental decoding
+  and backpressure, plus the loadgen-over-TCP client.
+"""
+
+from .coordinator import (
+    Acceptor,
+    Ballot,
+    CoordinatorError,
+    LeaseHeldError,
+    ProposerCrashed,
+    QuorumLostError,
+    ReplicatedCoordinator,
+    View,
+)
+from .failover import (
+    HAConfig,
+    HAFleetResult,
+    HAFleetService,
+    HeartbeatMonitor,
+)
+from .netserver import (
+    FleetNetServer,
+    NetServerConfig,
+    NetServerStats,
+    StreamStats,
+    stream_workload,
+)
+from .reshard import ReshardReport, grow, shrink
+
+__all__ = [
+    "Acceptor",
+    "Ballot",
+    "CoordinatorError",
+    "FleetNetServer",
+    "HAConfig",
+    "HAFleetResult",
+    "HAFleetService",
+    "HeartbeatMonitor",
+    "LeaseHeldError",
+    "NetServerConfig",
+    "NetServerStats",
+    "ProposerCrashed",
+    "QuorumLostError",
+    "ReplicatedCoordinator",
+    "ReshardReport",
+    "StreamStats",
+    "View",
+    "grow",
+    "shrink",
+    "stream_workload",
+]

@@ -1,0 +1,394 @@
+"""Replicated coordinator: the fleet's epoch-numbered view of itself.
+
+The HA fleet routes every record through an *(epoch, assignment)* read:
+which shards exist, and which shard owns each job.  That map must
+survive the failure of the machine holding it, so it is owned by a
+small replicated coordinator — three replicas running single-decree
+Paxos per epoch (modeled on the 500lines ``cluster`` exemplar), with a
+leader lease so the steady state is one accept round per view change
+and no prepare traffic at all.
+
+Concepts:
+
+- :class:`Ballot` — a totally-ordered ``(number, proposer)`` pair.
+- :class:`Acceptor` — the durable half of a replica: promises ballots,
+  accepts ``(slot, view)`` proposals, and hands previously accepted
+  values back to new leaders during prepare.
+- :class:`View` — one committed epoch: the live shard ids plus explicit
+  job pins overriding the consistent-hash ring.
+- :class:`ReplicatedCoordinator` — the in-process ensemble: elections
+  with leases and view changes, commit with crash-recovery (a value a
+  crashed proposer got accepted by *any* acceptor that a majority later
+  sees is completed, never overwritten), and quorum-loss detection.
+
+Time is a deterministic logical clock (:meth:`ReplicatedCoordinator.tick`),
+so lease expiry and view changes are exactly reproducible in tests —
+the same property that makes the fleet's verdict parity testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import NamedTuple
+
+from ..shard import FleetError
+
+
+class CoordinatorError(FleetError):
+    """Raised for coordinator protocol misuse or unrecoverable state."""
+
+
+class QuorumLostError(CoordinatorError):
+    """A majority of coordinator replicas is unreachable: no view can
+    change (the last committed view stays authoritative)."""
+
+
+class LeaseHeldError(CoordinatorError):
+    """An election was attempted while another live leader's lease is
+    still valid; wait for expiry (tick) or fail the leader first."""
+
+
+class ProposerCrashed(CoordinatorError):
+    """Test hook: the proposer died mid-accept-round, leaving a value
+    partially accepted for the next leader to discover and complete."""
+
+
+class Ballot(NamedTuple):
+    """A Paxos ballot: totally ordered, ties broken by proposer id."""
+
+    number: int
+    proposer: int
+
+
+#: The ballot below every real one (acceptors start here).
+NULL_BALLOT = Ballot(0, -1)
+
+
+@dataclass(frozen=True)
+class View:
+    """One committed fleet epoch: who serves, and who owns what.
+
+    ``shards`` is the set of live shard ids; ``pins`` is the sorted
+    tuple of explicit ``(job_id, shard)`` overrides.  Jobs without a
+    pin are routed by the consistent-hash ring built over ``shards``,
+    so the committed value stays O(pins), not O(jobs).
+    """
+
+    epoch: int
+    shards: tuple[int, ...]
+    pins: tuple[tuple[int, int], ...] = ()
+    reason: str = ""
+
+    @cached_property
+    def pin_map(self) -> dict[int, int]:
+        """``{job_id: shard}`` of the explicit overrides."""
+        return dict(self.pins)
+
+    def to_event(self) -> dict:
+        """JSON-ready payload for ``ha.*`` telemetry events."""
+        return {
+            "epoch": self.epoch,
+            "shards": list(self.shards),
+            "pins": [list(pin) for pin in self.pins],
+            "reason": self.reason,
+        }
+
+
+#: The pre-bootstrap view: epoch 0, nothing serving.
+GENESIS_VIEW = View(epoch=0, shards=())
+
+
+class Promise(NamedTuple):
+    """An acceptor's reply to prepare: granted or not, the ballot it is
+    now promised to, and every ``(slot -> (ballot, view))`` it has
+    previously accepted (the values a new leader must complete)."""
+
+    ok: bool
+    promised: Ballot
+    accepted: dict[int, tuple[Ballot, View]]
+
+
+@dataclass
+class Acceptor:
+    """The durable Paxos role of one coordinator replica.
+
+    Per standard single-decree rules, generalized over slots: a
+    promise covers all slots (the ballot is leadership, as in
+    multi-Paxos), accepted values are per slot.
+    """
+
+    promised: Ballot = NULL_BALLOT
+    accepted: dict[int, tuple[Ballot, View]] = field(default_factory=dict)
+
+    def prepare(self, ballot: Ballot) -> Promise:
+        """Phase 1: promise ``ballot`` if it is the highest seen,
+        surrendering previously accepted values either way."""
+        if ballot > self.promised:
+            self.promised = ballot
+            return Promise(True, ballot, dict(self.accepted))
+        return Promise(False, self.promised, {})
+
+    def accept(self, slot: int, ballot: Ballot, view: View) -> bool:
+        """Phase 2: accept ``view`` for ``slot`` unless promised to a
+        strictly higher ballot."""
+        if ballot < self.promised:
+            return False
+        self.promised = ballot
+        self.accepted[slot] = (ballot, view)
+        return True
+
+
+@dataclass
+class Replica:
+    """One coordinator replica: an acceptor plus a liveness flag the
+    failure-injection hooks flip."""
+
+    replica_id: int
+    acceptor: Acceptor = field(default_factory=Acceptor)
+    alive: bool = True
+
+
+class ReplicatedCoordinator:
+    """A deterministic in-process Paxos ensemble owning the fleet view.
+
+    ``commit`` drives one decree: elect (or keep) a leader, propose the
+    next epoch's view, and learn it once a majority of acceptors accept.
+    Leadership is leased for ``lease_ticks`` logical ticks — while the
+    lease is live the leader skips prepare entirely (one round trip per
+    view change) and rival elections are refused with
+    :class:`LeaseHeldError`; a dead or expired leader triggers a view
+    change, and the new leader's prepare phase discovers and completes
+    any value a crashed proposer left partially accepted.
+
+    ``event_log`` (duck-typed ``emit``) receives ``ha.leader_elected``
+    and ``ha.view_committed``; ``registry`` (a
+    :class:`~repro.telemetry.MetricsRegistry`) the matching counters.
+    """
+
+    def __init__(
+        self,
+        n_replicas: int = 3,
+        lease_ticks: int = 16,
+        event_log=None,
+        registry=None,
+    ) -> None:
+        if n_replicas < 1:
+            raise CoordinatorError("need at least one coordinator replica")
+        if lease_ticks < 1:
+            raise CoordinatorError("lease_ticks must be at least 1")
+        self.replicas = [Replica(i) for i in range(n_replicas)]
+        self.lease_ticks = lease_ticks
+        self.event_log = event_log
+        self.registry = registry
+        self.clock = 0
+        self.leader: int | None = None
+        self.leader_ballot: Ballot = NULL_BALLOT
+        self.lease_expires = 0
+        self.chosen: dict[int, View] = {}
+        self.elections = 0
+        self._ballot_number = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def quorum(self) -> int:
+        """Majority of the *configured* ensemble (not just the live part)."""
+        return self.n_replicas // 2 + 1
+
+    @property
+    def alive_replicas(self) -> list[int]:
+        return [r.replica_id for r in self.replicas if r.alive]
+
+    @property
+    def has_quorum(self) -> bool:
+        return len(self.alive_replicas) >= self.quorum
+
+    @property
+    def view(self) -> View:
+        """The highest committed view (``GENESIS_VIEW`` before bootstrap)."""
+        if not self.chosen:
+            return GENESIS_VIEW
+        return self.chosen[max(self.chosen)]
+
+    @property
+    def epoch(self) -> int:
+        return self.view.epoch
+
+    def is_current(self, epoch: int) -> bool:
+        """Fencing read: is ``epoch`` the committed one?"""
+        return epoch == self.epoch
+
+    # ------------------------------------------------------------------
+    def tick(self, n: int = 1) -> int:
+        """Advance the logical clock (lease lifetimes are measured in
+        these ticks); returns the new time."""
+        if n < 0:
+            raise CoordinatorError("the logical clock cannot run backwards")
+        self.clock += n
+        return self.clock
+
+    def fail_replica(self, replica_id: int) -> None:
+        """Failure injection: the replica stops answering."""
+        self.replicas[replica_id].alive = False
+
+    def heal_replica(self, replica_id: int) -> None:
+        """The replica comes back, durable state intact (as a restarted
+        acceptor with persisted promises would)."""
+        self.replicas[replica_id].alive = True
+
+    def leader_live(self) -> bool:
+        """Is there a live leader holding an unexpired lease?"""
+        return (
+            self.leader is not None
+            and self.replicas[self.leader].alive
+            and self.clock < self.lease_expires
+        )
+
+    # ------------------------------------------------------------------
+    def elect(self, candidate: int | None = None) -> int:
+        """Run a view change: prepare a fresh ballot on every live
+        acceptor, adopt leadership, renew the lease, and complete any
+        partially accepted values the promises uncovered.
+
+        ``candidate`` defaults to the lowest live replica id.  Electing
+        over a live leader's valid lease raises :class:`LeaseHeldError`
+        (the lease is the whole point); electing without a majority of
+        live replicas raises :class:`QuorumLostError`.
+        """
+        alive = self.alive_replicas
+        if len(alive) < self.quorum:
+            raise QuorumLostError(
+                f"{len(alive)}/{self.n_replicas} replicas alive, "
+                f"need {self.quorum} for election"
+            )
+        if candidate is None:
+            candidate = alive[0]
+        elif not self.replicas[candidate].alive:
+            raise CoordinatorError(f"candidate replica {candidate} is down")
+        if self.leader_live() and self.leader != candidate:
+            raise LeaseHeldError(
+                f"replica {self.leader} holds the lease until tick "
+                f"{self.lease_expires} (now {self.clock})"
+            )
+        self._ballot_number += 1
+        ballot = Ballot(self._ballot_number, candidate)
+        promises = [
+            replica.acceptor.prepare(ballot)
+            for replica in self.replicas
+            if replica.alive
+        ]
+        granted = [p for p in promises if p.ok]
+        if len(granted) < self.quorum:
+            # Outrun by a higher ballot; adopt it so the retry wins.
+            self._ballot_number = max(p.promised.number for p in promises)
+            raise CoordinatorError("election rejected by a higher ballot")
+        self.leader = candidate
+        self.leader_ballot = ballot
+        self._renew_lease()
+        self.elections += 1
+        if self.registry is not None:
+            self.registry.counter("ha.elections").inc()
+        if self.event_log is not None:
+            self.event_log.emit(
+                "ha.leader_elected",
+                replica=candidate,
+                ballot=list(ballot),
+                clock=self.clock,
+            )
+        # Safety: any value some acceptor already accepted for an open
+        # slot may have been chosen — the new leader must complete the
+        # highest-ballot one per slot, never propose over it.
+        pending: dict[int, tuple[Ballot, View]] = {}
+        for promise in granted:
+            for slot, (bal, value) in promise.accepted.items():
+                if slot in self.chosen:
+                    continue
+                current = pending.get(slot)
+                if current is None or bal > current[0]:
+                    pending[slot] = (bal, value)
+        for slot in sorted(pending):
+            self._propose(slot, pending[slot][1])
+        return candidate
+
+    def commit(
+        self,
+        shards,
+        pins: tuple[tuple[int, int], ...] = (),
+        reason: str = "",
+        _crash_after: int | None = None,
+    ) -> View:
+        """Commit the next epoch's view and return it.
+
+        Elects a leader first if none holds a live lease (leader death
+        and lease expiry both land here as a view change).  If the
+        accept round loses to a competing ballot, leadership is ceded
+        and the commit retried under a fresh election — the view may
+        then land on a later epoch than first attempted, after any
+        discovered in-flight value is completed first.
+
+        ``_crash_after`` is the failover test hook: deliver that many
+        accepts, then die as :class:`ProposerCrashed`.
+        """
+        shards = tuple(sorted({int(s) for s in shards}))
+        if not shards:
+            raise CoordinatorError("a view needs at least one shard")
+        pins = tuple(sorted((int(j), int(s)) for j, s in pins))
+        for attempt in range(8):
+            self.tick()
+            if not self.leader_live():
+                self.elect()
+            slot = max(self.chosen, default=0) + 1
+            view = View(epoch=slot, shards=shards, pins=pins, reason=reason)
+            try:
+                self._propose(slot, view, _crash_after=_crash_after)
+            except ProposerCrashed:
+                self.leader = None  # the crashed proposer was the leader
+                raise
+            except LeaseHeldError:
+                # Lost the slot (or leadership) to a rival: re-elect at
+                # a higher ballot and try the next slot.
+                self.leader = None
+                continue
+            self._renew_lease()
+            if self.registry is not None:
+                self.registry.counter("ha.views_committed").inc()
+                self.registry.gauge("ha.epoch").set(view.epoch)
+            if self.event_log is not None:
+                self.event_log.emit("ha.view_committed", **view.to_event())
+            return view
+        raise CoordinatorError("view commit live-locked after 8 attempts")
+
+    # ------------------------------------------------------------------
+    def _renew_lease(self) -> None:
+        self.lease_expires = self.clock + self.lease_ticks
+
+    def _propose(
+        self, slot: int, view: View, _crash_after: int | None = None
+    ) -> None:
+        """Phase 2 for one slot under the current leadership ballot."""
+        ballot = self.leader_ballot
+        acks = 0
+        delivered = 0
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            if _crash_after is not None and delivered >= _crash_after:
+                raise ProposerCrashed(
+                    f"proposer crashed after {delivered} accept(s) "
+                    f"for epoch {slot}"
+                )
+            if replica.acceptor.accept(slot, ballot, view):
+                acks += 1
+            delivered += 1
+        if acks < self.quorum:
+            if not self.has_quorum:
+                raise QuorumLostError(
+                    f"{len(self.alive_replicas)}/{self.n_replicas} replicas "
+                    f"alive, need {self.quorum} to commit a view"
+                )
+            raise LeaseHeldError("accept round lost to a higher ballot")
+        self.chosen[slot] = view

@@ -29,6 +29,7 @@ mode trades this away by design: dropped records are dropped.)
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import time
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from ..telemetry.registry import MetricsRegistry
 from .aggregate import DEFAULT_QUIET_GAP, FleetAggregator, Incident
 from .codec import FPREC_VERSIONS, JobConfig, RecordBatch, encode_batch, peek_batch
 from .shard import FleetError, ShardRouter, build_monitor, shard_worker
+from .transport import OutboxReader, new_outbox_pipe
 
 #: How long ``close`` waits for a single outbox message before declaring
 #: the drain wedged (a worker died without its "done").
@@ -209,7 +211,9 @@ class FleetService:
         self.result: FleetResult | None = None
         self._inboxes: list = []
         self._workers: list = []
-        self._outbox = None
+        self._live_shards: set[int] = set()
+        self._context = None
+        self._outboxes: list = []
         self._worker_snapshots: list = []
         self._done: set[int] = set()
         self._summaries = 0
@@ -240,25 +244,9 @@ class FleetService:
         """Spawn the shard workers and open their queues."""
         if self.started:
             raise FleetError("service already started")
-        context = multiprocessing.get_context()
-        self._outbox = context.Queue()
+        self._context = multiprocessing.get_context()
         for shard in range(self.config.n_shards):
-            inbox = context.Queue(maxsize=self.config.queue_depth)
-            worker = context.Process(
-                target=shard_worker,
-                args=(
-                    shard,
-                    inbox,
-                    self._outbox,
-                    self.config.return_verdicts,
-                    min(self.config.coalesce, self.config.queue_depth),
-                ),
-                daemon=True,
-                name=f"fleet-shard-{shard}",
-            )
-            worker.start()
-            self._inboxes.append(inbox)
-            self._workers.append(worker)
+            self._spawn_worker(shard)
         self._started_at = time.perf_counter()
         if not self._counters_ready:
             self._submitted_records_c = self.registry.counter("fleet.submitted_records")
@@ -266,6 +254,50 @@ class FleetService:
             self._shed_records_c = self.registry.counter("fleet.shed_records")
             self._shed_batches_c = self.registry.counter("fleet.shed_batches")
             self._counters_ready = True
+
+    def _spawn_worker(self, shard: int) -> None:
+        """Start one shard worker process; shard ids index the inbox and
+        worker tables, so spawn order must follow shard id order (the HA
+        layer appends new ids when the pool grows)."""
+        if shard != len(self._inboxes):
+            raise FleetError(
+                f"shard ids must be dense: spawning {shard} "
+                f"with {len(self._inboxes)} existing"
+            )
+        inbox = self._context.Queue(maxsize=self.config.queue_depth)
+        read_fd, write_fd = new_outbox_pipe()
+        worker = self._context.Process(
+            target=shard_worker,
+            args=(
+                shard,
+                inbox,
+                (read_fd, write_fd),
+                self.config.return_verdicts,
+                min(self.config.coalesce, self.config.queue_depth),
+                self._heartbeat_every(),
+            ),
+            daemon=True,
+            name=f"fleet-shard-{shard}",
+        )
+        worker.start()
+        # The worker owns the write end now; dropping our copy makes its
+        # death observable as EOF on the read end.
+        os.close(write_fd)
+        self._inboxes.append(inbox)
+        self._outboxes.append(OutboxReader(read_fd))
+        self._workers.append(worker)
+        self._live_shards.add(shard)
+
+    def _heartbeat_every(self) -> float | None:
+        """Worker heartbeat interval; the base service runs without
+        liveness beacons (the HA layer overrides this)."""
+        return None
+
+    def _route(self, job_id: int) -> int:
+        """The shard a job's records go to.  The base service reads the
+        consistent-hash ring directly; the HA service overrides this
+        with an (epoch, assignment) read from its coordinator."""
+        return self.router.shard_for(job_id)
 
     # ------------------------------------------------------------------
     def submit_job(self, job: JobConfig) -> int:
@@ -275,8 +307,9 @@ class FleetService:
         shed, whatever the record policy.
         """
         self._require_started()
-        shard = self.router.shard_for(job.job_id)
-        self._inboxes[shard].put(("job", job))
+        shard = self._route(job.job_id)
+        self._journal_job(shard, job)
+        self._put_draining(self._inboxes[shard], ("job", job))
         self.jobs[job.job_id] = job
         self.registry.counter("fleet.submitted_jobs").inc()
         return shard
@@ -300,24 +333,100 @@ class FleetService:
         if job_id is None or n_records is None:
             job_id, n_records = peek_batch(line)
         started = time.perf_counter()
-        shard = self.router.shard_for(job_id)
-        inbox = self._inboxes[shard]
+        shard = self._route(job_id)
+        self._journal_batch(shard, line, job_id, n_records)
         message = ("batch", line, n_records, time.time())
-        if self.config.policy == "block":
-            inbox.put(message)
-        else:
-            self._put_shedding(inbox, message)
+        self._dispatch(shard, message)
         self._submitted_batches += 1
         self._submitted_records += n_records
         self._submitted_batches_c.inc()
         self._submitted_records_c.inc(n_records)
-        self._sample_depth(shard, inbox)
+        self._sample_depth(shard, self._inboxes[shard])
         self._submit_busy_s += time.perf_counter() - started
         # Draining the outbox costs a zero-timeout select() per call; on
         # the ingest hot path it is amortized over POLL_EVERY batches
         # (close() always drains fully regardless).
         if self._submitted_batches % POLL_EVERY == 0:
             self.poll()
+
+    def try_submit_encoded(
+        self,
+        line: str | bytes,
+        job_id: int | None = None,
+        n_records: int | None = None,
+    ) -> bool:
+        """Non-blocking ingest for event-loop frontends: returns False
+        (accepting nothing, counting nothing) when the target shard's
+        bounded inbox is full under the ``block`` policy, instead of
+        stalling the caller.  The TCP server turns a False into paused
+        reads on that connection — per-connection backpressure without
+        blocking every other stream sharing the event loop.  Under
+        ``shed-oldest`` it always accepts (the shed counters absorb the
+        overflow, exactly as in blocking submit).
+        """
+        self._require_started()
+        if job_id is None or n_records is None:
+            job_id, n_records = peek_batch(line)
+        started = time.perf_counter()
+        shard = self._route(job_id)
+        message = ("batch", line, n_records, time.time())
+        if self.config.policy == "block":
+            try:
+                self._inboxes[shard].put_nowait(message)
+            except queue_module.Full:
+                return False
+            self._journal_batch(shard, line, job_id, n_records)
+        else:
+            self._journal_batch(shard, line, job_id, n_records)
+            self._put_shedding(self._inboxes[shard], message)
+        self._submitted_batches += 1
+        self._submitted_records += n_records
+        self._submitted_batches_c.inc()
+        self._submitted_records_c.inc(n_records)
+        self._sample_depth(shard, self._inboxes[shard])
+        self._submit_busy_s += time.perf_counter() - started
+        if self._submitted_batches % POLL_EVERY == 0:
+            self.poll()
+        return True
+
+    def _dispatch(self, shard: int, message) -> None:
+        """Enqueue one batch message onto a shard, honoring the
+        backpressure policy."""
+        inbox = self._inboxes[shard]
+        if self.config.policy == "block":
+            self._put_draining(inbox, message)
+        else:
+            self._put_shedding(inbox, message)
+
+    def _journal_job(self, shard: int, job: JobConfig) -> None:
+        """Durability hook before a job registration is dispatched; the
+        base service keeps no journal."""
+
+    def _journal_batch(
+        self, shard: int, line: str | bytes, job_id: int, n_records: int
+    ) -> None:
+        """Durability hook before a batch is dispatched; the base
+        service keeps no journal."""
+
+    def _put_draining(self, inbox, message) -> None:
+        """Blocking put that keeps draining worker output while it
+        waits.  Outbox pipes are bounded: a worker stalled on verdict
+        output only resumes when the parent reads, so a plain blocking
+        ``put`` here could deadlock the pair."""
+        while True:
+            try:
+                inbox.put_nowait(message)
+                return
+            except queue_module.Full:
+                if self.poll() == 0:
+                    shard = self._inboxes.index(inbox)
+                    worker = self._workers[shard]
+                    if worker is not None and not worker.is_alive():
+                        raise FleetError(
+                            f"shard {shard} died with a full inbox; "
+                            "nothing will ever drain it"
+                        )
+                    time.sleep(0.0005)
 
     def _put_shedding(self, inbox, message) -> None:
         """Shed-oldest put: evict queued batches until there is room.
@@ -338,18 +447,28 @@ class FleetService:
             try:
                 evicted = inbox.get_nowait()
             except queue_module.Empty:
-                continue  # worker drained it between our two calls
-            if evicted[0] == "batch":
-                self._shed_batches += 1
-                self._shed_records += evicted[2]
-                self._shed_batches_c.inc()
-                self._shed_records_c.inc(evicted[2])
-                if self.telemetry is not None:
-                    self.telemetry.emit(
-                        "fleet.shed", n_records=evicted[2], policy=self.config.policy
-                    )
+                # Full-but-empty means the queued item is still in the
+                # feeder thread's buffer; spinning here starves the
+                # feeder of the GIL for a whole switch interval, so
+                # sleep long enough for it to actually flush.
+                time.sleep(0.0001)
+                continue
+            if evicted[0] in ("batch", "replay"):
+                self._on_shed(evicted)
             else:  # never drop control messages
-                inbox.put(evicted)
+                self._put_draining(inbox, evicted)
+
+    def _on_shed(self, evicted) -> None:
+        """Account one evicted batch message (HA also settles its
+        in-flight record ledger here)."""
+        self._shed_batches += 1
+        self._shed_records += evicted[2]
+        self._shed_batches_c.inc()
+        self._shed_records_c.inc(evicted[2])
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "fleet.shed", n_records=evicted[2], policy=self.config.policy
+            )
 
     def _sample_depth(self, shard: int, inbox) -> None:
         try:
@@ -365,29 +484,32 @@ class FleetService:
     # ------------------------------------------------------------------
     def poll(self) -> int:
         """Drain ready worker output without blocking; returns the
-        number of messages handled."""
+        number of messages handled.
+
+        Each shard has its own framed outbox pipe, read non-blocking —
+        a worker SIGKILLed mid-send tears only its own stream (the torn
+        tail is dropped at EOF), and can never stall this loop or any
+        surviving worker.
+        """
         self._require_started()
         handled = 0
-        while True:
-            try:
-                message = self._outbox.get_nowait()
-            except queue_module.Empty:
-                return handled
-            self._handle(message)
-            handled += 1
+        for reader in self._outboxes:
+            if reader is None:
+                continue
+            for message in reader.drain():
+                self._handle(message)
+                handled += 1
+        return handled
 
     def _handle(self, message) -> None:
         kind = message[0]
         if kind == "verdict":
-            _kind, _shard, job_id, verdict = message
-            if self.config.return_verdicts:
-                self.verdicts.setdefault(job_id, []).append(verdict)
-            elif verdict.triggered:
-                self.verdicts.setdefault(job_id, []).append(verdict)
-            self.aggregator.observe(job_id, verdict)
+            _kind, shard, job_id, verdict = message
+            self._on_verdict(shard, job_id, verdict)
         elif kind == "summary":
-            self._summaries += 1
-            self.aggregator.verdicts_seen += 1
+            self._on_summary(message[1], message[2], message[3])
+        elif kind == "heartbeat":
+            self._on_heartbeat(message[1], message[2], message[3], message[4])
         elif kind == "error":
             self.errors.append(f"shard {message[1]}: {message[2]}")
         elif kind == "metrics":
@@ -397,28 +519,48 @@ class FleetService:
         else:  # pragma: no cover - protocol bug
             raise FleetError(f"unknown outbox message kind {kind!r}")
 
+    def _on_verdict(self, shard: int, job_id: int, verdict: IterationVerdict) -> None:
+        """Fold one worker verdict into the fleet state (HA overrides
+        this to fence dead shards and deduplicate journal replays)."""
+        if self.config.return_verdicts or verdict.triggered:
+            self.verdicts.setdefault(job_id, []).append(verdict)
+        self.aggregator.observe(job_id, verdict)
+
+    def _on_summary(self, shard: int, job_id: int, iteration: int) -> None:
+        """Count one quiet-iteration acknowledgement."""
+        self._summaries += 1
+        self.aggregator.verdicts_seen += 1
+
+    def _on_heartbeat(self, shard: int, epoch: int, seq: int, sent_at: float) -> None:
+        """Liveness beacon hook; the base service has no failure
+        detector, so beacons are simply counted."""
+        self.registry.counter("fleet.heartbeats_seen").inc()
+
     # ------------------------------------------------------------------
     def close(self) -> FleetResult:
         """Stop ingesting, drain every shard, join workers, and build
         the final :class:`FleetResult` (also kept in ``self.result``)."""
         self._require_started()
         submit_elapsed = self._submit_busy_s
-        for inbox in self._inboxes:
-            inbox.put(("stop",))
-        while len(self._done) < len(self._workers):
-            try:
-                message = self._outbox.get(timeout=DRAIN_TIMEOUT_S)
-            except queue_module.Empty:
+        expected = set(self._live_shards)
+        for shard in sorted(expected):
+            self._put_draining(self._inboxes[shard], ("stop",))
+        deadline = time.monotonic() + DRAIN_TIMEOUT_S
+        while not expected <= self._done:
+            if self.poll() > 0:
+                deadline = time.monotonic() + DRAIN_TIMEOUT_S
+            elif time.monotonic() > deadline:
                 dead = [w.name for w in self._workers if not w.is_alive()]
                 self._abort()
                 raise FleetError(
                     "fleet drain timed out waiting for shard workers "
                     f"(dead: {dead or 'none'})"
                 ) from None
-            self._handle(message)
+            else:
+                time.sleep(0.002)
         self.poll()
-        for worker in self._workers:
-            worker.join(timeout=DRAIN_TIMEOUT_S)
+        for shard in sorted(expected):
+            self._workers[shard].join(timeout=DRAIN_TIMEOUT_S)
         elapsed = time.perf_counter() - self._started_at
         for snapshot in self._worker_snapshots:
             self.registry.merge_snapshot(snapshot)
@@ -458,14 +600,25 @@ class FleetService:
             worker.join(timeout=5.0)
         self._teardown()
 
+    def _retire_outbox(self, shard: int) -> None:
+        """Close a dead shard's outbox reader (its worker has exited and
+        everything readable was harvested)."""
+        reader = self._outboxes[shard]
+        if reader is not None:
+            reader.close()
+            self._outboxes[shard] = None
+
     def _teardown(self) -> None:
         for inbox in self._inboxes:
+            inbox.cancel_join_thread()
             inbox.close()
-        if self._outbox is not None:
-            self._outbox.close()
+        for reader in self._outboxes:
+            if reader is not None:
+                reader.close()
         self._inboxes = []
+        self._outboxes = []
         self._workers = []
-        self._outbox = None
+        self._live_shards = set()
         self._done = set()
         self._started_at = None
 

@@ -12,7 +12,7 @@ The worker (:func:`shard_worker`) owns the monitors of the jobs routed
 to it: it decodes incoming wire units (v1 JSON lines or v2 binary
 frames), coalesces queued batches, scores them per job through
 :meth:`~repro.core.monitor.FlowPulseMonitor.process_block`, and
-ships verdicts back on the shared outbox.  Everything it touches is
+ships verdicts back on its private framed outbox pipe.  Everything it touches is
 deterministic given the job configs and record stream, which is what
 makes the service's golden-parity guarantee (bit-identical verdicts to
 a direct monitor feed) testable.
@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import os
 import time
 from dataclasses import dataclass
 
@@ -60,7 +61,7 @@ def _hash64(key: str) -> int:
 
 
 class ShardRouter:
-    """Consistent-hash ring mapping ``job_id`` -> shard index.
+    """Consistent-hash ring mapping ``job_id`` -> shard id.
 
     Each shard contributes ``n_replicas`` virtual points on a 64-bit
     ring; a job lands on the first point clockwise of its own hash.
@@ -68,22 +69,45 @@ class ShardRouter:
     changes: growing from N to N+1 shards moves roughly ``1/(N+1)`` of
     the jobs, instead of reshuffling nearly all of them as ``job_id %
     n_shards`` would.
+
+    A shard's ring points are a function of its *id*, not its position,
+    so a router built over an arbitrary id set (:meth:`from_ids` — how
+    the HA layer routes after a shard dies or the pool grows) agrees
+    with the dense-id router about every job that did not have to move.
     """
 
-    def __init__(self, n_shards: int, n_replicas: int = 64) -> None:
-        if n_shards < 1:
-            raise FleetError("need at least one shard")
+    def __init__(
+        self,
+        n_shards: int,
+        n_replicas: int = 64,
+        shard_ids: tuple[int, ...] | None = None,
+    ) -> None:
+        if shard_ids is None:
+            if n_shards < 1:
+                raise FleetError("need at least one shard")
+            shard_ids = tuple(range(n_shards))
+        else:
+            shard_ids = tuple(sorted(set(shard_ids)))
+            if not shard_ids:
+                raise FleetError("need at least one shard")
         if n_replicas < 1:
             raise FleetError("need at least one replica point per shard")
-        self.n_shards = n_shards
+        self.n_shards = len(shard_ids)
+        self.shard_ids = shard_ids
         self.n_replicas = n_replicas
         points = []
-        for shard in range(n_shards):
+        for shard in shard_ids:
             for replica in range(n_replicas):
                 points.append((_hash64(f"shard:{shard}:{replica}"), shard))
         points.sort()
         self._keys = [key for key, _shard in points]
         self._shards = [shard for _key, shard in points]
+
+    @classmethod
+    def from_ids(cls, shard_ids, n_replicas: int = 64) -> "ShardRouter":
+        """A ring over an explicit (possibly sparse) set of shard ids."""
+        shard_ids = tuple(shard_ids)
+        return cls(len(shard_ids), n_replicas=n_replicas, shard_ids=shard_ids)
 
     def shard_for(self, job_id: int) -> int:
         """The shard owning ``job_id`` (deterministic, process-stable)."""
@@ -116,16 +140,39 @@ def build_monitor(job: JobConfig) -> FlowPulseMonitor:
 
 
 def shard_worker(
-    shard_id: int, inbox, outbox, return_verdicts: bool, coalesce: int = 32
+    shard_id: int,
+    inbox,
+    outbox_fds: tuple[int, int],
+    return_verdicts: bool,
+    coalesce: int = 32,
+    heartbeat_every: float | None = None,
 ) -> None:
     """Worker-process entry point: drain ``inbox`` until a stop message.
+
+    ``outbox_fds`` is the worker's private ``(read_fd, write_fd)``
+    outbox pipe (see :mod:`~repro.fleet.transport`); the read end is
+    closed here and the write end wrapped in a framed sender, so a
+    SIGKILL can tear at most this worker's own stream — never a lock or
+    channel shared with the survivors.
 
     Inbox messages (tuples, cheap to pickle):
 
     - ``("job", JobConfig)`` — register a job; builds its monitor.
+      Idempotent: re-registering a known job keeps the live monitor
+      (failover replays registrations ahead of the record journal).
     - ``("batch", unit, n_records, submitted_at)`` — one encoded
       :class:`~repro.fleet.codec.RecordBatch` (v1 JSON line ``str`` or
       v2 binary frame ``bytes``) plus its submit wall time.
+    - ``("replay", unit, n_records, submitted_at)`` — same payload, but
+      the unit is a journal replay (failover / resharding handoff): it
+      is scored identically and additionally counted in
+      ``fleet.replayed_records`` so record accounting can separate
+      first-time work from recovery work.
+    - ``("forget", job_ids)`` — drop the monitors of jobs that were
+      handed off to another shard (frees their memory; their records
+      stop arriving at this shard once the view changed).
+    - ``("epoch", n)`` — adopt a coordinator epoch; echoed in every
+      heartbeat so the parent can fence a worker stuck on a stale view.
     - ``("stop",)`` — drain finished; ship metrics and exit.
 
     Each wake-up drains up to ``coalesce`` queued messages and scores
@@ -143,21 +190,36 @@ def shard_worker(
       skipped-relevant iterations the aggregator needs).
     - ``("summary", shard, job_id, iteration, skipped, max_score)`` —
       compact quiet-iteration acknowledgement.
+    - ``("heartbeat", shard, epoch, seq, wall_time)`` — liveness beacon,
+      sent at least every ``heartbeat_every`` seconds (idle wake-ups
+      included) when the interval is configured.
     - ``("error", shard, detail)`` — a message that failed to process
       (the worker keeps going; errors are counted, never fatal).
     - ``("metrics", shard, snapshot)`` then ``("done", shard)`` on stop.
     """
     if coalesce < 1:
         raise FleetError("coalesce must be at least 1")
+    if heartbeat_every is not None and heartbeat_every <= 0:
+        raise FleetError("heartbeat_every must be positive")
+    from .transport import OutboxWriter
+
+    read_fd, write_fd = outbox_fds
+    try:
+        os.close(read_fd)
+    except OSError:
+        pass
+    outbox = OutboxWriter(write_fd)
     registry = MetricsRegistry()
     label = str(shard_id)
     batches_c = registry.counter("fleet.batches", shard=label)
     records_c = registry.counter("fleet.records", shard=label)
+    replayed_c = registry.counter("fleet.replayed_records", shard=label)
     alarmed_c = registry.counter("fleet.alarmed_iterations", shard=label)
     skipped_c = registry.counter("fleet.skipped_iterations", shard=label)
     unknown_c = registry.counter("fleet.unknown_job_batches", shard=label)
     errors_c = registry.counter("fleet.worker_errors", shard=label)
     jobs_c = registry.counter("fleet.jobs", shard=label)
+    heartbeats_c = registry.counter("fleet.heartbeats", shard=label)
     detect_h = registry.histogram(
         "fleet.detect_compute_s", buckets=LATENCY_BUCKETS, shard=label
     )
@@ -165,10 +227,24 @@ def shard_worker(
         "fleet.detection_latency_s", buckets=LATENCY_BUCKETS, shard=label
     )
     monitors: dict[int, FlowPulseMonitor] = {}
+    epoch = 0
+    beat_seq = 0
+    last_beat = time.time()
 
     def report_error(exc: Exception) -> None:
         errors_c.inc()
-        outbox.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+        outbox.send(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+
+    def beat(force: bool = False) -> None:
+        nonlocal beat_seq, last_beat
+        if heartbeat_every is None:
+            return
+        now = time.time()
+        if force or now - last_beat >= heartbeat_every:
+            beat_seq += 1
+            heartbeats_c.inc()
+            outbox.send(("heartbeat", shard_id, epoch, beat_seq, now))
+            last_beat = now
 
     def flush(pending: list) -> None:
         """Decode and score buffered batch messages, grouped by job.
@@ -181,8 +257,8 @@ def shard_worker(
         if not pending:
             return
         groups: dict[int, list] = {}
-        metas: dict[int, list[tuple[int, float]]] = {}
-        for _kind, unit, _n_records, submitted_at in pending:
+        metas: dict[int, list[tuple[int, float, bool]]] = {}
+        for kind, unit, _n_records, submitted_at in pending:
             try:
                 if isinstance(unit, (bytes, bytearray)):
                     # v2 hot path: straight to the columnar segment,
@@ -197,7 +273,9 @@ def shard_worker(
                 report_error(exc)
                 continue
             groups.setdefault(job_id, []).append(entry)
-            metas.setdefault(job_id, []).append((n_records, submitted_at))
+            metas.setdefault(job_id, []).append(
+                (n_records, submitted_at, kind == "replay")
+            )
         for job_id, entries in groups.items():
             monitor = monitors.get(job_id)
             if monitor is None:
@@ -211,19 +289,23 @@ def shard_worker(
                 continue
             per_batch_s = (time.perf_counter() - started) / len(entries)
             now = time.time()
-            for verdict, (n_records, submitted_at) in zip(verdicts, metas[job_id]):
+            for verdict, (n_records, submitted_at, replayed) in zip(
+                verdicts, metas[job_id]
+            ):
                 detect_h.observe(per_batch_s)
                 latency_h.observe(max(0.0, now - submitted_at))
                 batches_c.inc()
                 records_c.inc(n_records)
+                if replayed:
+                    replayed_c.inc(n_records)
                 if verdict.skipped:
                     skipped_c.inc()
                 if verdict.triggered:
                     alarmed_c.inc()
                 if return_verdicts or verdict.triggered:
-                    outbox.put(("verdict", shard_id, job_id, verdict))
+                    outbox.send(("verdict", shard_id, job_id, verdict))
                 else:
-                    outbox.put(
+                    outbox.send(
                         (
                             "summary",
                             shard_id,
@@ -236,7 +318,12 @@ def shard_worker(
 
     stopping = False
     while not stopping:
-        messages = [inbox.get()]
+        try:
+            first = inbox.get(timeout=heartbeat_every)
+        except queue_module.Empty:
+            beat(force=True)  # idle, but alive
+            continue
+        messages = [first]
         while len(messages) < coalesce:
             try:
                 messages.append(inbox.get_nowait())
@@ -245,7 +332,7 @@ def shard_worker(
         pending: list = []
         for message in messages:
             kind = message[0]
-            if kind == "batch":
+            if kind in ("batch", "replay"):
                 pending.append(message)
                 continue
             flush(pending)  # control messages are barriers
@@ -256,15 +343,24 @@ def shard_worker(
             try:
                 if kind == "job":
                     job = message[1]
-                    monitors[job.job_id] = build_monitor(job)
-                    jobs_c.inc()
+                    if job.job_id not in monitors:
+                        monitors[job.job_id] = build_monitor(job)
+                        jobs_c.inc()
+                elif kind == "forget":
+                    for job_id in message[1]:
+                        monitors.pop(job_id, None)
+                elif kind == "epoch":
+                    epoch = message[1]
+                    registry.gauge("fleet.worker_epoch", shard=label).set(epoch)
                 else:
                     raise FleetError(f"unknown shard message kind {kind!r}")
             except (CodecError, FleetError, RuntimeError, ValueError) as exc:
                 report_error(exc)
         flush(pending)
-    outbox.put(("metrics", shard_id, registry.snapshot()))
-    outbox.put(("done", shard_id))
+        beat()
+    outbox.send(("metrics", shard_id, registry.snapshot()))
+    outbox.send(("done", shard_id))
+    outbox.close()
 
 
 @dataclass(frozen=True)

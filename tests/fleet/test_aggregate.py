@@ -235,3 +235,86 @@ def test_repeated_flaps_accumulate_in_closed_rollup():
 def test_quiet_gap_must_be_positive():
     with pytest.raises(ValueError):
         FleetAggregator(quiet_gap=0)
+
+
+# ----------------------------------------------------------------------
+# Idempotent replay: the HA property.  After a shard failover the
+# survivor replays the dead shard's journal, so the aggregator may see
+# the exact same verdict sequence folded a second time.  The incident
+# table — every field that reaches the rollup — must not change.
+# ----------------------------------------------------------------------
+def rollup(aggregator):
+    return [incident.to_event() for incident in aggregator.incidents]
+
+
+def flapping_sequence():
+    """Alarms, a quiet gap that reopens, more alarms: the sequence that
+    exercises every _fold branch."""
+    return [
+        verdict(0, [suspicion(deviation=-0.02)]),
+        verdict(1, [suspicion(deviation=-0.05, senders=(3,))]),
+        verdict(2, triggered=False),
+        verdict(6, [suspicion(deviation=-0.01, kind="remote")]),  # reopen
+        verdict(7, [suspicion(link="up:L1->S0")]),
+    ]
+
+
+def test_refolding_the_same_verdicts_changes_nothing():
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log, quiet_gap=3)
+    sequence = flapping_sequence()
+    for item in sequence:
+        aggregator.observe(1, item)
+    before = rollup(aggregator)
+    opened_before = len(log.of_type("incident.opened"))
+    reopened_before = len(log.of_type("incident.reopened"))
+    for item in sequence:  # journal replay: same verdicts, same order
+        aggregator.observe(1, item)
+    assert rollup(aggregator) == before
+    assert len(log.of_type("incident.opened")) == opened_before
+    assert len(log.of_type("incident.reopened")) == reopened_before
+
+
+def test_replay_boundary_does_not_double_count_the_flap():
+    """The flap edge: the replay re-delivers the iteration *at* the
+    reopen boundary, then the live stream continues past a second quiet
+    gap.  Exactly one reopen per real gap — never one per delivery."""
+    log = EventLog()
+    aggregator = FleetAggregator(event_log=log, quiet_gap=2)
+    aggregator.observe(1, verdict(0, [suspicion()]))
+    aggregator.observe(1, verdict(5, [suspicion()]))  # real flap #1
+    aggregator.observe(1, verdict(5, [suspicion()]))  # replayed boundary
+    aggregator.observe(1, verdict(0, [suspicion()]))  # replayed prefix
+    assert aggregator.incidents[0].reopened == 1
+    aggregator.observe(1, verdict(11, [suspicion()]))  # real flap #2
+    assert aggregator.incidents[0].reopened == 2
+    assert len(log.of_type("incident.reopened")) == 2
+    incident = aggregator.incidents[0]
+    assert (incident.first_seen, incident.last_seen) == (0, 11)
+    assert incident.n_iterations == 3  # {0, 5, 11} — replays not recounted
+
+
+def test_partial_replay_prefix_is_absorbed():
+    """A replay that covers only a prefix (the dead shard journaled
+    more than it delivered) still converges to the same rollup."""
+    aggregator_once = FleetAggregator(quiet_gap=3)
+    aggregator_replay = FleetAggregator(quiet_gap=3)
+    sequence = flapping_sequence()
+    for item in sequence:
+        aggregator_once.observe(4, item)
+    for item in sequence[:2]:  # delivered before the crash
+        aggregator_replay.observe(4, item)
+    for item in sequence:  # full journal replay, then the tail
+        aggregator_replay.observe(4, item)
+    assert rollup(aggregator_replay) == rollup(aggregator_once)
+
+
+def test_sender_attribution_is_replay_stable():
+    aggregator = FleetAggregator()
+    item = verdict(3, [suspicion(deviation=-0.04, senders=(3, 4))])
+    aggregator.observe(2, item)
+    aggregator.observe(2, verdict(4, [suspicion(deviation=-0.02, senders=(4, 5))]))
+    senders_before = dict(aggregator.incidents[0].senders)
+    aggregator.observe(2, item)  # replay the worse deviation
+    assert aggregator.incidents[0].senders == senders_before
+    assert senders_before == {3: -0.04, 4: -0.04, 5: -0.02}

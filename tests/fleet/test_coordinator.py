@@ -1,0 +1,209 @@
+"""Replicated coordinator: Paxos safety, leases, and view changes.
+
+No processes and no wall clock — the ensemble is in-process and the
+clock is logical, so every scenario here (leader crash mid-commit,
+quorum loss, lease expiry) is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.ha import (
+    Acceptor,
+    Ballot,
+    CoordinatorError,
+    LeaseHeldError,
+    ProposerCrashed,
+    QuorumLostError,
+    ReplicatedCoordinator,
+    View,
+)
+from repro.telemetry.events import EventLog
+
+
+def make_coordinator(**kwargs) -> ReplicatedCoordinator:
+    return ReplicatedCoordinator(event_log=EventLog(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Basic commit path
+# ----------------------------------------------------------------------
+def test_genesis_view_is_epoch_zero():
+    coordinator = make_coordinator()
+    assert coordinator.epoch == 0
+    assert coordinator.view.shards == ()
+
+
+def test_commit_bumps_epoch_and_returns_view():
+    coordinator = make_coordinator()
+    view = coordinator.commit(shards=[0, 1], reason="bootstrap")
+    assert view.epoch == 1
+    assert view.shards == (0, 1)
+    assert coordinator.view == view
+    second = coordinator.commit(shards=[1], reason="failover")
+    assert second.epoch == 2
+    assert coordinator.is_current(2)
+    assert not coordinator.is_current(1)
+
+
+def test_commit_normalizes_shards_and_pins():
+    coordinator = make_coordinator()
+    view = coordinator.commit(shards=[2, 0, 2], pins=((7, 2), (3, 0)))
+    assert view.shards == (0, 2)
+    assert view.pins == ((3, 0), (7, 2))
+    assert view.pin_map == {3: 0, 7: 2}
+
+
+def test_empty_shard_set_rejected():
+    coordinator = make_coordinator()
+    with pytest.raises(CoordinatorError):
+        coordinator.commit(shards=[])
+
+
+def test_view_events_are_emitted():
+    coordinator = make_coordinator()
+    coordinator.commit(shards=[0, 1], reason="bootstrap")
+    committed = coordinator.event_log.of_type("ha.view_committed")
+    assert len(committed) == 1
+    assert committed[0]["epoch"] == 1
+    assert committed[0]["reason"] == "bootstrap"
+    assert coordinator.event_log.of_type("ha.leader_elected")
+
+
+# ----------------------------------------------------------------------
+# Leases and view changes
+# ----------------------------------------------------------------------
+def test_lease_holder_commits_without_new_election():
+    coordinator = make_coordinator(lease_ticks=16)
+    coordinator.commit(shards=[0, 1])
+    elections = coordinator.elections
+    coordinator.commit(shards=[0])
+    assert coordinator.elections == elections  # lease skipped phase 1
+
+
+def test_rival_election_refused_while_lease_is_live():
+    coordinator = make_coordinator(lease_ticks=16)
+    coordinator.commit(shards=[0, 1])
+    assert coordinator.leader == 0
+    with pytest.raises(LeaseHeldError):
+        coordinator.elect(candidate=1)
+
+
+def test_lease_expiry_allows_view_change():
+    coordinator = make_coordinator(lease_ticks=4)
+    coordinator.commit(shards=[0, 1])
+    coordinator.tick(10)
+    assert not coordinator.leader_live()
+    coordinator.elect(candidate=1)
+    assert coordinator.leader == 1
+
+
+def test_leader_failure_triggers_view_change_on_next_commit():
+    coordinator = make_coordinator()
+    coordinator.commit(shards=[0, 1])
+    dead_leader = coordinator.leader
+    coordinator.fail_replica(dead_leader)
+    view = coordinator.commit(shards=[1], reason="failover")
+    assert view.epoch == 2
+    assert coordinator.leader != dead_leader
+    assert coordinator.replicas[coordinator.leader].alive
+
+
+# ----------------------------------------------------------------------
+# Quorum loss
+# ----------------------------------------------------------------------
+def test_commit_survives_one_replica_failure():
+    coordinator = make_coordinator()
+    coordinator.commit(shards=[0, 1])
+    coordinator.fail_replica(2)
+    view = coordinator.commit(shards=[0])
+    assert view.epoch == 2
+
+
+def test_quorum_loss_blocks_commits_but_keeps_last_view():
+    coordinator = make_coordinator()
+    view = coordinator.commit(shards=[0, 1])
+    coordinator.fail_replica(1)
+    coordinator.fail_replica(2)
+    coordinator.tick(100)  # expire the lease so commit must elect
+    with pytest.raises(QuorumLostError):
+        coordinator.commit(shards=[0])
+    assert coordinator.view == view  # reads still serve the old epoch
+
+
+def test_healed_replica_restores_quorum():
+    coordinator = make_coordinator()
+    coordinator.commit(shards=[0, 1])
+    coordinator.fail_replica(1)
+    coordinator.fail_replica(2)
+    coordinator.tick(100)
+    with pytest.raises(QuorumLostError):
+        coordinator.commit(shards=[0])
+    coordinator.heal_replica(1)
+    assert coordinator.commit(shards=[0]).epoch == 2
+
+
+# ----------------------------------------------------------------------
+# Paxos safety: interrupted proposer
+# ----------------------------------------------------------------------
+def test_crashed_proposer_value_is_completed_not_overwritten():
+    """A value any acceptor accepted before the proposer died must be
+    completed by the next leader — the classic single-decree safety
+    property — and the new proposal lands on the next epoch."""
+    coordinator = make_coordinator()
+    coordinator.commit(shards=[0, 1, 2], reason="bootstrap")
+    with pytest.raises(ProposerCrashed):
+        coordinator.commit(shards=[1, 2], reason="failover", _crash_after=1)
+    # The crash left epoch 2 partially accepted and leadership vacant.
+    assert coordinator.epoch == 1
+    view = coordinator.commit(shards=[0, 1, 2], pins=((9, 0),), reason="grow")
+    # The new leader completed the crashed proposal first...
+    assert coordinator.chosen[2].shards == (1, 2)
+    assert coordinator.chosen[2].reason == "failover"
+    # ...and only then committed its own view, on the next epoch.
+    assert view.epoch == 3
+    assert view.pins == ((9, 0),)
+    assert coordinator.view == view
+
+
+def test_crash_before_any_accept_leaves_nothing_to_complete():
+    coordinator = make_coordinator()
+    coordinator.commit(shards=[0, 1], reason="bootstrap")
+    with pytest.raises(ProposerCrashed):
+        coordinator.commit(shards=[1], _crash_after=0)
+    view = coordinator.commit(shards=[0, 1, 2], reason="grow")
+    assert view.epoch == 2  # the slot was genuinely free
+    assert view.shards == (0, 1, 2)
+
+
+# ----------------------------------------------------------------------
+# Acceptor protocol
+# ----------------------------------------------------------------------
+def test_acceptor_promise_blocks_lower_ballots():
+    acceptor = Acceptor()
+    high = Ballot(5, 1)
+    low = Ballot(3, 0)
+    assert acceptor.prepare(high).ok
+    refused = acceptor.prepare(low)
+    assert not refused.ok
+    assert refused.promised == high
+    assert not acceptor.accept(0, low, View(epoch=1, shards=(0,)))
+    assert acceptor.accept(0, high, View(epoch=1, shards=(0,)))
+
+
+def test_acceptor_surrenders_accepted_values_on_prepare():
+    acceptor = Acceptor()
+    ballot = Ballot(1, 0)
+    view = View(epoch=1, shards=(0, 1))
+    acceptor.prepare(ballot)
+    acceptor.accept(1, ballot, view)
+    promise = acceptor.prepare(Ballot(2, 1))
+    assert promise.ok
+    assert promise.accepted[1] == (ballot, view)
+
+
+def test_clock_cannot_run_backwards():
+    coordinator = make_coordinator()
+    with pytest.raises(CoordinatorError):
+        coordinator.tick(-1)

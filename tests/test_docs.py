@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core.prediction",
     "repro.fastsim",
     "repro.fleet",
+    "repro.fleet.ha",
     "repro.simnet",
     "repro.telemetry",
     "repro.threelevel",
