@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 PYTEST_ARGS ?=
 
-.PHONY: test lint bench sweep-bench fleet-bench fleet-demo ha-demo report-demo
+.PHONY: test lint bench sweep-bench fleet-bench fleet-demo ha-demo report-demo grey-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
@@ -60,6 +60,25 @@ ha-demo:
 		--connections 4 --wire-version 2; \
 	wait $$SERVE_PID
 	@echo "incident log: /tmp/ha-demo-incidents.jsonl"
+
+# Gray-failure study walkthrough: sweep scenario kind x spray policy x
+# congestion level into an FP/detection-latency CSV (with the event
+# stream captured for forensics), run the disable-vs-reroute
+# remediation face-off, and build the incident report from the study's
+# own events.
+grey-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro greylab \
+		--kinds congested_healthy gray_conditional \
+		--seeds-per-cell 2 --out /tmp/grey-demo.csv \
+		--events-out /tmp/grey-demo-events.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro greylab \
+		--kinds gray_conditional --sprays random --levels none \
+		--seeds-per-cell 1 --compare-remediations --compare-seeds 10 \
+		--out /tmp/grey-demo-remediation.csv
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report \
+		/tmp/grey-demo-events.jsonl --out /tmp/grey-demo-report --no-html
+	@echo "study matrix: /tmp/grey-demo.csv"
+	@echo "fact tables:  /tmp/grey-demo-report/"
 
 # Post-incident forensics walkthrough: capture a chaos batch's event
 # stream and a fleet incident log, then build the CSV fact tables and

@@ -1,0 +1,123 @@
+"""Gray-failure study matrix: FP/latency sweep under a time budget.
+
+The study's acceptance is a *matrix* claim, not a point claim: across
+every spray policy and congestion level, ``congested_healthy`` cells
+must produce zero false positives (congestion alone is not a fault) and
+``gray_conditional`` cells must detect every fault the policy actually
+routed traffic into, within the latency budget.  This benchmark runs
+the 24-cell (2 kinds x 4 policies x 3 congestion levels) matrix through
+:func:`repro.greylab.run_greylab_study` — fanned out over
+``SweepRunner`` when ``REPRO_JOBS`` allows — prints the study table,
+and asserts the matrix-wide invariants plus a wall-clock ceiling so the
+sweep stays runnable in CI.
+
+Recorded reference numbers live in ``greylab_study_baseline.json``
+(regenerate with ``REPRO_UPDATE_BASELINE=1``); absolute durations are
+machine-dependent, so only the generous ceiling is asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.analysis import SweepRunner
+from repro.greylab import StudyConfig, run_greylab_study
+
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+#: Generous ceiling for a serial run on one slow core; the matrix
+#: itself takes ~1 minute there.
+MAX_WALL_CLOCK_S = 240.0
+
+#: ``cotenant`` cells cost ~4x the others and their cross-talk alarms
+#: are reported as data, not asserted; the benchmark matrix sticks to
+#: the two families with hard invariants.
+CONFIG = StudyConfig(
+    kinds=("congested_healthy", "gray_conditional"),
+    seeds_per_cell=1,
+)
+
+BASELINE_PATH = pathlib.Path(__file__).with_name("greylab_study_baseline.json")
+
+
+def test_greylab_matrix_invariants_under_budget(run_once):
+    runner = SweepRunner(jobs=JOBS)
+
+    def experiment():
+        started = time.perf_counter()
+        study = run_greylab_study(CONFIG, runner=runner)
+        return study, time.perf_counter() - started
+
+    study, elapsed = run_once(experiment)
+
+    header = f"{'kind':<20} {'spray':<12} {'congestion':<10} {'FP':>3} {'det':>4} {'missed':>7}"
+    print()
+    print(header)
+    for row in study.rows():
+        print(
+            f"{row['kind']:<20} {row['spray']:<12} {row['congestion']:<10} "
+            f"{row['false_positives']:>3} {row['detections']:>4} {row['missed']:>7}"
+        )
+    print(study.summary())
+    print(f"wall clock: {elapsed:.1f} s ({JOBS} job(s))")
+
+    cells = study.cells
+    assert len(cells) == 24
+    assert study.ok, study.summary()
+
+    # Congestion is not a fault: zero alarms in every congested_healthy
+    # cell, under every policy and every marking threshold.
+    healthy = [c for c in cells if c.cell.kind == "congested_healthy"]
+    assert len(healthy) == 12
+    assert sum(c.false_positives for c in healthy) == 0
+    assert sum(c.detections for c in healthy) == 0
+
+    # Every demanded gray detection fired, within the latency budget
+    # (study.ok already vetoed late ones).
+    gray = [c for c in cells if c.cell.kind == "gray_conditional"]
+    assert len(gray) == 12
+    assert sum(c.missed for c in gray) == 0
+    demanded = sum(c.demanded_detections for c in gray)
+    assert sum(c.detections for c in gray) >= demanded > 0
+
+    assert elapsed <= MAX_WALL_CLOCK_S, (
+        f"24-cell study took {elapsed:.1f} s (budget {MAX_WALL_CLOCK_S} s)"
+    )
+
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        print(
+            f"baseline: {baseline['wall_clock_s']} s on "
+            f"{baseline['machine']}, "
+            f"{baseline['gray_detections']} gray detections"
+        )
+
+    if os.environ.get("REPRO_UPDATE_BASELINE"):
+        import platform
+
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "matrix": {
+                        "kinds": list(CONFIG.kinds),
+                        "sprays": list(CONFIG.sprays),
+                        "congestion_levels": list(CONFIG.congestion_levels),
+                        "seeds_per_cell": CONFIG.seeds_per_cell,
+                        "cells": len(cells),
+                    },
+                    "jobs": JOBS,
+                    "wall_clock_s": round(elapsed, 1),
+                    "healthy_false_positives": sum(
+                        c.false_positives for c in healthy
+                    ),
+                    "gray_demanded": demanded,
+                    "gray_detections": sum(c.detections for c in gray),
+                    "machine": f"{platform.machine()}-{os.cpu_count()}cpu",
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline updated: {BASELINE_PATH}")

@@ -255,6 +255,40 @@ class SweepRunner:
         return outcomes
 
     # ------------------------------------------------------------------
+    def map(self, fn, items: Sequence) -> list:
+        """Generic fan-out: apply ``fn`` to every item, in item order.
+
+        The escape hatch for work units that are not
+        :class:`SweepTask` trials (the gray-failure study's cells, for
+        one).  ``fn`` must be a module-level callable and every item
+        picklable when ``jobs > 1``; determinism is the caller's
+        contract — ``fn`` must derive all randomness from the item.
+        Throughput lands in :attr:`last_stats` like any other run.
+        """
+        items = list(items)
+        if not items:
+            return []
+        started = time.perf_counter()
+        if self.jobs == 1:
+            results = [fn(item) for item in items]
+        else:
+            chunksize = self.chunksize or 1
+            with multiprocessing.Pool(processes=self.jobs) as pool:
+                results = pool.map(fn, items, chunksize=chunksize)
+        elapsed = time.perf_counter() - started
+        self.last_stats = SweepStats(
+            n_trials=len(items), elapsed_s=elapsed, jobs=self.jobs
+        )
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "sweep.map",
+                n_items=len(items),
+                elapsed_s=elapsed,
+                jobs=self.jobs,
+            )
+        return results
+
+    # ------------------------------------------------------------------
     def _observe_trial(
         self,
         index: int,

@@ -490,6 +490,90 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_greylab(args: argparse.Namespace) -> int:
+    from .analysis import SweepRunner
+    from .greylab import (
+        StudyConfig,
+        compare_remediations,
+        run_greylab_study,
+    )
+
+    config = StudyConfig(
+        kinds=tuple(args.kinds),
+        sprays=tuple(args.sprays),
+        congestion_levels=tuple(args.levels),
+        seeds_per_cell=args.seeds_per_cell,
+        base_seed=args.seed,
+        n_iterations=args.iterations,
+        detection_slack=args.detection_slack,
+        remediation=args.remediation,
+    )
+    session = _events_session(args)
+    runner = SweepRunner(jobs=args.jobs)
+    study = run_greylab_study(config, runner=runner, telemetry=session)
+    rows = []
+    for row in study.rows():
+        rows.append(
+            [
+                row["kind"],
+                row["spray"],
+                row["congestion"],
+                format_percent(row["threshold"], 0),
+                f"{row['false_positives']}/{row['n_runs']}",
+                f"{row['detections']}/{row['demanded_detections']}"
+                if row["demanded_detections"]
+                else "-",
+                f"{row['mean_latency']:.1f}"
+                if row["mean_latency"] is not None
+                else "-",
+                row["stalls"] or "",
+            ]
+        )
+    print(
+        format_table(
+            ["kind", "spray", "congestion", "thresh", "FP", "detected", "latency", "stalls"],
+            rows,
+            title=f"greylab: {len(study.cells)} cells x "
+            f"{config.seeds_per_cell} seeds on "
+            f"{config.fabric[0]}x{config.fabric[1]}",
+        )
+    )
+    print()
+    print(study.summary())
+    if args.out is not None:
+        n_rows = study.write_csv(args.out)
+        print(f"wrote {n_rows} matrix rows to {args.out}", file=sys.stderr)
+    if args.compare_remediations:
+        comparison = compare_remediations(
+            seeds=range(args.seed, args.seed + args.compare_seeds),
+            spray=args.compare_spray,
+            runner=runner,
+        )
+        print()
+        print(comparison.summary())
+        comparison_rows = [
+            [
+                row["seed"],
+                row["mode"],
+                "-" if row["detection_iteration"] is None else row["detection_iteration"],
+                "-" if row["remediation_iteration"] is None else row["remediation_iteration"],
+                f"{row['post_remediation_deviation']:.4f}",
+                "yes" if row["recovered"] else "no",
+                "-" if row["recovery_iterations"] is None else row["recovery_iterations"],
+            ]
+            for row in comparison.rows()
+        ]
+        print(
+            format_table(
+                ["seed", "mode", "detect", "remediate", "post-dev", "recovered", "recovery iters"],
+                comparison_rows,
+                title=f"remediation face-off ({args.compare_spray} spray)",
+            )
+        )
+    _write_events(args, session)
+    return 0 if study.ok else 1
+
+
 def cmd_closed_loop(args: argparse.Namespace) -> int:
     if args.engine == "simnet":
         return cmd_closed_loop_simnet(args)
@@ -1134,6 +1218,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=cmd_chaos)
 
+    greylab = sub.add_parser(
+        "greylab",
+        help="gray-failure study: FP/latency matrix over spray x congestion",
+        description="Sweep (scenario kind x spray policy x congestion "
+        "level) chaos cells into a false-positive / detection-latency "
+        "matrix with per-policy threshold and predictor calibration. "
+        "Exits 1 if a congestion-only cell alarmed or a conditional "
+        "gray fault the policy routed into went undetected.",
+    )
+    from .greylab.study import CONGESTION_LEVELS as _LEVELS
+    from .greylab.study import POLICY_SETTINGS as _POLICIES
+    from .scenarios.chaos import GREYLAB_KINDS as _GREY_KINDS
+
+    greylab.add_argument(
+        "--kinds",
+        nargs="+",
+        default=list(_GREY_KINDS),
+        choices=list(_GREY_KINDS),
+        help="scenario families to sweep",
+    )
+    greylab.add_argument(
+        "--sprays",
+        nargs="+",
+        default=list(_POLICIES),
+        choices=list(_POLICIES),
+        help="spray policies to sweep",
+    )
+    greylab.add_argument(
+        "--levels",
+        nargs="+",
+        default=list(_LEVELS),
+        choices=list(_LEVELS),
+        help="congestion levels to sweep",
+    )
+    greylab.add_argument("--seeds-per-cell", type=int, default=2)
+    greylab.add_argument("--seed", type=int, default=0, help="base seed")
+    greylab.add_argument("--iterations", type=int, default=6)
+    greylab.add_argument(
+        "--detection-slack",
+        type=int,
+        default=3,
+        help="iterations a routed-into gray fault may go unnoticed",
+    )
+    greylab.add_argument(
+        "--remediation", choices=("disable", "reroute"), default="disable"
+    )
+    greylab.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cell fan-out (0 = one per CPU); "
+        "ignored when --events-out forces inline runs",
+    )
+    greylab.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the matrix as CSV (typed cells, repro-report compatible)",
+    )
+    greylab.add_argument(
+        "--compare-remediations",
+        action="store_true",
+        help="also run the disable-vs-reroute face-off on seeded grays",
+    )
+    greylab.add_argument(
+        "--compare-seeds",
+        type=int,
+        default=12,
+        help="seeded gray scenarios in the face-off",
+    )
+    greylab.add_argument(
+        "--compare-spray",
+        choices=list(_POLICIES),
+        default="random",
+        help="spray policy for the face-off",
+    )
+    greylab.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="write every cell's forensics event stream as JSONL "
+        "(scenario.start/end markers; feed to `repro report`)",
+    )
+    greylab.set_defaults(func=cmd_greylab)
+
     fleet = sub.add_parser(
         "fleet",
         help="sharded streaming monitoring service for many jobs",
@@ -1311,6 +1480,7 @@ def _domain_errors() -> tuple:
     from .analysis.sweeps import SweepError
     from .fastsim.sampling import FastSimError
     from .fleet import CodecError, FleetError
+    from .greylab import GreylabError
     from .report import ReportError
     from .scenarios.script import ScenarioError
     from .telemetry.registry import TelemetryError
@@ -1320,6 +1490,7 @@ def _domain_errors() -> tuple:
         ExperimentError,
         FastSimError,
         FleetError,
+        GreylabError,
         ReportError,
         ScenarioError,
         SweepError,

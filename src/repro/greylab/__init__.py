@@ -1,0 +1,77 @@
+"""Gray-failure laboratory: conditional faults, congestion, co-tenancy.
+
+The hard cases for a temporal-symmetry detector are not clean cable
+failures — they are *gray* conditions whose visibility depends on
+where the routing policy sends traffic, and *busy* fabrics whose
+congestion looks like asymmetry if the model is wrong.  This package
+studies that regime end to end on the packet-level simulator:
+
+- :mod:`repro.greylab.cotenancy` — several monitored jobs sharing one
+  fabric under strided placement, each with its own
+  :class:`~repro.core.monitor.FlowPulseMonitor`; runs capture as fleet
+  ``.fprec`` workloads so the shared-fabric cross-talk also exercises
+  the fleet service;
+- :mod:`repro.greylab.study` — the ``(scenario kind x spray policy x
+  congestion level)`` matrix of chaos batches with per-policy
+  threshold/predictor calibration, emitting a false-positive /
+  detection-latency CSV, plus the disable-vs-reroute remediation
+  face-off on seeded gray scenarios.
+
+Runnable as ``repro greylab`` (see ``repro greylab --help``).
+"""
+
+from .cotenancy import (
+    CotenancyConfig,
+    CotenancyDriver,
+    CotenancyResult,
+    GreylabError,
+    JobIterationStep,
+    JobOutcome,
+    cotenant_workload,
+    run_cotenancy,
+    write_cotenant_workload,
+)
+from .study import (
+    CONGESTION_LEVELS,
+    POLICY_SETTINGS,
+    STUDY_COLUMNS,
+    CellResult,
+    RemediationArm,
+    RemediationComparison,
+    RemediationTrial,
+    RemediationTrialSpec,
+    StudyCell,
+    StudyConfig,
+    StudyResult,
+    compare_remediations,
+    run_greylab_study,
+    run_remediation_trial,
+    run_study_cell,
+)
+
+__all__ = [
+    "CONGESTION_LEVELS",
+    "POLICY_SETTINGS",
+    "STUDY_COLUMNS",
+    "CellResult",
+    "CotenancyConfig",
+    "CotenancyDriver",
+    "CotenancyResult",
+    "GreylabError",
+    "JobIterationStep",
+    "JobOutcome",
+    "RemediationArm",
+    "RemediationComparison",
+    "RemediationTrial",
+    "RemediationTrialSpec",
+    "StudyCell",
+    "StudyConfig",
+    "StudyResult",
+    "compare_remediations",
+    "cotenant_workload",
+    "run_cotenancy",
+    "run_greylab_study",
+    "run_remediation_trial",
+    "run_study_cell",
+    "write_cotenant_workload",
+]

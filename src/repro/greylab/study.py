@@ -1,0 +1,602 @@
+"""Gray-failure study: false positives and detection latency across
+spray policy x congestion level x scenario family.
+
+FlowPulse's detection contract has two sides: alarm when a gray fault
+eats traffic, stay quiet when the fabric is merely *busy*.  Both sides
+depend on the routing policy — an adaptive sprayer routes around
+backlog (and sometimes around the fault itself), ECMP pins victim
+flows onto a gray path forever, and random spraying turns everything
+into shot noise.  This module sweeps that whole surface:
+
+- **cells** — every ``(scenario kind, spray policy, congestion
+  level)`` combination becomes one :class:`StudyCell`, run over
+  ``seeds_per_cell`` chaos seeds on a pinned fabric (pinning keeps the
+  shot-noise floor, and with it the usable threshold, constant across
+  the matrix);
+- **per-policy calibration** — each policy gets the detection
+  threshold and load model it can actually sustain
+  (:data:`POLICY_SETTINGS`): round-robin's exact splits support the
+  tight threshold, per-packet random/adaptive spraying needs headroom
+  for binomial noise at study scale, and ECMP needs the learned
+  baseline because the analytical even split is structurally wrong for
+  pinned flows;
+- **invariants** — the batch inherits the chaos checker's verdicts:
+  ``congested_healthy`` cells must never alarm (congestion is not a
+  fault) and ``gray_conditional`` cells must detect within the latency
+  budget whenever the policy routed enough traffic into the fault;
+- **remediation face-off** — :func:`compare_remediations` replays the
+  same seeded gray scenarios under disable-based and reroute-only
+  remediation and reports post-remediation deviation and recovery
+  iterations side by side.
+
+Cell workers are module-level and picklable, so a study fans out over
+:meth:`repro.analysis.sweeps.SweepRunner.map` unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass, field, replace
+from typing import IO
+
+from ..analysis.sweeps import SweepRunner
+from ..report.tables import format_value
+from ..scenarios.chaos import (
+    GREYLAB_KINDS,
+    ChaosConfig,
+    generate_scenario,
+    run_scenario,
+)
+from ..simnet.congestion import CongestionConfig
+from .cotenancy import GreylabError
+
+#: Per-policy (predictor, detection threshold) calibration at study
+#: geometry (4x3 fabric, 600 kB collective, 512 B MTU).  Round-robin
+#: splits are exact (quantization only); per-packet random/adaptive
+#: spraying carries binomial shot noise whose worst healthy max-score
+#: at this scale is ~0.14, so those cells run with 0.2; ECMP pins
+#: flows, which makes the analytical even split wrong by construction —
+#: the learned baseline (paper §5.2) restores a tight threshold.  The
+#: paper's 1 % threshold assumes multi-GiB collectives where relative
+#: noise vanishes; these values are the same margin scaled to the
+#: packet simulator's small collectives.
+POLICY_SETTINGS: dict[str, tuple[str, float]] = {
+    "round_robin": ("analytical", 0.05),
+    "random": ("analytical", 0.2),
+    "adaptive": ("analytical", 0.2),
+    "ecmp": ("learned", 0.05),
+}
+
+#: ECN marking thresholds per congestion level; ``None`` leaves the
+#: congestion layer off entirely (``congested_healthy`` scenarios then
+#: draw their own — that family is congestion by definition).
+CONGESTION_LEVELS: dict[str, int | None] = {
+    "none": None,
+    "mild": 16384,
+    "heavy": 4096,
+}
+
+#: Column order of the study CSV; cells round-trip through
+#: :func:`repro.report.tables.read_csv`.
+STUDY_COLUMNS = (
+    "kind",
+    "spray",
+    "congestion",
+    "predictor",
+    "threshold",
+    "n_runs",
+    "n_ok",
+    "false_positives",
+    "demanded_detections",
+    "detections",
+    "missed",
+    "mean_latency",
+    "max_latency",
+    "stalls",
+    "mean_detection_iteration",
+)
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Shape of one gray-failure study sweep."""
+
+    kinds: tuple[str, ...] = GREYLAB_KINDS
+    sprays: tuple[str, ...] = tuple(POLICY_SETTINGS)
+    congestion_levels: tuple[str, ...] = tuple(CONGESTION_LEVELS)
+    seeds_per_cell: int = 4
+    base_seed: int = 0
+    n_iterations: int = 6
+    collective_bytes: int = 600_000
+    mtu: int = 512
+    fabric: tuple[int, int] = (4, 3)
+    detection_slack: int = 3
+    remediation: str = "disable"
+
+    def __post_init__(self) -> None:
+        unknown = set(self.sprays) - set(POLICY_SETTINGS)
+        if unknown:
+            raise GreylabError(
+                f"no calibration for spray policies {sorted(unknown)}; "
+                f"known: {sorted(POLICY_SETTINGS)}"
+            )
+        unknown = set(self.congestion_levels) - set(CONGESTION_LEVELS)
+        if unknown:
+            raise GreylabError(
+                f"unknown congestion levels {sorted(unknown)}; "
+                f"known: {sorted(CONGESTION_LEVELS)}"
+            )
+        if self.seeds_per_cell < 1:
+            raise GreylabError("need at least one seed per cell")
+        if not self.kinds:
+            raise GreylabError("need at least one scenario kind")
+
+    def cells(self) -> list["StudyCell"]:
+        """The full matrix, in deterministic row order."""
+        return [
+            StudyCell(
+                kind=kind,
+                spray=spray,
+                congestion=level,
+                seeds=tuple(
+                    self.base_seed + offset
+                    for offset in range(self.seeds_per_cell)
+                ),
+                n_iterations=self.n_iterations,
+                collective_bytes=self.collective_bytes,
+                mtu=self.mtu,
+                fabric=self.fabric,
+                detection_slack=self.detection_slack,
+                remediation=self.remediation,
+            )
+            for kind in self.kinds
+            for spray in self.sprays
+            for level in self.congestion_levels
+        ]
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One matrix cell: a pure, picklable work unit."""
+
+    kind: str
+    spray: str
+    congestion: str
+    seeds: tuple[int, ...]
+    n_iterations: int = 6
+    collective_bytes: int = 600_000
+    mtu: int = 512
+    fabric: tuple[int, int] = (4, 3)
+    detection_slack: int = 3
+    remediation: str = "disable"
+
+    @property
+    def predictor(self) -> str:
+        return POLICY_SETTINGS[self.spray][0]
+
+    @property
+    def threshold(self) -> float:
+        return POLICY_SETTINGS[self.spray][1]
+
+    def chaos_config(self) -> ChaosConfig:
+        ecn = CONGESTION_LEVELS[self.congestion]
+        return ChaosConfig(
+            n_scenarios=len(self.seeds),
+            base_seed=min(self.seeds),
+            n_iterations=self.n_iterations,
+            collective_bytes=self.collective_bytes,
+            mtu=self.mtu,
+            threshold=self.threshold,
+            detection_slack=self.detection_slack,
+            kinds=(self.kind,),
+            spray=self.spray,
+            remediation=self.remediation,
+            ecn_threshold_bytes=ecn,
+            congestion=CongestionConfig() if ecn is not None else None,
+            fabric=self.fabric,
+        )
+
+
+@dataclass
+class CellResult:
+    """Aggregated outcome of one study cell."""
+
+    cell: StudyCell
+    n_runs: int = 0
+    n_ok: int = 0
+    #: Alarms on runs whose invariants forbade any detection.
+    false_positives: int = 0
+    #: Runs where the invariants demanded a detection (enough traffic
+    #: was routed into the fault).
+    demanded_detections: int = 0
+    detections: int = 0
+    missed: int = 0
+    stalls: int = 0
+    #: Iterations from fault onset to first alarm, one per detected run.
+    latencies: tuple[int, ...] = ()
+    detection_iterations: tuple[int, ...] = ()
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.n_ok == self.n_runs
+
+    @property
+    def mean_latency(self) -> float | None:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> int | None:
+        return max(self.latencies) if self.latencies else None
+
+    def kind_invariants_violated(self) -> bool:
+        """Whether this cell breaks a *headline* study invariant.
+
+        Per-run alarm violations in ``cotenant`` cells are tolerated
+        (cross-talk alarms are the measured phenomenon, see
+        :attr:`StudyResult.ok`); every other family's violations count,
+        and a stalled shared fabric counts for everyone.
+        """
+        if self.cell.kind == "cotenant":
+            return any("liveness" in v for v in self.violations)
+        return not self.ok
+
+    def row(self) -> dict:
+        """This cell as one study-CSV row."""
+        mean_detect = (
+            sum(self.detection_iterations) / len(self.detection_iterations)
+            if self.detection_iterations
+            else None
+        )
+        return {
+            "kind": self.cell.kind,
+            "spray": self.cell.spray,
+            "congestion": self.cell.congestion,
+            "predictor": self.cell.predictor,
+            "threshold": self.cell.threshold,
+            "n_runs": self.n_runs,
+            "n_ok": self.n_ok,
+            "false_positives": self.false_positives,
+            "demanded_detections": self.demanded_detections,
+            "detections": self.detections,
+            "missed": self.missed,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "stalls": self.stalls,
+            "mean_detection_iteration": mean_detect,
+        }
+
+
+def run_study_cell(cell: StudyCell, telemetry=None) -> CellResult:
+    """Run every seed of one cell; module-level so it pickles."""
+    chaos = cell.chaos_config()
+    result = CellResult(cell=cell)
+    latencies: list[int] = []
+    detection_iterations: list[int] = []
+    violations: list[str] = []
+    for seed in cell.seeds:
+        scenario = generate_scenario(seed, chaos)
+        outcome = run_scenario(scenario, chaos, telemetry=telemetry)
+        result.n_runs += 1
+        if outcome.ok:
+            result.n_ok += 1
+        violations.extend(
+            f"seed={seed}: {violation}" for violation in outcome.violations
+        )
+        run = outcome.result
+        if run.stalled:
+            result.stalls += 1
+        detected = run.detection_iteration
+        if detected is not None:
+            result.detections += 1
+            detection_iterations.append(detected)
+            if scenario.fault_iteration is not None:
+                latencies.append(detected - scenario.fault_iteration)
+        if any(v.startswith("false positive") for v in outcome.violations):
+            result.false_positives += 1
+        if scenario.conditional:
+            # Whether a detection was *demanded* is decided empirically
+            # by the invariant checker (from the fault's own drop
+            # books); recover its verdict from the violations: a
+            # "detection:" violation means demanded-and-missed (or
+            # late), and an actual detection means the demand was met
+            # or exceeded.
+            missed_here = any(
+                v.startswith("detection:") for v in outcome.violations
+            )
+            if missed_here:
+                result.missed += 1
+            if detected is not None or missed_here:
+                result.demanded_detections += 1
+        elif scenario.detectable:
+            result.demanded_detections += 1
+            if detected is None:
+                result.missed += 1
+    result.latencies = tuple(latencies)
+    result.detection_iterations = tuple(detection_iterations)
+    result.violations = tuple(violations)
+    return result
+
+
+@dataclass
+class StudyResult:
+    """The whole matrix: one :class:`CellResult` per cell."""
+
+    config: StudyConfig
+    cells: list[CellResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The study's headline invariants.
+
+        - no ``congested_healthy`` (or other detection-forbidden) cell
+          produced a false positive under any spray policy, and
+        - every ``gray_conditional`` cell detected within the latency
+          budget whenever enough traffic was routed into the fault.
+
+        ``cotenant`` cross-talk alarms are reported as data, not
+        failures: quantifying what co-tenancy does to each policy's
+        noise floor is the study's job, and a policy that alarms under
+        unprioritized sharing is a finding, not a harness bug.
+        """
+        for cell in self.cells:
+            if cell.kind_invariants_violated():
+                return False
+        return True
+
+    def rows(self) -> list[dict]:
+        return [cell.row() for cell in self.cells]
+
+    def write_csv(self, target: str | pathlib.Path | IO[str]) -> int:
+        """Write the matrix CSV (typed cells round-trip through
+        :func:`repro.report.tables.read_csv`); returns the row count."""
+        if isinstance(target, (str, pathlib.Path)):
+            with open(target, "w", newline="") as handle:
+                return self.write_csv(handle)
+        writer = csv.writer(target, lineterminator="\n")
+        writer.writerow(STUDY_COLUMNS)
+        for row in self.rows():
+            writer.writerow(
+                [format_value(row[column]) for column in STUDY_COLUMNS]
+            )
+        return len(self.cells)
+
+    def failures(self) -> list[CellResult]:
+        return [c for c in self.cells if c.kind_invariants_violated()]
+
+    def summary(self) -> str:
+        n_runs = sum(c.n_runs for c in self.cells)
+        n_ok = sum(c.n_ok for c in self.cells)
+        lines = [
+            f"greylab study: {len(self.cells)} cells, "
+            f"{n_ok}/{n_runs} runs clean"
+        ]
+        for cell in self.failures():
+            lines.append(
+                f"  FAIL {cell.cell.kind} x {cell.cell.spray} x "
+                f"{cell.cell.congestion}"
+            )
+            for violation in cell.violations:
+                lines.append(f"       - {violation}")
+        return "\n".join(lines)
+
+
+def run_greylab_study(
+    config: StudyConfig | None = None,
+    runner: SweepRunner | None = None,
+    telemetry=None,
+) -> StudyResult:
+    """Run the full matrix, optionally fanned out over a pool.
+
+    With ``telemetry`` attached the cells run inline regardless of the
+    runner's ``jobs`` (a telemetry session cannot cross process
+    boundaries) and every scenario's event stream is captured for
+    ``repro report``.
+    """
+    config = config or StudyConfig()
+    cells = config.cells()
+    if telemetry is not None or runner is None or runner.jobs == 1:
+        results = [run_study_cell(cell, telemetry=telemetry) for cell in cells]
+        if runner is not None:
+            runner.last_stats = None
+    else:
+        results = runner.map(run_study_cell, cells)
+    return StudyResult(config=config, cells=list(results))
+
+
+# ----------------------------------------------------------------------
+# Remediation face-off
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RemediationTrialSpec:
+    """One seed of the disable-vs-reroute comparison (picklable)."""
+
+    seed: int
+    spray: str = "random"
+    n_iterations: int = 8
+    collective_bytes: int = 600_000
+    mtu: int = 512
+    fabric: tuple[int, int] = (4, 3)
+
+    def chaos_config(self, remediation: str) -> ChaosConfig:
+        predictor, threshold = POLICY_SETTINGS[self.spray]
+        del predictor
+        return ChaosConfig(
+            n_scenarios=1,
+            base_seed=self.seed,
+            n_iterations=self.n_iterations,
+            collective_bytes=self.collective_bytes,
+            mtu=self.mtu,
+            threshold=threshold,
+            kinds=("gray_conditional",),
+            spray=self.spray,
+            remediation=remediation,
+            fabric=self.fabric,
+        )
+
+
+@dataclass(frozen=True)
+class RemediationArm:
+    """One run of one arm (``disable`` or ``reroute``) of a trial."""
+
+    mode: str
+    detection_iteration: int | None
+    remediation_iteration: int | None
+    post_remediation_deviation: float
+    recovered: bool
+    recovery_iterations: int | None
+    stalled: bool
+    excluded_links: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RemediationTrial:
+    """Both arms of one seeded gray scenario, side by side."""
+
+    seed: int
+    fault_link: str | None
+    fault_iteration: int | None
+    disable: RemediationArm
+    reroute: RemediationArm
+
+    @property
+    def remediated(self) -> bool:
+        """At least one arm confirmed and acted on the fault."""
+        return (
+            self.disable.remediation_iteration is not None
+            or self.reroute.remediation_iteration is not None
+        )
+
+
+def _run_arm(spec: RemediationTrialSpec, mode: str) -> RemediationArm:
+    chaos = spec.chaos_config(mode)
+    scenario = generate_scenario(spec.seed, chaos)
+    outcome = run_scenario(scenario, chaos)
+    run = outcome.result
+    recovery = None
+    last = run.remediation_iteration
+    if last is not None:
+        for step in run.steps:
+            if step.iteration <= last or step.triggered:
+                continue
+            if step.max_score < scenario.config.threshold:
+                recovery = step.iteration - last
+                break
+    excluded: tuple[str, ...] = ()
+    if run.steps:
+        excluded = tuple(sorted(run.steps[-1].disabled_so_far))
+    return RemediationArm(
+        mode=mode,
+        detection_iteration=run.detection_iteration,
+        remediation_iteration=last,
+        post_remediation_deviation=run.post_remediation_max_score,
+        recovered=run.recovered,
+        recovery_iterations=recovery,
+        stalled=run.stalled,
+        excluded_links=excluded,
+    )
+
+
+def run_remediation_trial(spec: RemediationTrialSpec) -> RemediationTrial:
+    """Run both arms of one seed; module-level so it pickles."""
+    chaos = spec.chaos_config("disable")
+    scenario = generate_scenario(spec.seed, chaos)
+    return RemediationTrial(
+        seed=spec.seed,
+        fault_link=scenario.fault_link,
+        fault_iteration=scenario.fault_iteration,
+        disable=_run_arm(spec, "disable"),
+        reroute=_run_arm(spec, "reroute"),
+    )
+
+
+@dataclass
+class RemediationComparison:
+    """Disable-based vs reroute-only remediation over seeded grays."""
+
+    trials: list[RemediationTrial] = field(default_factory=list)
+
+    @property
+    def n_remediated(self) -> int:
+        return sum(1 for t in self.trials if t.remediated)
+
+    def rows(self) -> list[dict]:
+        rows = []
+        for trial in self.trials:
+            for arm in (trial.disable, trial.reroute):
+                rows.append(
+                    {
+                        "seed": trial.seed,
+                        "fault_link": trial.fault_link,
+                        "mode": arm.mode,
+                        "detection_iteration": arm.detection_iteration,
+                        "remediation_iteration": arm.remediation_iteration,
+                        "post_remediation_deviation": arm.post_remediation_deviation,
+                        "recovered": arm.recovered,
+                        "recovery_iterations": arm.recovery_iterations,
+                        "stalled": arm.stalled,
+                    }
+                )
+        return rows
+
+    def summary(self) -> str:
+        lines = [
+            f"remediation face-off: {len(self.trials)} seeded gray "
+            f"scenarios, {self.n_remediated} remediated"
+        ]
+        for mode in ("disable", "reroute"):
+            arms = [
+                getattr(t, mode)
+                for t in self.trials
+                if getattr(t, mode).remediation_iteration is not None
+            ]
+            if not arms:
+                lines.append(f"  {mode}: no remediations fired")
+                continue
+            recovered = sum(1 for a in arms if a.recovered)
+            deviations = [a.post_remediation_deviation for a in arms]
+            recoveries = [
+                a.recovery_iterations
+                for a in arms
+                if a.recovery_iterations is not None
+            ]
+            mean_dev = sum(deviations) / len(deviations)
+            mean_rec = (
+                f"{sum(recoveries) / len(recoveries):.1f}"
+                if recoveries
+                else "-"
+            )
+            lines.append(
+                f"  {mode}: {len(arms)} remediated, {recovered} recovered, "
+                f"mean post-remediation deviation {mean_dev:.4f}, "
+                f"mean recovery iterations {mean_rec}"
+            )
+        return "\n".join(lines)
+
+
+def compare_remediations(
+    seeds=range(12),
+    spray: str = "random",
+    runner: SweepRunner | None = None,
+    base: RemediationTrialSpec | None = None,
+) -> RemediationComparison:
+    """Head-to-head disable vs reroute over ``seeds`` gray scenarios.
+
+    Every seed produces the *same* fault under both modes (the scenario
+    generator's draws do not depend on the remediation knob), so the
+    two arms differ only in what the control plane does after
+    confirmation.
+    """
+    seeds = list(seeds)
+    if len(seeds) < 1:
+        raise GreylabError("need at least one seed")
+    base = base or RemediationTrialSpec(seed=0, spray=spray)
+    specs = [replace(base, seed=seed, spray=spray) for seed in seeds]
+    if runner is None or runner.jobs == 1:
+        trials = [run_remediation_trial(spec) for spec in specs]
+    else:
+        trials = runner.map(run_remediation_trial, specs)
+    return RemediationComparison(trials=list(trials))

@@ -141,6 +141,13 @@ class _Extractor:
             fault_link=event.get("fault_link"),
             fault_iteration=event.get("fault_iteration"),
             detectable=event.get("detectable"),
+            # Gray-failure study context; absent (-> None cells) in
+            # logs recorded before the congestion layer existed.
+            conditional=event.get("conditional"),
+            spray=event.get("spray"),
+            remediation=event.get("remediation"),
+            congested=event.get("congested"),
+            background_jobs=event.get("background_jobs"),
         )
 
     def _on_scenario_end(self, event: dict) -> None:

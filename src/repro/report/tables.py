@@ -38,6 +38,11 @@ SCHEMAS: dict[str, tuple[str, ...]] = {
         "fault_link",
         "fault_iteration",
         "detectable",
+        "conditional",
+        "spray",
+        "remediation",
+        "congested",
+        "background_jobs",
         "detection_iteration",
         "remediation_iteration",
         "iterations_completed",

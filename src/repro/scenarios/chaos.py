@@ -30,7 +30,15 @@ import hashlib
 import random
 from dataclasses import dataclass, field
 
-from ..simnet.faults import DisconnectFault, DropFault
+from ..simnet.congestion import CongestionConfig
+from ..simnet.faults import (
+    ConditionalFault,
+    DisconnectFault,
+    DropFault,
+    FlowSubsetFault,
+    IngressConditionedFault,
+    LoadDependentFault,
+)
 from ..topology.graph import down_link, up_link
 from .closed_loop import SimnetClosedLoopConfig, SimnetClosedLoopResult, SimnetClosedLoopDriver
 from .script import FaultEvent
@@ -45,6 +53,21 @@ KINDS = (
     "escalating",
     "transient",
 )
+
+#: Gray-failure study families (see :mod:`repro.greylab`):
+#: ``congested_healthy`` runs a fault-free fabric under ECN-coupled
+#: congestion (the detector must stay quiet — congestion is not a
+#: fault); ``gray_conditional`` injects a conditional fault whose
+#: firing depends on where the spray policy routes traffic;
+#: ``cotenant`` shares the fabric between the monitored job and
+#: background collectives.
+GREYLAB_KINDS = (
+    "congested_healthy",
+    "gray_conditional",
+    "cotenant",
+)
+
+ALL_KINDS = KINDS + GREYLAB_KINDS
 
 
 @dataclass(frozen=True)
@@ -65,6 +88,43 @@ class ChaosConfig:
     detection_slack: int = 3
     #: Run every scenario twice and compare outcome digests.
     verify_determinism: bool = False
+    #: Families the generator draws from (uniformly, from the
+    #: scenario's own rng).
+    kinds: tuple[str, ...] = KINDS
+    #: Pre-fix kind selection (``KINDS[seed % len(KINDS)]``), kept only
+    #: so historical outcome digests stay reproducible.  The old rule
+    #: ignored ``kinds`` and aliased kind with every
+    #: fabric-size draw at the same stride — seed batches walked the
+    #: families in lockstep instead of sampling them.
+    legacy_kind_selection: bool = False
+    #: Spray policy for generated runs.  ``ecmp`` switches the monitor
+    #: to the learned predictor automatically: the analytical even
+    #: split is structurally wrong for flow-pinned routing.
+    spray: str = "round_robin"
+    #: How confirmed faults are remediated (``disable`` or ``reroute``).
+    remediation: str = "disable"
+    #: ECN marking threshold + DCQCN reaction for generated runs.
+    #: ``congested_healthy`` scenarios force a congestion layer even
+    #: when these are unset.
+    ecn_threshold_bytes: int | None = None
+    congestion: CongestionConfig | None = None
+    #: Conditional faults must have actually dropped at least this many
+    #: packets before the invariants demand a detection; below it the
+    #: spray policy routed (almost) nothing into the fault and a quiet
+    #: monitor is the *correct* outcome.
+    conditional_drop_floor: int = 150
+    #: Pin the fabric to ``(n_leaves, n_spines)`` instead of drawing it
+    #: per seed.  The gray-failure study pins its cells so the
+    #: shot-noise floor (and with it the usable threshold) is constant
+    #: across the whole policy x congestion matrix.
+    fabric: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kinds) - set(ALL_KINDS)
+        if unknown:
+            raise ValueError(f"unknown scenario kinds: {sorted(unknown)}")
+        if not self.kinds:
+            raise ValueError("need at least one scenario kind")
 
 
 @dataclass(frozen=True)
@@ -79,6 +139,10 @@ class Scenario:
     fault_link: str | None
     #: Whether the invariant checker should demand a detection.
     detectable: bool
+    #: True for conditional gray faults: whether a detection is
+    #: demanded (or forbidden) is decided *empirically* after the run,
+    #: from how much traffic the spray policy routed into the fault.
+    conditional: bool = False
 
     def describe(self) -> str:
         where = f" on {self.fault_link} @ iter {self.fault_iteration}" if self.fault_link else ""
@@ -146,6 +210,64 @@ def _random_fabric_link(rng: random.Random, n_leaves: int, n_spines: int) -> str
     return down_link(spine, leaf)
 
 
+def _conditional_scenario(
+    seed: int,
+    rng: random.Random,
+    config: SimnetClosedLoopConfig,
+    chaos: ChaosConfig,
+) -> Scenario:
+    """A gray fault whose firing depends on the spray policy.
+
+    Three flavours, drawn uniformly:
+
+    - ``ingress``: a spine's downlink corrupts exactly the traffic that
+      entered through one leaf's uplink (a bad ingress port).  The
+      victim pair is a ring edge, so the flow exists; whether packets
+      are exposed depends on whether the policy sprays through that
+      spine.
+    - ``load``: a link drops only while its egress queue is backlogged
+      (marginal optics under utilization).
+    - ``flow_subset``: half the flows (by hash) die on one link
+      (polarized gray failure).
+
+    The onset leaves room for the learned predictor's warmup when the
+    monitor runs one: a fault inside the warmup window would be baked
+    into the baseline and invisible forever — a real phenomenon, but
+    not the one this family tests.
+    """
+    min_onset = config.warmup_iterations if config.predictor == "learned" else 1
+    onset = rng.randint(min_onset, min_onset + 2)
+    flavor = rng.choice(("ingress", "load", "flow_subset"))
+    if flavor == "ingress":
+        victim = rng.randrange(config.n_leaves)
+        dst = (victim + 1) % config.n_leaves
+        spine = rng.randrange(config.n_spines)
+        link = down_link(spine, dst)
+        fault: ConditionalFault = IngressConditionedFault(
+            rate=1.0, ingress_link=up_link(victim, spine)
+        )
+    elif flavor == "load":
+        link = _random_fabric_link(rng, config.n_leaves, config.n_spines)
+        fault = LoadDependentFault(
+            rate=round(rng.uniform(0.5, 0.9), 3), min_queue_bytes=config.mtu
+        )
+    else:
+        link = _random_fabric_link(rng, config.n_leaves, config.n_spines)
+        fault = FlowSubsetFault(
+            rate=1.0, modulus=2, residues=frozenset({rng.randrange(2)})
+        )
+    return Scenario(
+        seed=seed,
+        kind="gray_conditional",
+        config=config,
+        iteration_faults={onset: [FaultEvent(0, "inject", link, fault)]},
+        fault_iteration=onset,
+        fault_link=link,
+        detectable=True,
+        conditional=True,
+    )
+
+
 def generate_scenario(seed: int, chaos: ChaosConfig | None = None) -> Scenario:
     """Deterministically expand ``seed`` into one scenario.
 
@@ -155,19 +277,51 @@ def generate_scenario(seed: int, chaos: ChaosConfig | None = None) -> Scenario:
     """
     chaos = chaos or ChaosConfig()
     rng = random.Random(seed)
-    kind = KINDS[seed % len(KINDS)]
-    n_leaves = rng.choice((4, 5, 6))
-    n_spines = rng.choice((3, 4))
+    if chaos.legacy_kind_selection:
+        kind = KINDS[seed % len(KINDS)]
+    else:
+        kind = rng.choice(chaos.kinds)
+    if chaos.fabric is not None:
+        # Consume the size draws anyway so later draws (onset, rates)
+        # stay aligned with the unpinned stream.
+        rng.choice((4, 5, 6))
+        rng.choice((3, 4))
+        n_leaves, n_spines = chaos.fabric
+    else:
+        n_leaves = rng.choice((4, 5, 6))
+        n_spines = rng.choice((3, 4))
+    predictor = "learned" if chaos.spray == "ecmp" else "analytical"
+    ecn_threshold = chaos.ecn_threshold_bytes
+    congestion = chaos.congestion
+    hosts_per_leaf = 1
+    background_jobs = 0
+    if kind == "congested_healthy":
+        # Force a congestion layer: the whole point of the family is
+        # marking + DCQCN backoff with no fault anywhere.
+        if ecn_threshold is None:
+            ecn_threshold = rng.choice((4096, 8192, 16384))
+        if congestion is None:
+            congestion = CongestionConfig()
+    elif kind == "cotenant":
+        background_jobs = rng.randint(1, 2)
+        hosts_per_leaf = 1 + background_jobs
     config = SimnetClosedLoopConfig(
         n_leaves=n_leaves,
         n_spines=n_spines,
+        hosts_per_leaf=hosts_per_leaf,
         collective_bytes=chaos.collective_bytes,
         n_iterations=chaos.n_iterations,
         mtu=chaos.mtu,
+        spray=chaos.spray,
         threshold=chaos.threshold,
         seed=seed,
+        remediation=chaos.remediation,
+        predictor=predictor,
+        ecn_threshold_bytes=ecn_threshold,
+        congestion=congestion,
+        background_jobs=background_jobs,
     )
-    if kind == "healthy":
+    if kind in ("healthy", "congested_healthy", "cotenant"):
         return Scenario(
             seed=seed,
             kind=kind,
@@ -177,6 +331,8 @@ def generate_scenario(seed: int, chaos: ChaosConfig | None = None) -> Scenario:
             fault_link=None,
             detectable=False,
         )
+    if kind == "gray_conditional":
+        return _conditional_scenario(seed, rng, config, chaos)
 
     link = _random_fabric_link(rng, n_leaves, n_spines)
     onset = rng.randint(1, 3)
@@ -228,18 +384,56 @@ def check_invariants(
     violations: list[str] = []
     config = scenario.config
 
+    conditional_fault = None
+    if scenario.conditional:
+        fault = driver.network.injector.fault_on(scenario.fault_link)
+        if isinstance(fault, ConditionalFault):
+            conditional_fault = fault
+        else:
+            violations.append(
+                f"conditional: fault on {scenario.fault_link} is "
+                f"{type(fault).__name__}, not a ConditionalFault"
+            )
+
+    # A flow-pinning policy that routes a victim flow into an in-path
+    # total-loss fault hangs that flow: every retransmission takes the
+    # same pinned path.  The watchdog converting that hang into a
+    # StallReport *is* the liveness guarantee — the stall is the
+    # expected failure mode, not a harness bug.
+    stall_excused = (
+        result.stalled
+        and conditional_fault is not None
+        and conditional_fault.dropped_packets > 0
+    )
+
     # Liveness: the run must have completed; a watchdog stall would be
     # a real finding for these scenarios (spare spines always exist).
     if result.stalled:
-        violations.append(
-            f"liveness: run stalled at iteration {result.iterations_completed} "
-            f"({result.stall.summary()})"
-        )
+        if not stall_excused:
+            violations.append(
+                f"liveness: run stalled at iteration {result.iterations_completed} "
+                f"({result.stall.summary()})"
+            )
     elif result.iterations_completed != config.n_iterations:
         violations.append(
             "liveness: run ended early without a stall report "
             f"({result.iterations_completed}/{config.n_iterations})"
         )
+
+    # Co-tenant liveness: every background collective must also finish.
+    for runner in driver.background_runners:
+        if runner.stalled:
+            violations.append(
+                f"liveness: background job {runner.job_id} stalled "
+                f"({runner.stall_report.summary()})"
+            )
+        elif not result.stalled and (
+            len(runner.iteration_times) != config.n_iterations
+        ):
+            violations.append(
+                f"liveness: background job {runner.job_id} finished only "
+                f"{len(runner.iteration_times)}/{config.n_iterations} iterations"
+            )
 
     # Packet conservation on every link.
     for name, link in driver.network.links.items():
@@ -277,8 +471,23 @@ def check_invariants(
                 f"{transport.inflight_messages} messages in flight"
             )
 
-    # Detection latency for detectable faults.
-    if scenario.detectable:
+    # Detection latency for detectable faults.  Conditional gray faults
+    # decide both directions *empirically* from the fault's own books:
+    # enough dropped traffic and the monitor must fire; a policy that
+    # never routed a packet into the fault leaves the fabric observably
+    # healthy, and any alarm is a false positive.  Between the two (a
+    # trickle of exposure) neither verdict is demanded.
+    demand_detection = scenario.detectable
+    forbid_detection = not scenario.detectable
+    if scenario.conditional:
+        demand_detection = forbid_detection = False
+        if conditional_fault is not None:
+            demand_detection = (
+                conditional_fault.dropped_packets
+                >= chaos.conditional_drop_floor
+            ) and not stall_excused
+            forbid_detection = conditional_fault.matched_packets == 0
+    if demand_detection:
         detected = result.detection_iteration
         if detected is None:
             violations.append(
@@ -295,7 +504,7 @@ def check_invariants(
                 f"[{scenario.fault_iteration}, "
                 f"{scenario.fault_iteration + chaos.detection_slack}]"
             )
-    elif result.detection_iteration is not None:
+    elif forbid_detection and result.detection_iteration is not None:
         violations.append(
             f"false positive: healthy run triggered at iteration "
             f"{result.detection_iteration} "
@@ -317,13 +526,13 @@ def check_invariants(
             violations.append("recovery: monitor still triggered after heal")
     elif result.actions:
         tail = result.post_remediation_steps()
-        if tail and not result.recovered:
+        if tail and not stall_excused and not result.recovered:
             violations.append(
                 "recovery: post-remediation deviation "
                 f"{result.post_remediation_max_score:.4f} >= threshold "
                 f"{config.threshold} or still triggered"
             )
-    elif scenario.detectable and scenario.kind != "transient":
+    elif demand_detection and scenario.kind != "transient":
         violations.append(
             "recovery: persistent fault detected but never remediated"
         )
@@ -378,6 +587,11 @@ def run_scenario(
             fault_link=scenario.fault_link,
             fault_iteration=scenario.fault_iteration,
             detectable=scenario.detectable,
+            conditional=scenario.conditional,
+            spray=scenario.config.spray,
+            remediation=scenario.config.remediation,
+            congested=scenario.config.ecn_threshold_bytes is not None,
+            background_jobs=scenario.config.background_jobs,
         )
     driver = SimnetClosedLoopDriver(
         scenario.config,

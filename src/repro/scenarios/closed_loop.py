@@ -32,16 +32,19 @@ from ..collectives.ring import locality_optimized_ring, ring_reduce_scatter_stag
 from ..collectives.schedule import StagedCollectiveRunner, StallReport
 from ..core.detection import DetectionConfig
 from ..core.monitor import FlowPulseMonitor, IterationVerdict
+from ..core.prediction.learning import LearnedPredictor
 from ..core.prediction import AnalyticalPredictor
 from ..core.remediation import (
     ConfirmationPolicy,
     RemediationAction,
     RemediationEngine,
 )
+from ..simnet.congestion import CongestionConfig
 from ..simnet.counters import IterationRecord
 from ..simnet.network import Network
-from ..simnet.packet import FlowTag
+from ..simnet.packet import FlowTag, Priority
 from ..topology.graph import ClosSpec, ControlPlane
+from ..workloads.placement import place_jobs
 from .script import FaultEvent, FaultScript, apply_fault_event
 
 
@@ -67,6 +70,57 @@ class SimnetClosedLoopConfig:
     stall_timeout_ns: int = 50_000_000
     seed: int = 0
     job_id: int = 1
+    #: How a confirmed fault is remediated: ``disable`` takes the cable
+    #: out of service (the paper's action); ``reroute`` only removes it
+    #: from the spray candidate set (R2CCL-style collective rerouting) —
+    #: the link stays administratively up and could be readmitted.
+    remediation: str = "disable"
+    #: ECN marking threshold for every egress queue; ``None`` (default)
+    #: keeps the congestion layer off and the run bit-identical to the
+    #: pre-ECN code path.
+    ecn_threshold_bytes: int | None = None
+    #: DCQCN-style sender reaction (see :mod:`repro.simnet.congestion`).
+    congestion: CongestionConfig | None = None
+    #: Co-tenant jobs sharing the fabric with the monitored job.  With
+    #: ``hosts_per_leaf >= 1 + background_jobs`` and strided placement,
+    #: every background collective runs over the same leaf uplinks the
+    #: monitored job sprays across — realistic cross-talk.  Background
+    #: traffic is unmonitored and runs at NORMAL priority (the paper's
+    #: isolation scheme prioritizes the measured collective).
+    background_jobs: int = 0
+    #: Load model backing the monitor.  ``analytical`` is the paper's
+    #: even-split prediction — correct for per-packet spraying.  Under
+    #: flow-pinning policies (ECMP) the even split is structurally wrong
+    #: and ``learned`` (measure-first-iterations baseline, paper §5.2)
+    #: is the only model that stays quiet on a healthy fabric.
+    predictor: str = "analytical"
+    #: Iterations averaged into each learned baseline (ignored for the
+    #: analytical predictor).
+    warmup_iterations: int = 2
+
+    REMEDIATIONS = ("disable", "reroute")
+    PREDICTORS = ("analytical", "learned")
+
+    def __post_init__(self) -> None:
+        if self.remediation not in self.REMEDIATIONS:
+            raise ValueError(
+                f"unknown remediation {self.remediation!r}; "
+                f"known: {self.REMEDIATIONS}"
+            )
+        if self.predictor not in self.PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; "
+                f"known: {self.PREDICTORS}"
+            )
+        if self.warmup_iterations < 1:
+            raise ValueError("warmup needs at least one iteration")
+        if self.background_jobs < 0:
+            raise ValueError("background_jobs cannot be negative")
+        if self.background_jobs and self.hosts_per_leaf < 1 + self.background_jobs:
+            raise ValueError(
+                "co-tenancy needs hosts_per_leaf >= 1 + background_jobs "
+                "so strided placement gives every job a full ring"
+            )
 
     def spec(self) -> ClosSpec:
         return ClosSpec(
@@ -175,8 +229,23 @@ class SimnetClosedLoopDriver:
             rto_ns=config.rto_ns,
             max_retransmissions=config.max_retransmissions,
             telemetry=telemetry,
+            ecn_threshold_bytes=config.ecn_threshold_bytes,
+            congestion=config.congestion,
         )
-        ring = locality_optimized_ring(spec.n_hosts, spec.hosts_per_leaf)
+        if config.background_jobs:
+            # Strided co-tenancy: the monitored job and every background
+            # job get one host per leaf, interleaved within leaves, so
+            # all of them spray over the same fabric links.
+            placements = place_jobs(
+                spec,
+                [spec.n_leaves] * (1 + config.background_jobs),
+                first_job_id=config.job_id,
+                strategy="strided",
+            )
+            ring = placements[0].ring()
+        else:
+            placements = []
+            ring = locality_optimized_ring(spec.n_hosts, spec.hosts_per_leaf)
         self.stages = ring_reduce_scatter_stages(ring, config.collective_bytes)
         self.demand = DemandMatrix.from_stages(self.stages)
         self.collectors = self.network.install_collectors(job_id=config.job_id)
@@ -190,6 +259,22 @@ class SimnetClosedLoopDriver:
             on_iteration_done=self._on_iteration_done,
             stall_timeout_ns=config.stall_timeout_ns,
         )
+        self.background_runners: list[StagedCollectiveRunner] = []
+        for placement in placements[1:]:
+            self.background_runners.append(
+                StagedCollectiveRunner(
+                    self.network,
+                    placement.job_id,
+                    ring_reduce_scatter_stages(
+                        placement.ring(), config.collective_bytes
+                    ),
+                    iterations=config.n_iterations,
+                    compute_time_ns=config.compute_time_ns,
+                    priority=Priority.NORMAL,
+                    seed=config.seed + placement.job_id,
+                    stall_timeout_ns=config.stall_timeout_ns,
+                )
+            )
         self.engine = RemediationEngine(
             policy=ConfirmationPolicy(
                 confirm_after=config.confirm_after, window=config.window
@@ -205,11 +290,23 @@ class SimnetClosedLoopDriver:
 
     # ------------------------------------------------------------------
     def _fresh_monitor(self) -> FlowPulseMonitor:
-        predictor = AnalyticalPredictor(
-            self.config.spec(),
-            self.demand,
-            known_disabled=self.network.control.known_disabled,
-        )
+        if self.config.predictor == "learned":
+            # Fresh warmup against the surviving topology: the old
+            # baseline embeds the pre-remediation routing.
+            predictor: AnalyticalPredictor | LearnedPredictor = LearnedPredictor(
+                warmup_iterations=self.config.warmup_iterations,
+                deviation_trigger=self.config.threshold,
+            )
+        else:
+            # The analytical model must follow where *new* traffic can
+            # go: spray-excluded (rerouted-around) links shift load
+            # exactly like disabled ones, so the predictor sees the
+            # union.
+            predictor = AnalyticalPredictor(
+                self.config.spec(),
+                self.demand,
+                known_disabled=self.network.control.routing_excluded,
+            )
         return FlowPulseMonitor(
             predictor,
             DetectionConfig(threshold=self.config.threshold),
@@ -225,6 +322,8 @@ class SimnetClosedLoopDriver:
     def run(self) -> SimnetClosedLoopResult:
         self._apply_iteration_faults(0)
         self._iteration_starts[0] = 0
+        for runner in self.background_runners:
+            runner.start()
         self.runner.run(raise_on_stall=False)
         result = self.result
         result.stall = self.runner.stall_report
@@ -286,16 +385,23 @@ class SimnetClosedLoopDriver:
         return records
 
     def _apply_action(self, action: RemediationAction) -> bool:
-        """Disable the confirmed cables in the live control plane.
+        """Remediate the confirmed cables in the live control plane.
 
-        Returns False (vetoing the action) if the disable would
-        partition any leaf pair the collective depends on — the switch
-        OS refuses to take the last path out of service.
+        In ``disable`` mode the cables are taken out of service; in
+        ``reroute`` mode they are only removed from the spray candidate
+        set (the link stays up).  Either way the action is vetoed
+        (returns False) if it would leave any leaf pair the collective
+        depends on without a spray candidate — the switch OS refuses to
+        take the last path out of service, and reroute-only remediation
+        refuses to steer all new traffic off the last path.
         """
+        reroute = self.config.remediation == "reroute"
         candidate = ControlPlane(
             self.config.spec(),
             known_disabled=self.network.control.known_disabled
-            | action.disabled_links,
+            | (frozenset() if reroute else action.disabled_links),
+            spray_excluded=self.network.control.spray_excluded
+            | (action.disabled_links if reroute else frozenset()),
         )
         for src_leaf, dst_leaf in self.demand.leaf_pairs(self.config.spec()):
             if not candidate.reachable(src_leaf, dst_leaf):
@@ -309,10 +415,14 @@ class SimnetClosedLoopDriver:
                         job_id=self.config.job_id,
                         iteration=action.iteration,
                         outcome="vetoed",
+                        mode=self.config.remediation,
                         links=sorted(action.disabled_links),
                     )
                 return False
-        self.network.control.disable(*action.disabled_links)
+        if reroute:
+            self.network.control.exclude_from_spray(*action.disabled_links)
+        else:
+            self.network.control.disable(*action.disabled_links)
         if self.telemetry is not None:
             self.telemetry.emit(
                 "closedloop.remediation",
@@ -320,6 +430,7 @@ class SimnetClosedLoopDriver:
                 job_id=self.config.job_id,
                 iteration=action.iteration,
                 outcome="applied",
+                mode=self.config.remediation,
                 links=sorted(action.disabled_links),
             )
             self.telemetry.counter("closedloop.remediations").inc()
@@ -343,7 +454,7 @@ class SimnetClosedLoopDriver:
                 suspected_links=verdict.suspected_links(),
                 action=None if vetoed else action,
                 vetoed=vetoed,
-                disabled_so_far=self.network.control.known_disabled,
+                disabled_so_far=self.network.control.routing_excluded,
             )
         )
 

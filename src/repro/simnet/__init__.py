@@ -7,17 +7,22 @@ reliable transport, silent-fault injection, and the switch-side
 counters FlowPulse reads.
 """
 
+from .congestion import CongestionConfig, CongestionError, CongestionWindow
 from .counters import CollectiveCollector, IterationRecord, PortCounters
 from .engine import EventHandle, SimulationError, Simulator
 from .faults import (
     BlackHoleFault,
+    ConditionalFault,
     CorruptionFault,
     DisconnectFault,
     DropFault,
     FaultInjector,
     FaultInjectorError,
+    FlowSubsetFault,
+    IngressConditionedFault,
     IntermittentDropFault,
     LinkFault,
+    LoadDependentFault,
     TransientDropFault,
 )
 from .host import Host
@@ -46,6 +51,10 @@ __all__ = [
     "ACK_SIZE",
     "BlackHoleFault",
     "CollectiveCollector",
+    "ConditionalFault",
+    "CongestionConfig",
+    "CongestionError",
+    "CongestionWindow",
     "CorruptionFault",
     "DisconnectFault",
     "DropFault",
@@ -56,16 +65,19 @@ __all__ = [
     "FctSummary",
     "FctTracker",
     "FlowRecord",
+    "FlowSubsetFault",
     "FlowTag",
     "FlowletSpray",
     "GiveupPolicy",
     "Host",
+    "IngressConditionedFault",
     "IntermittentDropFault",
     "IterationRecord",
     "LeafSwitch",
     "LeastQueueSpray",
     "Link",
     "LinkFault",
+    "LoadDependentFault",
     "Network",
     "Node",
     "Packet",

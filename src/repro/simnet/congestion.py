@@ -1,0 +1,100 @@
+"""ECN-coupled congestion control knobs (DCQCN-style).
+
+The paper's evaluation transport has *no* congestion control (§6) — the
+fabric is non-blocking and the collective is self-clocked.  The gray
+failure study needs the opposite regime: load asymmetry that produces
+counter asymmetry without any fault.  :class:`CongestionConfig` turns
+on a deliberately simple DCQCN-flavoured sender reaction:
+
+* egress queues mark DATA packets with ECN once their backlog crosses
+  ``ecn_threshold_bytes`` (configured on the
+  :class:`~repro.simnet.network.Network` / links, not here);
+* receivers echo the mark in the ACK (congestion notification);
+* the sender keeps a window of in-flight packets per transport —
+  multiplicative decrease on an ECN-echoed ACK, additive increase on a
+  clean one — so marked paths shed load exactly like a DCQCN NIC
+  backing off its rate.
+
+Everything here is **off by default**: a ``Network`` built without a
+``congestion`` config and without an ``ecn_threshold_bytes`` runs the
+byte-identical legacy code path (golden tests pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CongestionError(ValueError):
+    """Raised for malformed congestion configurations."""
+
+
+@dataclass(frozen=True)
+class CongestionConfig:
+    """Sender-side reaction parameters (all windows in packets).
+
+    ``initial_window`` bounds how many un-acked packets a transport may
+    have in flight; packets past the window wait in a FIFO and are
+    released as ACKs return.  An ECN-echoed ACK multiplies the window
+    by ``reduction_factor`` (floored at ``min_window``); a clean ACK
+    adds ``additive_increase`` (capped at ``max_window``) — the
+    multiplicative-decrease / additive-increase shape of DCQCN's rate
+    loop, discretized to a packet window.
+    """
+
+    initial_window: int = 32
+    min_window: int = 1
+    max_window: int = 256
+    reduction_factor: float = 0.5
+    additive_increase: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_window < 1:
+            raise CongestionError("min_window must be at least 1")
+        if not self.min_window <= self.initial_window <= self.max_window:
+            raise CongestionError(
+                "need min_window <= initial_window <= max_window"
+            )
+        if not 0.0 < self.reduction_factor < 1.0:
+            raise CongestionError("reduction_factor must be in (0, 1)")
+        if self.additive_increase <= 0.0:
+            raise CongestionError("additive_increase must be positive")
+
+
+class CongestionWindow:
+    """Mutable window state for one :class:`ReliableTransport`.
+
+    Pure arithmetic — the transport decides *when* to consult it.
+    """
+
+    def __init__(self, config: CongestionConfig) -> None:
+        self.config = config
+        self.window = float(config.initial_window)
+        self.inflight = 0
+        self.ecn_echoes = 0
+        self.reductions = 0
+
+    @property
+    def can_send(self) -> bool:
+        return self.inflight < int(self.window)
+
+    def on_send(self) -> None:
+        self.inflight += 1
+
+    def on_done(self) -> None:
+        """An in-flight packet left the window (acked or abandoned)."""
+        self.inflight = max(0, self.inflight - 1)
+
+    def on_ack(self, ecn_echo: bool) -> None:
+        if ecn_echo:
+            self.ecn_echoes += 1
+            reduced = self.window * self.config.reduction_factor
+            floor = float(self.config.min_window)
+            if reduced < self.window:
+                self.reductions += 1
+            self.window = max(floor, reduced)
+        else:
+            self.window = min(
+                float(self.config.max_window),
+                self.window + self.config.additive_increase,
+            )

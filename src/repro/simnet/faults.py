@@ -6,16 +6,25 @@ switch routing tables, excluded from spraying) from *silent* faults
 Silent faults are what FlowPulse must catch.
 
 Fault classes implement :meth:`LinkFault.drops`, called once per packet
-at the moment the packet would be delivered.
+at the moment the packet would be delivered.  *Conditional* gray faults
+(the SprayCheck regime: failures that only manifest for traffic that
+took a particular path, or only under load) additionally override
+:meth:`LinkFault.drops_on`, which sees the live :class:`Link` — the
+entry point the delivery path actually calls.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .link import Link
 
 
 class LinkFault:
@@ -28,6 +37,17 @@ class LinkFault:
     def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
         """Return True if this packet is silently dropped."""
         raise NotImplementedError
+
+    def drops_on(
+        self, link: "Link", packet: Packet, now: int, rng: np.random.Generator
+    ) -> bool:
+        """Link-aware drop decision; the delivery path calls this.
+
+        The default delegates to :meth:`drops` — unconditional faults
+        never see the link.  Conditional faults override it to inspect
+        the packet's recorded path or the link's queue state.
+        """
+        return self.drops(packet, now, rng)
 
     def active_at(self, now: int) -> bool:
         """Whether the fault is in effect at time ``now``."""
@@ -140,6 +160,129 @@ class IntermittentDropFault(LinkFault):
 
     def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
         return self.active_at(now) and bool(rng.random() < self.rate)
+
+
+@dataclass
+class ConditionalFault(LinkFault):
+    """Base for gray faults that fire only for *matching* packets.
+
+    Subclasses implement :meth:`matches`; this base rolls the drop coin
+    at ``rate`` for matching packets only and keeps the bookkeeping the
+    gray-failure study's invariants need:
+
+    ``matched_packets``
+        Packets that satisfied the condition — i.e. traffic the spray
+        policy actually *routed into* the fault.  A policy that never
+        steers traffic into the sick path leaves this at zero, and the
+        fault is then observably indistinguishable from a healthy link.
+    ``dropped_packets``
+        Matching packets the coin flip actually discarded.
+    """
+
+    rate: float = 1.0
+    matched_packets: int = field(default=0, compare=False)
+    dropped_packets: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.rate}")
+
+    def matches(self, link: "Link", packet: Packet) -> bool:
+        """Whether this packet is exposed to the fault."""
+        raise NotImplementedError
+
+    def drops(self, packet: Packet, now: int, rng: np.random.Generator) -> bool:
+        raise TypeError(
+            f"{type(self).__name__} is conditional; it must be consulted "
+            "through drops_on (delivery on a live link)"
+        )
+
+    def drops_on(
+        self, link: "Link", packet: Packet, now: int, rng: np.random.Generator
+    ) -> bool:
+        if not self.matches(link, packet):
+            return False
+        self.matched_packets += 1
+        dropped = bool(rng.random() < self.rate)
+        if dropped:
+            self.dropped_packets += 1
+        return dropped
+
+
+@dataclass
+class IngressConditionedFault(ConditionalFault):
+    """Drop only packets that *arrived via* a specific upstream link.
+
+    Models a bad spine ingress port: the spine's downstream link to the
+    destination leaf corrupts exactly the traffic that entered through
+    one leaf's uplink.  Whether any packet is exposed depends entirely
+    on the spray policy — per-packet spraying sends ``1/n_spines`` of
+    the victim pair's traffic through the port, while ECMP either
+    pins whole flows onto it or routes around it completely.
+    """
+
+    ingress_link: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.ingress_link:
+            raise ValueError("ingress_link must be a link name")
+
+    def matches(self, link: "Link", packet: Packet) -> bool:
+        return self.ingress_link in packet.path
+
+
+@dataclass
+class LoadDependentFault(ConditionalFault):
+    """Drop only while the link's egress queue is loaded.
+
+    Models marginal hardware (an optic past its power budget, a lane
+    with excess BER) that only errors under utilization: packets
+    delivered while the egress backlog is at or above
+    ``min_queue_bytes`` are exposed, idle-link traffic never is.
+    Adaptive least-queue spraying steers load *away* from every hot
+    queue and thus partially around this fault; random spraying keeps
+    feeding it.
+    """
+
+    min_queue_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.min_queue_bytes < 1:
+            raise ValueError("min_queue_bytes must be positive")
+
+    def matches(self, link: "Link", packet: Packet) -> bool:
+        return link.queue.bytes_used >= self.min_queue_bytes
+
+
+@dataclass
+class FlowSubsetFault(ConditionalFault):
+    """Drop only packets of a hash-selected subset of flows.
+
+    Models polarized gray failure (a corrupted hash-indexed buffer, a
+    single bad SerDes lane striped by flow hash): packets whose flow
+    key hashes into ``residues`` modulo ``modulus`` are exposed.  Under
+    flow-hashing policies the afflicted flows are *always* exposed on
+    this path; per-packet spraying dilutes the same fault across all
+    spines.
+    """
+
+    modulus: int = 4
+    residues: frozenset[int] = frozenset({0})
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.modulus < 1:
+            raise ValueError("modulus must be positive")
+        if not self.residues:
+            raise ValueError("need at least one residue")
+        if any(not 0 <= r < self.modulus for r in self.residues):
+            raise ValueError("residues must be in [0, modulus)")
+
+    def matches(self, link: "Link", packet: Packet) -> bool:
+        digest = zlib.crc32(repr(packet.flow_key()).encode())
+        return digest % self.modulus in self.residues
 
 
 class FaultInjectorError(KeyError):

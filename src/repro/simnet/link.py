@@ -54,6 +54,7 @@ class Link:
         queue_capacity: int | None = None,
         tracer: "Tracer | None" = None,
         telemetry=None,
+        ecn_threshold_bytes: int | None = None,
     ) -> None:
         if prop_delay_ns < 0:
             raise ValueError("propagation delay cannot be negative")
@@ -69,7 +70,10 @@ class Link:
         #: outcomes — fault drops, queue overflows — emit inline; the
         #: per-packet tx/rx path stays a pointer comparison when off.
         self.telemetry = telemetry
-        self.queue = PriorityByteQueue(capacity_bytes=queue_capacity)
+        self.queue = PriorityByteQueue(
+            capacity_bytes=queue_capacity,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
         self._busy = False
         self._paused: set[Priority] = set()
         #: Optional hook fired when a packet finishes serialization;
@@ -90,6 +94,7 @@ class Link:
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
         """Queue a packet for transmission; False on queue overflow."""
+        ecn_before = packet.ecn
         if not self.queue.push(packet):
             self.overflow_packets += 1
             if self.tracer is not None:
@@ -106,6 +111,8 @@ class Link:
                 )
                 self.telemetry.counter("link.overflows", link=self.name).inc()
             return False
+        if packet.ecn and not ecn_before and self.telemetry is not None:
+            self.telemetry.counter("link.ecn_marks", link=self.name).inc()
         self._try_transmit()
         return True
 
@@ -133,7 +140,7 @@ class Link:
 
     def _deliver(self, packet: Packet) -> None:
         fault = self.injector.fault_on(self.name) if self.injector else None
-        if fault is not None and fault.drops(packet, self.sim.now, self.rng):
+        if fault is not None and fault.drops_on(self, packet, self.sim.now, self.rng):
             self.faulted_packets += 1
             self.faulted_bytes += packet.size
             if self.tracer is not None:
@@ -173,6 +180,11 @@ class Link:
     @property
     def paused_priorities(self) -> frozenset[Priority]:
         return frozenset(self._paused)
+
+    @property
+    def ecn_marked_packets(self) -> int:
+        """Packets this link's egress queue marked congestion-experienced."""
+        return self.queue.ecn_marked
 
     @property
     def busy(self) -> bool:

@@ -19,6 +19,7 @@ from ..topology.graph import (
     host_up_link,
     up_link,
 )
+from .congestion import CongestionConfig
 from .counters import CollectiveCollector, IterationRecord
 from .engine import Simulator
 from .faults import DisconnectFault, FaultInjector, LinkFault
@@ -56,6 +57,16 @@ class Network:
         :mod:`repro.telemetry.session`).  Wired into the engine, every
         link, every transport, and every PFC controller; ``None``
         (the default) keeps all of them on their no-op fast path.
+    ecn_threshold_bytes:
+        Egress queues mark DATA packets congestion-experienced at or
+        above this backlog (see :mod:`repro.simnet.congestion`).
+        ``None`` (the default) disables marking — the legacy data path,
+        bit-identical to networks built before ECN existed.
+    congestion:
+        DCQCN-style sender reaction wired into every transport; only
+        meaningful together with ``ecn_threshold_bytes``.  ``None``
+        (the default) keeps the paper's no-congestion-control
+        transport.
     """
 
     def __init__(
@@ -72,6 +83,8 @@ class Network:
         enable_pfc: bool = False,
         tracer: Tracer | None = None,
         telemetry=None,
+        ecn_threshold_bytes: int | None = None,
+        congestion: CongestionConfig | None = None,
     ) -> None:
         self.spec = spec
         self.sim = Simulator()
@@ -81,6 +94,8 @@ class Network:
         self.injector = FaultInjector()
         self.control = ControlPlane(spec, known_disabled=frozenset(known_disabled))
         self.mtu = mtu
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.congestion = congestion
 
         seq = np.random.SeedSequence(seed)
         fault_seed, *leaf_seeds = seq.spawn(1 + spec.n_leaves)
@@ -131,6 +146,7 @@ class Network:
                     max_retransmissions=max_retransmissions,
                     giveup=giveup,
                     telemetry=telemetry,
+                    congestion=congestion,
                 )
             )
 
@@ -160,6 +176,7 @@ class Network:
             queue_capacity=queue_capacity,
             tracer=self.tracer,
             telemetry=self.telemetry,
+            ecn_threshold_bytes=self.ecn_threshold_bytes,
         )
 
     def _wire_pfc(self) -> None:
@@ -273,3 +290,7 @@ class Network:
     def total_fault_drops(self) -> int:
         """Packets silently dropped by injected faults, fabric-wide."""
         return sum(link.faulted_packets for link in self.links.values())
+
+    def total_ecn_marks(self) -> int:
+        """Packets marked congestion-experienced, fabric-wide."""
+        return sum(link.ecn_marked_packets for link in self.links.values())

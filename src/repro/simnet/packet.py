@@ -83,6 +83,9 @@ class Packet:
     seq: int = 0
     msg_packets: int = 1  # packets in the message this one belongs to
     retransmission: int = 0  # how many times this seq was re-sent
+    #: ECN congestion-experienced mark, set by a queue above its marking
+    #: threshold; echoed back to the sender in the ACK.
+    ecn: bool = False
     pid: int = field(default_factory=lambda: next(_packet_ids))
     path: list[str] = field(default_factory=list)
 
@@ -95,7 +98,11 @@ class Packet:
         return self.kind is PacketKind.DATA
 
     def make_ack(self) -> "Packet":
-        """Build the acknowledgement for this data packet."""
+        """Build the acknowledgement for this data packet.
+
+        The ACK echoes the data packet's ECN mark (the congestion
+        notification of :mod:`repro.simnet.congestion`).
+        """
         return Packet(
             src_host=self.dst_host,
             dst_host=self.src_host,
@@ -105,6 +112,7 @@ class Packet:
             tag=self.tag,
             msg_id=self.msg_id,
             seq=self.seq,
+            ecn=self.ecn,
         )
 
     def flow_key(self) -> tuple:

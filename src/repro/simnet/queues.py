@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
-from .packet import Packet, Priority
+from .packet import Packet, PacketKind, Priority
 
 #: Priorities from most to least urgent, the drain order of the queue.
 _DRAIN_ORDER = sorted(Priority, key=lambda p: p.value, reverse=True)
@@ -22,21 +22,33 @@ class PriorityByteQueue:
 
     ``on_backlog_change(bytes_used)`` fires after every push/pop so PFC
     watermarks can react.
+
+    With ``ecn_threshold_bytes`` set, DATA packets enqueued while the
+    backlog (including the new packet) is at or above the threshold are
+    marked congestion-experienced — the switch side of the ECN loop in
+    :mod:`repro.simnet.congestion`.  ``None`` (the default) disables
+    marking entirely; the push path is then identical to a queue built
+    before ECN existed.
     """
 
     def __init__(
         self,
         capacity_bytes: int | None = None,
         on_backlog_change: Callable[[int], None] | None = None,
+        ecn_threshold_bytes: int | None = None,
     ) -> None:
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError("queue capacity must be positive or None")
+        if ecn_threshold_bytes is not None and ecn_threshold_bytes <= 0:
+            raise ValueError("ECN threshold must be positive or None")
         self.capacity_bytes = capacity_bytes
         self.on_backlog_change = on_backlog_change
+        self.ecn_threshold_bytes = ecn_threshold_bytes
         self._lanes: dict[Priority, deque[Packet]] = {p: deque() for p in Priority}
         self._bytes = 0
         self._packets = 0
         self.peak_bytes = 0
+        self.ecn_marked = 0
 
     # ------------------------------------------------------------------
     def push(self, packet: Packet) -> bool:
@@ -50,6 +62,14 @@ class PriorityByteQueue:
         self._bytes += packet.size
         self._packets += 1
         self.peak_bytes = max(self.peak_bytes, self._bytes)
+        if (
+            self.ecn_threshold_bytes is not None
+            and self._bytes >= self.ecn_threshold_bytes
+            and packet.kind is PacketKind.DATA
+            and not packet.ecn
+        ):
+            packet.ecn = True
+            self.ecn_marked += 1
         self._notify()
         return True
 

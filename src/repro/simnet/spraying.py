@@ -86,15 +86,30 @@ class PowerOfTwoSpray(SprayPolicy):
 
 class EcmpHash(SprayPolicy):
     """Flow-level ECMP: every packet of a flow takes the same uplink,
-    chosen by hashing the flow key.  Included as the traditional
-    baseline that APS replaces (§1)."""
+    chosen by hashing the flow's endpoints.  Included as the
+    traditional baseline that APS replaces (§1).
+
+    The hash covers ``(salt, src_host, dst_host)`` — the simulator's
+    analog of the 5-tuple — and deliberately *not* the per-message id:
+    a real switch pins every packet between two endpoints to one path
+    for the lifetime of the routing epoch, which is exactly what makes
+    ECMP both collision-prone and sticky (a gray path keeps eating the
+    same victim flows run after run).  ``salt`` models the switch's
+    hash seed: re-salting re-rolls which flows collide, the knob
+    operators actually turn when an ECMP polarization bites.
+    """
 
     name = "ecmp"
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = salt
 
     def choose(
         self, candidates: list[Link], packet: Packet, rng: np.random.Generator
     ) -> Link:
-        digest = zlib.crc32(repr(packet.flow_key()).encode())
+        digest = zlib.crc32(
+            repr((self.salt, packet.src_host, packet.dst_host)).encode()
+        )
         return candidates[digest % len(candidates)]
 
 

@@ -16,9 +16,11 @@ that port and a small surplus everywhere else.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from .congestion import CongestionConfig, CongestionWindow
 from .engine import EventHandle, Simulator
 from .packet import FlowTag, Packet, PacketKind, Priority
 from ..units import DEFAULT_MTU, MICROSECOND
@@ -61,9 +63,6 @@ class GiveupPolicy:
         return self.mode == self.RAISE
 
 
-_msg_ids = itertools.count(1)
-
-
 @dataclass
 class _TxPacketState:
     """Sender-side state for one in-flight sequence number."""
@@ -71,6 +70,9 @@ class _TxPacketState:
     size: int
     retransmissions: int = 0
     timer: EventHandle | None = None
+    #: Whether the packet entered the fabric (congestion window only;
+    #: un-emitted packets wait in the transport's send queue).
+    emitted: bool = False
 
 
 @dataclass
@@ -131,6 +133,7 @@ class ReliableTransport:
         max_retransmissions: int = 64,
         giveup: GiveupPolicy | None = None,
         telemetry=None,
+        congestion: CongestionConfig | None = None,
     ) -> None:
         if mtu <= 0:
             raise TransportError("mtu must be positive")
@@ -146,6 +149,15 @@ class ReliableTransport:
         #: emits — RTO firings and message failures — so the lossless
         #: send/ack path carries one pointer comparison per timeout.
         self.telemetry = telemetry
+        #: DCQCN-style sender reaction (see
+        #: :mod:`repro.simnet.congestion`); ``None`` — the default —
+        #: keeps the paper's no-congestion-control transport untouched.
+        self.congestion = CongestionWindow(congestion) if congestion else None
+        self._send_queue: deque[tuple[int, int]] = deque()
+        #: Message ids are per-transport so routing that hashes the flow
+        #: key (ECMP, flowlets) is a pure function of the run, not of
+        #: how many transports the process created before this one.
+        self._msg_ids = itertools.count(1)
         self._tx: dict[int, _TxMessage] = {}
         self._rx: dict[tuple[int, int], _RxMessage] = {}
         # Aggregate statistics.
@@ -154,6 +166,7 @@ class ReliableTransport:
         self.failed_messages = 0
         self.retransmitted_packets = 0
         self.duplicate_packets = 0
+        self.ecn_echoed_acks = 0
 
     # ------------------------------------------------------------------
     # Sending
@@ -179,7 +192,7 @@ class ReliableTransport:
             raise TransportError("message size must be positive")
         if dst_host == self.host.index:
             raise TransportError("loopback messages never enter the fabric")
-        msg_id = next(_msg_ids)
+        msg_id = next(self._msg_ids)
         sizes = self._segment(size_bytes)
         message = _TxMessage(
             msg_id=msg_id,
@@ -193,9 +206,14 @@ class ReliableTransport:
         )
         self._tx[msg_id] = message
         self.sent_messages += 1
-        for seq, size in enumerate(sizes):
-            message.pending[seq] = _TxPacketState(size=size)
-            self._emit(message, seq)
+        if self.congestion is None:
+            for seq, size in enumerate(sizes):
+                message.pending[seq] = _TxPacketState(size=size)
+                self._emit(message, seq)
+        else:
+            for seq, size in enumerate(sizes):
+                message.pending[seq] = _TxPacketState(size=size)
+                self._queue_emit(message, seq)
         return msg_id
 
     def _segment(self, size_bytes: int) -> list[int]:
@@ -220,6 +238,44 @@ class ReliableTransport:
             retransmission=state.retransmissions,
         )
         self.host.uplink.enqueue(packet)
+
+    # ------------------------------------------------------------------
+    # Congestion window (only active with a CongestionConfig)
+    # ------------------------------------------------------------------
+    def _queue_emit(self, message: _TxMessage, seq: int) -> None:
+        """Emit now if the window allows, else park in the send queue."""
+        if self.congestion.can_send:
+            self.congestion.on_send()
+            message.pending[seq].emitted = True
+            self._emit(message, seq)
+        else:
+            self._send_queue.append((message.msg_id, seq))
+
+    def _drain_window(self) -> None:
+        """Release parked packets into whatever window space opened up.
+
+        Entries whose message was acked or abandoned in the meantime are
+        discarded — they never held a window slot.
+        """
+        congestion = self.congestion
+        while self._send_queue and congestion.can_send:
+            msg_id, seq = self._send_queue.popleft()
+            message = self._tx.get(msg_id)
+            if message is None:
+                continue
+            state = message.pending.get(seq)
+            if state is None or state.emitted:
+                continue
+            congestion.on_send()
+            state.emitted = True
+            self._emit(message, seq)
+
+    def _release_window_slots(self, message: _TxMessage) -> None:
+        """Free the window slots of a failed message's in-flight packets."""
+        for state in message.pending.values():
+            if state.emitted:
+                self.congestion.on_done()
+        self._drain_window()
 
     def on_wire(self, packet: Packet) -> None:
         """NIC callback: a locally-originated packet hit the wire.
@@ -285,6 +341,11 @@ class ReliableTransport:
                 pending_state.timer.cancel()
                 pending_state.timer = None
         del self._tx[message.msg_id]
+        if self.congestion is not None:
+            # The dead message's in-flight packets vacate the window
+            # (its un-emitted ones never held a slot and are discarded
+            # lazily by the drain).
+            self._release_window_slots(message)
         if self.telemetry is not None:
             self.telemetry.emit(
                 "transport.failed",
@@ -323,6 +384,17 @@ class ReliableTransport:
             return  # duplicate ACK
         if state.timer is not None:
             state.timer.cancel()
+        if self.congestion is not None:
+            if packet.ecn:
+                self.ecn_echoed_acks += 1
+                if self.telemetry is not None:
+                    self.telemetry.counter(
+                        "transport.ecn_echoes", host=str(self.host.index)
+                    ).inc()
+            if state.emitted:
+                self.congestion.on_done()
+            self.congestion.on_ack(packet.ecn)
+            self._drain_window()
         if message.fully_acked:
             del self._tx[message.msg_id]
             self.completed_messages += 1

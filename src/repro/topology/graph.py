@@ -143,13 +143,21 @@ class ControlPlane:
     routing (pre-existing faults).  :meth:`valid_spines` is the spray
     candidate set — the analytical load model (paper §5.2) is built on
     exactly this set.
+
+    ``spray_excluded`` is the *reroute-only* remediation state (the
+    R2CCL stance: route the collective around a suspect path instead of
+    taking the cable out of service): excluded links are removed from
+    the spray candidate set but remain administratively up, so packets
+    already in flight are still forwarded and the link can be readmitted
+    without a maintenance action.
     """
 
     spec: ClosSpec
     known_disabled: frozenset[str] = field(default_factory=frozenset)
+    spray_excluded: frozenset[str] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
-        for name in self.known_disabled:
+        for name in self.known_disabled | self.spray_excluded:
             parse_fabric_link(name)  # validates
 
     def disable(self, *links: str) -> None:
@@ -162,24 +170,51 @@ class ControlPlane:
         """Return links to service (maintenance completed)."""
         self.known_disabled = self.known_disabled - frozenset(links)
 
+    def exclude_from_spray(self, *links: str) -> None:
+        """Remove links from spraying without disabling them."""
+        for name in links:
+            parse_fabric_link(name)
+        self.spray_excluded = self.spray_excluded | frozenset(links)
+
+    def readmit_to_spray(self, *links: str) -> None:
+        """Undo :meth:`exclude_from_spray` (suspect cleared)."""
+        self.spray_excluded = self.spray_excluded - frozenset(links)
+
+    @property
+    def routing_excluded(self) -> frozenset[str]:
+        """Links absent from the spray candidate set, for any reason.
+
+        This — not ``known_disabled`` alone — is the set the analytical
+        load model must be built on: the even-split prediction follows
+        where new traffic can go, regardless of whether the excluded
+        cable is administratively down or merely routed around.
+        """
+        return self.known_disabled | self.spray_excluded
+
     def up_ok(self, leaf: int, spine: int) -> bool:
         return up_link(leaf, spine) not in self.known_disabled
 
     def down_ok(self, spine: int, leaf: int) -> bool:
         return down_link(spine, leaf) not in self.known_disabled
 
+    def _sprayable(self, name: str) -> bool:
+        return name not in self.known_disabled and name not in self.spray_excluded
+
     def valid_spines(self, src_leaf: int, dst_leaf: int) -> list[int]:
-        """Spines usable for traffic from ``src_leaf`` to ``dst_leaf``.
+        """Spines usable for *new* traffic from ``src_leaf`` to
+        ``dst_leaf``.
 
         A spine is valid when both the upstream link from the source
         leaf and the downstream link to the destination leaf are in
-        service.  Raises :class:`TopologyError` if the pair is
-        partitioned (no valid spine remains).
+        service and not excluded from spraying.  Raises
+        :class:`TopologyError` if the pair is partitioned (no valid
+        spine remains).
         """
         spines = [
             s
             for s in range(self.spec.n_spines)
-            if self.up_ok(src_leaf, s) and self.down_ok(s, dst_leaf)
+            if self._sprayable(up_link(src_leaf, s))
+            and self._sprayable(down_link(s, dst_leaf))
         ]
         if not spines:
             raise TopologyError(

@@ -44,28 +44,59 @@ class JobPlacement:
         return frozenset(spec.leaf_of_host(h) for h in self.hosts)
 
 
-def place_jobs(
-    spec: ClosSpec, sizes: list[int], first_job_id: int = 1
-) -> list[JobPlacement]:
-    """Contiguously place jobs of the given host counts.
+#: Known placement strategies (see :func:`place_jobs`).
+STRATEGIES = ("contiguous", "strided")
 
-    Jobs are packed leaf-major in order; raises if they do not fit.
+
+def place_jobs(
+    spec: ClosSpec,
+    sizes: list[int],
+    first_job_id: int = 1,
+    strategy: str = "contiguous",
+) -> list[JobPlacement]:
+    """Place jobs of the given host counts; raises if they do not fit.
+
+    ``contiguous`` (the default) packs each job into a leaf-major block
+    of hosts — jobs land on disjoint leaves whenever they span whole
+    leaves, so they share no fabric links.
+
+    ``strided`` deals host indices round-robin across the jobs (host 0
+    to the first job, host 1 to the second, ...), the co-tenant layout:
+    with ``hosts_per_leaf >= 2`` jobs interleave *within* leaves, their
+    collectives share the same leaf uplinks and spine downlinks, and
+    each job's traffic is cross-talk in every other job's queues — the
+    regime the gray-failure study needs.
     """
+    if strategy not in STRATEGIES:
+        raise PlacementError(
+            f"unknown placement strategy {strategy!r}; known: {STRATEGIES}"
+        )
     if any(size < 1 for size in sizes):
         raise PlacementError("job sizes must be positive")
     if sum(sizes) > spec.n_hosts:
         raise PlacementError(
             f"jobs need {sum(sizes)} hosts but the fabric has {spec.n_hosts}"
         )
-    placements = []
-    cursor = 0
-    for offset, size in enumerate(sizes):
-        hosts = tuple(range(cursor, cursor + size))
-        placements.append(
-            JobPlacement(job_id=first_job_id + offset, hosts=hosts)
-        )
-        cursor += size
-    return placements
+    assigned: list[list[int]] = [[] for _ in sizes]
+    if strategy == "contiguous":
+        cursor = 0
+        for slot, size in enumerate(sizes):
+            assigned[slot] = list(range(cursor, cursor + size))
+            cursor += size
+    else:  # strided: deal hosts one at a time to jobs still short
+        cursor = 0
+        remaining = list(sizes)
+        while any(remaining):
+            for slot, left in enumerate(remaining):
+                if left == 0:
+                    continue
+                assigned[slot].append(cursor)
+                remaining[slot] -= 1
+                cursor += 1
+    return [
+        JobPlacement(job_id=first_job_id + slot, hosts=tuple(hosts))
+        for slot, hosts in enumerate(assigned)
+    ]
 
 
 def jobs_share_leaves(

@@ -1,0 +1,79 @@
+"""Tests for multi-job co-tenancy on one fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import read_fprec
+from repro.greylab import (
+    CotenancyConfig,
+    GreylabError,
+    cotenant_workload,
+    run_cotenancy,
+    write_cotenant_workload,
+)
+
+#: Small enough to run in a couple of seconds; three one-host-per-leaf
+#: rings sharing every leaf uplink.
+CONFIG = CotenancyConfig(
+    n_jobs=2,
+    n_leaves=3,
+    n_spines=2,
+    collective_bytes=150_000,
+    n_iterations=3,
+    mtu=512,
+    threshold=0.2,
+)
+
+
+def test_config_validation():
+    with pytest.raises(GreylabError):
+        CotenancyConfig(n_jobs=1)
+    with pytest.raises(GreylabError):
+        CotenancyConfig(n_leaves=1)
+    with pytest.raises(GreylabError):
+        CotenancyConfig(n_iterations=0)
+
+
+def test_job_ids_and_spec_shape():
+    assert CONFIG.job_ids == (1, 2)
+    spec = CONFIG.spec()
+    assert spec.n_leaves == 3
+    assert spec.hosts_per_leaf == CONFIG.n_jobs
+
+
+def test_cotenant_jobs_share_fabric_and_stay_quiet():
+    result = run_cotenancy(CONFIG)
+    assert result.ok, result.summary()
+    assert set(result.jobs) == {1, 2}
+    for job in result.jobs.values():
+        assert job.iterations_completed == CONFIG.n_iterations
+        assert not job.stalled
+        assert len(job.steps) == CONFIG.n_iterations
+        assert len(job.records) == CONFIG.n_iterations
+    # Symmetric sharing: co-tenant load alone must not alarm either
+    # job's monitor.
+    assert result.triggered_jobs == frozenset()
+    assert "quiet" in result.summary()
+
+
+def test_cotenant_workload_capture_shape():
+    jobs, batches, result = cotenant_workload(CONFIG)
+    assert [j.job_id for j in jobs] == [1, 2]
+    # No injected ground truth on a shared fabric.
+    assert all(j.faulted is None for j in jobs)
+    assert all(j.experiment.n_leaves == CONFIG.n_leaves for j in jobs)
+    # Round-robin interleave by iteration: job 1 iter 0, job 2 iter 0,
+    # job 1 iter 1, ...
+    assert len(batches) == CONFIG.n_jobs * CONFIG.n_iterations
+    tags = [(b.records[0].tag.job_id, b.records[0].tag.iteration) for b in batches]
+    assert tags == [(1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (2, 2)]
+
+
+def test_write_cotenant_workload_roundtrips(tmp_path):
+    target = tmp_path / "cotenant.fprec"
+    jobs, n_units = write_cotenant_workload(CONFIG, target)
+    assert n_units > 0
+    content = read_fprec(target)
+    assert [j.job_id for j in content.jobs] == [j.job_id for j in jobs]
+    assert len(content.batches) == CONFIG.n_jobs * CONFIG.n_iterations

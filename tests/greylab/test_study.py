@@ -1,0 +1,160 @@
+"""Tests for the gray-failure study harness."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.greylab import (
+    CONGESTION_LEVELS,
+    POLICY_SETTINGS,
+    STUDY_COLUMNS,
+    CellResult,
+    GreylabError,
+    RemediationTrialSpec,
+    StudyCell,
+    StudyConfig,
+    StudyResult,
+    compare_remediations,
+    run_study_cell,
+)
+from repro.report.tables import read_csv
+
+
+def _cell(**overrides):
+    base = dict(
+        kind="gray_conditional",
+        spray="random",
+        congestion="none",
+        seeds=(0,),
+        collective_bytes=600_000,
+        n_iterations=6,
+        mtu=512,
+    )
+    base.update(overrides)
+    return StudyCell(**base)
+
+
+# ----------------------------------------------------------------------
+# Configuration and matrix shape
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(GreylabError):
+        StudyConfig(sprays=("warp",))
+    with pytest.raises(GreylabError):
+        StudyConfig(congestion_levels=("molten",))
+    with pytest.raises(GreylabError):
+        StudyConfig(seeds_per_cell=0)
+    with pytest.raises(GreylabError):
+        StudyConfig(kinds=())
+
+
+def test_cells_enumerate_the_full_matrix():
+    config = StudyConfig(
+        kinds=("congested_healthy", "gray_conditional"),
+        sprays=("round_robin", "ecmp"),
+        congestion_levels=("none", "heavy"),
+        seeds_per_cell=3,
+        base_seed=10,
+    )
+    cells = config.cells()
+    assert len(cells) == 2 * 2 * 2
+    assert all(cell.seeds == (10, 11, 12) for cell in cells)
+    combos = {(c.kind, c.spray, c.congestion) for c in cells}
+    assert len(combos) == 8
+
+
+def test_cell_calibration_follows_the_policy():
+    assert _cell(spray="round_robin").threshold == 0.05
+    assert _cell(spray="random").threshold == 0.2
+    assert _cell(spray="ecmp").predictor == "learned"
+    assert set(POLICY_SETTINGS) == {"round_robin", "random", "adaptive", "ecmp"}
+    assert CONGESTION_LEVELS["none"] is None
+
+
+def test_cell_chaos_config_wires_congestion_level():
+    chaos = _cell(congestion="heavy").chaos_config()
+    assert chaos.ecn_threshold_bytes == 4096
+    assert chaos.congestion is not None
+    assert chaos.kinds == ("gray_conditional",)
+    off = _cell(congestion="none").chaos_config()
+    assert off.ecn_threshold_bytes is None
+    assert off.congestion is None
+
+
+# ----------------------------------------------------------------------
+# Cell execution and invariants
+# ----------------------------------------------------------------------
+def test_run_study_cell_detects_a_seeded_gray_fault():
+    result = run_study_cell(_cell(seeds=(0,)))
+    assert result.n_runs == 1
+    assert result.ok, result.violations
+    assert result.detections == 1
+    assert result.false_positives == 0
+    assert result.demanded_detections == 1
+    assert result.latencies and result.latencies[0] >= 0
+
+
+def test_cotenant_cells_tolerate_crosstalk_alarms_but_not_stalls():
+    cell = _cell(kind="cotenant")
+    quiet = CellResult(cell=cell, n_runs=2, n_ok=1, violations=("seed=0: false positive ...",))
+    assert not quiet.kind_invariants_violated()
+    stalled = CellResult(cell=cell, n_runs=2, n_ok=1, violations=("seed=0: liveness: run stalled ...",))
+    assert stalled.kind_invariants_violated()
+    strict = CellResult(cell=_cell(), n_runs=2, n_ok=1, violations=("seed=0: false positive ...",))
+    assert strict.kind_invariants_violated()
+
+
+def test_csv_roundtrips_through_report_tables():
+    cell_result = run_study_cell(_cell(seeds=(0,)))
+    study = StudyResult(config=StudyConfig(), cells=[cell_result])
+    buffer = io.StringIO()
+    assert study.write_csv(buffer) == 1
+    buffer.seek(0)
+    rows = read_csv(buffer)
+    assert len(rows) == 1
+    row = rows[0]
+    assert tuple(row) == STUDY_COLUMNS
+    assert row["kind"] == "gray_conditional"
+    assert row["spray"] == "random"
+    assert row["threshold"] == 0.2
+    assert row["detections"] == 1
+    assert isinstance(row["n_runs"], int)
+
+
+# ----------------------------------------------------------------------
+# Remediation face-off
+# ----------------------------------------------------------------------
+def test_remediation_trial_spec_builds_both_arms():
+    spec = RemediationTrialSpec(seed=4)
+    disable = spec.chaos_config("disable")
+    reroute = spec.chaos_config("reroute")
+    assert disable.remediation == "disable"
+    assert reroute.remediation == "reroute"
+    assert disable.kinds == ("gray_conditional",)
+    # The scenario draw is remediation-independent: both arms replay
+    # the identical fault.
+    assert disable.base_seed == reroute.base_seed
+
+
+def test_compare_remediations_requires_seeds():
+    with pytest.raises(GreylabError):
+        compare_remediations(seeds=())
+
+
+def test_compare_remediations_single_seed():
+    comparison = compare_remediations(seeds=(0,))
+    assert len(comparison.trials) == 1
+    trial = comparison.trials[0]
+    assert trial.fault_link is not None
+    assert trial.remediated
+    assert trial.disable.mode == "disable"
+    assert trial.reroute.mode == "reroute"
+    # Disable takes the cable down; reroute leaves it administratively
+    # up but out of the spray set — both must recover.
+    assert trial.disable.recovered
+    assert trial.reroute.recovered
+    rows = comparison.rows()
+    assert len(rows) == 2
+    assert "remediated" in comparison.summary()

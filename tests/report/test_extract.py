@@ -231,3 +231,37 @@ def test_non_finite_deviations_round_trip_to_floats(tmp_path):
     assert analysis.stats.latency_p50 == 1.0  # finite despite inf/nan rows
     timeline = [t for t in analysis.runs[0].timelines if t.leaf == 1][0]
     assert timeline.max_deviation == 0.0  # non-finite excluded from y-scale
+
+
+def test_runs_table_carries_greylab_context(tmp_path):
+    path = write_events(
+        tmp_path / "grey.jsonl",
+        [
+            ("scenario.start", dict(seed=9, kind="gray_conditional", job_id=1,
+                                    n_leaves=4, n_spines=3, threshold=0.2,
+                                    fault_link="down:S1>L2", fault_iteration=2,
+                                    detectable=False, conditional=True,
+                                    spray="random", remediation="reroute",
+                                    congested=True, background_jobs=0)),
+            ("scenario.end", dict(seed=9, ok=True, violations=[])),
+        ],
+    )
+    facts = extract_events(path)
+    (row,) = facts.rows("runs")
+    assert row["conditional"] is True
+    assert row["spray"] == "random"
+    assert row["remediation"] == "reroute"
+    assert row["congested"] is True
+    assert row["background_jobs"] == 0
+
+
+def test_runs_table_tolerates_pre_greylab_logs(tmp_path):
+    # Logs recorded before the congestion layer existed have no
+    # greylab fields; the columns must come back as empty cells, not
+    # crashes.
+    path = write_events(tmp_path / "old.jsonl", scenario_stream())
+    facts = extract_events(path)
+    (row,) = facts.rows("runs")
+    assert row["conditional"] is None
+    assert row["spray"] is None
+    assert row["congested"] is None

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import pytest
+
 from repro.scenarios import (
     ChaosConfig,
     check_invariants,
@@ -37,7 +39,7 @@ def test_chaos_batch_of_20_seeded_scenarios_holds_every_invariant():
 
 
 def test_same_seed_reproduces_same_outcome_digest():
-    for seed in (1, 2):  # a persistent drop and a silent disconnect
+    for seed in (1, 7):  # a persistent drop and a silent disconnect
         scenario = generate_scenario(seed, CHAOS)
         first = run_scenario(scenario, CHAOS)
         again = run_scenario(scenario, CHAOS)
@@ -49,7 +51,7 @@ def test_invariant_checker_flags_missed_detection():
     # A healthy run rebadged as "should have been detected": the
     # checker must report the missing detection and remediation, not
     # silently pass.
-    healthy = generate_scenario(0, CHAOS)
+    healthy = generate_scenario(2, CHAOS)
     assert healthy.kind == "healthy"
     rigged = replace(
         healthy,
@@ -66,7 +68,7 @@ def test_invariant_checker_flags_missed_detection():
 def test_invariant_checker_flags_conservation_breach():
     from repro.scenarios import SimnetClosedLoopDriver
 
-    scenario = generate_scenario(0, CHAOS)  # healthy, cheap
+    scenario = generate_scenario(2, CHAOS)  # healthy, cheap
     driver = SimnetClosedLoopDriver(scenario.config)
     result = driver.run()
     assert check_invariants(scenario, result, driver, CHAOS) == []
@@ -87,3 +89,103 @@ def test_report_summary_names_failing_scenarios():
     summary = report.summary()
     assert "0/1 scenarios passed" in summary
     assert "synthetic failure" in summary
+
+
+# ----------------------------------------------------------------------
+# Kind selection and legacy compatibility
+# ----------------------------------------------------------------------
+#: Digests recorded under the original ``seed % len(KINDS)`` kind
+#: selection; ``legacy_kind_selection=True`` must keep reproducing them
+#: so pre-existing seeded corpora stay addressable.
+LEGACY_DIGESTS = {
+    0: "fab6728e3049e2307846826ef12210b2e14225a0b7e163691c035db2490f32fb",
+    3: "683d4b5cca223778ae41e89661e0b639f05ef78ca3b0ae56eff024863481be44",
+    11: "bd4db3161ffc8cd68953f841aee27f532c23e322fe5db36c5f1ce6bd1c2bfa49",
+}
+
+
+def test_legacy_kind_selection_reproduces_recorded_digests():
+    legacy = ChaosConfig(legacy_kind_selection=True)
+    for seed, expected in LEGACY_DIGESTS.items():
+        scenario = generate_scenario(seed, legacy)
+        assert scenario.kind == KINDS[seed % len(KINDS)]
+        outcome = run_scenario(scenario, legacy)
+        assert outcome.ok, outcome.violations
+        assert outcome.digest == expected
+
+
+def test_default_kind_selection_is_rng_driven_not_modular():
+    kinds = [generate_scenario(seed, CHAOS).kind for seed in range(25)]
+    assert kinds != [KINDS[seed % len(KINDS)] for seed in range(25)]
+    assert set(kinds) == set(KINDS)
+
+
+def test_kinds_filter_restricts_generation():
+    config = ChaosConfig(kinds=("healthy", "transient"))
+    kinds = {generate_scenario(seed, config).kind for seed in range(16)}
+    assert kinds <= {"healthy", "transient"}
+    assert len(kinds) == 2
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        ChaosConfig(kinds=("healthy", "blue_smoke"))
+
+
+# ----------------------------------------------------------------------
+# Greylab scenario kinds
+# ----------------------------------------------------------------------
+def test_congested_healthy_scenarios_force_the_congestion_layer():
+    config = ChaosConfig(kinds=("congested_healthy",), fabric=(4, 3))
+    for seed in range(6):
+        scenario = generate_scenario(seed, config)
+        assert scenario.kind == "congested_healthy"
+        assert scenario.config.ecn_threshold_bytes in (4096, 8192, 16384)
+        assert scenario.config.congestion is not None
+        assert scenario.fault_link is None
+        assert not scenario.detectable
+
+
+def test_gray_conditional_scenarios_are_conditional_with_onset():
+    config = ChaosConfig(kinds=("gray_conditional",), fabric=(4, 3))
+    for seed in range(6):
+        scenario = generate_scenario(seed, config)
+        assert scenario.conditional
+        assert scenario.fault_link is not None
+        assert scenario.fault_iteration is not None
+        assert scenario.iteration_faults
+        # Onset leaves room for detection inside the run.
+        assert scenario.fault_iteration < scenario.config.n_iterations - 1
+
+
+def test_cotenant_scenarios_carry_background_jobs():
+    config = ChaosConfig(kinds=("cotenant",), fabric=(4, 3))
+    for seed in range(4):
+        scenario = generate_scenario(seed, config)
+        background = scenario.config.background_jobs
+        assert background in (1, 2)
+        assert scenario.config.hosts_per_leaf == 1 + background
+
+
+def test_congested_healthy_batch_never_alarms():
+    # The headline acceptance: congestion alone, with the right
+    # per-policy calibration, must not produce asymmetry alarms.
+    # The predictor is derived from the policy (ecmp -> learned).
+    for spray, threshold in (
+        ("round_robin", 0.05),
+        ("random", 0.2),
+        ("ecmp", 0.05),
+    ):
+        config = ChaosConfig(
+            kinds=("congested_healthy",),
+            fabric=(4, 3),
+            spray=spray,
+            threshold=threshold,
+            collective_bytes=600_000,
+            n_iterations=6,
+            mtu=512,
+        )
+        for seed in range(2):
+            outcome = run_scenario(generate_scenario(seed, config), config)
+            assert outcome.ok, (spray, seed, outcome.violations)
+            assert outcome.result.detection_iteration is None, (spray, seed)

@@ -9,6 +9,8 @@ run quiet under the detection threshold.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.remediation import RemediationAction
 from repro.scenarios import (
     FaultEvent,
@@ -17,7 +19,8 @@ from repro.scenarios import (
     SimnetClosedLoopDriver,
     run_simnet_closed_loop,
 )
-from repro.simnet import DropFault
+from repro.scenarios.chaos import outcome_digest
+from repro.simnet import CongestionConfig, DropFault
 
 #: Small enough to run in seconds, large enough that round-robin packet
 #: quantization noise (~mtu * spines * hosts / bytes = 0.8%) stays under
@@ -139,3 +142,101 @@ def test_partitioning_remediation_is_vetoed():
     )
     assert driver._apply_action(benign) is True
     assert "up:L0->S0" in driver.network.control.known_disabled
+
+
+# ----------------------------------------------------------------------
+# Golden parity: the congestion layer is off by default
+# ----------------------------------------------------------------------
+#: Outcome digests recorded before the ECN/congestion layer existed.
+#: A default-config run (no ``ecn_threshold_bytes``, no ``congestion``)
+#: must stay bit-identical under every spray policy.
+GOLDEN_CONFIG = dict(
+    n_leaves=4, n_spines=3, n_iterations=4, collective_bytes=300_000, seed=7
+)
+GOLDEN_DIGESTS = {
+    "round_robin": "29a92de66bfea2307f86748a3d2575c83863dbbcd3d790c53ca1bf1b1b11c292",
+    "random": "4d787f023e503341cd3a90ccb84a8a58d0001dcbf31ad3d9b5fca027cb8e4383",
+    "adaptive": "c642624747ae68fd4e8ef4f313407f023a470c7df7111981609b074a1399ccb7",
+    "ecmp": "3226d76e1ef162ca307d2d5da8b5f0178083d1ad75537c02930e2ed6675aac5e",
+}
+
+
+@pytest.mark.parametrize("spray", sorted(GOLDEN_DIGESTS))
+def test_ecn_off_runs_stay_bit_identical(spray):
+    config = SimnetClosedLoopConfig(spray=spray, **GOLDEN_CONFIG)
+    result = run_simnet_closed_loop(config)
+    assert outcome_digest(result) == GOLDEN_DIGESTS[spray]
+
+
+def test_ecn_enabled_marks_and_still_completes():
+    config = SimnetClosedLoopConfig(
+        ecn_threshold_bytes=4096,
+        congestion=CongestionConfig(),
+        **GOLDEN_CONFIG,
+    )
+    driver = SimnetClosedLoopDriver(config)
+    result = driver.run()
+    assert result.iterations_completed == config.n_iterations
+    assert not result.stalled
+    assert driver.network.total_ecn_marks() > 0
+
+
+# ----------------------------------------------------------------------
+# Reroute remediation and co-tenancy
+# ----------------------------------------------------------------------
+def test_reroute_remediation_excludes_without_disabling():
+    config = SimnetClosedLoopConfig(
+        n_leaves=5,
+        n_spines=3,
+        collective_bytes=1_000_000,
+        mtu=512,
+        n_iterations=8,
+        threshold=0.01,
+        remediation="reroute",
+    )
+    driver = SimnetClosedLoopDriver(
+        config,
+        iteration_faults={
+            FAULT_ITERATION: [
+                FaultEvent(0, "inject", FAULT_LINK, DropFault(0.5))
+            ]
+        },
+    )
+    result = driver.run()
+    assert result.actions
+    # The suspect cable left the spray candidate set but stays up.
+    assert FAULT_LINK in driver.network.control.spray_excluded
+    assert driver.network.control.known_disabled == frozenset()
+    assert result.recovered
+
+
+def test_background_cotenants_share_the_fabric_quietly():
+    config = SimnetClosedLoopConfig(
+        n_leaves=4,
+        n_spines=3,
+        hosts_per_leaf=2,
+        background_jobs=1,
+        collective_bytes=300_000,
+        mtu=512,
+        n_iterations=3,
+        threshold=0.05,
+        seed=3,
+    )
+    result = run_simnet_closed_loop(config)
+    assert result.iterations_completed == 3
+    assert not result.stalled
+    # Co-tenant load alone is symmetric noise, not an asymmetry alarm.
+    assert result.detection_iteration is None
+
+
+def test_config_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        SimnetClosedLoopConfig(remediation="pray")
+    with pytest.raises(ValueError):
+        SimnetClosedLoopConfig(predictor="oracle")
+    with pytest.raises(ValueError):
+        SimnetClosedLoopConfig(background_jobs=-1)
+    with pytest.raises(ValueError):
+        SimnetClosedLoopConfig(background_jobs=1)  # hosts_per_leaf too small
+    with pytest.raises(ValueError):
+        SimnetClosedLoopConfig(predictor="learned", warmup_iterations=0)

@@ -1,0 +1,152 @@
+"""Tests for the ECN/DCQCN-style congestion layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import (
+    CongestionConfig,
+    CongestionError,
+    CongestionWindow,
+    Packet,
+    PacketKind,
+    PriorityByteQueue,
+)
+
+
+def _data(size=100):
+    return Packet(src_host=0, dst_host=1, size=size)
+
+
+def _ack():
+    return _data().make_ack()
+
+
+# ----------------------------------------------------------------------
+# CongestionConfig validation
+# ----------------------------------------------------------------------
+def test_config_defaults_are_valid():
+    config = CongestionConfig()
+    assert config.min_window <= config.initial_window <= config.max_window
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"min_window": 0},
+        {"initial_window": 0},
+        {"initial_window": 500, "max_window": 256},
+        {"min_window": 10, "initial_window": 5},
+        {"reduction_factor": 0.0},
+        {"reduction_factor": 1.0},
+        {"reduction_factor": 1.5},
+        {"additive_increase": 0.0},
+        {"additive_increase": -1.0},
+    ],
+)
+def test_config_rejects_bad_parameters(kwargs):
+    with pytest.raises(CongestionError):
+        CongestionConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# CongestionWindow arithmetic
+# ----------------------------------------------------------------------
+def test_window_gates_sends_at_initial_window():
+    window = CongestionWindow(CongestionConfig(initial_window=2))
+    assert window.can_send
+    window.on_send()
+    assert window.can_send
+    window.on_send()
+    assert not window.can_send
+    window.on_done()
+    assert window.can_send
+
+
+def test_clean_ack_is_additive_increase_capped_at_max():
+    config = CongestionConfig(initial_window=4, max_window=6, additive_increase=1.0)
+    window = CongestionWindow(config)
+    for _ in range(10):
+        window.on_ack(ecn_echo=False)
+    assert window.window == pytest.approx(6.0)
+    assert window.ecn_echoes == 0
+    assert window.reductions == 0
+
+
+def test_ecn_echo_is_multiplicative_decrease_floored_at_min():
+    config = CongestionConfig(
+        initial_window=32, min_window=2, reduction_factor=0.5
+    )
+    window = CongestionWindow(config)
+    window.on_ack(ecn_echo=True)
+    assert window.window == pytest.approx(16.0)
+    for _ in range(10):
+        window.on_ack(ecn_echo=True)
+    assert window.window == pytest.approx(2.0)
+    assert window.ecn_echoes == 11
+    assert window.reductions == 11
+
+
+def test_on_done_never_goes_negative():
+    window = CongestionWindow(CongestionConfig())
+    window.on_done()
+    assert window.inflight == 0
+
+
+# ----------------------------------------------------------------------
+# Queue-side ECN marking
+# ----------------------------------------------------------------------
+def test_queue_without_threshold_never_marks():
+    queue = PriorityByteQueue()
+    for _ in range(50):
+        packet = _data(size=1000)
+        queue.push(packet)
+        assert not packet.ecn
+    assert queue.ecn_marked == 0
+
+
+def test_queue_marks_data_at_or_above_threshold():
+    queue = PriorityByteQueue(ecn_threshold_bytes=250)
+    first, second, third = _data(), _data(), _data()
+    queue.push(first)  # backlog 100 < 250
+    queue.push(second)  # backlog 200 < 250
+    queue.push(third)  # backlog 300 >= 250 -> marked
+    assert not first.ecn
+    assert not second.ecn
+    assert third.ecn
+    assert queue.ecn_marked == 1
+
+
+def test_queue_never_marks_acks():
+    queue = PriorityByteQueue(ecn_threshold_bytes=1)
+    ack = _ack()
+    queue.push(ack)
+    assert not ack.ecn
+    assert queue.ecn_marked == 0
+
+
+def test_queue_does_not_double_count_marked_packets():
+    queue = PriorityByteQueue(ecn_threshold_bytes=1)
+    packet = _data()
+    queue.push(packet)
+    assert packet.ecn
+    queue.pop()
+    queue.push(packet)  # re-queued somewhere downstream, already marked
+    assert queue.ecn_marked == 1
+
+
+def test_queue_rejects_non_positive_threshold():
+    with pytest.raises(ValueError):
+        PriorityByteQueue(ecn_threshold_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# ACK echo
+# ----------------------------------------------------------------------
+def test_ack_echoes_ecn_mark():
+    packet = _data()
+    assert not packet.make_ack().ecn
+    packet.ecn = True
+    ack = packet.make_ack()
+    assert ack.ecn
+    assert ack.kind is PacketKind.ACK

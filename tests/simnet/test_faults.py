@@ -11,7 +11,10 @@ from repro.simnet import (
     DropFault,
     FaultInjector,
     FaultInjectorError,
+    FlowSubsetFault,
+    IngressConditionedFault,
     IntermittentDropFault,
+    LoadDependentFault,
     Packet,
     TransientDropFault,
 )
@@ -168,3 +171,104 @@ def test_known_disabled_lists_only_known_faults():
     injector.inject("up:L0->S1", DisconnectFault(known=True))
     injector.inject("down:S2->L3", DropFault(0.05))  # silent
     assert injector.known_disabled() == frozenset({"up:L0->S1"})
+
+
+# ----------------------------------------------------------------------
+# Conditional (gray) faults
+# ----------------------------------------------------------------------
+def _link(preload_bytes=0):
+    """A live link whose egress queue optionally carries a backlog."""
+    from repro import units
+    from repro.simnet import Link, Node, Simulator
+
+    class _Null(Node):
+        def receive(self, packet, link):
+            pass
+
+    sim = Simulator()
+    rng = np.random.Generator(np.random.PCG64(0))
+    link = Link(sim, "down:S0->L1", _Null(), units.GBPS, 0, rng)
+    if preload_bytes:
+        # First packet starts transmitting; the second stays queued.
+        link.enqueue(Packet(src_host=0, dst_host=1, size=1))
+        link.enqueue(Packet(src_host=0, dst_host=1, size=preload_bytes))
+    return link
+
+
+def test_conditional_fault_refuses_unconditional_drops(frng):
+    fault = IngressConditionedFault(rate=1.0, ingress_link="up:L0->S0")
+    with pytest.raises(TypeError):
+        fault.drops(_pkt(), 0, frng)
+
+
+def test_conditional_fault_keeps_matched_and_dropped_books(frng):
+    fault = IngressConditionedFault(rate=0.5, ingress_link="up:L0->S0")
+    link = _link()
+    exposed = _pkt()
+    exposed.hop("up:L0->S0")
+    for _ in range(200):
+        fault.drops_on(link, exposed, 0, frng)
+    assert fault.matched_packets == 200
+    assert 0 < fault.dropped_packets < 200
+
+
+def test_ingress_conditioned_fault_matches_only_its_ingress(frng):
+    fault = IngressConditionedFault(rate=1.0, ingress_link="up:L0->S0")
+    link = _link()
+    through_sick_port = _pkt()
+    through_sick_port.hop("up:L0->S0")
+    around_it = _pkt()
+    around_it.hop("up:L0->S1")
+    assert fault.drops_on(link, through_sick_port, 0, frng)
+    assert not fault.drops_on(link, around_it, 0, frng)
+    assert fault.matched_packets == 1
+    assert fault.dropped_packets == 1
+
+
+def test_ingress_conditioned_fault_requires_link_name():
+    with pytest.raises(ValueError):
+        IngressConditionedFault(rate=1.0)
+
+
+def test_load_dependent_fault_fires_only_under_backlog(frng):
+    fault = LoadDependentFault(rate=1.0, min_queue_bytes=500)
+    idle = _link()
+    assert not fault.drops_on(idle, _pkt(), 0, frng)
+    assert fault.matched_packets == 0
+    loaded = _link(preload_bytes=2000)
+    assert fault.drops_on(loaded, _pkt(), 0, frng)
+    assert fault.matched_packets == 1
+
+
+def test_load_dependent_fault_requires_positive_threshold():
+    with pytest.raises(ValueError):
+        LoadDependentFault(rate=1.0, min_queue_bytes=0)
+
+
+def test_flow_subset_fault_is_consistent_per_flow(frng):
+    fault = FlowSubsetFault(rate=1.0, modulus=2, residues=frozenset({0, 1}))
+    link = _link()
+    # Every residue selected -> every flow matches.
+    for dst in range(10):
+        assert fault.drops_on(link, _pkt(dst=dst), 0, frng)
+
+    narrow = FlowSubsetFault(rate=1.0, modulus=4, residues=frozenset({0}))
+    verdicts = {dst: narrow.matches(link, _pkt(dst=dst)) for dst in range(64)}
+    assert any(verdicts.values()) and not all(verdicts.values())
+    # Same flow key always lands on the same side of the hash.
+    for dst, verdict in verdicts.items():
+        assert narrow.matches(link, _pkt(dst=dst)) == verdict
+
+
+def test_flow_subset_fault_validates_residues():
+    with pytest.raises(ValueError):
+        FlowSubsetFault(modulus=0)
+    with pytest.raises(ValueError):
+        FlowSubsetFault(residues=frozenset())
+    with pytest.raises(ValueError):
+        FlowSubsetFault(modulus=4, residues=frozenset({4}))
+
+
+def test_conditional_fault_validates_rate():
+    with pytest.raises(ValueError):
+        IngressConditionedFault(rate=1.5, ingress_link="up:L0->S0")

@@ -187,3 +187,50 @@ def test_make_policy_by_name():
 def test_make_policy_unknown_name():
     with pytest.raises(ValueError, match="unknown spray policy"):
         make_policy("bogus")
+
+
+def test_ecmp_is_endpoint_stable_across_messages(srng):
+    # Per routing epoch, a host pair pins to one uplink regardless of
+    # which message a packet belongs to — real ECMP hashes headers, not
+    # transport message ids.
+    links = make_links(8)
+    policy = EcmpHash()
+    first = policy.choose(links, _pkt(src=3, dst=9, msg=1), srng)
+    for msg in range(2, 30):
+        assert policy.choose(links, _pkt(src=3, dst=9, msg=msg), srng) is first
+
+
+def test_ecmp_salt_rerolls_the_hash(srng):
+    links = make_links(8)
+    mapping = {
+        salt: {
+            s: EcmpHash(salt=salt).choose(links, _pkt(src=s, dst=s + 1), srng).name
+            for s in range(32)
+        }
+        for salt in (0, 1)
+    }
+    assert mapping[0] != mapping[1]  # a re-seeded switch repins flows
+
+
+def test_ecmp_same_salt_is_deterministic(srng):
+    links = make_links(8)
+    a, b = EcmpHash(salt=5), EcmpHash(salt=5)
+    for s in range(16):
+        packet = _pkt(src=s, dst=s + 1)
+        assert a.choose(links, packet, srng) is b.choose(links, packet, srng)
+
+
+def test_policies_respect_shrunken_candidate_set(srng):
+    # The control plane narrows the candidate list after a disable or a
+    # spray exclusion; every policy must stay inside what it is given.
+    links = make_links(4)
+    survivors = links[1:3]
+    for policy in (
+        RoundRobinSpray(),
+        RandomSpray(),
+        LeastQueueSpray(),
+        EcmpHash(),
+    ):
+        for i in range(40):
+            chosen = policy.choose(survivors, _pkt(src=i, msg=i), srng)
+            assert chosen in survivors

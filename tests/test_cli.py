@@ -294,10 +294,12 @@ def test_closed_loop_simnet_engine_recovers(capsys):
 
 
 def test_chaos_command_reports_pass(capsys):
-    code = main(["chaos", "--scenarios", "2"])
+    # Seeds 0-2 draw escalating, persistent_drop, healthy under the
+    # rng-driven kind selection.
+    code = main(["chaos", "--scenarios", "3"])
     out = capsys.readouterr().out
     assert code == 0
-    assert "2/2 scenarios passed" in out
+    assert "3/3 scenarios passed" in out
     assert "healthy" in out and "persistent_drop" in out
 
 
@@ -526,4 +528,37 @@ def test_report_verb_flags_dropped_lines(chaos_events_path, tmp_path, capsys):
         ]
     )
     assert code == 2  # strict mode treats it as unusable input
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# greylab verb
+# ----------------------------------------------------------------------
+def test_greylab_single_cell_writes_csv(tmp_path, capsys):
+    from repro.report.tables import read_csv
+
+    out = tmp_path / "grey.csv"
+    code = main(
+        [
+            "greylab",
+            "--kinds", "gray_conditional",
+            "--sprays", "random",
+            "--levels", "none",
+            "--seeds-per-cell", "1",
+            "--out", str(out),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "gray_conditional" in captured
+    (row,) = read_csv(out)
+    assert row["kind"] == "gray_conditional"
+    assert row["spray"] == "random"
+    assert row["detections"] == 1
+    assert row["false_positives"] == 0
+
+
+def test_greylab_rejects_unknown_spray(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["greylab", "--sprays", "zigzag"])
     capsys.readouterr()

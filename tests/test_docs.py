@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.fastsim",
     "repro.fleet",
     "repro.fleet.ha",
+    "repro.greylab",
     "repro.simnet",
     "repro.telemetry",
     "repro.threelevel",

@@ -153,3 +153,50 @@ def test_property_every_host_maps_to_a_valid_leaf(n_leaves, n_spines, hosts_per_
     for host in range(spec.n_hosts):
         leaf = spec.leaf_of_host(host)
         assert host in spec.hosts_of_leaf(leaf)
+
+
+def test_spray_exclusion_narrows_spraying_but_not_forwarding():
+    spec = ClosSpec(n_leaves=4, n_spines=3)
+    plane = ControlPlane(spec)
+    plane.exclude_from_spray(up_link(0, 1))
+    # New traffic from leaf 0 avoids spine 1...
+    assert plane.valid_spines(0, 3) == [0, 2]
+    # ...but in-flight forwarding still works: the link is up.
+    assert plane.up_ok(0, 1)
+    assert plane.down_ok(1, 0)
+    # Other leaves are unaffected.
+    assert plane.valid_spines(2, 3) == [0, 1, 2]
+
+
+def test_readmit_to_spray_restores_candidates():
+    spec = ClosSpec(n_leaves=2, n_spines=3)
+    plane = ControlPlane(spec)
+    plane.exclude_from_spray(up_link(0, 0), down_link(1, 1))
+    assert plane.valid_spines(0, 1) == [2]
+    plane.readmit_to_spray(up_link(0, 0), down_link(1, 1))
+    assert plane.valid_spines(0, 1) == [0, 1, 2]
+    assert plane.spray_excluded == frozenset()
+
+
+def test_routing_excluded_unions_disabled_and_spray_excluded():
+    spec = ClosSpec(n_leaves=2, n_spines=3)
+    plane = ControlPlane(spec, known_disabled=frozenset({up_link(0, 0)}))
+    plane.exclude_from_spray(up_link(0, 1))
+    assert plane.routing_excluded == frozenset({up_link(0, 0), up_link(0, 1)})
+    # Disabled links stay excluded even if "readmitted" to spraying.
+    plane.readmit_to_spray(up_link(0, 0))
+    assert up_link(0, 0) in plane.routing_excluded
+
+
+def test_exclude_from_spray_validates_names():
+    plane = ControlPlane(ClosSpec(n_leaves=2, n_spines=2))
+    with pytest.raises(TopologyError):
+        plane.exclude_from_spray("bogus-link")
+
+
+def test_spray_exclusion_partition_raises():
+    spec = ClosSpec(n_leaves=2, n_spines=1)
+    plane = ControlPlane(spec)
+    plane.exclude_from_spray(up_link(0, 0))
+    with pytest.raises(TopologyError):
+        plane.valid_spines(0, 1)

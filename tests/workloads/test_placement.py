@@ -61,3 +61,36 @@ def test_leaf_sharing_detection():
 def test_custom_first_job_id():
     jobs = place_jobs(SPEC, [2, 2], first_job_id=10)
     assert [j.job_id for j in jobs] == [10, 11]
+
+
+def test_strided_placement_interleaves_hosts():
+    jobs = place_jobs(SPEC, [8, 8], strategy="strided")
+    assert jobs[0].hosts == (0, 2, 4, 6, 8, 10, 12, 14)
+    assert jobs[1].hosts == (1, 3, 5, 7, 9, 11, 13, 15)
+
+
+def test_strided_placement_gives_every_job_every_leaf():
+    # 8 leaves x 2 hosts: two strided 8-host jobs each own one host per
+    # leaf, so every job's ring crosses every leaf uplink.
+    jobs = place_jobs(SPEC, [8, 8], strategy="strided")
+    for job in jobs:
+        assert job.leaves(SPEC) == frozenset(range(8))
+    assert jobs_share_leaves(SPEC, jobs)
+
+
+def test_strided_placement_uneven_sizes():
+    jobs = place_jobs(SPEC, [3, 2], strategy="strided")
+    # Hosts dealt round-robin while both jobs are short: 0,1 then 2,3
+    # then job 1 alone takes 4.
+    assert jobs[0].hosts == (0, 2, 4)
+    assert jobs[1].hosts == (1, 3)
+
+
+def test_strided_placement_respects_first_job_id():
+    jobs = place_jobs(SPEC, [2, 2], first_job_id=7, strategy="strided")
+    assert [j.job_id for j in jobs] == [7, 8]
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(PlacementError):
+        place_jobs(SPEC, [2, 2], strategy="diagonal")
